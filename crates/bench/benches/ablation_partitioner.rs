@@ -1,0 +1,30 @@
+//! Ablation of the §2 child-pick rule (median vs closest vs farthest).
+//! Regenerates the comparison table, then times each rule's build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geocast::figures::{ablation_partitioner, AblationConfig};
+use geocast::prelude::*;
+use geocast_bench::{full_scale, print_report};
+
+fn regenerate_and_time(c: &mut Criterion) {
+    let cfg = if full_scale() { AblationConfig::default() } else { AblationConfig::quick() };
+    print_report(&ablation_partitioner(&cfg));
+
+    let peers = PeerInfo::from_point_set(&uniform_points(400, 2, 1000.0, 1));
+    let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
+    let mut group = c.benchmark_group("ablation/build_by_rule");
+    group.sample_size(20);
+    for (name, partitioner) in [
+        ("median", OrthantRectPartitioner::median()),
+        ("closest", OrthantRectPartitioner::closest()),
+        ("farthest", OrthantRectPartitioner::farthest()),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| build_tree(std::hint::black_box(&peers), &overlay, 0, &partitioner))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_time);
+criterion_main!(benches);

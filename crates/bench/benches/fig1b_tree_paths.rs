@@ -1,0 +1,34 @@
+//! Fig. 1(b): root-to-leaf path lengths of the §2 multicast tree vs D.
+//! Regenerates the panel, then times single tree constructions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geocast::figures::{fig1b, Fig1Config};
+use geocast::prelude::*;
+use geocast_bench::{full_scale, print_report};
+
+fn regenerate_and_time(c: &mut Criterion) {
+    let cfg = if full_scale() { Fig1Config::default() } else { Fig1Config::quick() };
+    print_report(&fig1b(&cfg));
+
+    let mut group = c.benchmark_group("fig1b/build_tree");
+    group.sample_size(20);
+    for (n, dim) in [(200usize, 2usize), (500, 2), (200, 5)] {
+        let peers = PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, 1));
+        let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
+        let partitioner = OrthantRectPartitioner::median();
+        group.bench_function(BenchmarkId::from_parameter(format!("n{n}_d{dim}")), |b| {
+            b.iter(|| {
+                build_tree(
+                    std::hint::black_box(&peers),
+                    std::hint::black_box(&overlay),
+                    0,
+                    &partitioner,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_time);
+criterion_main!(benches);

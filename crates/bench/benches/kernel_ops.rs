@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the geometric kernels everything else is built
+//! on: orthant classification, empty-rectangle frontiers (definition vs
+//! frontier algorithm), neighbour selection, zone arithmetic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geocast::geom::dominance::{empty_rect_neighbors, empty_rect_neighbors_naive};
+use geocast::overlay::select::NeighborSelection;
+use geocast::prelude::*;
+
+fn bench_kernels(c: &mut Criterion) {
+    // Orthant classification.
+    let points = uniform_points(1000, 4, 1000.0, 1).into_points();
+    c.bench_function("kernel/orthant_classify_1k_d4", |b| {
+        b.iter(|| {
+            let p = &points[0];
+            points[1..]
+                .iter()
+                .map(|q| Orthant::classify(p, q).unwrap().index())
+                .sum::<usize>()
+        })
+    });
+
+    // Empty-rectangle neighbours: frontier algorithm vs definitional.
+    let mut group = c.benchmark_group("kernel/empty_rect");
+    for n in [100usize, 400] {
+        let pts = uniform_points(n, 2, 1000.0, 2).into_points();
+        let (p, cands) = pts.split_first().unwrap();
+        group.bench_function(BenchmarkId::new("frontier", n), |b| {
+            b.iter(|| empty_rect_neighbors(std::hint::black_box(p), cands))
+        });
+        group.bench_function(BenchmarkId::new("naive", n), |b| {
+            b.iter(|| empty_rect_neighbors_naive(std::hint::black_box(p), cands))
+        });
+    }
+    group.finish();
+
+    // Selection methods over a realistic candidate set.
+    let peers = PeerInfo::from_point_set(&uniform_points(500, 3, 1000.0, 3));
+    let cands: Vec<&PeerInfo> = peers[1..].iter().collect();
+    let mut group = c.benchmark_group("kernel/selection_n500_d3");
+    group.bench_function("empty_rect", |b| {
+        b.iter(|| EmptyRectSelection.select(std::hint::black_box(&peers[0]), &cands))
+    });
+    group.bench_function("orthogonal_k2", |b| {
+        let sel = HyperplanesSelection::orthogonal(3, 2, MetricKind::L1);
+        b.iter(|| sel.select(std::hint::black_box(&peers[0]), &cands))
+    });
+    group.bench_function("signed_k2", |b| {
+        let sel = HyperplanesSelection::signed(3, 2, MetricKind::L1);
+        b.iter(|| sel.select(std::hint::black_box(&peers[0]), &cands))
+    });
+    group.bench_function("k_closest_10", |b| {
+        let sel = HyperplanesSelection::k_closest(3, 10, MetricKind::L1);
+        b.iter(|| sel.select(std::hint::black_box(&peers[0]), &cands))
+    });
+    group.finish();
+
+    // Zone arithmetic.
+    let p = Point::new(vec![500.0, 500.0, 500.0]).unwrap();
+    let q = Point::new(vec![700.0, 300.0, 600.0]).unwrap();
+    c.bench_function("kernel/zone_intersect_d3", |b| {
+        let zone = Rect::full(3);
+        let orthant = Orthant::classify(&p, &q).unwrap();
+        b.iter(|| zone.intersect(&Rect::orthant_of(std::hint::black_box(&p), orthant)))
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Extension E11: localized zone repair versus full rebuild.
+//! Regenerates the cost table, then times a single repair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geocast::core::repair::repair_after_departure;
+use geocast::figures::{repair_cost, RepairConfig};
+use geocast::prelude::*;
+use geocast_bench::{full_scale, print_report};
+
+fn regenerate_and_time(c: &mut Criterion) {
+    let cfg = if full_scale() { RepairConfig::default() } else { RepairConfig::quick() };
+    print_report(&repair_cost(&cfg));
+
+    let peers = PeerInfo::from_point_set(&uniform_points(400, 2, 1000.0, 1));
+    let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
+    let build = build_tree(&peers, &overlay, 0, &OrthantRectPartitioner::median());
+    let victim = (1..peers.len())
+        .find(|&i| !build.tree.children(i).is_empty())
+        .expect("internal node");
+    // Survivor equilibrium, precomputed outside the timing loop.
+    let live: Vec<usize> = (0..peers.len()).filter(|&i| i != victim).collect();
+    let live_peers: Vec<PeerInfo> = live
+        .iter()
+        .enumerate()
+        .map(|(d, &o)| PeerInfo::new(PeerId(d as u64), peers[o].point().clone()))
+        .collect();
+    let dense = oracle::equilibrium(&live_peers, &EmptyRectSelection);
+    let mut out = vec![Vec::new(); peers.len()];
+    for (di, &oi) in live.iter().enumerate() {
+        out[oi] = dense.out_neighbors(di).iter().map(|&dj| live[dj]).collect();
+    }
+    let live_overlay = OverlayGraph::from_out_neighbors(out);
+
+    let mut group = c.benchmark_group("repair");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::from_parameter("repair_n400"), |b| {
+        b.iter(|| {
+            repair_after_departure(
+                std::hint::black_box(&peers),
+                &live_overlay,
+                &build,
+                victim,
+                &OrthantRectPartitioner::median(),
+            )
+            .expect("repair succeeds")
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("full_rebuild_n400"), |b| {
+        b.iter(|| build_tree(std::hint::black_box(&peers), &live_overlay, 0, &OrthantRectPartitioner::median()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_time);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Dissemination: full multicast sessions (build + payload rounds) over
+//! the simulator, and the per-payload cost of tree forwarding.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geocast::core::session::run_session_default;
+use geocast::prelude::*;
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+    for (n, payloads) in [(100usize, 10u64), (300, 5)] {
+        let peers = PeerInfo::from_point_set(&uniform_points(n, 2, 1000.0, 1));
+        let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("n{n}_p{payloads}")),
+            |b| {
+                b.iter(|| {
+                    let outcome = run_session_default(
+                        std::hint::black_box(&peers),
+                        &overlay,
+                        0,
+                        Arc::new(OrthantRectPartitioner::median()),
+                        payloads,
+                        7,
+                    );
+                    assert_eq!(outcome.duplicates, 0);
+                    assert_eq!(outcome.data_messages, payloads * (n as u64 - 1));
+                    outcome.data_messages
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sessions);
+criterion_main!(benches);

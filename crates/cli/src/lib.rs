@@ -1,0 +1,571 @@
+//! Command implementation behind the `geocast` binary.
+//!
+//! The CLI wraps the library's experiment surface for interactive use:
+//!
+//! ```text
+//! geocast overlay   --n 500 --dim 2 --method empty-rect        # topology profile
+//! geocast tree      --n 500 --dim 3 --root 0 --pick median     # §2 construction
+//! geocast stability --n 500 --dim 4 --k 2 --policy max-t       # §3 tree + departures
+//! geocast session   --n 200 --payloads 5 --loss 0.1            # dissemination
+//! geocast figures   --panel fig1a [--full]                     # reproduce the paper
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs after a
+//! subcommand) to keep the dependency set identical to the library's.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use geocast::core::session;
+use geocast::core::stability::{non_leaf_departures, preferred_links, PreferredPolicy};
+use geocast::figures;
+use geocast::overlay::analysis;
+use geocast::prelude::*;
+
+/// A parsed invocation: subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// The subcommand (`overlay`, `tree`, ...).
+    pub command: String,
+    /// The `--key value` options, keys without the leading dashes.
+    pub options: HashMap<String, String>,
+}
+
+/// Errors surfaced to the terminal user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// An option flag without a value, or a stray positional token.
+    MalformedOption(String),
+    /// An option value failed to parse.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// Offending value.
+        value: String,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingCommand => write!(f, "no command given; try `geocast help`"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command `{c}`; try `geocast help`"),
+            CliError::MalformedOption(o) => write!(f, "malformed option `{o}` (expected --key value)"),
+            CliError::BadValue { key, value } => write!(f, "invalid value `{value}` for --{key}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+///
+/// [`CliError::MissingCommand`] on empty input and
+/// [`CliError::MalformedOption`] for non-`--key value` shapes.
+pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::MissingCommand);
+    };
+    let mut options = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(token) = it.next() {
+        let Some(key) = token.strip_prefix("--") else {
+            return Err(CliError::MalformedOption(token.clone()));
+        };
+        // Boolean flags (no value) are stored as "true".
+        match key {
+            "full" | "csv" => {
+                options.insert(key.to_owned(), "true".to_owned());
+            }
+            _ => {
+                let Some(value) = it.next() else {
+                    return Err(CliError::MalformedOption(token.clone()));
+                };
+                options.insert(key.to_owned(), value.clone());
+            }
+        }
+    }
+    Ok(Invocation { command: command.clone(), options })
+}
+
+fn opt<T: std::str::FromStr>(
+    inv: &Invocation,
+    key: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match inv.options.get(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| CliError::BadValue { key: key.to_owned(), value: raw.clone() }),
+    }
+}
+
+fn selection_for(
+    method: &str,
+    dim: usize,
+    k: usize,
+) -> Result<Arc<dyn NeighborSelection + Send + Sync>, CliError> {
+    Ok(match method {
+        "empty-rect" => Arc::new(EmptyRectSelection),
+        "orthogonal" => Arc::new(HyperplanesSelection::orthogonal(dim, k, MetricKind::L1)),
+        "signed" => Arc::new(HyperplanesSelection::signed(dim, k, MetricKind::L1)),
+        "k-closest" => Arc::new(HyperplanesSelection::k_closest(dim, k, MetricKind::L1)),
+        other => {
+            return Err(CliError::BadValue { key: "method".into(), value: other.into() })
+        }
+    })
+}
+
+/// Executes a parsed invocation, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown commands or invalid option values.
+pub fn run(inv: &Invocation) -> Result<String, CliError> {
+    match inv.command.as_str() {
+        "help" | "--help" | "-h" => Ok(HELP.to_owned()),
+        "overlay" => cmd_overlay(inv),
+        "tree" => cmd_tree(inv),
+        "stability" => cmd_stability(inv),
+        "session" => cmd_session(inv),
+        "route" => cmd_route(inv),
+        "figures" => cmd_figures(inv),
+        other => Err(CliError::UnknownCommand(other.to_owned())),
+    }
+}
+
+const HELP: &str = "geocast — decentralized multicast trees on geometric P2P overlays
+
+USAGE: geocast <COMMAND> [--key value ...]
+
+COMMANDS:
+  overlay    build an equilibrium overlay and print its profile
+             --n 500 --dim 2 --seed 1 --method empty-rect|orthogonal|signed|k-closest --k 2
+  tree       run the §2 construction and check its claims
+             --n 500 --dim 2 --seed 1 --root 0 --pick median|closest|farthest
+  stability  run the §3 construction and replay all departures
+             --n 500 --dim 3 --k 2 --seed 1 --policy max-t|min-higher-t|closest
+  session    build a tree and multicast payloads over the simulator
+             --n 200 --dim 2 --seed 1 --payloads 5 --loss 0.0
+  route      greedy geometric routing between two peers
+             --n 200 --dim 2 --seed 1 --from 0 --to 10
+  figures    regenerate the paper's artifacts
+             --panel fig1a|fig1b|fig1c|fig1d|fig1e|claims|ablation|baselines|repair|all [--full]
+  help       this text
+";
+
+fn cmd_overlay(inv: &Invocation) -> Result<String, CliError> {
+    let n: usize = opt(inv, "n", 500)?;
+    let dim: usize = opt(inv, "dim", 2)?;
+    let seed: u64 = opt(inv, "seed", 1)?;
+    let k: usize = opt(inv, "k", 2)?;
+    let method: String = opt(inv, "method", "empty-rect".to_owned())?;
+    let selection = selection_for(&method, dim, k)?;
+
+    let peers = PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, seed));
+    let graph = oracle::equilibrium(&peers, selection.as_ref());
+    let profile = analysis::profile(&graph, Some(64.min(n)), seed);
+    let stretch = if n >= 2 {
+        analysis::geometric_stretch(&peers, &graph, MetricKind::L1, 200, seed)
+    } else {
+        0.0
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "overlay: {method} over {n} peers (D={dim}, seed {seed})\n\n"
+    ));
+    out.push_str(&format!("  directed edges    : {}\n", profile.directed_edges));
+    out.push_str(&format!("  undirected links  : {}\n", profile.undirected_edges));
+    out.push_str(&format!(
+        "  degree            : min {} / mean {:.1} / max {}\n",
+        profile.degree_min, profile.degree_mean, profile.degree_max
+    ));
+    out.push_str(&format!("  link symmetry     : {:.1}%\n", profile.link_symmetry * 100.0));
+    out.push_str(&format!("  connected         : {}\n", profile.connected));
+    out.push_str(&format!("  mean hop distance : {:.2}\n", profile.mean_hop_distance));
+    out.push_str(&format!("  max eccentricity  : {}\n", profile.hop_eccentricity_max));
+    out.push_str(&format!("  clustering coeff  : {:.3}\n", profile.clustering_coefficient));
+    out.push_str(&format!("  geometric stretch : {stretch:.2}\n"));
+    Ok(out)
+}
+
+fn cmd_tree(inv: &Invocation) -> Result<String, CliError> {
+    let n: usize = opt(inv, "n", 500)?;
+    let dim: usize = opt(inv, "dim", 2)?;
+    let seed: u64 = opt(inv, "seed", 1)?;
+    let root: usize = opt(inv, "root", 0)?;
+    let pick: String = opt(inv, "pick", "median".to_owned())?;
+    let partitioner = match pick.as_str() {
+        "median" => OrthantRectPartitioner::median(),
+        "closest" => OrthantRectPartitioner::closest(),
+        "farthest" => OrthantRectPartitioner::farthest(),
+        other => return Err(CliError::BadValue { key: "pick".into(), value: other.into() }),
+    };
+    if root >= n {
+        return Err(CliError::BadValue { key: "root".into(), value: root.to_string() });
+    }
+
+    let peers = PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, seed));
+    let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
+    let result = build_tree(&peers, &overlay, root, &partitioner);
+    let verdict = validate::check_section2(&result, n, dim);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "§2 multicast tree: {n} peers, D={dim}, root {root}, pick {pick}\n\n"
+    ));
+    out.push_str(&format!("  messages          : {} (N-1 = {})\n", result.messages, n - 1));
+    out.push_str(&format!("  spanning          : {}\n", result.tree.is_spanning()));
+    out.push_str(&format!("  height            : {}\n", result.tree.longest_root_to_leaf()));
+    out.push_str(&format!("  diameter          : {}\n", result.tree.diameter()));
+    out.push_str(&format!(
+        "  max children      : {} (2^D = {})\n",
+        result.tree.max_children(),
+        1usize << dim
+    ));
+    out.push_str(&format!("  §2 claims hold    : {}\n", verdict.all_hold()));
+    Ok(out)
+}
+
+fn cmd_stability(inv: &Invocation) -> Result<String, CliError> {
+    let n: usize = opt(inv, "n", 500)?;
+    let dim: usize = opt(inv, "dim", 3)?;
+    let seed: u64 = opt(inv, "seed", 1)?;
+    let k: usize = opt(inv, "k", 2)?;
+    let policy_name: String = opt(inv, "policy", "max-t".to_owned())?;
+    let policy = match policy_name.as_str() {
+        "max-t" => PreferredPolicy::MaxT,
+        "min-higher-t" => PreferredPolicy::MinHigherT,
+        "closest" => PreferredPolicy::ClosestHigherT(MetricKind::L1),
+        other => return Err(CliError::BadValue { key: "policy".into(), value: other.into() }),
+    };
+
+    let base = uniform_points(n, dim, 1000.0, seed);
+    let times = lifetimes(n, 1000.0, seed ^ 0x57_4a);
+    let peers = PeerInfo::from_point_set(&embed_lifetimes(&base, &times));
+    let overlay =
+        oracle::equilibrium(&peers, &HyperplanesSelection::orthogonal(dim, k, MetricKind::L1));
+    let forest = preferred_links(&peers, &overlay, policy);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "§3 stability tree: {n} peers, D={dim}, K={k}, policy {policy_name}\n\n"
+    ));
+    out.push_str(&format!("  links form a tree : {}\n", forest.is_tree()));
+    out.push_str(&format!("  heap property     : {}\n", forest.heap_property_holds(&peers)));
+    if let Some(tree) = forest.to_multicast_tree() {
+        let t: Vec<f64> = peers.iter().map(|p| p.departure_time()).collect();
+        out.push_str(&format!("  height            : {}\n", tree.longest_root_to_leaf()));
+        out.push_str(&format!("  diameter          : {}\n", tree.diameter()));
+        out.push_str(&format!(
+            "  max tree degree   : {}\n",
+            tree.degrees().into_iter().max().unwrap_or(0)
+        ));
+        out.push_str(&format!(
+            "  disconnecting departures (full schedule): {}\n",
+            non_leaf_departures(&tree, &t)
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_session(inv: &Invocation) -> Result<String, CliError> {
+    let n: usize = opt(inv, "n", 200)?;
+    let dim: usize = opt(inv, "dim", 2)?;
+    let seed: u64 = opt(inv, "seed", 1)?;
+    let payloads: u64 = opt(inv, "payloads", 5)?;
+    let loss: f64 = opt(inv, "loss", 0.0)?;
+    if !(0.0..=1.0).contains(&loss) {
+        return Err(CliError::BadValue { key: "loss".into(), value: loss.to_string() });
+    }
+
+    let peers = PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, seed));
+    let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
+    let outcome = session::run_session(
+        &peers,
+        &overlay,
+        0,
+        Arc::new(OrthantRectPartitioner::median()),
+        payloads,
+        &[],
+        geocast::sim::UniformLatency::new(
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(20),
+        ),
+        if loss > 0.0 { FaultModel::with_loss(loss) } else { FaultModel::default() },
+        seed,
+    );
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "multicast session: {n} peers, {payloads} payloads, loss {:.0}%\n\n",
+        loss * 100.0
+    ));
+    out.push_str(&format!("  build messages : {} (N-1 = {})\n", outcome.build_messages, n - 1));
+    out.push_str(&format!("  data messages  : {}\n", outcome.data_messages));
+    out.push_str(&format!("  duplicates     : {}\n", outcome.duplicates));
+    for (p, count) in &outcome.delivery {
+        out.push_str(&format!(
+            "  payload {p}: delivered to {count}/{n} ({:.1}%)\n",
+            *count as f64 * 100.0 / n as f64
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_route(inv: &Invocation) -> Result<String, CliError> {
+    let n: usize = opt(inv, "n", 200)?;
+    let dim: usize = opt(inv, "dim", 2)?;
+    let seed: u64 = opt(inv, "seed", 1)?;
+    let from: usize = opt(inv, "from", 0)?;
+    let to: usize = opt(inv, "to", n.saturating_sub(1))?;
+    if from >= n {
+        return Err(CliError::BadValue { key: "from".into(), value: from.to_string() });
+    }
+    if to >= n {
+        return Err(CliError::BadValue { key: "to".into(), value: to.to_string() });
+    }
+
+    let peers = PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, seed));
+    let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
+    let route =
+        geocast::overlay::routing::route_to_peer(&peers, &overlay, from, to, MetricKind::L1);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "greedy route {from} -> {to} over {n} peers (D={dim}, seed {seed})\n\n"
+    ));
+    out.push_str(&format!("  delivered : {}\n", route.delivered));
+    out.push_str(&format!("  hops      : {}\n", route.hops()));
+    out.push_str("  path      : ");
+    for (i, hop) in route.path.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" -> ");
+        }
+        out.push_str(&hop.to_string());
+    }
+    out.push('\n');
+    Ok(out)
+}
+
+fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
+    let panel: String = opt(inv, "panel", "all".to_owned())?;
+    let full = inv.options.contains_key("full");
+
+    let fig1 = if full { figures::Fig1Config::default() } else { figures::Fig1Config::quick() };
+    let fig1c =
+        if full { figures::Fig1cConfig::default() } else { figures::Fig1cConfig::quick() };
+    let stab = if full {
+        figures::StabilityConfig::default()
+    } else {
+        figures::StabilityConfig::quick()
+    };
+    let claims =
+        if full { figures::ClaimsConfig::default() } else { figures::ClaimsConfig::quick() };
+    let ab = if full {
+        figures::AblationConfig::default()
+    } else {
+        figures::AblationConfig::quick()
+    };
+    let base = if full {
+        figures::BaselineConfig::default()
+    } else {
+        figures::BaselineConfig::quick()
+    };
+    let repair =
+        if full { figures::RepairConfig::default() } else { figures::RepairConfig::quick() };
+
+    let mut reports = Vec::new();
+    match panel.as_str() {
+        "fig1a" => reports.push(figures::fig1a(&fig1)),
+        "fig1b" => reports.push(figures::fig1b(&fig1)),
+        "fig1c" => reports.push(figures::fig1c(&fig1c)),
+        "fig1d" => reports.push(figures::fig1d(&stab)),
+        "fig1e" => reports.push(figures::fig1e(&stab)),
+        "claims" => {
+            reports.push(figures::claims_section2(&claims));
+            reports.push(figures::claims_section3(&claims));
+        }
+        "ablation" => reports.push(figures::ablation_partitioner(&ab)),
+        "baselines" => {
+            reports.push(figures::baseline_messages(&base));
+            reports.push(figures::baseline_stability(&base));
+        }
+        "repair" => reports.push(figures::repair_cost(&repair)),
+        "all" => {
+            reports.push(figures::fig1a(&fig1));
+            reports.push(figures::fig1b(&fig1));
+            reports.push(figures::fig1c(&fig1c));
+            let sweep = figures::stability_sweep(&stab);
+            reports.push(sweep.fig1d_report());
+            reports.push(sweep.fig1e_report());
+            reports.push(figures::claims_section2(&claims));
+            reports.push(figures::claims_section3(&claims));
+            reports.push(figures::ablation_partitioner(&ab));
+            reports.push(figures::baseline_messages(&base));
+            reports.push(figures::baseline_stability(&base));
+            reports.push(figures::repair_cost(&repair));
+        }
+        other => return Err(CliError::BadValue { key: "panel".into(), value: other.into() }),
+    }
+    let mut out = String::new();
+    for report in &reports {
+        out.push_str(&report.to_string());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parse_extracts_command_and_options() {
+        let inv = parse_args(&args(&["tree", "--n", "50", "--pick", "median"])).unwrap();
+        assert_eq!(inv.command, "tree");
+        assert_eq!(inv.options.get("n").map(String::as_str), Some("50"));
+        assert_eq!(inv.options.get("pick").map(String::as_str), Some("median"));
+    }
+
+    #[test]
+    fn parse_rejects_empty_and_malformed() {
+        assert_eq!(parse_args(&[]), Err(CliError::MissingCommand));
+        assert!(matches!(
+            parse_args(&args(&["tree", "stray"])),
+            Err(CliError::MalformedOption(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["tree", "--n"])),
+            Err(CliError::MalformedOption(_))
+        ));
+    }
+
+    #[test]
+    fn boolean_flags_need_no_value() {
+        let inv = parse_args(&args(&["figures", "--full", "--panel", "fig1a"])).unwrap();
+        assert_eq!(inv.options.get("full").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn help_command_prints_usage() {
+        let out = run(&parse_args(&args(&["help"])).unwrap()).unwrap();
+        assert!(out.contains("USAGE"));
+        for cmd in ["overlay", "tree", "stability", "session", "figures"] {
+            assert!(out.contains(cmd), "help missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        let err = run(&parse_args(&args(&["frobnicate"])).unwrap()).unwrap_err();
+        assert_eq!(err, CliError::UnknownCommand("frobnicate".into()));
+    }
+
+    #[test]
+    fn overlay_command_produces_profile() {
+        let inv = parse_args(&args(&["overlay", "--n", "40", "--dim", "2"])).unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("connected         : true"), "{out}");
+        assert!(out.contains("link symmetry     : 100.0%"), "{out}");
+    }
+
+    #[test]
+    fn overlay_rejects_unknown_method() {
+        let inv = parse_args(&args(&["overlay", "--method", "magic"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn tree_command_reports_n_minus_one() {
+        let inv = parse_args(&args(&["tree", "--n", "60", "--seed", "3"])).unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("messages          : 59 (N-1 = 59)"), "{out}");
+        assert!(out.contains("§2 claims hold    : true"), "{out}");
+    }
+
+    #[test]
+    fn tree_rejects_out_of_range_root() {
+        let inv = parse_args(&args(&["tree", "--n", "10", "--root", "10"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn stability_command_reports_zero_disconnections() {
+        let inv =
+            parse_args(&args(&["stability", "--n", "60", "--dim", "2", "--k", "1"])).unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("links form a tree : true"), "{out}");
+        assert!(out.contains("disconnecting departures (full schedule): 0"), "{out}");
+    }
+
+    #[test]
+    fn session_command_reports_full_delivery() {
+        let inv =
+            parse_args(&args(&["session", "--n", "30", "--payloads", "2"])).unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("delivered to 30/30"), "{out}");
+        assert!(out.contains("duplicates     : 0"), "{out}");
+    }
+
+    #[test]
+    fn session_rejects_invalid_loss() {
+        let inv = parse_args(&args(&["session", "--loss", "1.5"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn route_command_delivers() {
+        let inv = parse_args(&args(&["route", "--n", "50", "--from", "0", "--to", "30"])).unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("delivered : true"), "{out}");
+        assert!(out.contains("0 ->"), "{out}");
+    }
+
+    #[test]
+    fn route_rejects_bad_endpoints() {
+        let inv = parse_args(&args(&["route", "--n", "10", "--to", "10"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn figures_single_panel_runs_quick() {
+        let inv = parse_args(&args(&["figures", "--panel", "fig1a"])).unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("## fig1a"), "{out}");
+    }
+
+    #[test]
+    fn bad_numeric_value_is_reported() {
+        let inv = parse_args(&args(&["tree", "--n", "many"])).unwrap();
+        assert_eq!(
+            run(&inv).unwrap_err(),
+            CliError::BadValue { key: "n".into(), value: "many".into() }
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        for (err, needle) in [
+            (CliError::MissingCommand, "no command"),
+            (CliError::UnknownCommand("x".into()), "unknown command"),
+            (CliError::MalformedOption("x".into()), "malformed"),
+            (CliError::BadValue { key: "k".into(), value: "v".into() }, "invalid value"),
+        ] {
+            assert!(err.to_string().contains(needle));
+        }
+    }
+}

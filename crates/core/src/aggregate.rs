@@ -1,0 +1,247 @@
+//! Convergecast: leaf-to-root aggregation over multicast trees.
+//!
+//! The paper's wireless-sensor motivation implies the reverse data flow
+//! too: periodic aggregation of sensor readings up a stable tree. A
+//! convergecast over a tree costs one message per non-root peer (the
+//! dual of the §2 dissemination bound), and on a §3 stability tree the
+//! aggregation structure survives every departure.
+
+use std::collections::VecDeque;
+
+use crate::tree::MulticastTree;
+
+/// Built-in aggregation operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateOp {
+    /// Sum of all values.
+    Sum,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Number of contributing peers.
+    Count,
+    /// Arithmetic mean of all values.
+    Mean,
+}
+
+impl std::fmt::Display for AggregateOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregateOp::Sum => write!(f, "sum"),
+            AggregateOp::Min => write!(f, "min"),
+            AggregateOp::Max => write!(f, "max"),
+            AggregateOp::Count => write!(f, "count"),
+            AggregateOp::Mean => write!(f, "mean"),
+        }
+    }
+}
+
+/// Outcome of a convergecast round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergecastResult {
+    /// The aggregate at the root.
+    pub value: f64,
+    /// Messages sent: one per reached non-root peer.
+    pub messages: usize,
+    /// Peers that contributed (the reached set).
+    pub contributors: usize,
+}
+
+/// Running partial state: (sum, min, max, count).
+#[derive(Debug, Clone, Copy)]
+struct Partial {
+    sum: f64,
+    min: f64,
+    max: f64,
+    count: usize,
+}
+
+impl Partial {
+    fn leaf(v: f64) -> Self {
+        Partial { sum: v, min: v, max: v, count: 1 }
+    }
+
+    fn merge(&mut self, other: Partial) {
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+
+    fn finish(&self, op: AggregateOp) -> f64 {
+        match op {
+            AggregateOp::Sum => self.sum,
+            AggregateOp::Min => self.min,
+            AggregateOp::Max => self.max,
+            AggregateOp::Count => self.count as f64,
+            AggregateOp::Mean => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+        }
+    }
+}
+
+/// Aggregates one value per peer up the tree: every reached peer merges
+/// its children's partials with its own reading and forwards one
+/// message to its parent.
+///
+/// Unreached peers contribute nothing (their values are ignored), so the
+/// result is exact over the tree's coverage.
+///
+/// # Example
+///
+/// ```
+/// use geocast_core::aggregate::{convergecast, AggregateOp};
+/// use geocast_core::{build_tree, OrthantRectPartitioner};
+/// use geocast_geom::gen::uniform_points;
+/// use geocast_overlay::{oracle, select::EmptyRectSelection, PeerInfo};
+///
+/// let peers = PeerInfo::from_point_set(&uniform_points(30, 2, 1000.0, 1));
+/// let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
+/// let tree = build_tree(&peers, &overlay, 0, &OrthantRectPartitioner::median()).tree;
+///
+/// let readings = vec![2.0; 30];
+/// let total = convergecast(&tree, &readings, AggregateOp::Sum);
+/// assert_eq!(total.value, 60.0);
+/// assert_eq!(total.messages, 29); // one report per non-root peer
+/// ```
+///
+/// # Panics
+///
+/// Panics if `values.len() != tree.len()` or a value is NaN.
+#[must_use]
+pub fn convergecast(tree: &MulticastTree, values: &[f64], op: AggregateOp) -> ConvergecastResult {
+    assert_eq!(values.len(), tree.len(), "one value per peer required");
+    assert!(values.iter().all(|v| !v.is_nan()), "NaN reading");
+
+    // Visit children before parents: reverse BFS order from the root.
+    let mut order = Vec::with_capacity(tree.len());
+    let mut queue = VecDeque::from([tree.root()]);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        queue.extend(tree.children(u).iter().copied());
+    }
+
+    let mut partials: Vec<Option<Partial>> = vec![None; tree.len()];
+    let mut messages = 0usize;
+    for &u in order.iter().rev() {
+        let mut partial = Partial::leaf(values[u]);
+        for &c in tree.children(u) {
+            let child = partials[c].take().expect("children visited first");
+            partial.merge(child);
+            messages += 1; // child -> parent report
+        }
+        partials[u] = Some(partial);
+    }
+    let root_partial = partials[tree.root()].expect("root visited last");
+    ConvergecastResult {
+        value: root_partial.finish(op),
+        messages,
+        contributors: root_partial.count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_tree;
+    use crate::partition::OrthantRectPartitioner;
+    use geocast_geom::gen::uniform_points;
+    use geocast_overlay::select::EmptyRectSelection;
+    use geocast_overlay::{oracle, PeerInfo};
+
+    fn spanning_tree(n: usize, seed: u64) -> MulticastTree {
+        let peers = PeerInfo::from_point_set(&uniform_points(n, 2, 1000.0, seed));
+        let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
+        build_tree(&peers, &overlay, 0, &OrthantRectPartitioner::median()).tree
+    }
+
+    #[test]
+    fn aggregates_match_direct_computation() {
+        let n = 60;
+        let tree = spanning_tree(n, 3);
+        let values: Vec<f64> = (0..n).map(|i| (i as f64) * 1.5 - 10.0).collect();
+        let sum: f64 = values.iter().sum();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        let r = convergecast(&tree, &values, AggregateOp::Sum);
+        assert!((r.value - sum).abs() < 1e-9);
+        assert_eq!(r.messages, n - 1, "one report per non-root peer");
+        assert_eq!(r.contributors, n);
+        assert_eq!(convergecast(&tree, &values, AggregateOp::Min).value, min);
+        assert_eq!(convergecast(&tree, &values, AggregateOp::Max).value, max);
+        assert_eq!(convergecast(&tree, &values, AggregateOp::Count).value, n as f64);
+        let mean = convergecast(&tree, &values, AggregateOp::Mean).value;
+        assert!((mean - sum / n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_trees_aggregate_only_reached_peers() {
+        let tree = MulticastTree::from_parents(
+            0,
+            vec![None, Some(0), None, Some(1)],
+            vec![true, true, false, true],
+        );
+        let values = vec![1.0, 2.0, 100.0, 4.0]; // peer 2 unreached
+        let r = convergecast(&tree, &values, AggregateOp::Sum);
+        assert_eq!(r.value, 7.0);
+        assert_eq!(r.contributors, 3);
+        assert_eq!(r.messages, 2);
+        assert_eq!(convergecast(&tree, &values, AggregateOp::Max).value, 4.0);
+    }
+
+    #[test]
+    fn singleton_tree_aggregates_itself() {
+        let tree = MulticastTree::from_parents(0, vec![None], vec![true]);
+        let r = convergecast(&tree, &[42.0], AggregateOp::Mean);
+        assert_eq!(r.value, 42.0);
+        assert_eq!(r.messages, 0);
+        assert_eq!(r.contributors, 1);
+    }
+
+    #[test]
+    fn message_count_is_dual_to_dissemination() {
+        // Convergecast cost equals the §2 dissemination cost: N-1.
+        for seed in [5u64, 7, 9] {
+            let tree = spanning_tree(40, seed);
+            let values = vec![1.0; 40];
+            let r = convergecast(&tree, &values, AggregateOp::Count);
+            assert_eq!(r.messages, 39);
+            assert_eq!(r.value, 40.0);
+        }
+    }
+
+    #[test]
+    fn negative_values_aggregate_correctly() {
+        let tree = spanning_tree(20, 11);
+        let values: Vec<f64> = (0..20).map(|i| -(i as f64)).collect();
+        assert_eq!(convergecast(&tree, &values, AggregateOp::Max).value, 0.0);
+        assert_eq!(convergecast(&tree, &values, AggregateOp::Min).value, -19.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per peer")]
+    fn wrong_value_count_rejected() {
+        let tree = spanning_tree(5, 13);
+        let _ = convergecast(&tree, &[1.0], AggregateOp::Sum);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_reading_rejected() {
+        let tree = spanning_tree(3, 17);
+        let _ = convergecast(&tree, &[1.0, f64::NAN, 2.0], AggregateOp::Sum);
+    }
+
+    #[test]
+    fn op_display_names() {
+        assert_eq!(AggregateOp::Sum.to_string(), "sum");
+        assert_eq!(AggregateOp::Mean.to_string(), "mean");
+    }
+}

@@ -1,0 +1,296 @@
+//! Region multicast: delivering to every peer inside a target
+//! hyper-rectangle instead of the whole space.
+//!
+//! The authors' companion work equips these overlays with
+//! multidimensional range search; region multicast is the dissemination
+//! counterpart, and it composes two pieces this repository already
+//! proves correct:
+//!
+//! 1. **Entry routing.** The initiator greedily routes towards the
+//!    region ([`geocast_overlay::routing`]), targeting the region's
+//!    clamp of its own coordinates. If the walk enters the region, the
+//!    first peer inside becomes the *entry peer*.
+//! 2. **Seeded construction.** From an entry peer `E` *inside* the
+//!    region, running the §2 delegation with zone = region reaches every
+//!    region member: for any region peer `X`, the rectangle spanned by
+//!    `E` and `X` stays inside the (convex, axis-aligned) region, so the
+//!    per-orthant frontier argument applies unchanged.
+//!
+//! Entry routing minimises **distance to the region box** (each hop
+//! retargets to its own clamp), which on empty-rectangle equilibria
+//! provably never stalls outside a populated region — so decentralized
+//! region multicast is total whenever the region holds at least one
+//! peer. An empty region leaves `entry == None`, reported explicitly.
+
+use geocast_geom::{MetricKind, Rect};
+use geocast_overlay::routing::greedy_route_to_rect;
+use geocast_overlay::{OverlayGraph, PeerInfo};
+
+use crate::builder::{build_in_zone, BuildResult};
+use crate::partition::ZonePartitioner;
+
+/// Outcome of a region multicast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionResult {
+    /// The peers traversed to reach the region (starting at the
+    /// initiator; the last entry is the entry peer when one was found).
+    pub route: Vec<usize>,
+    /// The entry peer inside the region, if the greedy walk reached one.
+    pub entry: Option<usize>,
+    /// The construction over the region (zones, tree, messages), seeded
+    /// at the entry peer. `None` when no entry was found.
+    pub build: Option<BuildResult>,
+    /// Region members (by index), for coverage accounting.
+    pub members: Vec<usize>,
+}
+
+impl RegionResult {
+    /// `true` if every region member received the message.
+    #[must_use]
+    pub fn full_coverage(&self) -> bool {
+        match &self.build {
+            Some(build) => self.members.iter().all(|&m| build.tree.is_reached(m)),
+            None => self.members.is_empty(),
+        }
+    }
+
+    /// Total messages: routing hops plus construction requests.
+    #[must_use]
+    pub fn total_messages(&self) -> usize {
+        let route_hops = self.route.len().saturating_sub(1);
+        route_hops + self.build.as_ref().map_or(0, |b| b.messages)
+    }
+}
+
+/// Multicasts to every peer inside `region`: greedy-routes from
+/// `initiator` to the region, then runs the §2 construction with the
+/// region as the root zone.
+///
+/// The initiator itself may be inside the region (zero routing hops).
+///
+/// # Example
+///
+/// ```
+/// use geocast_core::region::multicast_region;
+/// use geocast_core::OrthantRectPartitioner;
+/// use geocast_geom::gen::uniform_points;
+/// use geocast_geom::{Interval, MetricKind, Rect};
+/// use geocast_overlay::{oracle, select::EmptyRectSelection, PeerInfo};
+///
+/// let peers = PeerInfo::from_point_set(&uniform_points(100, 2, 1000.0, 3));
+/// let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
+/// let region = Rect::new(vec![
+///     Interval::new(0.0, 500.0),
+///     Interval::new(0.0, 500.0),
+/// ]).unwrap();
+///
+/// let result = multicast_region(
+///     &peers, &overlay, 0, &region,
+///     &OrthantRectPartitioner::median(), MetricKind::L1,
+/// );
+/// assert!(result.full_coverage()); // every region member reached
+/// ```
+///
+/// # Panics
+///
+/// Panics if sizes disagree, `initiator` is out of range, the region's
+/// dimensionality differs, or the region is empty.
+#[must_use]
+pub fn multicast_region(
+    peers: &[PeerInfo],
+    overlay: &OverlayGraph,
+    initiator: usize,
+    region: &Rect,
+    partitioner: &dyn ZonePartitioner,
+    metric: MetricKind,
+) -> RegionResult {
+    assert_eq!(peers.len(), overlay.len(), "peer/overlay size mismatch");
+    assert!(initiator < peers.len(), "initiator out of range");
+    assert!(!region.is_empty(), "region must be non-empty");
+    assert_eq!(
+        peers[initiator].point().dim(),
+        region.dim(),
+        "region dimensionality mismatch"
+    );
+
+    let members: Vec<usize> =
+        (0..peers.len()).filter(|&i| region.contains(peers[i].point())).collect();
+
+    // Phase 1: reach the region (distance-to-box greedy; total on
+    // empty-rectangle equilibria whenever the region is populated).
+    let (route, entry) = if region.contains(peers[initiator].point()) {
+        (vec![initiator], Some(initiator))
+    } else {
+        let walk = greedy_route_to_rect(peers, overlay, initiator, region, metric, peers.len());
+        let entry = walk.delivered.then(|| walk.last());
+        (walk.path, entry)
+    };
+
+    // Phase 2: construct inside the region.
+    let build = entry.map(|e| build_in_zone(peers, overlay, e, region.clone(), partitioner));
+
+    RegionResult { route, entry, build, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::OrthantRectPartitioner;
+    use geocast_geom::gen::uniform_points;
+    use geocast_geom::Interval;
+    use geocast_overlay::select::EmptyRectSelection;
+    use geocast_overlay::oracle;
+
+    fn setup(n: usize, dim: usize, seed: u64) -> (Vec<PeerInfo>, OverlayGraph) {
+        let peers = PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, seed));
+        let graph = oracle::equilibrium(&peers, &EmptyRectSelection);
+        (peers, graph)
+    }
+
+    fn rect2(x: (f64, f64), y: (f64, f64)) -> Rect {
+        Rect::new(vec![Interval::new(x.0, x.1), Interval::new(y.0, y.1)]).unwrap()
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index is a peer id across several tables
+    fn region_multicast_covers_exactly_the_members() {
+        let (peers, overlay) = setup(200, 2, 3);
+        let region = rect2((200.0, 600.0), (300.0, 800.0));
+        let result = multicast_region(
+            &peers,
+            &overlay,
+            0,
+            &region,
+            &OrthantRectPartitioner::median(),
+            MetricKind::L1,
+        );
+        assert!(!result.members.is_empty(), "workload should populate the region");
+        assert!(result.full_coverage(), "some member missed");
+        // Nobody outside the region receives the construction (except
+        // the entry peer is inside by definition).
+        let build = result.build.as_ref().unwrap();
+        for i in 0..peers.len() {
+            if build.tree.is_reached(i) && Some(i) != result.entry {
+                assert!(region.contains(peers[i].point()), "non-member {i} reached");
+            }
+        }
+    }
+
+    #[test]
+    fn message_cost_is_members_plus_route() {
+        let (peers, overlay) = setup(150, 2, 5);
+        let region = rect2((600.0, 900.0), (600.0, 900.0));
+        let result = multicast_region(
+            &peers,
+            &overlay,
+            0,
+            &region,
+            &OrthantRectPartitioner::median(),
+            MetricKind::L1,
+        );
+        assert!(result.full_coverage());
+        let build = result.build.as_ref().unwrap();
+        // Entry peer is a member (reached implicitly): members - 1
+        // construction messages.
+        assert_eq!(build.messages, result.members.len() - 1);
+        assert_eq!(
+            result.total_messages(),
+            (result.route.len() - 1) + result.members.len() - 1
+        );
+    }
+
+    #[test]
+    fn initiator_inside_region_needs_no_routing() {
+        let (peers, overlay) = setup(100, 2, 7);
+        // Region around peer 0.
+        let p = peers[0].point();
+        let region = rect2((p[0] - 100.0, p[0] + 100.0), (p[1] - 100.0, p[1] + 100.0));
+        let result = multicast_region(
+            &peers,
+            &overlay,
+            0,
+            &region,
+            &OrthantRectPartitioner::median(),
+            MetricKind::L1,
+        );
+        assert_eq!(result.route, vec![0]);
+        assert_eq!(result.entry, Some(0));
+        assert!(result.full_coverage());
+    }
+
+    #[test]
+    fn coverage_across_many_regions_and_seeds() {
+        for seed in [11u64, 13, 17] {
+            let (peers, overlay) = setup(150, 2, seed);
+            for (xa, ya) in [(0.0, 0.0), (500.0, 0.0), (0.0, 500.0), (400.0, 400.0)] {
+                let region = rect2((xa, xa + 450.0), (ya, ya + 450.0));
+                let result = multicast_region(
+                    &peers,
+                    &overlay,
+                    0,
+                    &region,
+                    &OrthantRectPartitioner::median(),
+                    MetricKind::L1,
+                );
+                assert!(
+                    result.full_coverage(),
+                    "seed {seed} region ({xa},{ya}) missed members"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_region_population_reports_gracefully() {
+        let (peers, overlay) = setup(30, 2, 19);
+        // A sliver almost certainly empty of peers.
+        let region = rect2((0.0, 0.001), (0.0, 0.001));
+        let result = multicast_region(
+            &peers,
+            &overlay,
+            0,
+            &region,
+            &OrthantRectPartitioner::median(),
+            MetricKind::L1,
+        );
+        assert!(result.members.is_empty());
+        assert!(result.full_coverage(), "empty region is vacuously covered");
+    }
+
+    #[test]
+    fn three_dimensional_regions_work() {
+        let peers = PeerInfo::from_point_set(&uniform_points(120, 3, 1000.0, 23));
+        let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
+        let region = Rect::new(vec![
+            Interval::new(100.0, 700.0),
+            Interval::new(200.0, 900.0),
+            Interval::new(0.0, 500.0),
+        ])
+        .unwrap();
+        let result = multicast_region(
+            &peers,
+            &overlay,
+            5,
+            &region,
+            &OrthantRectPartitioner::median(),
+            MetricKind::L1,
+        );
+        assert!(!result.members.is_empty());
+        assert!(result.full_coverage());
+    }
+
+    #[test]
+    #[should_panic(expected = "region must be non-empty")]
+    fn empty_rect_region_rejected() {
+        let (peers, overlay) = setup(10, 2, 29);
+        let region = Rect::empty(2);
+        let _ = multicast_region(
+            &peers,
+            &overlay,
+            0,
+            &region,
+            &OrthantRectPartitioner::median(),
+            MetricKind::L1,
+        );
+    }
+}

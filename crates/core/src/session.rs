@@ -1,0 +1,415 @@
+//! Multicast sessions: payload dissemination over constructed trees.
+//!
+//! The §2 construction exists to *carry data*; this module closes the
+//! loop. A [`SessionNode`] first participates in the tree construction
+//! (identically to [`crate::protocol`]), then forwards every payload it
+//! receives to its tree children — `N − 1` data messages per payload on
+//! an intact tree, zero duplicates. [`run_session`] drives a whole
+//! session (build, optional crash injection between build and
+//! dissemination, payload rounds) and reports per-payload delivery — the
+//! measurement behind the churn/loss experiments.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use geocast_geom::Rect;
+use geocast_overlay::{OverlayGraph, PeerInfo};
+use geocast_sim::{
+    Context, FaultModel, LatencyModel, Message, Node, NodeId, Simulation, UniformLatency,
+};
+
+use crate::partition::ZonePartitioner;
+use crate::tree::MulticastTree;
+
+/// Session traffic: construction requests and data payloads.
+#[derive(Debug, Clone)]
+pub enum SessionMsg {
+    /// §2 construction request carrying the responsibility zone.
+    Build {
+        /// The zone delegated to the receiver.
+        zone: Rect,
+    },
+    /// A multicast payload, forwarded root-to-leaves along the tree.
+    Data {
+        /// Identifier of the payload (one per multicast send).
+        payload: u64,
+    },
+}
+
+impl Message for SessionMsg {
+    fn tag(&self) -> &'static str {
+        match self {
+            SessionMsg::Build { .. } => "build",
+            SessionMsg::Data { .. } => "data",
+        }
+    }
+}
+
+/// A peer participating in a multicast session (construction + data
+/// forwarding).
+pub struct SessionNode {
+    info: PeerInfo,
+    neighbors: Vec<usize>,
+    partitioner: Arc<dyn ZonePartitioner + Send + Sync>,
+    peers: Arc<Vec<PeerInfo>>,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    zone: Option<Rect>,
+    delivered: HashSet<u64>,
+    duplicate_builds: u32,
+    duplicate_data: u32,
+}
+
+impl SessionNode {
+    /// Creates a session participant (see
+    /// [`crate::protocol::BuildNode::new`] for the argument contract).
+    #[must_use]
+    pub fn new(
+        info: PeerInfo,
+        neighbors: Vec<usize>,
+        partitioner: Arc<dyn ZonePartitioner + Send + Sync>,
+        peers: Arc<Vec<PeerInfo>>,
+    ) -> Self {
+        SessionNode {
+            info,
+            neighbors,
+            partitioner,
+            peers,
+            parent: None,
+            children: Vec::new(),
+            zone: None,
+            delivered: HashSet::new(),
+            duplicate_builds: 0,
+            duplicate_data: 0,
+        }
+    }
+
+    /// The tree parent acquired during construction.
+    #[must_use]
+    pub fn parent(&self) -> Option<usize> {
+        self.parent
+    }
+
+    /// The tree children delegated during construction.
+    #[must_use]
+    pub fn children(&self) -> &[usize] {
+        &self.children
+    }
+
+    /// `true` if this peer joined the tree.
+    #[must_use]
+    pub fn is_reached(&self) -> bool {
+        self.zone.is_some()
+    }
+
+    /// Payload ids this peer received.
+    #[must_use]
+    pub fn delivered(&self) -> &HashSet<u64> {
+        &self.delivered
+    }
+
+    /// Duplicate deliveries observed (build + data); zero on intact
+    /// trees.
+    #[must_use]
+    pub fn duplicates(&self) -> u32 {
+        self.duplicate_builds + self.duplicate_data
+    }
+}
+
+impl Node for SessionNode {
+    type Msg = SessionMsg;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, SessionMsg>, from: NodeId, msg: SessionMsg) {
+        match msg {
+            SessionMsg::Build { zone } => {
+                if self.zone.is_some() {
+                    self.duplicate_builds += 1;
+                    return;
+                }
+                if from.index() != ctx.self_id().index() {
+                    self.parent = Some(from.index());
+                }
+                let in_zone: Vec<&PeerInfo> = self
+                    .neighbors
+                    .iter()
+                    .map(|&q| &self.peers[q])
+                    .filter(|q| zone.contains(q.point()))
+                    .collect();
+                for (ci, child_zone) in self.partitioner.partition(&self.info, &zone, &in_zone) {
+                    let child = in_zone[ci].id().index();
+                    self.children.push(child);
+                    ctx.send(NodeId(child), SessionMsg::Build { zone: child_zone });
+                }
+                self.children.sort_unstable();
+                self.zone = Some(zone);
+            }
+            SessionMsg::Data { payload } => {
+                if !self.delivered.insert(payload) {
+                    self.duplicate_data += 1;
+                    return;
+                }
+                for &child in &self.children {
+                    ctx.send(NodeId(child), SessionMsg::Data { payload });
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a full multicast session.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The constructed tree (over the pre-crash membership).
+    pub tree: MulticastTree,
+    /// Construction messages (excluding the injected root request).
+    pub build_messages: u64,
+    /// Data messages sent across all payloads.
+    pub data_messages: u64,
+    /// For each payload id: how many live peers received it.
+    pub delivery: Vec<(u64, usize)>,
+    /// Duplicate build/data deliveries across all peers (zero on intact
+    /// trees).
+    pub duplicates: u64,
+}
+
+/// Runs a complete multicast session over the simulator:
+///
+/// 1. the root builds the tree (§2 construction),
+/// 2. the peers in `crash_after_build` crash,
+/// 3. the root multicasts payloads `0..payloads`,
+///
+/// and reports delivery per payload. With no crashes and no faults every
+/// payload reaches all `N` peers with `N − 1` messages.
+///
+/// # Panics
+///
+/// Panics if `root` or any crash index is out of range, or sizes
+/// disagree.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_session(
+    peers: &[PeerInfo],
+    overlay: &OverlayGraph,
+    root: usize,
+    partitioner: Arc<dyn ZonePartitioner + Send + Sync>,
+    payloads: u64,
+    crash_after_build: &[usize],
+    latency: impl LatencyModel + 'static,
+    fault: FaultModel,
+    seed: u64,
+) -> SessionOutcome {
+    assert_eq!(peers.len(), overlay.len(), "peer/overlay size mismatch");
+    assert!(root < peers.len(), "root out of range");
+    let dim = peers[root].point().dim();
+    let adj = overlay.undirected();
+    let shared = Arc::new(peers.to_vec());
+    let nodes: Vec<SessionNode> = peers
+        .iter()
+        .enumerate()
+        .map(|(i, info)| {
+            SessionNode::new(info.clone(), adj[i].clone(), Arc::clone(&partitioner), Arc::clone(&shared))
+        })
+        .collect();
+    let mut sim = Simulation::builder(nodes).seed(seed).latency(latency).fault(fault).build();
+
+    sim.inject(NodeId(root), SessionMsg::Build { zone: Rect::full(dim) });
+    sim.run_until_quiescent();
+    let build_messages = sim.counters().sent_with_tag("build").saturating_sub(1);
+
+    let parent: Vec<Option<usize>> = sim.nodes().iter().map(SessionNode::parent).collect();
+    let reached: Vec<bool> = sim.nodes().iter().map(SessionNode::is_reached).collect();
+    let tree = MulticastTree::from_parents(root, parent, reached);
+
+    for &victim in crash_after_build {
+        sim.crash(NodeId(victim));
+    }
+
+    for payload in 0..payloads {
+        sim.inject(NodeId(root), SessionMsg::Data { payload });
+        sim.run_until_quiescent();
+    }
+
+    let delivery: Vec<(u64, usize)> = (0..payloads)
+        .map(|p| {
+            let count = (0..peers.len())
+                .filter(|&i| !sim.is_crashed(NodeId(i)) && sim.node(NodeId(i)).delivered().contains(&p))
+                .count();
+            (p, count)
+        })
+        .collect();
+    let duplicates: u64 = sim.nodes().iter().map(|n| u64::from(n.duplicates())).sum();
+    // Exclude the injected per-payload root sends from the count, to
+    // match the N−1 accounting of the build phase.
+    let data_messages = sim.counters().sent_with_tag("data").saturating_sub(payloads);
+
+    SessionOutcome { tree, build_messages, data_messages, delivery, duplicates }
+}
+
+/// [`run_session`] with the default 5–20 ms jittered network and no
+/// faults or crashes.
+#[must_use]
+pub fn run_session_default(
+    peers: &[PeerInfo],
+    overlay: &OverlayGraph,
+    root: usize,
+    partitioner: Arc<dyn ZonePartitioner + Send + Sync>,
+    payloads: u64,
+    seed: u64,
+) -> SessionOutcome {
+    run_session(
+        peers,
+        overlay,
+        root,
+        partitioner,
+        payloads,
+        &[],
+        UniformLatency::new(
+            geocast_sim::SimDuration::from_millis(5),
+            geocast_sim::SimDuration::from_millis(20),
+        ),
+        FaultModel::default(),
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::OrthantRectPartitioner;
+    use geocast_geom::gen::uniform_points;
+    use geocast_overlay::select::EmptyRectSelection;
+    use geocast_overlay::oracle;
+
+    fn setup(n: usize, seed: u64) -> (Vec<PeerInfo>, OverlayGraph) {
+        let peers = PeerInfo::from_point_set(&uniform_points(n, 2, 1000.0, seed));
+        let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
+        (peers, overlay)
+    }
+
+    #[test]
+    fn every_payload_reaches_every_peer() {
+        let (peers, overlay) = setup(60, 1);
+        let outcome = run_session_default(
+            &peers,
+            &overlay,
+            0,
+            Arc::new(OrthantRectPartitioner::median()),
+            5,
+            1,
+        );
+        assert!(outcome.tree.is_spanning());
+        assert_eq!(outcome.build_messages, 59);
+        assert_eq!(outcome.data_messages, 5 * 59, "N-1 data messages per payload");
+        assert_eq!(outcome.duplicates, 0);
+        for (p, count) in &outcome.delivery {
+            assert_eq!(*count, 60, "payload {p}");
+        }
+    }
+
+    #[test]
+    fn crash_loses_exactly_the_subtree() {
+        let (peers, overlay) = setup(50, 3);
+        // First run without crashes to learn the tree shape.
+        let reference = run_session_default(
+            &peers,
+            &overlay,
+            0,
+            Arc::new(OrthantRectPartitioner::median()),
+            1,
+            3,
+        );
+        let victim = (1..peers.len())
+            .find(|&i| !reference.tree.children(i).is_empty())
+            .expect("internal node");
+        let mut subtree = HashSet::new();
+        let mut stack = vec![victim];
+        while let Some(v) = stack.pop() {
+            subtree.insert(v);
+            stack.extend(reference.tree.children(v).iter().copied());
+        }
+
+        let outcome = run_session(
+            &peers,
+            &overlay,
+            0,
+            Arc::new(OrthantRectPartitioner::median()),
+            3,
+            &[victim],
+            UniformLatency::new(
+                geocast_sim::SimDuration::from_millis(5),
+                geocast_sim::SimDuration::from_millis(20),
+            ),
+            FaultModel::default(),
+            3,
+        );
+        // The tree was identical (same seed ordering) so each payload
+        // reaches everyone except the victim's subtree; the victim itself
+        // is crashed, its descendants are live but cut off.
+        let expected = peers.len() - subtree.len();
+        for (p, count) in &outcome.delivery {
+            assert_eq!(*count, expected, "payload {p}");
+        }
+    }
+
+    #[test]
+    fn lossy_network_degrades_but_never_duplicates() {
+        let (peers, overlay) = setup(80, 5);
+        let outcome = run_session(
+            &peers,
+            &overlay,
+            0,
+            Arc::new(OrthantRectPartitioner::median()),
+            4,
+            &[],
+            UniformLatency::new(
+                geocast_sim::SimDuration::from_millis(5),
+                geocast_sim::SimDuration::from_millis(20),
+            ),
+            FaultModel::with_loss(0.15),
+            5,
+        );
+        assert_eq!(outcome.duplicates, 0, "loss cannot create duplicates on a tree");
+        // Delivery under loss is between 1 (root) and N.
+        for (_, count) in &outcome.delivery {
+            assert!((1..=80).contains(count));
+        }
+        // At 15% loss across a ~80-node tree at least one payload copy
+        // gets lost somewhere with overwhelming probability (seeded run,
+        // deterministic).
+        assert!(outcome.delivery.iter().any(|(_, c)| *c < 80));
+    }
+
+    #[test]
+    fn payload_ids_are_tracked_independently() {
+        let (peers, overlay) = setup(20, 7);
+        let outcome = run_session_default(
+            &peers,
+            &overlay,
+            3,
+            Arc::new(OrthantRectPartitioner::median()),
+            10,
+            7,
+        );
+        assert_eq!(outcome.delivery.len(), 10);
+        let ids: Vec<u64> = outcome.delivery.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn single_peer_session_works() {
+        let (peers, overlay) = setup(1, 9);
+        let outcome = run_session_default(
+            &peers,
+            &overlay,
+            0,
+            Arc::new(OrthantRectPartitioner::median()),
+            2,
+            9,
+        );
+        assert_eq!(outcome.build_messages, 0);
+        assert_eq!(outcome.data_messages, 0);
+        for (_, count) in &outcome.delivery {
+            assert_eq!(*count, 1, "the root delivers to itself");
+        }
+    }
+}

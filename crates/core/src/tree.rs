@@ -1,0 +1,412 @@
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// A (possibly partial) multicast tree over dense peer indices.
+///
+/// Produced by the §2 space-partitioning construction, the §3 stability
+/// construction, and the baselines — all analyses (Fig. 1b/1d/1e) run on
+/// this one representation.
+///
+/// A peer is *reached* if it received the construction request (the root
+/// always is). On a complete run the tree is spanning; partial trees
+/// arise under message loss or partial knowledge and are first-class so
+/// experiments can measure coverage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulticastTree {
+    root: usize,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    reached: Vec<bool>,
+}
+
+/// Structural defects detected by [`MulticastTree::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// A node's parent does not list it as a child.
+    ParentChildMismatch {
+        /// The child node.
+        node: usize,
+    },
+    /// Walking parents from `node` exceeded the peer count (a cycle).
+    Cycle {
+        /// The starting node of the walk.
+        node: usize,
+    },
+    /// A reached non-root node has no parent.
+    OrphanReached {
+        /// The offending node.
+        node: usize,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::ParentChildMismatch { node } => {
+                write!(f, "node {node} is not listed among its parent's children")
+            }
+            TreeError::Cycle { node } => write!(f, "parent chain from node {node} cycles"),
+            TreeError::OrphanReached { node } => {
+                write!(f, "reached non-root node {node} has no parent")
+            }
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+impl MulticastTree {
+    /// Assembles a tree from parent pointers.
+    ///
+    /// `parent[i] == None` marks both the root and unreached peers;
+    /// `reached` disambiguates. Children lists are derived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range, `parent.len() != reached.len()`,
+    /// or the root is marked unreached.
+    #[must_use]
+    pub fn from_parents(root: usize, parent: Vec<Option<usize>>, reached: Vec<bool>) -> Self {
+        assert_eq!(parent.len(), reached.len(), "parent/reached length mismatch");
+        assert!(root < parent.len(), "root out of range");
+        assert!(reached[root], "root must be reached");
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); parent.len()];
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = *p {
+                children[p].push(i);
+            }
+        }
+        for list in &mut children {
+            list.sort_unstable();
+        }
+        MulticastTree { root, parent, children, reached }
+    }
+
+    /// The session initiator.
+    #[must_use]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Total peers (reached or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` if the tree covers no peers (impossible once constructed —
+    /// the root is always reached — but required by convention).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Parent of `i` (`None` for the root and for unreached peers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// Tree children of `i` (sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// `true` if peer `i` received the construction request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn is_reached(&self, i: usize) -> bool {
+        self.reached[i]
+    }
+
+    /// Number of reached peers.
+    #[must_use]
+    pub fn reached_count(&self) -> usize {
+        self.reached.iter().filter(|&&r| r).count()
+    }
+
+    /// `true` if every peer was reached.
+    #[must_use]
+    pub fn is_spanning(&self) -> bool {
+        self.reached.iter().all(|&r| r)
+    }
+
+    /// Indices of unreached peers (empty when spanning).
+    #[must_use]
+    pub fn unreached(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| !self.reached[i]).collect()
+    }
+
+    /// Depth of every reached peer (root = 0); `None` for unreached.
+    #[must_use]
+    pub fn depths(&self) -> Vec<Option<usize>> {
+        let mut depth = vec![None; self.len()];
+        depth[self.root] = Some(0);
+        let mut queue = VecDeque::from([self.root]);
+        while let Some(u) = queue.pop_front() {
+            let du = depth[u].expect("queued nodes have depths");
+            for &c in &self.children[u] {
+                depth[c] = Some(du + 1);
+                queue.push_back(c);
+            }
+        }
+        depth
+    }
+
+    /// Length (in hops) of the longest root-to-leaf path — the Fig. 1b
+    /// metric.
+    #[must_use]
+    pub fn longest_root_to_leaf(&self) -> usize {
+        self.depths().into_iter().flatten().max().unwrap_or(0)
+    }
+
+    /// Undirected tree degree of every peer (children + parent link) —
+    /// the Fig. 1e metric.
+    #[must_use]
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.len())
+            .map(|i| self.children[i].len() + usize::from(self.parent[i].is_some()))
+            .collect()
+    }
+
+    /// Largest number of children of any peer (the §2 "maximum tree
+    /// degree ≤ 2^D" claim is asserted on this).
+    #[must_use]
+    pub fn max_children(&self) -> usize {
+        self.children.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Diameter of the reached component in hops (longest path between
+    /// any two reached peers) — the Fig. 1d metric. Computed by double
+    /// BFS, exact on trees.
+    #[must_use]
+    pub fn diameter(&self) -> usize {
+        if self.reached_count() <= 1 {
+            return 0;
+        }
+        let (far, _) = self.farthest_from(self.root);
+        let (_, dist) = self.farthest_from(far);
+        dist
+    }
+
+    fn farthest_from(&self, start: usize) -> (usize, usize) {
+        let mut dist = vec![None; self.len()];
+        dist[start] = Some(0usize);
+        let mut queue = VecDeque::from([start]);
+        let mut best = (start, 0);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].expect("queued nodes have distances");
+            if du > best.1 {
+                best = (u, du);
+            }
+            let neighbors = self
+                .children[u]
+                .iter()
+                .copied()
+                .chain(self.parent[u]);
+            for v in neighbors {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        best
+    }
+
+    /// Checks structural consistency: parent/child agreement, no cycles,
+    /// no reached orphans.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TreeError`] found.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        for i in 0..self.len() {
+            if let Some(p) = self.parent[i] {
+                if self.children[p].binary_search(&i).is_err() {
+                    return Err(TreeError::ParentChildMismatch { node: i });
+                }
+            } else if self.reached[i] && i != self.root {
+                return Err(TreeError::OrphanReached { node: i });
+            }
+            // Walk to the root; more than n steps means a cycle.
+            let mut cur = i;
+            let mut steps = 0;
+            while let Some(p) = self.parent[cur] {
+                cur = p;
+                steps += 1;
+                if steps > self.len() {
+                    return Err(TreeError::Cycle { node: i });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for MulticastTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tree(root={}, reached {}/{}, height={})",
+            self.root,
+            self.reached_count(),
+            self.len(),
+            self.longest_root_to_leaf()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 6-peer tree:
+    /// ```text
+    ///        0
+    ///       / \
+    ///      1   2
+    ///     / \
+    ///    3   4      (5 unreached)
+    /// ```
+    fn sample() -> MulticastTree {
+        MulticastTree::from_parents(
+            0,
+            vec![None, Some(0), Some(0), Some(1), Some(1), None],
+            vec![true, true, true, true, true, false],
+        )
+    }
+
+    #[test]
+    fn children_are_derived_from_parents() {
+        let t = sample();
+        assert_eq!(t.children(0), &[1, 2]);
+        assert_eq!(t.children(1), &[3, 4]);
+        assert!(t.children(3).is_empty());
+        assert_eq!(t.parent(3), Some(1));
+        assert_eq!(t.parent(0), None);
+    }
+
+    #[test]
+    fn reach_accounting() {
+        let t = sample();
+        assert_eq!(t.reached_count(), 5);
+        assert!(!t.is_spanning());
+        assert_eq!(t.unreached(), vec![5]);
+        assert!(t.is_reached(4));
+        assert!(!t.is_reached(5));
+    }
+
+    #[test]
+    fn depths_and_longest_path() {
+        let t = sample();
+        let d = t.depths();
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[3], Some(2));
+        assert_eq!(d[5], None);
+        assert_eq!(t.longest_root_to_leaf(), 2);
+    }
+
+    #[test]
+    fn degrees_count_parent_and_children() {
+        let t = sample();
+        assert_eq!(t.degrees(), vec![2, 3, 1, 1, 1, 0]);
+        assert_eq!(t.max_children(), 2);
+    }
+
+    #[test]
+    fn diameter_of_sample_is_three() {
+        // 3 -> 1 -> 0 -> 2 (or 4 -> 1 -> 0 -> 2).
+        assert_eq!(sample().diameter(), 3);
+    }
+
+    #[test]
+    fn diameter_of_singleton_is_zero() {
+        let t = MulticastTree::from_parents(0, vec![None], vec![true]);
+        assert_eq!(t.diameter(), 0);
+        assert_eq!(t.longest_root_to_leaf(), 0);
+        assert!(t.is_spanning());
+    }
+
+    #[test]
+    fn path_tree_diameter_equals_length() {
+        let t = MulticastTree::from_parents(
+            0,
+            vec![None, Some(0), Some(1), Some(2)],
+            vec![true; 4],
+        );
+        assert_eq!(t.diameter(), 3);
+        assert_eq!(t.longest_root_to_leaf(), 3);
+    }
+
+    #[test]
+    fn validate_accepts_sample() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_detects_cycle() {
+        // 1 <-> 2 cycle hand-built with *consistent* children lists so
+        // the parent/child check passes and the walk must find the cycle.
+        let mut t = sample();
+        t.parent[1] = Some(2);
+        t.parent[2] = Some(1);
+        t.children[0].clear();
+        t.children[1] = vec![2, 3, 4];
+        t.children[2] = vec![1];
+        assert!(matches!(t.validate(), Err(TreeError::Cycle { .. })));
+    }
+
+    #[test]
+    fn validate_detects_mismatch() {
+        let mut t = sample();
+        t.children[0].retain(|&c| c != 1); // break derived invariant
+        assert_eq!(t.validate(), Err(TreeError::ParentChildMismatch { node: 1 }));
+    }
+
+    #[test]
+    fn validate_detects_reached_orphan() {
+        let t = MulticastTree::from_parents(
+            0,
+            vec![None, None],
+            vec![true, true], // peer 1 reached but parentless
+        );
+        assert_eq!(t.validate(), Err(TreeError::OrphanReached { node: 1 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "root must be reached")]
+    fn unreached_root_rejected() {
+        let _ = MulticastTree::from_parents(0, vec![None], vec![false]);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        assert_eq!(sample().to_string(), "tree(root=0, reached 5/6, height=2)");
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            TreeError::ParentChildMismatch { node: 1 },
+            TreeError::Cycle { node: 2 },
+            TreeError::OrphanReached { node: 3 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Harnesses regenerating every table, figure and in-text claim of the
+//! paper's evaluation.
+//!
+//! One function per artifact (see DESIGN.md §4 for the experiment
+//! index):
+//!
+//! | Paper artifact | Harness |
+//! |---|---|
+//! | Fig. 1(a) — overlay degree vs `D` | [`fig1a`] |
+//! | Fig. 1(b) — root-to-leaf path lengths vs `D` | [`fig1b`] |
+//! | Fig. 1(c) — overlay degree vs `N` at `D = 2` | [`fig1c`] |
+//! | Fig. 1(d) — stability-tree diameter vs `K`, `D` | [`fig1d`] |
+//! | Fig. 1(e) — stability-tree max degree vs `K`, `D` | [`fig1e`] |
+//! | §2 claims (N−1 messages, no duplicates, degree bound) | [`claims_section2`] |
+//! | §3 claims (tree, heap property, leaf departures) | [`claims_section3`] |
+//! | Ablation: median vs closest vs farthest child pick | [`ablation_partitioner`] |
+//! | Baseline: flooding message cost | [`baseline_messages`] |
+//! | Baseline: departure sensitivity | [`baseline_stability`] |
+//!
+//! Every harness takes an explicit config (with a paper-scale
+//! [`Default`] and a reduced [`quick`](Fig1Config::quick) variant for
+//! CI), runs deterministically from its seeds, and returns a
+//! [`FigureReport`] holding the same rows/series the paper plots.
+
+mod claims;
+mod extra;
+mod fig1;
+mod repair;
+mod report;
+
+pub use claims::{claims_section2, claims_section3, ClaimsConfig};
+pub use extra::{
+    ablation_partitioner, baseline_messages, baseline_stability, AblationConfig, BaselineConfig,
+};
+pub use fig1::{
+    fig1a, fig1b, fig1c, fig1d, fig1e, stability_sweep, Fig1Config, Fig1cConfig, StabilityConfig,
+    StabilityRow, StabilitySweep,
+};
+pub use repair::{repair_cost, RepairConfig};
+pub use report::FigureReport;

@@ -1,0 +1,175 @@
+use std::fmt;
+
+/// A fixed-range histogram with uniform bins.
+///
+/// Used for degree and path-length distributions. Samples outside the
+/// configured range are clamped into the edge bins (and counted, so no
+/// data silently disappears).
+///
+/// # Example
+///
+/// ```
+/// use geocast_metrics::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.add(1.0);
+/// h.add(9.5);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.bin_counts()[0], 1);
+/// assert_eq!(h.bin_counts()[4], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, the bounds are not finite, or `bins == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "lo must be below hi");
+        assert!(bins > 0, "need at least one bin");
+        Histogram { lo, hi, bins: vec![0; bins] }
+    }
+
+    /// Adds a sample, clamping out-of-range values into the edge bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN samples.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample");
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            self.bins.len() - 1
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1)
+        };
+        self.bins[idx] += 1;
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Per-bin counts, lowest bin first.
+    #[must_use]
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The half-open value range `[lo, hi)` of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin out of range");
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// The most-populated bin's index (ties: lowest index); `None` when
+    /// empty.
+    #[must_use]
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.count() == 0 {
+            return None;
+        }
+        let max = self.bins.iter().max().copied().unwrap_or(0);
+        self.bins.iter().position(|&c| c == max)
+    }
+}
+
+impl fmt::Display for Histogram {
+    /// Renders a compact horizontal bar chart, one line per bin.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.bins.iter().max().copied().unwrap_or(0).max(1);
+        for (i, &count) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let width = (count * 40 / max) as usize;
+            writeln!(f, "[{lo:>9.2}, {hi:>9.2}) |{:<40}| {count}", "#".repeat(width))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.0);
+        h.add(0.99);
+        h.add(5.0);
+        h.add(9.99);
+        assert_eq!(h.bin_counts()[0], 2);
+        assert_eq!(h.bin_counts()[5], 1);
+        assert_eq!(h.bin_counts()[9], 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        h.add(2.0);
+        h.add(1.0); // hi is exclusive -> last bin
+        assert_eq!(h.bin_counts()[0], 1);
+        assert_eq!(h.bin_counts()[3], 2);
+    }
+
+    #[test]
+    fn bin_ranges_partition_the_domain() {
+        let h = Histogram::new(0.0, 100.0, 4);
+        assert_eq!(h.bin_range(0), (0.0, 25.0));
+        assert_eq!(h.bin_range(3), (75.0, 100.0));
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        assert_eq!(h.mode_bin(), None);
+        h.add(1.5);
+        h.add(1.6);
+        h.add(0.5);
+        assert_eq!(h.mode_bin(), Some(1));
+    }
+
+    #[test]
+    fn display_draws_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.add(0.5);
+        h.add(1.5);
+        h.add(1.6);
+        let out = h.to_string();
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be below hi")]
+    fn inverted_bounds_rejected() {
+        let _ = Histogram::new(1.0, 0.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

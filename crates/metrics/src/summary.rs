@@ -1,0 +1,259 @@
+use std::fmt;
+
+/// Streaming-friendly summary statistics over `f64` samples.
+///
+/// Keeps all samples (sorted lazily) so exact percentiles are available;
+/// experiment sample counts are small (≤ thousands).
+///
+/// # Example
+///
+/// ```
+/// use geocast_metrics::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.add(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.percentile(50.0), 2.5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    samples: Vec<f64>,
+}
+
+impl Summary {
+    /// An empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN samples (they would poison every statistic).
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample");
+        self.samples.push(x);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no samples were added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Smallest sample, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min_or_zero()
+    }
+
+    /// Largest sample, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).max_or_zero()
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Population standard deviation, or 0 when empty.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Exact percentile by linear interpolation between closest ranks
+    /// (`p` in `[0, 100]`); 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = rank - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// Median (50th percentile).
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+}
+
+trait OrZero {
+    fn min_or_zero(self) -> f64;
+    fn max_or_zero(self) -> f64;
+}
+
+impl OrZero for f64 {
+    fn min_or_zero(self) -> f64 {
+        if self == f64::INFINITY {
+            0.0
+        } else {
+            self
+        }
+    }
+    fn max_or_zero(self) -> f64 {
+        if self == f64::NEG_INFINITY {
+            0.0
+        } else {
+            self
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={:.3} mean={:.3} max={:.3} sd={:.3}",
+            self.count(),
+            self.min(),
+            self.mean(),
+            self.max(),
+            self.std_dev()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let s = Summary::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std_dev(), 2.0); // classic population-sd example
+    }
+
+    #[test]
+    fn empty_summary_is_all_zeroes() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.median(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Summary::from_iter([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 40.0);
+        assert_eq!(s.percentile(50.0), 25.0);
+        assert!((s.percentile(25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_of_odd_count_is_middle() {
+        let s = Summary::from_iter([3.0, 1.0, 2.0]);
+        assert_eq!(s.median(), 2.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_iter([42.0]);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+        assert_eq!(s.median(), 42.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s = Summary::from_iter([1.0]);
+        s.extend([2.0, 3.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Summary::new().add(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn out_of_range_percentile_rejected() {
+        let _ = Summary::from_iter([1.0]).percentile(101.0);
+    }
+
+    #[test]
+    fn negative_samples_handled() {
+        let s = Summary::from_iter([-5.0, -1.0, -3.0]);
+        assert_eq!(s.min(), -5.0);
+        assert_eq!(s.max(), -1.0);
+        assert_eq!(s.mean(), -3.0);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let out = Summary::from_iter([1.0, 2.0]).to_string();
+        for needle in ["n=2", "min=", "mean=", "max=", "sd="] {
+            assert!(out.contains(needle), "{out}");
+        }
+    }
+}

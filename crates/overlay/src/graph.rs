@@ -1,0 +1,214 @@
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The topology of a converged overlay: a directed graph over dense peer
+/// indices, where `out[i]` lists the peers that peer `i` selected as its
+/// overlay neighbours.
+///
+/// The paper's degree measurements (Fig. 1a/1c) are taken over the
+/// *undirected closure*: a link counts for both endpoints whether or not
+/// the selection was mutual. (Under the empty-rectangle rule at
+/// equilibrium the relation is symmetric anyway — the spanned rectangle
+/// does not depend on direction — which
+/// [`OverlayGraph::is_symmetric`] lets tests assert.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlayGraph {
+    out: Vec<Vec<usize>>,
+}
+
+impl OverlayGraph {
+    /// Builds a graph from per-peer out-neighbour lists.
+    ///
+    /// Neighbour lists are sorted and deduplicated; self-loops are
+    /// removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any neighbour index is out of range.
+    #[must_use]
+    pub fn from_out_neighbors(mut out: Vec<Vec<usize>>) -> Self {
+        let n = out.len();
+        for (i, nbrs) in out.iter_mut().enumerate() {
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            nbrs.retain(|&j| j != i);
+            if let Some(&max) = nbrs.last() {
+                assert!(max < n, "neighbour index {max} out of range for {n} peers");
+            }
+        }
+        OverlayGraph { out }
+    }
+
+    /// Number of peers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// `true` if the graph has no peers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// The out-neighbours peer `i` selected (sorted, deduplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn out_neighbors(&self, i: usize) -> &[usize] {
+        &self.out[i]
+    }
+
+    /// Number of directed edges.
+    #[must_use]
+    pub fn directed_edge_count(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+
+    /// The undirected closure: `undirected[i]` contains `j` iff `i`
+    /// selected `j` or `j` selected `i`.
+    #[must_use]
+    pub fn undirected(&self) -> Vec<Vec<usize>> {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.out.len()];
+        for (i, nbrs) in self.out.iter().enumerate() {
+            for &j in nbrs {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
+    }
+
+    /// Undirected degree of every peer (the paper's "degree of a peer
+    /// within the obtained P2P topology").
+    #[must_use]
+    pub fn undirected_degrees(&self) -> Vec<usize> {
+        self.undirected().iter().map(Vec::len).collect()
+    }
+
+    /// `true` if every selected link is mutual (`i → j` implies `j → i`).
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        self.out
+            .iter()
+            .enumerate()
+            .all(|(i, nbrs)| nbrs.iter().all(|&j| self.out[j].binary_search(&i).is_ok()))
+    }
+
+    /// BFS hop distances from `start` over the undirected closure;
+    /// `None` marks unreachable peers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of range.
+    #[must_use]
+    pub fn bfs_distances(&self, start: usize) -> Vec<Option<usize>> {
+        let adj = self.undirected();
+        let mut dist = vec![None; self.out.len()];
+        dist[start] = Some(0);
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].expect("queued nodes have distances");
+            for &v in &adj[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// `true` if the undirected closure connects all peers. The empty
+    /// graph is connected.
+    #[must_use]
+    pub fn is_connected_undirected(&self) -> bool {
+        if self.out.is_empty() {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(Option::is_some)
+    }
+}
+
+impl fmt::Display for OverlayGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "overlay({} peers, {} directed edges)",
+            self.len(),
+            self.directed_edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> OverlayGraph {
+        // 0 -> 1, 1 -> 2 (directed path).
+        OverlayGraph::from_out_neighbors(vec![vec![1], vec![2], vec![]])
+    }
+
+    #[test]
+    fn construction_sorts_dedups_and_strips_self_loops() {
+        let g = OverlayGraph::from_out_neighbors(vec![vec![2, 1, 1, 0], vec![], vec![]]);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.directed_edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn construction_rejects_bad_indices() {
+        let _ = OverlayGraph::from_out_neighbors(vec![vec![3], vec![], vec![]]);
+    }
+
+    #[test]
+    fn undirected_closure_symmetrizes() {
+        let g = path3();
+        let adj = g.undirected();
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0, 2]);
+        assert_eq!(adj[2], vec![1]);
+        assert_eq!(g.undirected_degrees(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        assert!(!path3().is_symmetric());
+        let sym = OverlayGraph::from_out_neighbors(vec![vec![1], vec![0, 2], vec![1]]);
+        assert!(sym.is_symmetric());
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path3();
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn connectivity_detects_isolated_peer() {
+        let g = OverlayGraph::from_out_neighbors(vec![vec![1], vec![], vec![]]);
+        assert!(!g.is_connected_undirected());
+        assert!(path3().is_connected_undirected());
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = OverlayGraph::from_out_neighbors(vec![]);
+        assert!(g.is_connected_undirected());
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        assert_eq!(path3().to_string(), "overlay(3 peers, 2 directed edges)");
+    }
+}

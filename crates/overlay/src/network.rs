@@ -1,0 +1,311 @@
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use geocast_geom::Point;
+use geocast_sim::{Counters, NodeId, SimDuration, Simulation};
+
+use crate::gossip::{GossipConfig, GossipNode};
+use crate::graph::OverlayGraph;
+use crate::peer::{PeerId, PeerInfo};
+use crate::select::NeighborSelection;
+
+/// Configuration of an [`OverlayNetwork`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// Gossip protocol parameters.
+    pub gossip: GossipConfig,
+    /// Seed for the simulation and for bootstrap-peer choice.
+    pub seed: u64,
+    /// Virtual time between convergence checks.
+    pub check_interval: SimDuration,
+    /// Number of consecutive unchanged topology snapshots required to
+    /// declare convergence.
+    pub stable_checks: usize,
+    /// Upper bound on convergence checks per [`OverlayNetwork::converge`]
+    /// call.
+    pub max_checks: usize,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            gossip: GossipConfig::default(),
+            seed: 0,
+            check_interval: SimDuration::from_secs(2),
+            stable_checks: 3,
+            max_checks: 200,
+        }
+    }
+}
+
+/// Outcome of a convergence run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// `true` if the topology stabilised within the check budget.
+    pub converged: bool,
+    /// Convergence checks performed.
+    pub checks: usize,
+}
+
+/// A live overlay: gossip peers inside a discrete-event simulation, with
+/// the paper's experimental procedure on top (insert peers one at a time,
+/// let the topology converge after every insertion).
+///
+/// # Example
+///
+/// ```
+/// use geocast_overlay::{OverlayNetwork, NetworkConfig, select::EmptyRectSelection};
+/// use geocast_geom::gen::uniform_points;
+/// use std::sync::Arc;
+///
+/// let mut net = OverlayNetwork::new(Arc::new(EmptyRectSelection), NetworkConfig::default());
+/// for p in uniform_points(8, 2, 1000.0, 1).into_points() {
+///     net.add_peer(p);
+/// }
+/// let report = net.converge();
+/// assert!(report.converged);
+/// assert_eq!(net.topology().len(), 8);
+/// ```
+pub struct OverlayNetwork {
+    sim: Simulation<GossipNode>,
+    peers: Vec<PeerInfo>,
+    departed: Vec<bool>,
+    selection: Arc<dyn NeighborSelection + Send + Sync>,
+    config: NetworkConfig,
+    rng: StdRng,
+}
+
+impl OverlayNetwork {
+    /// Creates an empty overlay.
+    #[must_use]
+    pub fn new(
+        selection: Arc<dyn NeighborSelection + Send + Sync>,
+        config: NetworkConfig,
+    ) -> Self {
+        config.gossip.validate();
+        OverlayNetwork {
+            sim: Simulation::builder(Vec::new()).seed(config.seed).build(),
+            peers: Vec::new(),
+            departed: Vec::new(),
+            selection,
+            config,
+            rng: StdRng::seed_from_u64(config.seed ^ 0x0067_656f_6361_7374), // "geocast"
+        }
+    }
+
+    /// Number of peers ever added (departed ones included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// `true` if no peer was ever added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// All peer descriptions, indexable by [`PeerId::index`].
+    #[must_use]
+    pub fn peers(&self) -> &[PeerInfo] {
+        &self.peers
+    }
+
+    /// `true` if the peer has departed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn has_departed(&self, id: PeerId) -> bool {
+        self.departed[id.index()]
+    }
+
+    /// Message counters of the underlying simulation.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        self.sim.counters()
+    }
+
+    /// Adds a peer with the given identifier. Per the paper's join
+    /// procedure it is handed one or more live bootstrap peers (chosen
+    /// uniformly at random here); the first peer joins alone.
+    ///
+    /// Returns the new peer's id. Does **not** wait for convergence —
+    /// call [`OverlayNetwork::converge`] to replicate the paper's
+    /// insert-then-converge loop.
+    pub fn add_peer(&mut self, point: Point) -> PeerId {
+        let id = PeerId(self.peers.len() as u64);
+        let info = PeerInfo::new(id, point);
+        let live: Vec<usize> =
+            (0..self.peers.len()).filter(|&i| !self.departed[i]).collect();
+        let bootstrap = if live.is_empty() {
+            Vec::new()
+        } else {
+            let pick = live[self.rng.random_range(0..live.len())];
+            vec![self.peers[pick].clone()]
+        };
+        self.peers.push(info.clone());
+        self.departed.push(false);
+        let node = GossipNode::new(info, bootstrap, Arc::clone(&self.selection), self.config.gossip);
+        let node_id = self.sim.spawn(node);
+        debug_assert_eq!(node_id.index(), id.index(), "NodeId/PeerId alignment");
+        id
+    }
+
+    /// Removes a peer abruptly (crash-stop): its traffic ceases and other
+    /// peers expire it from their candidate sets after `Tmax`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn remove_peer(&mut self, id: PeerId) {
+        self.departed[id.index()] = true;
+        self.sim.crash(NodeId(id.index()));
+    }
+
+    /// Runs the gossip protocol until the topology is unchanged for
+    /// `stable_checks` consecutive checks (or the check budget runs out).
+    pub fn converge(&mut self) -> ConvergenceReport {
+        let mut last = self.snapshot();
+        let mut stable = 0usize;
+        for checks in 1..=self.config.max_checks {
+            self.sim.run_for(self.config.check_interval);
+            let current = self.snapshot();
+            if current == last {
+                stable += 1;
+                if stable >= self.config.stable_checks {
+                    return ConvergenceReport { converged: true, checks };
+                }
+            } else {
+                stable = 0;
+                last = current;
+            }
+        }
+        ConvergenceReport { converged: false, checks: self.config.max_checks }
+    }
+
+    /// The current topology over **live** peers: departed peers keep
+    /// their vertex (so ids stay dense) but contribute no edges.
+    #[must_use]
+    pub fn topology(&self) -> OverlayGraph {
+        OverlayGraph::from_out_neighbors(self.snapshot())
+    }
+
+    /// Read access to the underlying simulation (for tests and metrics).
+    #[must_use]
+    pub fn sim(&self) -> &Simulation<GossipNode> {
+        &self.sim
+    }
+
+    fn snapshot(&self) -> Vec<Vec<usize>> {
+        (0..self.peers.len())
+            .map(|i| {
+                if self.departed[i] {
+                    Vec::new()
+                } else {
+                    let mut nbrs: Vec<usize> = self
+                        .sim
+                        .node(NodeId(i))
+                        .neighbors()
+                        .iter()
+                        .copied()
+                        .filter(|&j| !self.departed[j])
+                        .collect();
+                    nbrs.sort_unstable();
+                    nbrs
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for OverlayNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OverlayNetwork")
+            .field("peers", &self.peers.len())
+            .field("selection", &self.selection.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::EmptyRectSelection;
+    use geocast_geom::gen::uniform_points;
+
+    fn network(seed: u64) -> OverlayNetwork {
+        OverlayNetwork::new(
+            Arc::new(EmptyRectSelection),
+            NetworkConfig { seed, ..NetworkConfig::default() },
+        )
+    }
+
+    #[test]
+    fn incremental_insertion_converges_each_time() {
+        let mut net = network(5);
+        let points = uniform_points(6, 2, 1000.0, 5);
+        for p in points.into_points() {
+            net.add_peer(p);
+            let report = net.converge();
+            assert!(report.converged, "insertion must re-converge");
+        }
+        assert_eq!(net.len(), 6);
+        assert!(net.topology().is_connected_undirected());
+    }
+
+    #[test]
+    fn topology_is_deterministic_per_seed() {
+        let build = |seed: u64| {
+            let mut net = network(seed);
+            for p in uniform_points(10, 2, 1000.0, 42).into_points() {
+                net.add_peer(p);
+            }
+            net.converge();
+            net.topology()
+        };
+        assert_eq!(build(3), build(3));
+    }
+
+    #[test]
+    fn removed_peer_disappears_from_topology() {
+        let mut net = network(8);
+        for p in uniform_points(8, 2, 1000.0, 8).into_points() {
+            net.add_peer(p);
+        }
+        net.converge();
+        net.remove_peer(PeerId(3));
+        assert!(net.has_departed(PeerId(3)));
+        net.converge();
+        let topo = net.topology();
+        assert!(topo.out_neighbors(3).is_empty());
+        for i in 0..topo.len() {
+            assert!(!topo.out_neighbors(i).contains(&3), "peer {i} still links to departed");
+        }
+    }
+
+    #[test]
+    fn empty_network_reports_trivially() {
+        let mut net = network(0);
+        assert!(net.is_empty());
+        let report = net.converge();
+        assert!(report.converged);
+        assert!(net.topology().is_empty());
+    }
+
+    #[test]
+    fn peers_are_stored_in_insertion_order() {
+        let mut net = network(1);
+        let points = uniform_points(4, 3, 500.0, 77);
+        for p in points.iter() {
+            net.add_peer(p.clone());
+        }
+        for (i, peer) in net.peers().iter().enumerate() {
+            assert_eq!(peer.id().index(), i);
+            assert_eq!(peer.point(), &points[i]);
+        }
+    }
+}

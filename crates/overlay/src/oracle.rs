@@ -1,0 +1,228 @@
+//! Equilibrium topologies computed with full knowledge.
+//!
+//! The paper defines the target of gossip convergence as the topology
+//! "obtained when every peer P knows all the other peers in the system
+//! (i.e. when I(P) contains all the peers except P)". This module
+//! computes that topology directly, which is how the figure-scale
+//! experiments (up to N = 5000) stay tractable; the integration tests
+//! cross-validate it against the actual gossip protocol on small
+//! networks.
+
+use geocast_geom::{Metric, MetricKind, Orthant};
+
+use crate::graph::OverlayGraph;
+use crate::peer::PeerInfo;
+use crate::select::NeighborSelection;
+
+/// The equilibrium overlay: every peer applies `selection` to the full
+/// candidate set (everyone but itself).
+///
+/// Peer `i` of the slice becomes graph vertex `i`.
+#[must_use]
+pub fn equilibrium(peers: &[PeerInfo], selection: &dyn NeighborSelection) -> OverlayGraph {
+    let out = peers
+        .iter()
+        .enumerate()
+        .map(|(i, who)| {
+            let candidates: Vec<&PeerInfo> = peers
+                .iter()
+                .enumerate()
+                .filter_map(|(j, p)| (j != i).then_some(p))
+                .collect();
+            selection
+                .select(who, &candidates)
+                .into_iter()
+                .map(|ci| if ci < i { ci } else { ci + 1 }) // undo the self-gap
+                .collect()
+        })
+        .collect();
+    OverlayGraph::from_out_neighbors(out)
+}
+
+/// Equilibrium topologies of the *Orthogonal Hyperplanes* method for a
+/// whole sweep of `K` values at once.
+///
+/// The §3 experiments vary `K` from 1 to 50 for each dimensionality;
+/// sorting each peer's orthant groups once and taking prefixes makes the
+/// sweep `O(N² D + N·Σk)` instead of 50 independent selections. The
+/// result pairs each requested `K` with its topology, in input order.
+///
+/// Equivalence with [`equilibrium`] over
+/// [`crate::select::HyperplanesSelection::orthogonal`] is asserted by
+/// tests.
+///
+/// # Panics
+///
+/// Panics if any `k == 0` or peers disagree on dimensionality.
+#[must_use]
+pub fn orthogonal_k_sweep(
+    peers: &[PeerInfo],
+    metric: MetricKind,
+    ks: &[usize],
+) -> Vec<(usize, OverlayGraph)> {
+    let mut out = Vec::with_capacity(ks.len());
+    orthogonal_k_sweep_with(peers, metric, ks, |k, graph| out.push((k, graph.clone())));
+    out
+}
+
+/// Streaming variant of [`orthogonal_k_sweep`]: invokes `visit` with each
+/// `(K, topology)` pair in input order, holding only one topology in
+/// memory at a time. Use this for large sweeps (e.g. `D = 10`,
+/// `K = 1..50` would otherwise hold hundreds of MB of adjacency lists).
+///
+/// # Panics
+///
+/// Panics if any `k == 0` or peers disagree on dimensionality.
+pub fn orthogonal_k_sweep_with(
+    peers: &[PeerInfo],
+    metric: MetricKind,
+    ks: &[usize],
+    mut visit: impl FnMut(usize, &OverlayGraph),
+) {
+    assert!(ks.iter().all(|&k| k > 0), "K must be at least 1");
+    if peers.is_empty() {
+        let empty = OverlayGraph::from_out_neighbors(Vec::new());
+        for &k in ks {
+            visit(k, &empty);
+        }
+        return;
+    }
+    let dim = peers[0].point().dim();
+    // For each peer: orthant groups sorted by (distance, id).
+    let sorted_groups: Vec<Vec<Vec<usize>>> = peers
+        .iter()
+        .enumerate()
+        .map(|(i, who)| {
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); Orthant::count(dim)];
+            for (j, cand) in peers.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let o = Orthant::classify(who.point(), cand.point())
+                    .expect("distinct coordinates classify totally");
+                groups[o.index()].push(j);
+            }
+            for group in &mut groups {
+                group.sort_by(|&a, &b| {
+                    let da = metric.dist(who.point(), peers[a].point());
+                    let db = metric.dist(who.point(), peers[b].point());
+                    da.total_cmp(&db).then_with(|| peers[a].id().cmp(&peers[b].id()))
+                });
+            }
+            groups
+        })
+        .collect();
+
+    for &k in ks {
+        let out: Vec<Vec<usize>> = sorted_groups
+            .iter()
+            .map(|groups| {
+                groups
+                    .iter()
+                    .flat_map(|group| group.iter().copied().take(k))
+                    .collect()
+            })
+            .collect();
+        let graph = OverlayGraph::from_out_neighbors(out);
+        visit(k, &graph);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{EmptyRectSelection, HyperplanesSelection};
+    use geocast_geom::gen::uniform_points;
+
+    fn peers(n: usize, dim: usize, seed: u64) -> Vec<PeerInfo> {
+        PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, seed))
+    }
+
+    #[test]
+    fn empty_rect_equilibrium_is_symmetric_and_connected() {
+        let population = peers(120, 2, 3);
+        let g = equilibrium(&population, &EmptyRectSelection);
+        assert!(g.is_symmetric(), "empty-rect links are mutual at equilibrium");
+        assert!(g.is_connected_undirected());
+    }
+
+    #[test]
+    fn orthogonal_equilibrium_is_connected() {
+        let population = peers(100, 3, 5);
+        let sel = HyperplanesSelection::orthogonal(3, 1, MetricKind::L1);
+        let g = equilibrium(&population, &sel);
+        assert!(g.is_connected_undirected());
+    }
+
+    #[test]
+    fn equilibrium_indices_skip_self_correctly() {
+        // Regression guard for the self-gap re-indexing: no peer may be
+        // its own neighbour, and all indices must be valid.
+        let population = peers(30, 2, 9);
+        let g = equilibrium(&population, &EmptyRectSelection);
+        for i in 0..g.len() {
+            assert!(!g.out_neighbors(i).contains(&i));
+        }
+    }
+
+    #[test]
+    fn k_sweep_matches_generic_equilibrium() {
+        let population = peers(40, 3, 13);
+        for &k in &[1usize, 2, 5, 40] {
+            let generic = equilibrium(
+                &population,
+                &HyperplanesSelection::orthogonal(3, k, MetricKind::L1),
+            );
+            let swept = orthogonal_k_sweep(&population, MetricKind::L1, &[k]);
+            assert_eq!(swept.len(), 1);
+            assert_eq!(swept[0].0, k);
+            assert_eq!(swept[0].1, generic, "K={k}");
+        }
+    }
+
+    #[test]
+    fn k_sweep_returns_requested_ks_in_order() {
+        let population = peers(20, 2, 17);
+        let ks = [3usize, 1, 2];
+        let swept = orthogonal_k_sweep(&population, MetricKind::L1, &ks);
+        let got: Vec<usize> = swept.iter().map(|(k, _)| *k).collect();
+        assert_eq!(got, ks);
+    }
+
+    #[test]
+    fn k_sweep_monotone_in_k() {
+        // Larger K can only add neighbours.
+        let population = peers(50, 2, 19);
+        let swept = orthogonal_k_sweep(&population, MetricKind::L1, &[1, 3, 10]);
+        for i in 0..population.len() {
+            let d1 = swept[0].1.out_neighbors(i).len();
+            let d3 = swept[1].1.out_neighbors(i).len();
+            let d10 = swept[2].1.out_neighbors(i).len();
+            assert!(d1 <= d3 && d3 <= d10);
+        }
+    }
+
+    #[test]
+    fn k_sweep_handles_empty_population() {
+        let swept = orthogonal_k_sweep(&[], MetricKind::L1, &[1, 2]);
+        assert_eq!(swept.len(), 2);
+        assert!(swept[0].1.is_empty());
+    }
+
+    #[test]
+    fn equilibrium_is_insertion_order_independent() {
+        // The equilibrium is a function of the point set only: permuting
+        // peer order permutes the graph accordingly.
+        let population = peers(25, 2, 23);
+        let g1 = equilibrium(&population, &EmptyRectSelection);
+        let mut reversed: Vec<PeerInfo> = population.clone();
+        reversed.reverse();
+        let g2 = equilibrium(&reversed, &EmptyRectSelection);
+        let n = population.len();
+        for i in 0..n {
+            let mapped: Vec<usize> =
+                g2.out_neighbors(n - 1 - i).iter().map(|&j| n - 1 - j).rev().collect();
+            assert_eq!(g1.out_neighbors(i), &mapped[..], "peer {i}");
+        }
+    }
+}

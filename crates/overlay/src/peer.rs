@@ -1,0 +1,196 @@
+use std::fmt;
+
+use geocast_geom::{Point, PointSet};
+
+/// Globally-unique identifier of a peer.
+///
+/// In experiments peer ids are dense indices (`PeerId(i)` for the `i`-th
+/// inserted peer), which also serve as simulation node ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeerId(pub u64);
+
+impl PeerId {
+    /// The id as a dense index.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer{}", self.0)
+    }
+}
+
+impl From<u64> for PeerId {
+    fn from(v: u64) -> Self {
+        PeerId(v)
+    }
+}
+
+/// A peer's network address (public IP and port, per the paper's join
+/// description).
+///
+/// Inside the simulation, addresses are opaque routing tokens derived
+/// from the peer id; they exist so the protocol structs carry exactly the
+/// information the paper says existence announcements carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeerAddr {
+    octets: [u8; 4],
+    port: u16,
+}
+
+impl PeerAddr {
+    /// Derives a deterministic fake address from a peer id.
+    #[must_use]
+    pub fn from_id(id: PeerId) -> Self {
+        let v = id.0;
+        PeerAddr {
+            octets: [10, (v >> 16) as u8, (v >> 8) as u8, v as u8],
+            port: 4000 + (v % 20_000) as u16,
+        }
+    }
+
+    /// The IPv4 octets.
+    #[must_use]
+    pub fn octets(&self) -> [u8; 4] {
+        self.octets
+    }
+
+    /// The port.
+    #[must_use]
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+}
+
+impl fmt::Display for PeerAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets;
+        write!(f, "{a}.{b}.{c}.{d}:{}", self.port)
+    }
+}
+
+/// Everything an existence announcement carries about a peer: identifier
+/// (virtual coordinates), id, and network address.
+///
+/// For §3 stability trees the departure time `T(P)` **is** the first
+/// coordinate of the identifier (the paper sets `x(P,1) = T(P)`);
+/// [`PeerInfo::departure_time`] reads it back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerInfo {
+    id: PeerId,
+    point: Point,
+    addr: PeerAddr,
+}
+
+impl PeerInfo {
+    /// Creates a peer description.
+    #[must_use]
+    pub fn new(id: PeerId, point: Point) -> Self {
+        PeerInfo { id, addr: PeerAddr::from_id(id), point }
+    }
+
+    /// Builds dense-id peers from a point set (peer `i` gets `PeerId(i)`),
+    /// the standard experiment workload shape.
+    #[must_use]
+    pub fn from_point_set(points: &PointSet) -> Vec<PeerInfo> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PeerInfo::new(PeerId(i as u64), p.clone()))
+            .collect()
+    }
+
+    /// The peer's id.
+    #[must_use]
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The peer's virtual coordinates.
+    #[must_use]
+    pub fn point(&self) -> &Point {
+        &self.point
+    }
+
+    /// The peer's network address.
+    #[must_use]
+    pub fn addr(&self) -> PeerAddr {
+        self.addr
+    }
+
+    /// The departure time `T(P)` under the §3 embedding
+    /// (`x(P,1) = T(P)`), i.e. the first coordinate.
+    #[must_use]
+    pub fn departure_time(&self) -> f64 {
+        self.point[0]
+    }
+}
+
+impl AsRef<Point> for PeerInfo {
+    fn as_ref(&self) -> &Point {
+        &self.point
+    }
+}
+
+impl fmt::Display for PeerInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{} {}", self.id, self.addr, self.point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geocast_geom::gen::uniform_points;
+
+    #[test]
+    fn peer_id_index_roundtrip() {
+        assert_eq!(PeerId::from(9u64).index(), 9);
+        assert_eq!(PeerId(3).to_string(), "peer3");
+    }
+
+    #[test]
+    fn addr_is_deterministic_per_id() {
+        let a = PeerAddr::from_id(PeerId(300));
+        let b = PeerAddr::from_id(PeerId(300));
+        let c = PeerAddr::from_id(PeerId(301));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.port() >= 4000);
+    }
+
+    #[test]
+    fn addr_display_looks_like_socket_addr() {
+        let a = PeerAddr::from_id(PeerId(1));
+        let s = a.to_string();
+        assert!(s.contains(':'), "{s}");
+        assert_eq!(s.matches('.').count(), 3, "{s}");
+    }
+
+    #[test]
+    fn from_point_set_assigns_dense_ids() {
+        let points = uniform_points(5, 2, 100.0, 1);
+        let peers = PeerInfo::from_point_set(&points);
+        assert_eq!(peers.len(), 5);
+        for (i, peer) in peers.iter().enumerate() {
+            assert_eq!(peer.id().index(), i);
+            assert_eq!(peer.point(), &points[i]);
+        }
+    }
+
+    #[test]
+    fn departure_time_reads_first_coordinate() {
+        let p = PeerInfo::new(PeerId(0), Point::new(vec![17.5, 3.0]).unwrap());
+        assert_eq!(p.departure_time(), 17.5);
+    }
+
+    #[test]
+    fn as_ref_point_enables_geom_interop() {
+        let p = PeerInfo::new(PeerId(0), Point::new(vec![1.0, 2.0]).unwrap());
+        let r: &Point = p.as_ref();
+        assert_eq!(r[1], 2.0);
+    }
+}

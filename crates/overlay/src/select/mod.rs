@@ -1,0 +1,63 @@
+//! Neighbour-selection methods.
+//!
+//! A neighbour-selection method is the pure heart of the overlay: given a
+//! peer `P` and the candidate set `I(P)` it has gossip knowledge of,
+//! produce the overlay out-neighbours of `P`. The paper requires that, as
+//! long as membership is stable, iterating a method converges to an
+//! equilibrium — all methods here are deterministic functions of
+//! `(P, I(P))`, so a fixpoint of the gossip loop is exactly a topology on
+//! which re-selection changes nothing.
+//!
+//! Implemented methods:
+//!
+//! * [`HyperplanesSelection`] — the generic method of §1: `H` hyperplanes
+//!   through `P` divide space into regions; keep the `K` closest
+//!   candidates per region. Instances: [`HyperplanesSelection::orthogonal`]
+//!   (the *Orthogonal Hyperplanes* method), [`HyperplanesSelection::signed`]
+//!   (coefficients in `{-1, 0, +1}`), and [`HyperplanesSelection::k_closest`]
+//!   (`H = 0`).
+//! * [`EmptyRectSelection`] — the §2 simulation's rule: keep `Q` iff the
+//!   axis-aligned rectangle spanned by `P` and `Q` contains no other
+//!   candidate.
+
+mod empty_rect;
+mod hyperplanes;
+
+pub use empty_rect::EmptyRectSelection;
+pub use hyperplanes::HyperplanesSelection;
+
+use crate::peer::PeerInfo;
+
+/// A neighbour-selection method: a deterministic map from
+/// `(peer, candidate set)` to selected out-neighbours.
+///
+/// `candidates` must not contain the peer itself; the returned values are
+/// indices into `candidates`, sorted ascending.
+pub trait NeighborSelection {
+    /// Selects overlay out-neighbours of `who` among `candidates`.
+    fn select(&self, who: &PeerInfo, candidates: &[&PeerInfo]) -> Vec<usize>;
+
+    /// Human-readable method name for reports.
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use geocast_geom::gen::uniform_points;
+
+    use crate::peer::PeerInfo;
+
+    /// A reproducible peer population for selection tests.
+    pub fn peers(n: usize, dim: usize, seed: u64) -> Vec<PeerInfo> {
+        PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, seed))
+    }
+
+    /// Borrowed candidate list excluding peer `skip`.
+    pub fn candidates_excluding(peers: &[PeerInfo], skip: usize) -> Vec<&PeerInfo> {
+        peers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| (i != skip).then_some(p))
+            .collect()
+    }
+}

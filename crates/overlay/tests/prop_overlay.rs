@@ -1,0 +1,207 @@
+//! Property-based tests for neighbour selection and the oracle
+//! equilibrium, driven by seeded workloads.
+
+use proptest::prelude::*;
+
+use geocast_geom::gen::uniform_points;
+use geocast_geom::{Interval, Metric, MetricKind, Orthant, Rect};
+use geocast_overlay::routing::{greedy_route_to_rect, route_to_peer};
+use geocast_overlay::select::{EmptyRectSelection, HyperplanesSelection, NeighborSelection};
+use geocast_overlay::{oracle, PeerInfo};
+
+fn peers(n: usize, dim: usize, seed: u64) -> Vec<PeerInfo> {
+    PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The empty-rectangle equilibrium is symmetric and connected for any
+    /// population — the §2 construction's substrate guarantees.
+    #[test]
+    fn empty_rect_equilibrium_symmetric_connected(
+        n in 2usize..80,
+        dim in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let population = peers(n, dim, seed);
+        let g = oracle::equilibrium(&population, &EmptyRectSelection);
+        prop_assert!(g.is_symmetric());
+        prop_assert!(g.is_connected_undirected());
+    }
+
+    /// Selected empty-rect neighbours have empty spanned rectangles;
+    /// non-selected ones are blocked by a witness peer.
+    #[test]
+    fn empty_rect_selection_matches_definition(
+        n in 2usize..40,
+        seed in 0u64..10_000,
+    ) {
+        let population = peers(n, 2, seed);
+        let cands: Vec<&PeerInfo> = population[1..].iter().collect();
+        let picked = EmptyRectSelection.select(&population[0], &cands);
+        for (ci, cand) in cands.iter().enumerate() {
+            let rect = Rect::spanned_open(population[0].point(), cand.point()).unwrap();
+            let blocked = cands
+                .iter()
+                .enumerate()
+                .any(|(oi, o)| oi != ci && rect.contains(o.point()));
+            prop_assert_eq!(picked.contains(&ci), !blocked, "candidate {}", ci);
+        }
+    }
+
+    /// Orthogonal selection keeps at most K per orthant and covers every
+    /// populated orthant.
+    #[test]
+    fn orthogonal_selection_contract(
+        n in 2usize..60,
+        dim in 1usize..5,
+        k in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let population = peers(n, dim, seed);
+        let cands: Vec<&PeerInfo> = population[1..].iter().collect();
+        let sel = HyperplanesSelection::orthogonal(dim, k, MetricKind::L1);
+        let picked = sel.select(&population[0], &cands);
+        let mut per_orthant = vec![0usize; Orthant::count(dim)];
+        for &ci in &picked {
+            let o = Orthant::classify(population[0].point(), cands[ci].point()).unwrap();
+            per_orthant[o.index()] += 1;
+        }
+        prop_assert!(per_orthant.iter().all(|&c| c <= k));
+        // Populated orthants are represented.
+        for (i, cand) in cands.iter().enumerate() {
+            let o = Orthant::classify(population[0].point(), cand.point()).unwrap();
+            if per_orthant[o.index()] == 0 {
+                prop_assert!(
+                    !picked.is_empty() || cands.is_empty(),
+                    "candidate {i} in unrepresented orthant"
+                );
+                prop_assert!(false, "orthant {} populated but empty", o.index());
+            }
+        }
+    }
+
+    /// The K-sweep oracle equals the generic equilibrium for every K.
+    #[test]
+    fn k_sweep_equals_generic(
+        n in 2usize..40,
+        dim in 1usize..4,
+        k in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let population = peers(n, dim, seed);
+        let generic = oracle::equilibrium(
+            &population,
+            &HyperplanesSelection::orthogonal(dim, k, MetricKind::L1),
+        );
+        let swept = oracle::orthogonal_k_sweep(&population, MetricKind::L1, &[k]);
+        prop_assert_eq!(&swept[0].1, &generic);
+    }
+
+    /// Out-neighbour sets grow monotonically with K.
+    #[test]
+    fn selection_monotone_in_k(
+        n in 3usize..40,
+        dim in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let population = peers(n, dim, seed);
+        let sweep = oracle::orthogonal_k_sweep(&population, MetricKind::L1, &[1, 2, 4]);
+        for i in 0..n {
+            let a = sweep[0].1.out_neighbors(i);
+            let b = sweep[1].1.out_neighbors(i);
+            let c = sweep[2].1.out_neighbors(i);
+            prop_assert!(a.iter().all(|x| b.contains(x)), "K=1 ⊄ K=2 at peer {i}");
+            prop_assert!(b.iter().all(|x| c.contains(x)), "K=2 ⊄ K=4 at peer {i}");
+        }
+    }
+
+    /// Orthogonal equilibrium with K ≥ 1 always connects the overlay
+    /// (every populated orthant is linked, and orthants tile space).
+    #[test]
+    fn orthogonal_equilibrium_connected(
+        n in 2usize..60,
+        dim in 1usize..5,
+        k in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let population = peers(n, dim, seed);
+        let g = oracle::equilibrium(
+            &population,
+            &HyperplanesSelection::orthogonal(dim, k, MetricKind::L1),
+        );
+        prop_assert!(g.is_connected_undirected());
+    }
+
+    /// The signed arrangement refines orthants: with K=1 it selects a
+    /// superset-or-equal neighbour count.
+    #[test]
+    fn signed_selects_at_least_as_many_as_orthogonal(
+        n in 2usize..50,
+        seed in 0u64..10_000,
+    ) {
+        let population = peers(n, 2, seed);
+        let cands: Vec<&PeerInfo> = population[1..].iter().collect();
+        let orth = HyperplanesSelection::orthogonal(2, 1, MetricKind::L1)
+            .select(&population[0], &cands);
+        let signed = HyperplanesSelection::signed(2, 1, MetricKind::L1)
+            .select(&population[0], &cands);
+        prop_assert!(signed.len() >= orth.len());
+    }
+
+    /// THE routing theorem: greedy routing between peers always delivers
+    /// on empty-rectangle equilibria, with strictly decreasing distance.
+    #[test]
+    fn greedy_peer_routing_always_delivers(
+        n in 2usize..60,
+        dim in 1usize..5,
+        seed in 0u64..10_000,
+        src_pick in 0usize..1000,
+        dst_pick in 0usize..1000,
+    ) {
+        let population = peers(n, dim, seed);
+        let graph = oracle::equilibrium(&population, &EmptyRectSelection);
+        let src = src_pick % n;
+        let dst = dst_pick % n;
+        let route = route_to_peer(&population, &graph, src, dst, MetricKind::L1);
+        prop_assert!(route.delivered, "{src} -> {dst} stuck at {}", route.last());
+        prop_assert_eq!(route.last(), dst);
+        let target = population[dst].point();
+        let dists: Vec<f64> = route
+            .path
+            .iter()
+            .map(|&i| MetricKind::L1.dist(population[i].point(), target))
+            .collect();
+        prop_assert!(dists.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    /// THE region-entry theorem: distance-to-box greedy routing always
+    /// enters a populated region on empty-rectangle equilibria.
+    #[test]
+    fn greedy_region_routing_enters_populated_regions(
+        n in 2usize..60,
+        seed in 0u64..10_000,
+        src_pick in 0usize..1000,
+        member_pick in 0usize..1000,
+        half_width in 1.0f64..200.0,
+    ) {
+        let population = peers(n, 2, seed);
+        let graph = oracle::equilibrium(&population, &EmptyRectSelection);
+        let src = src_pick % n;
+        // A region guaranteed populated: a box around some member.
+        let member = member_pick % n;
+        let c = population[member].point();
+        let region = Rect::new(vec![
+            Interval::new(c[0] - half_width, c[0] + half_width),
+            Interval::new(c[1] - half_width, c[1] + half_width),
+        ]).unwrap();
+        let walk = greedy_route_to_rect(&population, &graph, src, &region, MetricKind::L1, n);
+        prop_assert!(
+            walk.delivered,
+            "stuck at {} outside a region containing peer {member}",
+            walk.last()
+        );
+        prop_assert!(region.contains(population[walk.last()].point()));
+    }
+}

@@ -1,0 +1,131 @@
+use rand::rngs::StdRng;
+
+use crate::event::TimerId;
+use crate::node::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// An action a node requested during a callback, applied by the simulator
+/// after the callback returns (so the node never touches the event queue
+/// directly).
+#[derive(Debug)]
+pub(crate) enum Action<M> {
+    Send { to: NodeId, msg: M },
+    Arm { delay: SimDuration, timer: TimerId },
+    Cancel { timer: TimerId },
+}
+
+/// The interface through which a [`crate::Node`] interacts with the
+/// simulated world during a callback.
+///
+/// A context is only valid for the duration of one callback; requested
+/// sends and timers take effect when the callback returns.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    self_id: NodeId,
+    now: SimTime,
+    rng: &'a mut StdRng,
+    next_timer_id: &'a mut u64,
+    pub(crate) actions: &'a mut Vec<Action<M>>,
+}
+
+impl<'a, M> Context<'a, M> {
+    pub(crate) fn new(
+        self_id: NodeId,
+        now: SimTime,
+        rng: &'a mut StdRng,
+        next_timer_id: &'a mut u64,
+        actions: &'a mut Vec<Action<M>>,
+    ) -> Self {
+        Context { self_id, now, rng, next_timer_id, actions }
+    }
+
+    /// The id of the node running this callback.
+    #[must_use]
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The simulation's deterministic RNG.
+    ///
+    /// All protocol randomness must come from here so runs replay exactly
+    /// per seed.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`. Delivery time is decided by the simulation's
+    /// latency model; the message may be dropped by the fault model.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Arms a one-shot timer firing after `delay`; returns its id.
+    ///
+    /// The node's [`crate::Node::on_timer`] receives the same id when the
+    /// timer fires. Periodic behaviour is built by re-arming from
+    /// `on_timer`.
+    pub fn set_timer(&mut self, delay: SimDuration) -> TimerId {
+        let timer = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.actions.push(Action::Arm { delay, timer });
+        timer
+    }
+
+    /// Cancels a previously armed timer. Cancelling an already-fired or
+    /// foreign timer is a no-op.
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.actions.push(Action::Cancel { timer });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn actions_are_recorded_in_order() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut next = 0u64;
+        let mut actions: Vec<Action<u32>> = Vec::new();
+        let mut ctx = Context::new(NodeId(3), SimTime::ZERO, &mut rng, &mut next, &mut actions);
+        assert_eq!(ctx.self_id(), NodeId(3));
+        assert_eq!(ctx.now(), SimTime::ZERO);
+        ctx.send(NodeId(1), 42);
+        let t = ctx.set_timer(SimDuration::from_millis(5));
+        ctx.cancel_timer(t);
+        assert_eq!(actions.len(), 3);
+        assert!(matches!(actions[0], Action::Send { to: NodeId(1), msg: 42 }));
+        assert!(matches!(actions[1], Action::Arm { timer, .. } if timer == t));
+        assert!(matches!(actions[2], Action::Cancel { timer } if timer == t));
+    }
+
+    #[test]
+    fn timer_ids_are_unique_and_monotone() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut next = 10u64;
+        let mut actions: Vec<Action<()>> = Vec::new();
+        let mut ctx = Context::new(NodeId(0), SimTime::ZERO, &mut rng, &mut next, &mut actions);
+        let a = ctx.set_timer(SimDuration::ZERO);
+        let b = ctx.set_timer(SimDuration::ZERO);
+        assert!(b > a);
+        assert_eq!(next, 12);
+    }
+
+    #[test]
+    fn rng_is_usable_from_context() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut next = 0u64;
+        let mut actions: Vec<Action<()>> = Vec::new();
+        let mut ctx = Context::new(NodeId(0), SimTime::ZERO, &mut rng, &mut next, &mut actions);
+        let x: f64 = ctx.rng().random_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -1,0 +1,241 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// Per-kind message accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct TagCounts {
+    sent: u64,
+    delivered: u64,
+}
+
+/// Message and timer accounting for a simulation run.
+///
+/// Counters are the measurement instrument behind the paper's in-text
+/// claims — e.g. "the algorithm sends N−1 messages" is asserted as
+/// `sent_with_tag("build") == n - 1` so that gossip or baseline traffic
+/// cannot contaminate the measurement.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    sent: u64,
+    delivered: u64,
+    dropped_fault: u64,
+    dropped_crashed: u64,
+    timers_fired: u64,
+    by_tag: HashMap<&'static str, TagCounts>,
+}
+
+impl Counters {
+    /// Total messages submitted for sending (including later-dropped
+    /// ones).
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Total messages delivered to a live node.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped by the fault model.
+    #[must_use]
+    pub fn dropped_by_faults(&self) -> u64 {
+        self.dropped_fault
+    }
+
+    /// Messages dropped because the destination had crashed.
+    #[must_use]
+    pub fn dropped_at_crashed(&self) -> u64 {
+        self.dropped_crashed
+    }
+
+    /// Timers that fired.
+    #[must_use]
+    pub fn timers_fired(&self) -> u64 {
+        self.timers_fired
+    }
+
+    /// Messages of the given kind submitted for sending.
+    #[must_use]
+    pub fn sent_with_tag(&self, tag: &str) -> u64 {
+        self.by_tag.get(tag).map_or(0, |c| c.sent)
+    }
+
+    /// Messages of the given kind delivered.
+    #[must_use]
+    pub fn delivered_with_tag(&self, tag: &str) -> u64 {
+        self.by_tag.get(tag).map_or(0, |c| c.delivered)
+    }
+
+    /// All tags seen so far, sorted (deterministic for reporting).
+    #[must_use]
+    pub fn tags(&self) -> Vec<&'static str> {
+        let mut tags: Vec<&'static str> = self.by_tag.keys().copied().collect();
+        tags.sort_unstable();
+        tags
+    }
+
+    pub(crate) fn record_sent(&mut self, tag: &'static str) {
+        self.sent += 1;
+        self.by_tag.entry(tag).or_default().sent += 1;
+    }
+
+    pub(crate) fn record_delivered(&mut self, tag: &'static str) {
+        self.delivered += 1;
+        self.by_tag.entry(tag).or_default().delivered += 1;
+    }
+
+    pub(crate) fn record_dropped_fault(&mut self) {
+        self.dropped_fault += 1;
+    }
+
+    pub(crate) fn record_dropped_crashed(&mut self) {
+        self.dropped_crashed += 1;
+    }
+
+    pub(crate) fn record_timer(&mut self) {
+        self.timers_fired += 1;
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} delivered={} dropped(fault={}, crashed={}) timers={}",
+            self.sent, self.delivered, self.dropped_fault, self.dropped_crashed, self.timers_fired
+        )
+    }
+}
+
+/// One recorded simulation event, for debugging protocol runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event fired.
+    pub time: SimTime,
+    /// Sender (for deliveries) or the timer's owner.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Message tag, or `"timer"` for timer events.
+    pub tag: &'static str,
+}
+
+/// A bounded in-memory log of the most recent simulation events.
+///
+/// Disabled (capacity 0) by default; enable through
+/// [`crate::SimulationBuilder::trace_capacity`]. When full, the oldest
+/// entries are evicted.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    entries: std::collections::VecDeque<TraceEntry>,
+    capacity: usize,
+}
+
+impl TraceLog {
+    pub(crate) fn new(capacity: usize) -> Self {
+        TraceLog { entries: std::collections::VecDeque::with_capacity(capacity.min(4096)), capacity }
+    }
+
+    /// `true` if tracing is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The recorded entries, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> impl ExactSizeIterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub(crate) fn record(&mut self, entry: TraceEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_by_tag() {
+        let mut c = Counters::default();
+        c.record_sent("gossip");
+        c.record_sent("gossip");
+        c.record_sent("build");
+        c.record_delivered("gossip");
+        assert_eq!(c.sent(), 3);
+        assert_eq!(c.delivered(), 1);
+        assert_eq!(c.sent_with_tag("gossip"), 2);
+        assert_eq!(c.sent_with_tag("build"), 1);
+        assert_eq!(c.delivered_with_tag("gossip"), 1);
+        assert_eq!(c.sent_with_tag("unknown"), 0);
+        assert_eq!(c.tags(), vec!["build", "gossip"]);
+    }
+
+    #[test]
+    fn drop_counters_are_separate() {
+        let mut c = Counters::default();
+        c.record_dropped_fault();
+        c.record_dropped_crashed();
+        c.record_dropped_crashed();
+        assert_eq!(c.dropped_by_faults(), 1);
+        assert_eq!(c.dropped_at_crashed(), 2);
+    }
+
+    #[test]
+    fn display_mentions_all_counts() {
+        let mut c = Counters::default();
+        c.record_sent("x");
+        c.record_timer();
+        let s = c.to_string();
+        assert!(s.contains("sent=1") && s.contains("timers=1"), "{s}");
+    }
+
+    #[test]
+    fn trace_log_evicts_oldest() {
+        let mut log = TraceLog::new(2);
+        for i in 0..3 {
+            log.record(TraceEntry {
+                time: SimTime::from_nanos(i),
+                from: NodeId(0),
+                to: NodeId(1),
+                tag: "t",
+            });
+        }
+        assert_eq!(log.len(), 2);
+        let first = log.entries().next().unwrap();
+        assert_eq!(first.time, SimTime::from_nanos(1), "oldest entry evicted");
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut log = TraceLog::new(0);
+        assert!(!log.is_enabled());
+        log.record(TraceEntry { time: SimTime::ZERO, from: NodeId(0), to: NodeId(0), tag: "t" });
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+use std::cmp::Ordering;
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// Identifier of a timer armed via [`crate::Context::set_timer`].
+///
+/// Timer ids are unique within a simulation run; a node distinguishes its
+/// own concurrent timers by remembering the ids it armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub(crate) u64);
+
+impl TimerId {
+    /// Raw identifier value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// Deliver `msg` (sent by `from`) to `to`.
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    /// Fire timer `timer` on node `node`.
+    Timer { node: NodeId, timer: TimerId },
+}
+
+/// A scheduled event. Ordered by `(time, seq)` so that simultaneous
+/// events fire in a deterministic (insertion) order.
+#[derive(Debug)]
+pub(crate) struct Event<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the earliest event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(nanos: u64, seq: u64) -> Event<()> {
+        Event {
+            time: SimTime::from_nanos(nanos),
+            seq,
+            kind: EventKind::Timer { node: NodeId(0), timer: TimerId(seq) },
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(30, 0));
+        heap.push(ev(10, 1));
+        heap.push(ev(20, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|e| e.time.as_nanos())).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_sequence_number() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(10, 5));
+        heap.push(ev(10, 2));
+        heap.push(ev(10, 9));
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|e| e.seq)).collect();
+        assert_eq!(order, vec![2, 5, 9], "FIFO among simultaneous events");
+    }
+
+    #[test]
+    fn timer_id_exposes_value() {
+        assert_eq!(TimerId(42).value(), 42);
+    }
+}

@@ -1,0 +1,120 @@
+//! Failure injection.
+//!
+//! The paper's motivation is robustness to node departures; the tests and
+//! baselines in this repository additionally inject message loss and peer
+//! crashes to measure how each tree-construction strategy degrades. A
+//! [`FaultModel`] configures that injection; the default injects nothing.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::node::NodeId;
+
+/// Probabilistic message loss plus explicit crash control.
+///
+/// Losses are decided per message with the simulation RNG, so a seeded
+/// run replays its faults exactly. Crashes are driven by the experiment
+/// through [`crate::Simulation::crash`]; the model only decides message
+/// fate.
+///
+/// # Example
+///
+/// ```
+/// use geocast_sim::FaultModel;
+///
+/// let lossless = FaultModel::default();
+/// assert_eq!(lossless.loss_probability(), 0.0);
+///
+/// let lossy = FaultModel::with_loss(0.1);
+/// assert_eq!(lossy.loss_probability(), 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    loss_probability: f64,
+}
+
+impl FaultModel {
+    /// A model that drops each message independently with probability
+    /// `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    #[must_use]
+    pub fn with_loss(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        FaultModel { loss_probability: p }
+    }
+
+    /// The configured per-message loss probability.
+    #[must_use]
+    pub fn loss_probability(&self) -> f64 {
+        self.loss_probability
+    }
+
+    /// Decides whether a particular message is lost.
+    pub(crate) fn drops(&self, _from: NodeId, _to: NodeId, rng: &mut StdRng) -> bool {
+        self.loss_probability > 0.0 && rng.random_range(0.0..1.0) < self.loss_probability
+    }
+}
+
+impl Default for FaultModel {
+    /// The default model is lossless.
+    fn default() -> Self {
+        FaultModel { loss_probability: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_never_drops() {
+        let model = FaultModel::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            assert!(!model.drops(NodeId(0), NodeId(1), &mut rng));
+        }
+    }
+
+    #[test]
+    fn full_loss_always_drops() {
+        let model = FaultModel::with_loss(1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert!(model.drops(NodeId(0), NodeId(1), &mut rng));
+        }
+    }
+
+    #[test]
+    fn partial_loss_rate_is_plausible() {
+        let model = FaultModel::with_loss(0.3);
+        let mut rng = StdRng::seed_from_u64(99);
+        let dropped = (0..10_000)
+            .filter(|_| model.drops(NodeId(0), NodeId(1), &mut rng))
+            .count();
+        let rate = dropped as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn drops_are_seed_deterministic() {
+        let model = FaultModel::with_loss(0.5);
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                model.drops(NodeId(0), NodeId(1), &mut r1),
+                model.drops(NodeId(0), NodeId(1), &mut r2)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn rejects_invalid_probability() {
+        let _ = FaultModel::with_loss(1.5);
+    }
+}

@@ -1,0 +1,225 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on the simulation's virtual clock, in integer nanoseconds.
+///
+/// Integer time makes event ordering exact: two events either happen at
+/// the same instant (and are then ordered by their sequence numbers) or
+/// at comparable instants — no floating-point drift.
+///
+/// # Example
+///
+/// ```
+/// use geocast_sim::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs_f64(1.5);
+/// assert_eq!(t.as_secs_f64(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs a time from raw nanoseconds.
+    #[must_use]
+    pub fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Raw nanoseconds since [`SimTime::ZERO`].
+    #[must_use]
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds (for reporting; never used in event
+    /// ordering).
+    #[must_use]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    #[must_use]
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        *self = *self + d;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A span of virtual time, in integer nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use geocast_sim::SimDuration;
+///
+/// let d = SimDuration::from_millis(250) * 4;
+/// assert_eq!(d, SimDuration::from_secs(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Constructs a duration from raw nanoseconds.
+    #[must_use]
+    pub fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Constructs a duration from whole milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms.saturating_mul(1_000_000))
+    }
+
+    /// Constructs a duration from whole seconds.
+    #[must_use]
+    pub fn from_secs(secs: u64) -> Self {
+        SimDuration(secs.saturating_mul(1_000_000_000))
+    }
+
+    /// Constructs a duration from fractional seconds, rounding to the
+    /// nearest nanosecond and saturating for huge or negative inputs.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs.is_nan() || secs <= 0.0 {
+            return SimDuration(0);
+        }
+        let nanos = secs * 1e9;
+        if nanos >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(nanos.round() as u64)
+        }
+    }
+
+    /// Raw nanoseconds.
+    #[must_use]
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Duration as fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// `true` if the duration is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl std::ops::Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_addition_and_since() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_secs(2);
+        assert_eq!(t1.as_nanos(), 2_000_000_000);
+        assert_eq!(t1.since(t0), SimDuration::from_secs(2));
+        assert_eq!(t0.since(t1), SimDuration::ZERO, "since saturates");
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_millis(1500), SimDuration::from_secs_f64(1.5));
+        assert_eq!(SimDuration::from_secs(3), SimDuration::from_millis(3000));
+        assert_eq!(SimDuration::from_nanos(5).as_nanos(), 5);
+    }
+
+    #[test]
+    fn duration_from_secs_f64_edge_cases() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY).as_nanos(), u64::MAX);
+        assert!(SimDuration::from_secs_f64(0.0).is_zero());
+    }
+
+    #[test]
+    fn duration_arithmetic_saturates() {
+        let max = SimDuration::from_nanos(u64::MAX);
+        assert_eq!(max + SimDuration::from_secs(1), max);
+        assert_eq!(max * 2, max);
+        assert_eq!(SimDuration::from_secs(1) - SimDuration::from_secs(2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert!(SimDuration::from_millis(1) < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn add_assign_advances_clock() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_secs(1);
+        t += SimDuration::from_secs(2);
+        assert_eq!(t.as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn display_renders_seconds() {
+        assert_eq!(SimTime::from_nanos(1_500_000_000).to_string(), "t=1.500000s");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "0.250000s");
+    }
+}

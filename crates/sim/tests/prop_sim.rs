@@ -1,0 +1,147 @@
+//! Property-based tests for the simulation kernel: clock monotonicity,
+//! deterministic replay, and exact message accounting.
+
+use proptest::prelude::*;
+
+use geocast_sim::{
+    Context, FaultModel, Message, Node, NodeId, SimDuration, SimTime, Simulation, TimerId,
+    UniformLatency,
+};
+
+#[derive(Clone, Debug)]
+struct Token(u32);
+
+impl Message for Token {
+    fn tag(&self) -> &'static str {
+        "token"
+    }
+}
+
+/// Forwards tokens around a ring and records observation times.
+struct RingNode {
+    next: NodeId,
+    seen_at: Vec<SimTime>,
+}
+
+impl Node for RingNode {
+    type Msg = Token;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Token>, _from: NodeId, msg: Token) {
+        self.seen_at.push(ctx.now());
+        if msg.0 > 0 {
+            ctx.send(self.next, Token(msg.0 - 1));
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Token>, _timer: TimerId) {}
+}
+
+fn ring(n: usize) -> Vec<RingNode> {
+    (0..n).map(|i| RingNode { next: NodeId((i + 1) % n), seen_at: Vec::new() }).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn token_ring_sends_exactly_ttl_plus_one_messages(
+        n in 1usize..8,
+        ttl in 0u32..40,
+        seed in 0u64..1000,
+    ) {
+        let mut sim = Simulation::builder(ring(n))
+            .seed(seed)
+            .latency(UniformLatency::new(
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(30),
+            ))
+            .build();
+        sim.inject(NodeId(0), Token(ttl));
+        let outcome = sim.run_until_quiescent();
+        prop_assert!(outcome.quiescent);
+        prop_assert_eq!(sim.counters().sent_with_tag("token"), u64::from(ttl) + 1);
+        prop_assert_eq!(sim.counters().delivered(), u64::from(ttl) + 1);
+    }
+
+    #[test]
+    fn observation_times_are_monotone_per_node(
+        n in 2usize..6,
+        ttl in 1u32..30,
+        seed in 0u64..1000,
+    ) {
+        let mut sim = Simulation::builder(ring(n))
+            .seed(seed)
+            .latency(UniformLatency::new(
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(50),
+            ))
+            .build();
+        sim.inject(NodeId(0), Token(ttl));
+        sim.run_until_quiescent();
+        for i in 0..n {
+            let seen = &sim.node(NodeId(i)).seen_at;
+            prop_assert!(
+                seen.windows(2).all(|w| w[0] <= w[1]),
+                "node {i} observed time going backwards: {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_is_bit_identical_per_seed(
+        n in 1usize..6,
+        ttl in 0u32..25,
+        seed in 0u64..1000,
+    ) {
+        let run = |seed: u64| {
+            let mut sim = Simulation::builder(ring(n))
+                .seed(seed)
+                .latency(UniformLatency::new(
+                    SimDuration::from_millis(1),
+                    SimDuration::from_millis(100),
+                ))
+                .build();
+            sim.inject(NodeId(0), Token(ttl));
+            sim.run_until_quiescent();
+            (sim.now(), sim.counters().delivered())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn run_until_never_overshoots_events(
+        deadline_ms in 0u64..500,
+        ttl in 0u32..50,
+    ) {
+        let mut sim = Simulation::builder(ring(3)).build();
+        sim.inject(NodeId(0), Token(ttl));
+        let deadline = SimTime::ZERO + SimDuration::from_millis(deadline_ms);
+        let outcome = sim.run_until(deadline);
+        prop_assert_eq!(outcome.now, deadline);
+        // Deliveries happen every 10 ms (default constant latency):
+        // at most deadline/10ms events can have fired.
+        prop_assert!(outcome.events <= deadline_ms / 10 + 1);
+    }
+
+    #[test]
+    fn loss_probability_bounds_delivered_fraction(
+        seed in 0u64..200,
+    ) {
+        // With 100% loss nothing but the injection is delivered;
+        // with 0% everything is.
+        for (loss, expect_all) in [(0.0, true), (1.0, false)] {
+            let mut sim = Simulation::builder(ring(4))
+                .seed(seed)
+                .fault(FaultModel::with_loss(loss))
+                .build();
+            sim.inject(NodeId(0), Token(20));
+            sim.run_until_quiescent();
+            let delivered = sim.counters().delivered();
+            if expect_all {
+                prop_assert_eq!(delivered, 21);
+            } else {
+                prop_assert_eq!(delivered, 1, "only the fault-exempt injection");
+            }
+        }
+    }
+}
