@@ -7,7 +7,11 @@ use geocast::prelude::*;
 use geocast_bench::{full_scale, print_report};
 
 fn regenerate_and_time(c: &mut Criterion) {
-    let cfg = if full_scale() { AblationConfig::default() } else { AblationConfig::quick() };
+    let cfg = if full_scale() {
+        AblationConfig::default()
+    } else {
+        AblationConfig::quick()
+    };
     print_report(&ablation_partitioner(&cfg));
 
     let peers = PeerInfo::from_point_set(&uniform_points(400, 2, 1000.0, 1));

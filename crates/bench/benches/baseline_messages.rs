@@ -7,23 +7,30 @@ use geocast::prelude::*;
 use geocast_bench::{full_scale, print_report};
 
 fn regenerate_and_time(c: &mut Criterion) {
-    let cfg = if full_scale() { BaselineConfig::default() } else { BaselineConfig::quick() };
+    let cfg = if full_scale() {
+        BaselineConfig::default()
+    } else {
+        BaselineConfig::quick()
+    };
     print_report(&baseline_messages(&cfg));
 
     let peers = PeerInfo::from_point_set(&uniform_points(500, 2, 1000.0, 1));
     let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
     let mut group = c.benchmark_group("baseline/construction");
     group.sample_size(20);
-    group.bench_function(BenchmarkId::from_parameter("space_partitioning_n500"), |b| {
-        b.iter(|| {
-            build_tree(
-                std::hint::black_box(&peers),
-                &overlay,
-                0,
-                &OrthantRectPartitioner::median(),
-            )
-        })
-    });
+    group.bench_function(
+        BenchmarkId::from_parameter("space_partitioning_n500"),
+        |b| {
+            b.iter(|| {
+                build_tree(
+                    std::hint::black_box(&peers),
+                    &overlay,
+                    0,
+                    &OrthantRectPartitioner::median(),
+                )
+            })
+        },
+    );
     group.bench_function(BenchmarkId::from_parameter("flooding_n500"), |b| {
         b.iter(|| baseline::flood(std::hint::black_box(&overlay), 0))
     });

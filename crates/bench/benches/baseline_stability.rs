@@ -8,7 +8,11 @@ use geocast::prelude::*;
 use geocast_bench::{full_scale, print_report};
 
 fn regenerate_and_time(c: &mut Criterion) {
-    let cfg = if full_scale() { BaselineConfig::default() } else { BaselineConfig::quick() };
+    let cfg = if full_scale() {
+        BaselineConfig::default()
+    } else {
+        BaselineConfig::quick()
+    };
     print_report(&baseline_stability(&cfg));
 
     let base = uniform_points(500, 2, 1000.0, 1);
@@ -29,7 +33,13 @@ fn regenerate_and_time(c: &mut Criterion) {
         b.iter(|| non_leaf_departures(std::hint::black_box(&tree), std::hint::black_box(&t)))
     });
     group.bench_function(BenchmarkId::from_parameter("preferred_links_n500"), |b| {
-        b.iter(|| preferred_links(std::hint::black_box(&peers), &overlay, PreferredPolicy::MaxT))
+        b.iter(|| {
+            preferred_links(
+                std::hint::black_box(&peers),
+                &overlay,
+                PreferredPolicy::MaxT,
+            )
+        })
     });
     group.finish();
 }

@@ -1,0 +1,116 @@
+//! Overlay-construction scaling: indexed + parallel equilibrium engine
+//! versus the brute-force baseline, with a machine-readable summary.
+//!
+//! Emits `crates/bench/BENCH_overlay.json` so future PRs can
+//! track the perf trajectory (`quick` scale by default; set
+//! `GEOCAST_FULL=1` for the N = 50_000 paper-scale point).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geocast::prelude::*;
+use geocast_bench::full_scale;
+
+fn time_once<O>(f: impl FnOnce() -> O) -> (f64, O) {
+    let t = Instant::now();
+    let out = f();
+    (t.elapsed().as_secs_f64(), out)
+}
+
+/// One measured size: brute-force vs engine build time in seconds.
+struct Row {
+    n: usize,
+    brute_s: Option<f64>,
+    engine_s: f64,
+    directed_edges: usize,
+}
+
+fn measure(ns: &[usize], brute_cap: usize) -> Vec<Row> {
+    ns.iter()
+        .map(|&n| {
+            let peers = PeerInfo::from_point_set(&uniform_points(n, 2, 1000.0, 1));
+            let (engine_s, graph) = time_once(|| oracle::equilibrium(&peers, &EmptyRectSelection));
+            let brute_s = (n <= brute_cap).then(|| {
+                let (secs, brute) =
+                    time_once(|| oracle::equilibrium_brute_force(&peers, &EmptyRectSelection));
+                assert_eq!(brute, graph, "engine must be exactly equivalent at N={n}");
+                secs
+            });
+            Row {
+                n,
+                brute_s,
+                engine_s,
+                directed_edges: graph.directed_edge_count(),
+            }
+        })
+        .collect()
+}
+
+fn write_summary(rows: &[Row]) {
+    let mut json =
+        String::from("{\n  \"bench\": \"overlay_scaling\",\n  \"dim\": 2,\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let brute = row.brute_s.map_or("null".to_owned(), |s| format!("{s:.6}"));
+        let speedup = row
+            .brute_s
+            .map_or("null".to_owned(), |s| format!("{:.2}", s / row.engine_s));
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"brute_seconds\": {}, \"engine_seconds\": {:.6}, \"speedup\": {}, \"directed_edges\": {}}}{}\n",
+            row.n,
+            brute,
+            row.engine_s,
+            speedup,
+            row.directed_edges,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    // Anchor at this crate's manifest dir — cargo gives bench binaries a
+    // package-relative cwd, which varies by invocation.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_overlay.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+fn overlay_scaling(c: &mut Criterion) {
+    let (ns, brute_cap): (Vec<usize>, usize) = if full_scale() {
+        (vec![1_000, 5_000, 10_000, 20_000, 50_000], 10_000)
+    } else {
+        (vec![500, 1_000, 2_000, 5_000, 10_000], 10_000)
+    };
+    let rows = measure(&ns, brute_cap);
+    for row in &rows {
+        let speedup = row
+            .brute_s
+            .map_or("n/a".to_owned(), |s| format!("{:.1}x", s / row.engine_s));
+        println!(
+            "N={:>6}: engine {:.3}s, brute {}, speedup {}",
+            row.n,
+            row.engine_s,
+            row.brute_s
+                .map_or("skipped".to_owned(), |s| format!("{s:.3}s")),
+            speedup,
+        );
+    }
+    write_summary(&rows);
+
+    // Criterion samples at a size where both paths are affordable.
+    let peers = PeerInfo::from_point_set(&uniform_points(2_000, 2, 1000.0, 1));
+    let mut group = c.benchmark_group("overlay_scaling/equilibrium");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("engine_n2000_d2"), |b| {
+        b.iter(|| oracle::equilibrium(std::hint::black_box(&peers), &EmptyRectSelection))
+    });
+    group.bench_function(BenchmarkId::from_parameter("brute_n2000_d2"), |b| {
+        b.iter(|| {
+            oracle::equilibrium_brute_force(std::hint::black_box(&peers), &EmptyRectSelection)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, overlay_scaling);
+criterion_main!(benches);

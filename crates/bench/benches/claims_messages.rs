@@ -11,7 +11,11 @@ use geocast::prelude::*;
 use geocast_bench::{full_scale, print_report};
 
 fn regenerate_and_time(c: &mut Criterion) {
-    let cfg = if full_scale() { ClaimsConfig::default() } else { ClaimsConfig::quick() };
+    let cfg = if full_scale() {
+        ClaimsConfig::default()
+    } else {
+        ClaimsConfig::quick()
+    };
     print_report(&claims_section2(&cfg));
     print_report(&claims_section3(&cfg));
 

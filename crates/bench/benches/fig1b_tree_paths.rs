@@ -7,7 +7,11 @@ use geocast::prelude::*;
 use geocast_bench::{full_scale, print_report};
 
 fn regenerate_and_time(c: &mut Criterion) {
-    let cfg = if full_scale() { Fig1Config::default() } else { Fig1Config::quick() };
+    let cfg = if full_scale() {
+        Fig1Config::default()
+    } else {
+        Fig1Config::quick()
+    };
     print_report(&fig1b(&cfg));
 
     let mut group = c.benchmark_group("fig1b/build_tree");

@@ -7,7 +7,11 @@ use geocast::prelude::*;
 use geocast_bench::{full_scale, print_report};
 
 fn regenerate_and_time(c: &mut Criterion) {
-    let cfg = if full_scale() { Fig1cConfig::default() } else { Fig1cConfig::quick() };
+    let cfg = if full_scale() {
+        Fig1cConfig::default()
+    } else {
+        Fig1cConfig::quick()
+    };
     print_report(&fig1c(&cfg));
 
     let mut group = c.benchmark_group("fig1c/equilibrium_scaling");

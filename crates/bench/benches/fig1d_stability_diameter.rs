@@ -8,7 +8,11 @@ use geocast::prelude::*;
 use geocast_bench::{full_scale, print_report};
 
 fn regenerate_and_time(c: &mut Criterion) {
-    let cfg = if full_scale() { StabilityConfig::default() } else { StabilityConfig::quick() };
+    let cfg = if full_scale() {
+        StabilityConfig::default()
+    } else {
+        StabilityConfig::quick()
+    };
     print_report(&fig1d(&cfg));
 
     let mut group = c.benchmark_group("fig1d/k_sweep");
@@ -18,23 +22,26 @@ fn regenerate_and_time(c: &mut Criterion) {
         let times = lifetimes(300, 1000.0, 2);
         let peers = PeerInfo::from_point_set(&embed_lifetimes(&base, &times));
         let ks: Vec<usize> = vec![1, 5, 10, 25, 50];
-        group.bench_function(BenchmarkId::from_parameter(format!("n300_d{dim}_5ks")), |b| {
-            b.iter(|| {
-                let mut diameters = Vec::new();
-                oracle::orthogonal_k_sweep_with(
-                    std::hint::black_box(&peers),
-                    MetricKind::L1,
-                    &ks,
-                    |_, graph| {
-                        let tree = preferred_links(&peers, graph, PreferredPolicy::MaxT)
-                            .to_multicast_tree()
-                            .expect("tree at equilibrium");
-                        diameters.push(tree.diameter());
-                    },
-                );
-                diameters
-            })
-        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("n300_d{dim}_5ks")),
+            |b| {
+                b.iter(|| {
+                    let mut diameters = Vec::new();
+                    oracle::orthogonal_k_sweep_with(
+                        std::hint::black_box(&peers),
+                        MetricKind::L1,
+                        &ks,
+                        |_, graph| {
+                            let tree = preferred_links(&peers, graph, PreferredPolicy::MaxT)
+                                .to_multicast_tree()
+                                .expect("tree at equilibrium");
+                            diameters.push(tree.diameter());
+                        },
+                    );
+                    diameters
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -8,7 +8,11 @@ use geocast::prelude::*;
 use geocast_bench::{full_scale, print_report};
 
 fn regenerate_and_time(c: &mut Criterion) {
-    let cfg = if full_scale() { StabilityConfig::default() } else { StabilityConfig::quick() };
+    let cfg = if full_scale() {
+        StabilityConfig::default()
+    } else {
+        StabilityConfig::quick()
+    };
     print_report(&fig1e(&cfg));
 
     let mut group = c.benchmark_group("fig1e/preferred_links");

@@ -8,7 +8,11 @@ use geocast::prelude::*;
 use geocast_bench::{full_scale, print_report};
 
 fn regenerate_and_time(c: &mut Criterion) {
-    let cfg = if full_scale() { RepairConfig::default() } else { RepairConfig::quick() };
+    let cfg = if full_scale() {
+        RepairConfig::default()
+    } else {
+        RepairConfig::quick()
+    };
     print_report(&repair_cost(&cfg));
 
     let peers = PeerInfo::from_point_set(&uniform_points(400, 2, 1000.0, 1));
@@ -46,7 +50,14 @@ fn regenerate_and_time(c: &mut Criterion) {
         })
     });
     group.bench_function(BenchmarkId::from_parameter("full_rebuild_n400"), |b| {
-        b.iter(|| build_tree(std::hint::black_box(&peers), &live_overlay, 0, &OrthantRectPartitioner::median()))
+        b.iter(|| {
+            build_tree(
+                std::hint::black_box(&peers),
+                &live_overlay,
+                0,
+                &OrthantRectPartitioner::median(),
+            )
+        })
     });
     group.finish();
 }

@@ -17,7 +17,11 @@ pub fn full_scale() -> bool {
 
 /// Prints a regenerated artifact with a scale banner.
 pub fn print_report(report: &FigureReport) {
-    let scale = if full_scale() { "paper scale (GEOCAST_FULL)" } else { "quick scale" };
+    let scale = if full_scale() {
+        "paper scale (GEOCAST_FULL)"
+    } else {
+        "quick scale"
+    };
     println!("\n===== regenerated {} [{scale}] =====", report.id);
     println!("{report}");
 }

@@ -55,7 +55,9 @@ impl fmt::Display for CliError {
         match self {
             CliError::MissingCommand => write!(f, "no command given; try `geocast help`"),
             CliError::UnknownCommand(c) => write!(f, "unknown command `{c}`; try `geocast help`"),
-            CliError::MalformedOption(o) => write!(f, "malformed option `{o}` (expected --key value)"),
+            CliError::MalformedOption(o) => {
+                write!(f, "malformed option `{o}` (expected --key value)")
+            }
             CliError::BadValue { key, value } => write!(f, "invalid value `{value}` for --{key}"),
         }
     }
@@ -92,20 +94,33 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
             }
         }
     }
-    Ok(Invocation { command: command.clone(), options })
+    Ok(Invocation {
+        command: command.clone(),
+        options,
+    })
 }
 
-fn opt<T: std::str::FromStr>(
-    inv: &Invocation,
-    key: &str,
-    default: T,
-) -> Result<T, CliError> {
+fn opt<T: std::str::FromStr>(inv: &Invocation, key: &str, default: T) -> Result<T, CliError> {
     match inv.options.get(key) {
         None => Ok(default),
-        Some(raw) => raw
-            .parse()
-            .map_err(|_| CliError::BadValue { key: key.to_owned(), value: raw.clone() }),
+        Some(raw) => raw.parse().map_err(|_| CliError::BadValue {
+            key: key.to_owned(),
+            value: raw.clone(),
+        }),
     }
+}
+
+/// Parses `--n`, rejecting empty populations the downstream passes
+/// (overlay profiling, session root placement) cannot represent.
+fn opt_peers(inv: &Invocation, default: usize) -> Result<usize, CliError> {
+    let n: usize = opt(inv, "n", default)?;
+    if n == 0 {
+        return Err(CliError::BadValue {
+            key: "n".to_owned(),
+            value: "0".to_owned(),
+        });
+    }
+    Ok(n)
 }
 
 fn selection_for(
@@ -119,7 +134,10 @@ fn selection_for(
         "signed" => Arc::new(HyperplanesSelection::signed(dim, k, MetricKind::L1)),
         "k-closest" => Arc::new(HyperplanesSelection::k_closest(dim, k, MetricKind::L1)),
         other => {
-            return Err(CliError::BadValue { key: "method".into(), value: other.into() })
+            return Err(CliError::BadValue {
+                key: "method".into(),
+                value: other.into(),
+            })
         }
     })
 }
@@ -158,12 +176,12 @@ COMMANDS:
   route      greedy geometric routing between two peers
              --n 200 --dim 2 --seed 1 --from 0 --to 10
   figures    regenerate the paper's artifacts
-             --panel fig1a|fig1b|fig1c|fig1d|fig1e|claims|ablation|baselines|repair|all [--full]
+             --panel fig1a|fig1b|fig1c|fig1d|fig1e|claims|ablation|baselines|repair|scaling|all [--full]
   help       this text
 ";
 
 fn cmd_overlay(inv: &Invocation) -> Result<String, CliError> {
-    let n: usize = opt(inv, "n", 500)?;
+    let n: usize = opt_peers(inv, 500)?;
     let dim: usize = opt(inv, "dim", 2)?;
     let seed: u64 = opt(inv, "seed", 1)?;
     let k: usize = opt(inv, "k", 2)?;
@@ -183,17 +201,35 @@ fn cmd_overlay(inv: &Invocation) -> Result<String, CliError> {
     out.push_str(&format!(
         "overlay: {method} over {n} peers (D={dim}, seed {seed})\n\n"
     ));
-    out.push_str(&format!("  directed edges    : {}\n", profile.directed_edges));
-    out.push_str(&format!("  undirected links  : {}\n", profile.undirected_edges));
+    out.push_str(&format!(
+        "  directed edges    : {}\n",
+        profile.directed_edges
+    ));
+    out.push_str(&format!(
+        "  undirected links  : {}\n",
+        profile.undirected_edges
+    ));
     out.push_str(&format!(
         "  degree            : min {} / mean {:.1} / max {}\n",
         profile.degree_min, profile.degree_mean, profile.degree_max
     ));
-    out.push_str(&format!("  link symmetry     : {:.1}%\n", profile.link_symmetry * 100.0));
+    out.push_str(&format!(
+        "  link symmetry     : {:.1}%\n",
+        profile.link_symmetry * 100.0
+    ));
     out.push_str(&format!("  connected         : {}\n", profile.connected));
-    out.push_str(&format!("  mean hop distance : {:.2}\n", profile.mean_hop_distance));
-    out.push_str(&format!("  max eccentricity  : {}\n", profile.hop_eccentricity_max));
-    out.push_str(&format!("  clustering coeff  : {:.3}\n", profile.clustering_coefficient));
+    out.push_str(&format!(
+        "  mean hop distance : {:.2}\n",
+        profile.mean_hop_distance
+    ));
+    out.push_str(&format!(
+        "  max eccentricity  : {}\n",
+        profile.hop_eccentricity_max
+    ));
+    out.push_str(&format!(
+        "  clustering coeff  : {:.3}\n",
+        profile.clustering_coefficient
+    ));
     out.push_str(&format!("  geometric stretch : {stretch:.2}\n"));
     Ok(out)
 }
@@ -208,10 +244,18 @@ fn cmd_tree(inv: &Invocation) -> Result<String, CliError> {
         "median" => OrthantRectPartitioner::median(),
         "closest" => OrthantRectPartitioner::closest(),
         "farthest" => OrthantRectPartitioner::farthest(),
-        other => return Err(CliError::BadValue { key: "pick".into(), value: other.into() }),
+        other => {
+            return Err(CliError::BadValue {
+                key: "pick".into(),
+                value: other.into(),
+            })
+        }
     };
     if root >= n {
-        return Err(CliError::BadValue { key: "root".into(), value: root.to_string() });
+        return Err(CliError::BadValue {
+            key: "root".into(),
+            value: root.to_string(),
+        });
     }
 
     let peers = PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, seed));
@@ -223,10 +267,23 @@ fn cmd_tree(inv: &Invocation) -> Result<String, CliError> {
     out.push_str(&format!(
         "§2 multicast tree: {n} peers, D={dim}, root {root}, pick {pick}\n\n"
     ));
-    out.push_str(&format!("  messages          : {} (N-1 = {})\n", result.messages, n - 1));
-    out.push_str(&format!("  spanning          : {}\n", result.tree.is_spanning()));
-    out.push_str(&format!("  height            : {}\n", result.tree.longest_root_to_leaf()));
-    out.push_str(&format!("  diameter          : {}\n", result.tree.diameter()));
+    out.push_str(&format!(
+        "  messages          : {} (N-1 = {})\n",
+        result.messages,
+        n - 1
+    ));
+    out.push_str(&format!(
+        "  spanning          : {}\n",
+        result.tree.is_spanning()
+    ));
+    out.push_str(&format!(
+        "  height            : {}\n",
+        result.tree.longest_root_to_leaf()
+    ));
+    out.push_str(&format!(
+        "  diameter          : {}\n",
+        result.tree.diameter()
+    ));
     out.push_str(&format!(
         "  max children      : {} (2^D = {})\n",
         result.tree.max_children(),
@@ -246,14 +303,21 @@ fn cmd_stability(inv: &Invocation) -> Result<String, CliError> {
         "max-t" => PreferredPolicy::MaxT,
         "min-higher-t" => PreferredPolicy::MinHigherT,
         "closest" => PreferredPolicy::ClosestHigherT(MetricKind::L1),
-        other => return Err(CliError::BadValue { key: "policy".into(), value: other.into() }),
+        other => {
+            return Err(CliError::BadValue {
+                key: "policy".into(),
+                value: other.into(),
+            })
+        }
     };
 
     let base = uniform_points(n, dim, 1000.0, seed);
     let times = lifetimes(n, 1000.0, seed ^ 0x57_4a);
     let peers = PeerInfo::from_point_set(&embed_lifetimes(&base, &times));
-    let overlay =
-        oracle::equilibrium(&peers, &HyperplanesSelection::orthogonal(dim, k, MetricKind::L1));
+    let overlay = oracle::equilibrium(
+        &peers,
+        &HyperplanesSelection::orthogonal(dim, k, MetricKind::L1),
+    );
     let forest = preferred_links(&peers, &overlay, policy);
 
     let mut out = String::new();
@@ -261,10 +325,16 @@ fn cmd_stability(inv: &Invocation) -> Result<String, CliError> {
         "§3 stability tree: {n} peers, D={dim}, K={k}, policy {policy_name}\n\n"
     ));
     out.push_str(&format!("  links form a tree : {}\n", forest.is_tree()));
-    out.push_str(&format!("  heap property     : {}\n", forest.heap_property_holds(&peers)));
+    out.push_str(&format!(
+        "  heap property     : {}\n",
+        forest.heap_property_holds(&peers)
+    ));
     if let Some(tree) = forest.to_multicast_tree() {
         let t: Vec<f64> = peers.iter().map(|p| p.departure_time()).collect();
-        out.push_str(&format!("  height            : {}\n", tree.longest_root_to_leaf()));
+        out.push_str(&format!(
+            "  height            : {}\n",
+            tree.longest_root_to_leaf()
+        ));
         out.push_str(&format!("  diameter          : {}\n", tree.diameter()));
         out.push_str(&format!(
             "  max tree degree   : {}\n",
@@ -279,13 +349,16 @@ fn cmd_stability(inv: &Invocation) -> Result<String, CliError> {
 }
 
 fn cmd_session(inv: &Invocation) -> Result<String, CliError> {
-    let n: usize = opt(inv, "n", 200)?;
+    let n: usize = opt_peers(inv, 200)?;
     let dim: usize = opt(inv, "dim", 2)?;
     let seed: u64 = opt(inv, "seed", 1)?;
     let payloads: u64 = opt(inv, "payloads", 5)?;
     let loss: f64 = opt(inv, "loss", 0.0)?;
     if !(0.0..=1.0).contains(&loss) {
-        return Err(CliError::BadValue { key: "loss".into(), value: loss.to_string() });
+        return Err(CliError::BadValue {
+            key: "loss".into(),
+            value: loss.to_string(),
+        });
     }
 
     let peers = PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, seed));
@@ -301,7 +374,11 @@ fn cmd_session(inv: &Invocation) -> Result<String, CliError> {
             SimDuration::from_millis(5),
             SimDuration::from_millis(20),
         ),
-        if loss > 0.0 { FaultModel::with_loss(loss) } else { FaultModel::default() },
+        if loss > 0.0 {
+            FaultModel::with_loss(loss)
+        } else {
+            FaultModel::default()
+        },
         seed,
     );
 
@@ -310,7 +387,11 @@ fn cmd_session(inv: &Invocation) -> Result<String, CliError> {
         "multicast session: {n} peers, {payloads} payloads, loss {:.0}%\n\n",
         loss * 100.0
     ));
-    out.push_str(&format!("  build messages : {} (N-1 = {})\n", outcome.build_messages, n - 1));
+    out.push_str(&format!(
+        "  build messages : {} (N-1 = {})\n",
+        outcome.build_messages,
+        n - 1
+    ));
     out.push_str(&format!("  data messages  : {}\n", outcome.data_messages));
     out.push_str(&format!("  duplicates     : {}\n", outcome.duplicates));
     for (p, count) in &outcome.delivery {
@@ -329,10 +410,16 @@ fn cmd_route(inv: &Invocation) -> Result<String, CliError> {
     let from: usize = opt(inv, "from", 0)?;
     let to: usize = opt(inv, "to", n.saturating_sub(1))?;
     if from >= n {
-        return Err(CliError::BadValue { key: "from".into(), value: from.to_string() });
+        return Err(CliError::BadValue {
+            key: "from".into(),
+            value: from.to_string(),
+        });
     }
     if to >= n {
-        return Err(CliError::BadValue { key: "to".into(), value: to.to_string() });
+        return Err(CliError::BadValue {
+            key: "to".into(),
+            value: to.to_string(),
+        });
     }
 
     let peers = PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, seed));
@@ -361,16 +448,26 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
     let panel: String = opt(inv, "panel", "all".to_owned())?;
     let full = inv.options.contains_key("full");
 
-    let fig1 = if full { figures::Fig1Config::default() } else { figures::Fig1Config::quick() };
-    let fig1c =
-        if full { figures::Fig1cConfig::default() } else { figures::Fig1cConfig::quick() };
+    let fig1 = if full {
+        figures::Fig1Config::default()
+    } else {
+        figures::Fig1Config::quick()
+    };
+    let fig1c = if full {
+        figures::Fig1cConfig::default()
+    } else {
+        figures::Fig1cConfig::quick()
+    };
     let stab = if full {
         figures::StabilityConfig::default()
     } else {
         figures::StabilityConfig::quick()
     };
-    let claims =
-        if full { figures::ClaimsConfig::default() } else { figures::ClaimsConfig::quick() };
+    let claims = if full {
+        figures::ClaimsConfig::default()
+    } else {
+        figures::ClaimsConfig::quick()
+    };
     let ab = if full {
         figures::AblationConfig::default()
     } else {
@@ -381,8 +478,16 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
     } else {
         figures::BaselineConfig::quick()
     };
-    let repair =
-        if full { figures::RepairConfig::default() } else { figures::RepairConfig::quick() };
+    let repair = if full {
+        figures::RepairConfig::default()
+    } else {
+        figures::RepairConfig::quick()
+    };
+    let scaling = if full {
+        figures::ScalingConfig::default()
+    } else {
+        figures::ScalingConfig::quick()
+    };
 
     let mut reports = Vec::new();
     match panel.as_str() {
@@ -401,6 +506,7 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
             reports.push(figures::baseline_stability(&base));
         }
         "repair" => reports.push(figures::repair_cost(&repair)),
+        "scaling" => reports.push(figures::overlay_scaling(&scaling)),
         "all" => {
             reports.push(figures::fig1a(&fig1));
             reports.push(figures::fig1b(&fig1));
@@ -414,8 +520,14 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
             reports.push(figures::baseline_messages(&base));
             reports.push(figures::baseline_stability(&base));
             reports.push(figures::repair_cost(&repair));
+            reports.push(figures::overlay_scaling(&scaling));
         }
-        other => return Err(CliError::BadValue { key: "panel".into(), value: other.into() }),
+        other => {
+            return Err(CliError::BadValue {
+                key: "panel".into(),
+                value: other.into(),
+            })
+        }
     }
     let mut out = String::new();
     for report in &reports {
@@ -505,17 +617,18 @@ mod tests {
 
     #[test]
     fn stability_command_reports_zero_disconnections() {
-        let inv =
-            parse_args(&args(&["stability", "--n", "60", "--dim", "2", "--k", "1"])).unwrap();
+        let inv = parse_args(&args(&["stability", "--n", "60", "--dim", "2", "--k", "1"])).unwrap();
         let out = run(&inv).unwrap();
         assert!(out.contains("links form a tree : true"), "{out}");
-        assert!(out.contains("disconnecting departures (full schedule): 0"), "{out}");
+        assert!(
+            out.contains("disconnecting departures (full schedule): 0"),
+            "{out}"
+        );
     }
 
     #[test]
     fn session_command_reports_full_delivery() {
-        let inv =
-            parse_args(&args(&["session", "--n", "30", "--payloads", "2"])).unwrap();
+        let inv = parse_args(&args(&["session", "--n", "30", "--payloads", "2"])).unwrap();
         let out = run(&inv).unwrap();
         assert!(out.contains("delivered to 30/30"), "{out}");
         assert!(out.contains("duplicates     : 0"), "{out}");
@@ -553,7 +666,10 @@ mod tests {
         let inv = parse_args(&args(&["tree", "--n", "many"])).unwrap();
         assert_eq!(
             run(&inv).unwrap_err(),
-            CliError::BadValue { key: "n".into(), value: "many".into() }
+            CliError::BadValue {
+                key: "n".into(),
+                value: "many".into()
+            }
         );
     }
 
@@ -563,7 +679,13 @@ mod tests {
             (CliError::MissingCommand, "no command"),
             (CliError::UnknownCommand("x".into()), "unknown command"),
             (CliError::MalformedOption("x".into()), "malformed"),
-            (CliError::BadValue { key: "k".into(), value: "v".into() }, "invalid value"),
+            (
+                CliError::BadValue {
+                    key: "k".into(),
+                    value: "v".into(),
+                },
+                "invalid value",
+            ),
         ] {
             assert!(err.to_string().contains(needle));
         }

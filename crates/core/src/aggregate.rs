@@ -59,7 +59,12 @@ struct Partial {
 
 impl Partial {
     fn leaf(v: f64) -> Self {
-        Partial { sum: v, min: v, max: v, count: 1 }
+        Partial {
+            sum: v,
+            min: v,
+            max: v,
+            count: 1,
+        }
     }
 
     fn merge(&mut self, other: Partial) {
@@ -176,7 +181,10 @@ mod tests {
         assert_eq!(r.contributors, n);
         assert_eq!(convergecast(&tree, &values, AggregateOp::Min).value, min);
         assert_eq!(convergecast(&tree, &values, AggregateOp::Max).value, max);
-        assert_eq!(convergecast(&tree, &values, AggregateOp::Count).value, n as f64);
+        assert_eq!(
+            convergecast(&tree, &values, AggregateOp::Count).value,
+            n as f64
+        );
         let mean = convergecast(&tree, &values, AggregateOp::Mean).value;
         assert!((mean - sum / n as f64).abs() < 1e-9);
     }

@@ -47,7 +47,7 @@ pub struct FloodResult {
 /// Panics if `root` is out of range.
 #[must_use]
 pub fn flood(overlay: &OverlayGraph, root: usize) -> FloodResult {
-    let adj = overlay.undirected();
+    let adj = overlay.undirected_closure();
     assert!(root < adj.len(), "root out of range");
     let n = adj.len();
     let mut parent = vec![None; n];
@@ -56,7 +56,7 @@ pub fn flood(overlay: &OverlayGraph, root: usize) -> FloodResult {
     let mut messages = 0usize;
     let mut queue = VecDeque::from([root]);
     while let Some(u) = queue.pop_front() {
-        for &v in &adj[u] {
+        for &v in adj.out_neighbors(u) {
             if Some(v) == parent[u] {
                 continue; // nobody echoes straight back to the sender
             }
@@ -70,7 +70,11 @@ pub fn flood(overlay: &OverlayGraph, root: usize) -> FloodResult {
     }
     let tree = MulticastTree::from_parents(root, parent, reached);
     let duplicates = messages - (tree.reached_count() - 1);
-    FloodResult { tree, messages, duplicates }
+    FloodResult {
+        tree,
+        messages,
+        duplicates,
+    }
 }
 
 /// The breadth-first spanning tree of the undirected overlay from
@@ -97,7 +101,7 @@ pub fn bfs_tree(overlay: &OverlayGraph, root: usize) -> MulticastTree {
 /// Panics if `root` is out of range.
 #[must_use]
 pub fn random_parent_tree(overlay: &OverlayGraph, root: usize, seed: u64) -> MulticastTree {
-    let adj = overlay.undirected();
+    let adj = overlay.undirected_closure();
     assert!(root < adj.len(), "root out of range");
     let n = adj.len();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -107,7 +111,7 @@ pub fn random_parent_tree(overlay: &OverlayGraph, root: usize, seed: u64) -> Mul
     // Frontier of (unreached) peers adjacent to the reached set.
     let mut frontier: Vec<usize> = Vec::new();
     let mut in_frontier = vec![false; n];
-    for &v in &adj[root] {
+    for &v in adj.out_neighbors(root) {
         frontier.push(v);
         in_frontier[v] = true;
     }
@@ -115,12 +119,16 @@ pub fn random_parent_tree(overlay: &OverlayGraph, root: usize, seed: u64) -> Mul
         let pick = rng.random_range(0..frontier.len());
         let v = frontier.swap_remove(pick);
         in_frontier[v] = false;
-        let reached_nbrs: Vec<usize> =
-            adj[v].iter().copied().filter(|&u| reached[u]).collect();
+        let reached_nbrs: Vec<usize> = adj
+            .out_neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| reached[u])
+            .collect();
         let p = reached_nbrs[rng.random_range(0..reached_nbrs.len())];
         parent[v] = Some(p);
         reached[v] = true;
-        for &w in &adj[v] {
+        for &w in adj.out_neighbors(v) {
             if !reached[w] && !in_frontier[w] {
                 frontier.push(w);
                 in_frontier[w] = true;
@@ -164,7 +172,13 @@ mod tests {
         let expected: usize = adj
             .iter()
             .enumerate()
-            .map(|(v, nbrs)| if v == 5 { nbrs.len() } else { nbrs.len().saturating_sub(1) })
+            .map(|(v, nbrs)| {
+                if v == 5 {
+                    nbrs.len()
+                } else {
+                    nbrs.len().saturating_sub(1)
+                }
+            })
             .sum();
         assert_eq!(result.messages, expected);
     }

@@ -76,7 +76,8 @@ pub fn build_in_zone(
     assert_eq!(peers.len(), overlay.len(), "peer/overlay size mismatch");
     assert!(start < peers.len(), "start out of range");
     let n = peers.len();
-    let adj = overlay.undirected();
+    // CSR closure: one shared flat adjacency, no per-peer list allocations.
+    let adj = overlay.undirected_closure();
 
     let mut parent: Vec<Option<usize>> = vec![None; n];
     let mut reached = vec![false; n];
@@ -89,7 +90,8 @@ pub fn build_in_zone(
     queue.push_back((start, zone));
 
     while let Some((p, zone)) = queue.pop_front() {
-        let in_zone: Vec<&PeerInfo> = adj[p]
+        let in_zone: Vec<&PeerInfo> = adj
+            .out_neighbors(p)
             .iter()
             .map(|&q| &peers[q])
             .filter(|q| zone.contains(q.point()))
@@ -110,7 +112,12 @@ pub fn build_in_zone(
 
     let tree = MulticastTree::from_parents(start, parent, reached);
     let stranded = tree.unreached();
-    BuildResult { tree, messages, stranded, zones }
+    BuildResult {
+        tree,
+        messages,
+        stranded,
+        zones,
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +139,11 @@ mod tests {
             let (peers, overlay) = setup(n, dim, seed);
             let result = build_tree(&peers, &overlay, 0, &OrthantRectPartitioner::median());
             assert!(result.tree.is_spanning(), "n={n} dim={dim}");
-            assert_eq!(result.messages, n - 1, "paper's N-1 claim (n={n}, dim={dim})");
+            assert_eq!(
+                result.messages,
+                n - 1,
+                "paper's N-1 claim (n={n}, dim={dim})"
+            );
             assert!(result.stranded.is_empty());
             assert_eq!(result.tree.validate(), Ok(()));
         }
@@ -205,13 +216,8 @@ mod tests {
         // 2.. are unreachable, and the builder must report them stranded
         // rather than invent links.
         let peers = PeerInfo::from_point_set(&uniform_points(5, 2, 1000.0, 19));
-        let overlay = OverlayGraph::from_out_neighbors(vec![
-            vec![1],
-            vec![0],
-            vec![],
-            vec![],
-            vec![],
-        ]);
+        let overlay =
+            OverlayGraph::from_out_neighbors(vec![vec![1], vec![0], vec![], vec![], vec![]]);
         let result = build_tree(&peers, &overlay, 0, &OrthantRectPartitioner::median());
         assert!(!result.tree.is_spanning());
         assert_eq!(result.stranded, vec![2, 3, 4]);

@@ -88,19 +88,28 @@ impl OrthantRectPartitioner {
     /// The paper's configuration: median pick, L1 distance.
     #[must_use]
     pub fn median() -> Self {
-        OrthantRectPartitioner { pick: PickRule::Median, metric: MetricKind::L1 }
+        OrthantRectPartitioner {
+            pick: PickRule::Median,
+            metric: MetricKind::L1,
+        }
     }
 
     /// Ablation: delegate to the closest in-zone neighbour per orthant.
     #[must_use]
     pub fn closest() -> Self {
-        OrthantRectPartitioner { pick: PickRule::Closest, metric: MetricKind::L1 }
+        OrthantRectPartitioner {
+            pick: PickRule::Closest,
+            metric: MetricKind::L1,
+        }
     }
 
     /// Ablation: delegate to the farthest in-zone neighbour per orthant.
     #[must_use]
     pub fn farthest() -> Self {
-        OrthantRectPartitioner { pick: PickRule::Farthest, metric: MetricKind::L1 }
+        OrthantRectPartitioner {
+            pick: PickRule::Farthest,
+            metric: MetricKind::L1,
+        }
     }
 
     /// Fully custom configuration.
@@ -143,7 +152,8 @@ impl ZonePartitioner for OrthantRectPartitioner {
             sorted.sort_by(|&a, &b| {
                 let da = self.metric.dist(p.point(), in_zone[a].point());
                 let db = self.metric.dist(p.point(), in_zone[b].point());
-                da.total_cmp(&db).then_with(|| in_zone[a].id().cmp(&in_zone[b].id()))
+                da.total_cmp(&db)
+                    .then_with(|| in_zone[a].id().cmp(&in_zone[b].id()))
             });
             let chosen = sorted[self.pick.index(sorted.len())];
             let sub_zone = zone.intersect(&Rect::orthant_of(p.point(), orthant));
@@ -183,7 +193,10 @@ mod tests {
         }
         for (c, z) in &parts {
             assert!(z.contains(in_zone[*c].point()), "child outside its zone");
-            assert!(!z.contains(p.point()), "zone must exclude the delegating peer");
+            assert!(
+                !z.contains(p.point()),
+                "zone must exclude the delegating peer"
+            );
             assert!(zone.contains_rect(z), "sub-zone escapes the parent zone");
         }
         for i in 0..parts.len() {
@@ -226,8 +239,10 @@ mod tests {
             // The partitioner does not require p inside the zone; the
             // contract still holds.
         }
-        let in_zone: Vec<&PeerInfo> =
-            population[1..].iter().filter(|q| zone.contains(q.point())).collect();
+        let in_zone: Vec<&PeerInfo> = population[1..]
+            .iter()
+            .filter(|q| zone.contains(q.point()))
+            .collect();
         partition_contract(p, &zone, &in_zone, PickRule::Median);
     }
 
@@ -240,11 +255,11 @@ mod tests {
             PeerInfo::new(PeerId(id), geocast_geom::Point::new(vec![x, y]).unwrap())
         };
         let q: Vec<PeerInfo> = vec![
-            mk(1, 1.0, 1.0),  // d=2
-            mk(2, 2.0, 2.1),  // d=4.1
-            mk(3, 3.0, 3.2),  // d=6.2
-            mk(4, 4.0, 4.3),  // d=8.3
-            mk(5, 5.0, 5.4),  // d=10.4
+            mk(1, 1.0, 1.0), // d=2
+            mk(2, 2.0, 2.1), // d=4.1
+            mk(3, 3.0, 3.2), // d=6.2
+            mk(4, 4.0, 4.3), // d=8.3
+            mk(5, 5.0, 5.4), // d=10.4
         ];
         let refs: Vec<&PeerInfo> = q.iter().collect();
         let parts = OrthantRectPartitioner::median().partition(&p, &Rect::full(2), &refs);
@@ -268,11 +283,7 @@ mod tests {
     #[test]
     fn empty_neighbor_set_yields_no_children() {
         let population = peers(1, 3, 5);
-        let parts = OrthantRectPartitioner::median().partition(
-            &population[0],
-            &Rect::full(3),
-            &[],
-        );
+        let parts = OrthantRectPartitioner::median().partition(&population[0], &Rect::full(3), &[]);
         assert!(parts.is_empty());
     }
 
@@ -287,7 +298,10 @@ mod tests {
 
     #[test]
     fn name_reflects_configuration() {
-        assert_eq!(OrthantRectPartitioner::median().name(), "orthant-rect(median, L1)");
+        assert_eq!(
+            OrthantRectPartitioner::median().name(),
+            "orthant-rect(median, L1)"
+        );
         assert_eq!(
             OrthantRectPartitioner::new(PickRule::Closest, MetricKind::L2).name(),
             "orthant-rect(closest, L2)"

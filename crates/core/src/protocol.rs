@@ -176,7 +176,7 @@ pub fn build_distributed(
     assert_eq!(peers.len(), overlay.len(), "peer/overlay size mismatch");
     assert!(root < peers.len(), "root out of range");
     let dim = peers[root].point().dim();
-    let adj = overlay.undirected();
+    let adj = overlay.undirected_closure();
     let shared_peers = Arc::new(peers.to_vec());
 
     let nodes: Vec<BuildNode> = peers
@@ -185,22 +185,34 @@ pub fn build_distributed(
         .map(|(i, info)| {
             BuildNode::new(
                 info.clone(),
-                adj[i].clone(),
+                adj.out_neighbors(i).to_vec(),
                 Arc::clone(&partitioner),
                 Arc::clone(&shared_peers),
             )
         })
         .collect();
 
-    let mut sim = Simulation::builder(nodes).seed(seed).latency(latency).fault(fault).build();
+    let mut sim = Simulation::builder(nodes)
+        .seed(seed)
+        .latency(latency)
+        .fault(fault)
+        .build();
     let started = sim.now();
-    sim.inject(NodeId(root), BuildMsg::Request { zone: Rect::full(dim) });
+    sim.inject(
+        NodeId(root),
+        BuildMsg::Request {
+            zone: Rect::full(dim),
+        },
+    );
     sim.run_until_quiescent();
 
     let parent: Vec<Option<usize>> = sim.nodes().iter().map(BuildNode::parent).collect();
     let reached: Vec<bool> = sim.nodes().iter().map(BuildNode::is_reached).collect();
-    let duplicates: u64 =
-        sim.nodes().iter().map(|n| u64::from(n.duplicate_requests())).sum();
+    let duplicates: u64 = sim
+        .nodes()
+        .iter()
+        .map(|n| u64::from(n.duplicate_requests()))
+        .sum();
     let tree = MulticastTree::from_parents(root, parent, reached);
 
     DistBuildResult {
@@ -322,7 +334,11 @@ mod tests {
             7,
         );
         assert!(!result.tree.is_spanning(), "30% loss must strand someone");
-        assert_eq!(result.tree.validate(), Ok(()), "partial tree is still consistent");
+        assert_eq!(
+            result.tree.validate(),
+            Ok(()),
+            "partial tree is still consistent"
+        );
         assert!(result.tree.reached_count() >= 1);
     }
 

@@ -113,8 +113,9 @@ pub fn multicast_region(
         "region dimensionality mismatch"
     );
 
-    let members: Vec<usize> =
-        (0..peers.len()).filter(|&i| region.contains(peers[i].point())).collect();
+    let members: Vec<usize> = (0..peers.len())
+        .filter(|&i| region.contains(peers[i].point()))
+        .collect();
 
     // Phase 1: reach the region (distance-to-box greedy; total on
     // empty-rectangle equilibria whenever the region is populated).
@@ -129,7 +130,12 @@ pub fn multicast_region(
     // Phase 2: construct inside the region.
     let build = entry.map(|e| build_in_zone(peers, overlay, e, region.clone(), partitioner));
 
-    RegionResult { route, entry, build, members }
+    RegionResult {
+        route,
+        entry,
+        build,
+        members,
+    }
 }
 
 #[cfg(test)]
@@ -138,8 +144,8 @@ mod tests {
     use crate::partition::OrthantRectPartitioner;
     use geocast_geom::gen::uniform_points;
     use geocast_geom::Interval;
-    use geocast_overlay::select::EmptyRectSelection;
     use geocast_overlay::oracle;
+    use geocast_overlay::select::EmptyRectSelection;
 
     fn setup(n: usize, dim: usize, seed: u64) -> (Vec<PeerInfo>, OverlayGraph) {
         let peers = PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, seed));
@@ -164,7 +170,10 @@ mod tests {
             &OrthantRectPartitioner::median(),
             MetricKind::L1,
         );
-        assert!(!result.members.is_empty(), "workload should populate the region");
+        assert!(
+            !result.members.is_empty(),
+            "workload should populate the region"
+        );
         assert!(result.full_coverage(), "some member missed");
         // Nobody outside the region receives the construction (except
         // the entry peer is inside by definition).

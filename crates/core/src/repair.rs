@@ -54,7 +54,10 @@ impl fmt::Display for RepairError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RepairError::RootDeparted { root } => {
-                write!(f, "peer {root} is the session root; rebuild the session instead")
+                write!(
+                    f,
+                    "peer {root} is the session root; rebuild the session instead"
+                )
             }
             RepairError::NotInTree { peer } => {
                 write!(f, "peer {peer} is not part of the tree")
@@ -179,7 +182,12 @@ pub fn repair_after_departure(
     }
 
     let tree = MulticastTree::from_parents(build.tree.root(), parent_vec, reached);
-    Ok(RepairResult { tree, zones, repair_messages: sub.messages, readopted })
+    Ok(RepairResult {
+        tree,
+        zones,
+        repair_messages: sub.messages,
+        readopted,
+    })
 }
 
 #[cfg(test)]
@@ -188,19 +196,21 @@ mod tests {
     use crate::builder::build_tree;
     use crate::partition::OrthantRectPartitioner;
     use geocast_geom::gen::uniform_points;
-    use geocast_overlay::select::EmptyRectSelection;
     use geocast_overlay::oracle;
+    use geocast_overlay::select::EmptyRectSelection;
 
     /// The oracle equilibrium of the survivors, expressed over the
     /// original dense indices (departed vertex edge-less).
     fn survivor_overlay(peers: &[PeerInfo], departed: usize) -> OverlayGraph {
-        let live: Vec<usize> =
-            (0..peers.len()).filter(|&i| i != departed).collect();
+        let live: Vec<usize> = (0..peers.len()).filter(|&i| i != departed).collect();
         let live_peers: Vec<PeerInfo> = live
             .iter()
             .enumerate()
             .map(|(dense, &orig)| {
-                PeerInfo::new(geocast_overlay::PeerId(dense as u64), peers[orig].point().clone())
+                PeerInfo::new(
+                    geocast_overlay::PeerId(dense as u64),
+                    peers[orig].point().clone(),
+                )
             })
             .collect();
         let dense = oracle::equilibrium(&live_peers, &EmptyRectSelection);
@@ -259,14 +269,12 @@ mod tests {
         let leaf = (1..peers.len())
             .find(|&i| {
                 build.tree.children(i).is_empty()
-                    && build.zones[i]
-                        .as_ref()
-                        .is_some_and(|z| {
-                            // A leaf whose zone holds nobody else.
-                            (0..peers.len())
-                                .filter(|&j| j != i)
-                                .all(|j| !z.contains(peers[j].point()))
-                        })
+                    && build.zones[i].as_ref().is_some_and(|z| {
+                        // A leaf whose zone holds nobody else.
+                        (0..peers.len())
+                            .filter(|&j| j != i)
+                            .all(|j| !z.contains(peers[j].point()))
+                    })
             })
             .expect("an exclusive leaf exists");
         let live_overlay = survivor_overlay(&peers, leaf);
@@ -355,8 +363,7 @@ mod tests {
     #[test]
     fn repair_of_unreached_peer_is_rejected() {
         let peers = PeerInfo::from_point_set(&uniform_points(4, 2, 1000.0, 17));
-        let overlay =
-            OverlayGraph::from_out_neighbors(vec![vec![1], vec![0], vec![], vec![]]);
+        let overlay = OverlayGraph::from_out_neighbors(vec![vec![1], vec![0], vec![], vec![]]);
         let build = build_tree(&peers, &overlay, 0, &OrthantRectPartitioner::median());
         assert!(!build.tree.is_reached(2));
         let err = repair_after_departure(
@@ -384,8 +391,7 @@ mod tests {
             }
             departed[victim] = true;
             // Oracle over the cumulative survivors.
-            let live: Vec<usize> =
-                (0..peers.len()).filter(|&i| !departed[i]).collect();
+            let live: Vec<usize> = (0..peers.len()).filter(|&i| !departed[i]).collect();
             let live_peers: Vec<PeerInfo> = live
                 .iter()
                 .enumerate()
@@ -421,7 +427,11 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert!(RepairError::RootDeparted { root: 3 }.to_string().contains("root"));
-        assert!(RepairError::NotInTree { peer: 5 }.to_string().contains("not part"));
+        assert!(RepairError::RootDeparted { root: 3 }
+            .to_string()
+            .contains("root"));
+        assert!(RepairError::NotInTree { peer: 5 }
+            .to_string()
+            .contains("not part"));
     }
 }

@@ -201,18 +201,32 @@ pub fn run_session(
     assert_eq!(peers.len(), overlay.len(), "peer/overlay size mismatch");
     assert!(root < peers.len(), "root out of range");
     let dim = peers[root].point().dim();
-    let adj = overlay.undirected();
+    let adj = overlay.undirected_closure();
     let shared = Arc::new(peers.to_vec());
     let nodes: Vec<SessionNode> = peers
         .iter()
         .enumerate()
         .map(|(i, info)| {
-            SessionNode::new(info.clone(), adj[i].clone(), Arc::clone(&partitioner), Arc::clone(&shared))
+            SessionNode::new(
+                info.clone(),
+                adj.out_neighbors(i).to_vec(),
+                Arc::clone(&partitioner),
+                Arc::clone(&shared),
+            )
         })
         .collect();
-    let mut sim = Simulation::builder(nodes).seed(seed).latency(latency).fault(fault).build();
+    let mut sim = Simulation::builder(nodes)
+        .seed(seed)
+        .latency(latency)
+        .fault(fault)
+        .build();
 
-    sim.inject(NodeId(root), SessionMsg::Build { zone: Rect::full(dim) });
+    sim.inject(
+        NodeId(root),
+        SessionMsg::Build {
+            zone: Rect::full(dim),
+        },
+    );
     sim.run_until_quiescent();
     let build_messages = sim.counters().sent_with_tag("build").saturating_sub(1);
 
@@ -232,7 +246,9 @@ pub fn run_session(
     let delivery: Vec<(u64, usize)> = (0..payloads)
         .map(|p| {
             let count = (0..peers.len())
-                .filter(|&i| !sim.is_crashed(NodeId(i)) && sim.node(NodeId(i)).delivered().contains(&p))
+                .filter(|&i| {
+                    !sim.is_crashed(NodeId(i)) && sim.node(NodeId(i)).delivered().contains(&p)
+                })
                 .count();
             (p, count)
         })
@@ -240,9 +256,18 @@ pub fn run_session(
     let duplicates: u64 = sim.nodes().iter().map(|n| u64::from(n.duplicates())).sum();
     // Exclude the injected per-payload root sends from the count, to
     // match the N−1 accounting of the build phase.
-    let data_messages = sim.counters().sent_with_tag("data").saturating_sub(payloads);
+    let data_messages = sim
+        .counters()
+        .sent_with_tag("data")
+        .saturating_sub(payloads);
 
-    SessionOutcome { tree, build_messages, data_messages, delivery, duplicates }
+    SessionOutcome {
+        tree,
+        build_messages,
+        data_messages,
+        delivery,
+        duplicates,
+    }
 }
 
 /// [`run_session`] with the default 5–20 ms jittered network and no
@@ -277,8 +302,8 @@ mod tests {
     use super::*;
     use crate::partition::OrthantRectPartitioner;
     use geocast_geom::gen::uniform_points;
-    use geocast_overlay::select::EmptyRectSelection;
     use geocast_overlay::oracle;
+    use geocast_overlay::select::EmptyRectSelection;
 
     fn setup(n: usize, seed: u64) -> (Vec<PeerInfo>, OverlayGraph) {
         let peers = PeerInfo::from_point_set(&uniform_points(n, 2, 1000.0, seed));
@@ -299,7 +324,11 @@ mod tests {
         );
         assert!(outcome.tree.is_spanning());
         assert_eq!(outcome.build_messages, 59);
-        assert_eq!(outcome.data_messages, 5 * 59, "N-1 data messages per payload");
+        assert_eq!(
+            outcome.data_messages,
+            5 * 59,
+            "N-1 data messages per payload"
+        );
         assert_eq!(outcome.duplicates, 0);
         for (p, count) in &outcome.delivery {
             assert_eq!(*count, 60, "payload {p}");
@@ -368,7 +397,10 @@ mod tests {
             FaultModel::with_loss(0.15),
             5,
         );
-        assert_eq!(outcome.duplicates, 0, "loss cannot create duplicates on a tree");
+        assert_eq!(
+            outcome.duplicates, 0,
+            "loss cannot create duplicates on a tree"
+        );
         // Delivery under loss is between 1 (root) and N.
         for (_, count) in &outcome.delivery {
             assert!((1..=80).contains(count));

@@ -117,7 +117,9 @@ impl StabilityForest {
     /// Peers with no preferred neighbour (roots of the forest).
     #[must_use]
     pub fn roots(&self) -> Vec<usize> {
-        (0..self.preferred.len()).filter(|&i| self.preferred[i].is_none()).collect()
+        (0..self.preferred.len())
+            .filter(|&i| self.preferred[i].is_none())
+            .collect()
     }
 
     /// `true` if the links form a single tree: exactly one root. (Links
@@ -149,10 +151,13 @@ impl StabilityForest {
     /// strictly larger `T` than the peer pointing at it.
     #[must_use]
     pub fn heap_property_holds(&self, peers: &[PeerInfo]) -> bool {
-        self.preferred.iter().enumerate().all(|(i, pref)| match pref {
-            Some(p) => peers[*p].departure_time() > peers[i].departure_time(),
-            None => true,
-        })
+        self.preferred
+            .iter()
+            .enumerate()
+            .all(|(i, pref)| match pref {
+                Some(p) => peers[*p].departure_time() > peers[i].departure_time(),
+                None => true,
+            })
     }
 }
 
@@ -169,12 +174,13 @@ pub fn preferred_links(
     policy: PreferredPolicy,
 ) -> StabilityForest {
     assert_eq!(peers.len(), overlay.len(), "peer/overlay size mismatch");
-    let adj = overlay.undirected();
+    let adj = overlay.undirected_closure();
     let preferred = peers
         .iter()
         .enumerate()
         .map(|(i, who)| {
-            let higher: Vec<&PeerInfo> = adj[i]
+            let higher: Vec<&PeerInfo> = adj
+                .out_neighbors(i)
                 .iter()
                 .map(|&j| &peers[j])
                 .filter(|q| q.departure_time() > who.departure_time())
@@ -199,7 +205,11 @@ pub fn preferred_links(
 /// Panics if `times.len() != tree.len()`.
 #[must_use]
 pub fn non_leaf_departures(tree: &MulticastTree, times: &[f64]) -> usize {
-    assert_eq!(times.len(), tree.len(), "one departure time per peer required");
+    assert_eq!(
+        times.len(),
+        tree.len(),
+        "one departure time per peer required"
+    );
     let n = tree.len();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| times[a].total_cmp(&times[b]));
@@ -243,7 +253,10 @@ mod tests {
             let (peers, overlay) = setup(80, dim, k, dim as u64 * 31 + k as u64);
             let forest = preferred_links(&peers, &overlay, PreferredPolicy::MaxT);
             assert!(forest.is_tree(), "D={dim} K={k}: not a tree");
-            assert!(forest.heap_property_holds(&peers), "D={dim} K={k}: heap violated");
+            assert!(
+                forest.heap_property_holds(&peers),
+                "D={dim} K={k}: heap violated"
+            );
             let tree = forest.to_multicast_tree().expect("single tree");
             assert_eq!(tree.validate(), Ok(()));
             assert!(tree.is_spanning());
@@ -256,7 +269,11 @@ mod tests {
         let forest = preferred_links(&peers, &overlay, PreferredPolicy::MaxT);
         let tree = forest.to_multicast_tree().unwrap();
         let max_t = (0..peers.len())
-            .max_by(|&a, &b| peers[a].departure_time().total_cmp(&peers[b].departure_time()))
+            .max_by(|&a, &b| {
+                peers[a]
+                    .departure_time()
+                    .total_cmp(&peers[b].departure_time())
+            })
             .unwrap();
         assert_eq!(tree.root(), max_t);
     }
@@ -332,11 +349,8 @@ mod tests {
     #[test]
     fn chain_tree_departure_order_matters() {
         // Chain 0-1-2-3 (0 root). Departing 1 while 0,2 live disconnects.
-        let tree = MulticastTree::from_parents(
-            0,
-            vec![None, Some(0), Some(1), Some(2)],
-            vec![true; 4],
-        );
+        let tree =
+            MulticastTree::from_parents(0, vec![None, Some(0), Some(1), Some(2)], vec![true; 4]);
         let inner_first = vec![2.0, 1.0, 3.0, 4.0];
         assert_eq!(non_leaf_departures(&tree, &inner_first), 1);
         let leaf_first = vec![4.0, 3.0, 2.0, 1.0];

@@ -68,7 +68,11 @@ impl MulticastTree {
     /// or the root is marked unreached.
     #[must_use]
     pub fn from_parents(root: usize, parent: Vec<Option<usize>>, reached: Vec<bool>) -> Self {
-        assert_eq!(parent.len(), reached.len(), "parent/reached length mismatch");
+        assert_eq!(
+            parent.len(),
+            reached.len(),
+            "parent/reached length mismatch"
+        );
         assert!(root < parent.len(), "root out of range");
         assert!(reached[root], "root must be reached");
         let mut children: Vec<Vec<usize>> = vec![Vec::new(); parent.len()];
@@ -80,7 +84,12 @@ impl MulticastTree {
         for list in &mut children {
             list.sort_unstable();
         }
-        MulticastTree { root, parent, children, reached }
+        MulticastTree {
+            root,
+            parent,
+            children,
+            reached,
+        }
     }
 
     /// The session initiator.
@@ -212,11 +221,7 @@ impl MulticastTree {
             if du > best.1 {
                 best = (u, du);
             }
-            let neighbors = self
-                .children[u]
-                .iter()
-                .copied()
-                .chain(self.parent[u]);
+            let neighbors = self.children[u].iter().copied().chain(self.parent[u]);
             for v in neighbors {
                 if dist[v].is_none() {
                     dist[v] = Some(du + 1);
@@ -344,11 +349,8 @@ mod tests {
 
     #[test]
     fn path_tree_diameter_equals_length() {
-        let t = MulticastTree::from_parents(
-            0,
-            vec![None, Some(0), Some(1), Some(2)],
-            vec![true; 4],
-        );
+        let t =
+            MulticastTree::from_parents(0, vec![None, Some(0), Some(1), Some(2)], vec![true; 4]);
         assert_eq!(t.diameter(), 3);
         assert_eq!(t.longest_root_to_leaf(), 3);
     }
@@ -375,7 +377,10 @@ mod tests {
     fn validate_detects_mismatch() {
         let mut t = sample();
         t.children[0].retain(|&c| c != 1); // break derived invariant
-        assert_eq!(t.validate(), Err(TreeError::ParentChildMismatch { node: 1 }));
+        assert_eq!(
+            t.validate(),
+            Err(TreeError::ParentChildMismatch { node: 1 })
+        );
     }
 
     #[test]

@@ -88,7 +88,11 @@ fn verdict_from_forest(forest: &StabilityForest, peers: &[PeerInfo]) -> Section3
         }
         None => false,
     };
-    Section3Verdict { links_form_tree, heap_property, departures_never_disconnect }
+    Section3Verdict {
+        links_form_tree,
+        heap_property,
+        departures_never_disconnect,
+    }
 }
 
 /// Counts, for reporting, how often the *weaker* "2D" reading of the
@@ -106,8 +110,8 @@ mod tests {
     use crate::partition::OrthantRectPartitioner;
     use geocast_geom::gen::{embed_lifetimes, lifetimes, uniform_points};
     use geocast_geom::MetricKind;
-    use geocast_overlay::select::{EmptyRectSelection, HyperplanesSelection};
     use geocast_overlay::oracle;
+    use geocast_overlay::select::{EmptyRectSelection, HyperplanesSelection};
 
     #[test]
     fn section2_claims_hold_at_equilibrium() {
@@ -121,14 +125,16 @@ mod tests {
     #[test]
     fn section2_verdict_detects_partial_delivery() {
         let peers = PeerInfo::from_point_set(&uniform_points(4, 2, 1000.0, 3));
-        let overlay =
-            OverlayGraph::from_out_neighbors(vec![vec![1], vec![0], vec![], vec![]]);
+        let overlay = OverlayGraph::from_out_neighbors(vec![vec![1], vec![0], vec![], vec![]]);
         let result = build_tree(&peers, &overlay, 0, &OrthantRectPartitioner::median());
         let verdict = check_section2(&result, peers.len(), 2);
         assert!(!verdict.all_hold());
         assert!(!verdict.all_peers_reached);
         assert!(!verdict.messages_are_n_minus_one);
-        assert!(verdict.tree_is_consistent, "partial trees are still consistent");
+        assert!(
+            verdict.tree_is_consistent,
+            "partial trees are still consistent"
+        );
     }
 
     #[test]
@@ -150,12 +156,14 @@ mod tests {
         let times = vec![1.0, 2.0, 3.0, 4.0];
         let peers = PeerInfo::from_point_set(&embed_lifetimes(&base, &times));
         // Max-T peer isolated.
-        let overlay =
-            OverlayGraph::from_out_neighbors(vec![vec![1], vec![0], vec![0], vec![]]);
+        let overlay = OverlayGraph::from_out_neighbors(vec![vec![1], vec![0], vec![0], vec![]]);
         let verdict = check_section3(&peers, &overlay, PreferredPolicy::MaxT);
         assert!(!verdict.links_form_tree);
         assert!(!verdict.departures_never_disconnect);
-        assert!(verdict.heap_property, "heap property holds vacuously per link");
+        assert!(
+            verdict.heap_property,
+            "heap property holds vacuously per link"
+        );
     }
 
     #[test]

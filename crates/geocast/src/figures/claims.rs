@@ -121,8 +121,14 @@ pub fn claims_section2(cfg: &ClaimsConfig) -> FigureReport {
             duplicates.to_string(),
         ]);
     }
-    FigureReport::new("claims-s2", "§2 claims: N−1 messages, full delivery, degree bound", table)
-        .with_note(format!("all claims hold across every configuration: {all_hold}"))
+    FigureReport::new(
+        "claims-s2",
+        "§2 claims: N−1 messages, full delivery, degree bound",
+        table,
+    )
+    .with_note(format!(
+        "all claims hold across every configuration: {all_hold}"
+    ))
 }
 
 /// **§3 claims** — the preferred links "indeed formed a tree", the
@@ -175,7 +181,9 @@ pub fn claims_section3(cfg: &ClaimsConfig) -> FigureReport {
         ]);
     }
     FigureReport::new("claims-s3", format!("§3 claims on N={n} peers"), table)
-        .with_note(format!("all claims hold across every configuration: {all_hold}"))
+        .with_note(format!(
+            "all claims hold across every configuration: {all_hold}"
+        ))
         .with_note("overlay: Orthogonal Hyperplanes, x1 = T(P), preferred = max-T neighbour")
 }
 

@@ -27,7 +27,13 @@ pub struct AblationConfig {
 
 impl Default for AblationConfig {
     fn default() -> Self {
-        AblationConfig { n: 1000, dims: vec![2, 3, 4, 5], seeds: vec![1, 2, 3], vmax: 1000.0, roots: 100 }
+        AblationConfig {
+            n: 1000,
+            dims: vec![2, 3, 4, 5],
+            seeds: vec![1, 2, 3],
+            vmax: 1000.0,
+            roots: 100,
+        }
     }
 }
 
@@ -35,7 +41,13 @@ impl AblationConfig {
     /// Reduced scale for CI.
     #[must_use]
     pub fn quick() -> Self {
-        AblationConfig { n: 120, dims: vec![2, 3], seeds: vec![1], vmax: 1000.0, roots: 20 }
+        AblationConfig {
+            n: 120,
+            dims: vec![2, 3],
+            seeds: vec![1],
+            vmax: 1000.0,
+            roots: 20,
+        }
     }
 }
 
@@ -91,7 +103,8 @@ pub fn ablation_partitioner(cfg: &AblationConfig) -> FigureReport {
             let trials: Vec<&(f64, f64, bool)> = jobs
                 .iter()
                 .zip(&measured)
-                .filter(|&((d, _), _rows)| *d == dim).map(|((_d, _), rows)| &rows[pi])
+                .filter(|&((d, _), _rows)| *d == dim)
+                .map(|((_d, _), rows)| &rows[pi])
                 .collect();
             let path = trials.iter().map(|t| t.0).sum::<f64>() / trials.len() as f64;
             let diam = trials.iter().map(|t| t.1).sum::<f64>() / trials.len() as f64;
@@ -107,7 +120,10 @@ pub fn ablation_partitioner(cfg: &AblationConfig) -> FigureReport {
     }
     FigureReport::new(
         "ablation-pick",
-        format!("child-pick ablation (N={}, {} roots/trial)", cfg.n, cfg.roots),
+        format!(
+            "child-pick ablation (N={}, {} roots/trial)",
+            cfg.n, cfg.roots
+        ),
         table,
     )
     .with_note("all rules satisfy the §2 invariants; the pick only shapes depth/diameter")
@@ -128,7 +144,12 @@ pub struct BaselineConfig {
 
 impl Default for BaselineConfig {
     fn default() -> Self {
-        BaselineConfig { ns: vec![100, 500, 1000, 2000], dim: 2, seeds: vec![1, 2, 3], vmax: 1000.0 }
+        BaselineConfig {
+            ns: vec![100, 500, 1000, 2000],
+            dim: 2,
+            seeds: vec![1, 2, 3],
+            vmax: 1000.0,
+        }
     }
 }
 
@@ -136,7 +157,12 @@ impl BaselineConfig {
     /// Reduced scale for CI.
     #[must_use]
     pub fn quick() -> Self {
-        BaselineConfig { ns: vec![60, 150], dim: 2, seeds: vec![1], vmax: 1000.0 }
+        BaselineConfig {
+            ns: vec![60, 150],
+            dim: 2,
+            seeds: vec![1],
+            vmax: 1000.0,
+        }
     }
 }
 
@@ -157,7 +183,11 @@ pub fn baseline_messages(cfg: &BaselineConfig) -> FigureReport {
         let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
         let flood = baseline::flood(&overlay, 0);
         let ours = build_tree(&peers, &overlay, 0, &OrthantRectPartitioner::median());
-        (ours.messages as f64, flood.messages as f64, flood.duplicates as f64)
+        (
+            ours.messages as f64,
+            flood.messages as f64,
+            flood.duplicates as f64,
+        )
     });
 
     let mut table = Table::new(vec![
@@ -254,7 +284,9 @@ pub fn baseline_stability(cfg: &BaselineConfig) -> FigureReport {
         "disconnecting departures per full departure schedule".to_owned(),
         table,
     )
-    .with_note("cell = departures that split live peers apart (lower is better; §3 tree is provably 0)")
+    .with_note(
+        "cell = departures that split live peers apart (lower is better; §3 tree is provably 0)",
+    )
 }
 
 #[cfg(test)]
@@ -287,7 +319,10 @@ mod tests {
             let ours: f64 = row[1].parse().unwrap();
             assert_eq!(ours, 0.0, "§3 tree must never disconnect: {row:?}");
             let random: f64 = row[3].parse().unwrap();
-            assert!(random > 0.0, "random tree should disconnect sometimes: {row:?}");
+            assert!(
+                random > 0.0,
+                "random tree should disconnect sometimes: {row:?}"
+            );
         }
     }
 }

@@ -40,7 +40,13 @@ pub struct Fig1Config {
 impl Default for Fig1Config {
     /// Paper scale: `N = 1000`, `D = 2..5`, three seeds, all roots.
     fn default() -> Self {
-        Fig1Config { n: 1000, dims: (2..=5).collect(), seeds: vec![1, 2, 3], vmax: 1000.0, roots: None }
+        Fig1Config {
+            n: 1000,
+            dims: (2..=5).collect(),
+            seeds: vec![1, 2, 3],
+            vmax: 1000.0,
+            roots: None,
+        }
     }
 }
 
@@ -92,7 +98,11 @@ pub fn fig1a(cfg: &Fig1Config) -> FigureReport {
             .collect();
         let max = mean(rows.iter().map(|r| r.0));
         let avg = mean(rows.iter().map(|r| r.1));
-        table.push_row(vec![dim.to_string(), format!("{max:.1}"), format!("{avg:.1}")]);
+        table.push_row(vec![
+            dim.to_string(),
+            format!("{max:.1}"),
+            format!("{avg:.1}"),
+        ]);
         max_series.push((dim as f64, max));
         avg_series.push((dim as f64, avg));
     }
@@ -134,7 +144,9 @@ pub fn fig1b(cfg: &Fig1Config) -> FigureReport {
         let lengths: Vec<f64> = roots
             .iter()
             .map(|&root| {
-                build_tree(&peers, &graph, root, &partitioner).tree.longest_root_to_leaf() as f64
+                build_tree(&peers, &graph, root, &partitioner)
+                    .tree
+                    .longest_root_to_leaf() as f64
             })
             .collect();
         let max = lengths.iter().copied().fold(0.0, f64::max);
@@ -156,7 +168,11 @@ pub fn fig1b(cfg: &Fig1Config) -> FigureReport {
             .collect();
         let max = mean(rows.iter().map(|r| r.0));
         let avg = mean(rows.iter().map(|r| r.1));
-        table.push_row(vec![dim.to_string(), format!("{max:.1}"), format!("{avg:.1}")]);
+        table.push_row(vec![
+            dim.to_string(),
+            format!("{max:.1}"),
+            format!("{avg:.1}"),
+        ]);
         max_series.push((dim as f64, max));
         avg_series.push((dim as f64, avg));
     }
@@ -206,7 +222,12 @@ impl Fig1cConfig {
     /// Reduced scale for CI.
     #[must_use]
     pub fn quick() -> Self {
-        Fig1cConfig { ns: vec![50, 100, 200, 400], dim: 2, seeds: vec![1], vmax: 1000.0 }
+        Fig1cConfig {
+            ns: vec![50, 100, 200, 400],
+            dim: 2,
+            seeds: vec![1],
+            vmax: 1000.0,
+        }
     }
 }
 
@@ -370,8 +391,7 @@ pub fn stability_sweep(cfg: &StabilityConfig) -> StabilitySweep {
             match forest.to_multicast_tree() {
                 Some(tree) => {
                     let diameter = tree.diameter() as f64;
-                    let max_degree =
-                        tree.degrees().into_iter().max().unwrap_or(0) as f64;
+                    let max_degree = tree.degrees().into_iter().max().unwrap_or(0) as f64;
                     rows.push((diameter, max_degree, tree_ok, heap_ok));
                 }
                 None => rows.push((f64::NAN, f64::NAN, tree_ok, heap_ok)),
@@ -386,7 +406,8 @@ pub fn stability_sweep(cfg: &StabilityConfig) -> StabilitySweep {
             let trials: Vec<&(f64, f64, bool, bool)> = jobs
                 .iter()
                 .zip(&measured)
-                .filter(|&((d, _), _per_k)| *d == dim).map(|((_d, _), per_k)| &per_k[ki])
+                .filter(|&((d, _), _per_k)| *d == dim)
+                .map(|((_d, _), per_k)| &per_k[ki])
                 .collect();
             rows.push(StabilityRow {
                 d: dim,
@@ -398,7 +419,10 @@ pub fn stability_sweep(cfg: &StabilityConfig) -> StabilitySweep {
             });
         }
     }
-    StabilitySweep { rows, config: cfg.clone() }
+    StabilitySweep {
+        rows,
+        config: cfg.clone(),
+    }
 }
 
 impl StabilitySweep {
@@ -441,19 +465,32 @@ impl StabilitySweep {
             .with_note(format!(
                 "preferred links formed a tree with the heap property in all cases: {all_trees}"
             ))
-            .with_note(format!("metric: {}, seeds: {:?}, y = {value_name}", cfg.metric, cfg.seeds))
+            .with_note(format!(
+                "metric: {}, seeds: {:?}, y = {value_name}",
+                cfg.metric, cfg.seeds
+            ))
     }
 
     /// Formats the Fig. 1(d) panel (tree diameter vs `K`).
     #[must_use]
     pub fn fig1d_report(&self) -> FigureReport {
-        self.panel("fig1d", "stability-tree diameter vs K", |r| r.diameter, "diameter")
+        self.panel(
+            "fig1d",
+            "stability-tree diameter vs K",
+            |r| r.diameter,
+            "diameter",
+        )
     }
 
     /// Formats the Fig. 1(e) panel (max tree degree vs `K`).
     #[must_use]
     pub fn fig1e_report(&self) -> FigureReport {
-        self.panel("fig1e", "stability-tree max degree vs K", |r| r.max_degree, "max degree")
+        self.panel(
+            "fig1e",
+            "stability-tree max degree vs K",
+            |r| r.max_degree,
+            "max degree",
+        )
     }
 }
 
@@ -477,7 +514,12 @@ mod tests {
 
     #[test]
     fn fig1a_quick_produces_rows_per_dim() {
-        let cfg = Fig1Config { n: 60, dims: vec![2, 3], seeds: vec![1], ..Fig1Config::quick() };
+        let cfg = Fig1Config {
+            n: 60,
+            dims: vec![2, 3],
+            seeds: vec![1],
+            ..Fig1Config::quick()
+        };
         let report = fig1a(&cfg);
         assert_eq!(report.table.len(), 2);
         assert!(report.chart.is_some());
@@ -505,7 +547,11 @@ mod tests {
 
     #[test]
     fn fig1c_quick_includes_reference_curve() {
-        let cfg = Fig1cConfig { ns: vec![50, 100], seeds: vec![1], ..Fig1cConfig::quick() };
+        let cfg = Fig1cConfig {
+            ns: vec![50, 100],
+            seeds: vec![1],
+            ..Fig1cConfig::quick()
+        };
         let report = fig1c(&cfg);
         assert_eq!(report.table.len(), 2);
         let reference: f64 = report.table.rows()[1][3].parse().unwrap();

@@ -16,6 +16,7 @@
 //! | Ablation: median vs closest vs farthest child pick | [`ablation_partitioner`] |
 //! | Baseline: flooding message cost | [`baseline_messages`] |
 //! | Baseline: departure sensitivity | [`baseline_stability`] |
+//! | Beyond the paper: construction scaling to `N = 50_000` | [`overlay_scaling`] |
 //!
 //! Every harness takes an explicit config (with a paper-scale
 //! [`Default`] and a reduced [`quick`](Fig1Config::quick) variant for
@@ -27,6 +28,7 @@ mod extra;
 mod fig1;
 mod repair;
 mod report;
+mod scaling;
 
 pub use claims::{claims_section2, claims_section3, ClaimsConfig};
 pub use extra::{
@@ -38,3 +40,4 @@ pub use fig1::{
 };
 pub use repair::{repair_cost, RepairConfig};
 pub use report::FigureReport;
+pub use scaling::{overlay_scaling, ScalingConfig};

@@ -29,7 +29,13 @@ pub struct RepairConfig {
 
 impl Default for RepairConfig {
     fn default() -> Self {
-        RepairConfig { ns: vec![100, 500, 1000], dim: 2, seeds: vec![1, 2, 3], vmax: 1000.0, departures: 50 }
+        RepairConfig {
+            ns: vec![100, 500, 1000],
+            dim: 2,
+            seeds: vec![1, 2, 3],
+            vmax: 1000.0,
+            departures: 50,
+        }
     }
 }
 
@@ -37,7 +43,13 @@ impl RepairConfig {
     /// Reduced scale for CI.
     #[must_use]
     pub fn quick() -> Self {
-        RepairConfig { ns: vec![50, 120], dim: 2, seeds: vec![1], vmax: 1000.0, departures: 10 }
+        RepairConfig {
+            ns: vec![50, 120],
+            dim: 2,
+            seeds: vec![1],
+            vmax: 1000.0,
+            departures: 10,
+        }
     }
 }
 
@@ -82,7 +94,11 @@ pub fn repair_cost(cfg: &RepairConfig) -> FigureReport {
         // Deterministic stride sample of internal peers.
         if victims.len() > cfg.departures {
             let stride = victims.len() / cfg.departures;
-            victims = victims.into_iter().step_by(stride.max(1)).take(cfg.departures).collect();
+            victims = victims
+                .into_iter()
+                .step_by(stride.max(1))
+                .take(cfg.departures)
+                .collect();
         }
         for &victim in &victims {
             let live = survivor_overlay(&peers, victim);
@@ -94,8 +110,7 @@ pub fn repair_cost(cfg: &RepairConfig) -> FigureReport {
                 &OrthantRectPartitioner::median(),
             )
             .expect("non-root repair succeeds");
-            all_spanned &= (0..n)
-                .all(|i| i == victim || repaired.tree.is_reached(i));
+            all_spanned &= (0..n).all(|i| i == victim || repaired.tree.is_reached(i));
             costs.add(repaired.repair_messages as f64);
         }
         (costs, all_spanned, victims.len())
@@ -126,8 +141,10 @@ pub fn repair_cost(cfg: &RepairConfig) -> FigureReport {
             spanned &= *ok;
             repairs += count;
         }
-        let per_trial_p95: f64 =
-            trials.iter().map(|(s, _, _)| s.percentile(95.0)).fold(0.0, f64::max);
+        let per_trial_p95: f64 = trials
+            .iter()
+            .map(|(s, _, _)| s.percentile(95.0))
+            .fold(0.0, f64::max);
         let per_trial_max: f64 = trials.iter().map(|(s, _, _)| s.max()).fold(0.0, f64::max);
         table.push_row(vec![
             n.to_string(),
@@ -160,7 +177,10 @@ mod tests {
             assert_eq!(row[6], "true", "{row:?}");
             let mean: f64 = row[2].parse().unwrap();
             let rebuild: f64 = row[5].parse().unwrap();
-            assert!(mean < rebuild / 2.0, "repair should be far below rebuild: {row:?}");
+            assert!(
+                mean < rebuild / 2.0,
+                "repair should be far below rebuild: {row:?}"
+            );
         }
     }
 }

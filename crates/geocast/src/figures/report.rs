@@ -24,7 +24,13 @@ impl FigureReport {
     /// Creates a report with empty chart/notes.
     #[must_use]
     pub fn new(id: &'static str, title: impl Into<String>, table: Table) -> Self {
-        FigureReport { id, title: title.into(), table, chart: None, notes: Vec::new() }
+        FigureReport {
+            id,
+            title: title.into(),
+            table,
+            chart: None,
+            notes: Vec::new(),
+        }
     }
 
     /// Attaches a rendered chart.

@@ -47,16 +47,16 @@
 
 pub mod figures;
 
-/// Geometry substrate: points, zones, orthants, metrics, generators.
-pub use geocast_geom as geom;
-/// Deterministic discrete-event simulator.
-pub use geocast_sim as sim;
-/// Gossip overlay, neighbour selection, oracle equilibrium.
-pub use geocast_overlay as overlay;
 /// Multicast tree construction, stability trees, baselines.
 pub use geocast_core as core;
+/// Geometry substrate: points, zones, orthants, metrics, generators.
+pub use geocast_geom as geom;
 /// Statistics, tables, charts.
 pub use geocast_metrics as metrics;
+/// Gossip overlay, neighbour selection, oracle equilibrium.
+pub use geocast_overlay as overlay;
+/// Deterministic discrete-event simulator.
+pub use geocast_sim as sim;
 
 /// The things almost every user of geocast needs, in one import.
 pub mod prelude {
@@ -71,7 +71,7 @@ pub mod prelude {
         EmptyRectSelection, HyperplanesSelection, NeighborSelection,
     };
     pub use geocast_overlay::{
-        oracle, churn, ConvergenceReport, NetworkConfig, OverlayGraph, OverlayNetwork, PeerId,
+        churn, oracle, ConvergenceReport, NetworkConfig, OverlayGraph, OverlayNetwork, PeerId,
         PeerInfo,
     };
     pub use geocast_sim::{

@@ -142,7 +142,10 @@ impl Arrangement {
     pub fn new(dim: usize, planes: Vec<Hyperplane>) -> Result<Self, GeomError> {
         for plane in &planes {
             if plane.dim() != dim {
-                return Err(GeomError::DimensionMismatch { left: dim, right: plane.dim() });
+                return Err(GeomError::DimensionMismatch {
+                    left: dim,
+                    right: plane.dim(),
+                });
             }
         }
         Ok(Arrangement { planes, dim })
@@ -195,7 +198,9 @@ impl Arrangement {
                 Some(1) => {}
                 _ => continue,
             }
-            planes.push(Hyperplane { normal: digits.iter().map(|&d| f64::from(d)).collect() });
+            planes.push(Hyperplane {
+                normal: digits.iter().map(|&d| f64::from(d)).collect(),
+            });
         }
         Arrangement { planes, dim }
     }
@@ -209,7 +214,10 @@ impl Arrangement {
     #[must_use]
     pub fn none(dim: usize) -> Self {
         assert!(dim > 0, "arrangements require at least one dimension");
-        Arrangement { planes: Vec::new(), dim }
+        Arrangement {
+            planes: Vec::new(),
+            dim,
+        }
     }
 
     /// Dimensionality of the ambient space.
@@ -239,7 +247,25 @@ impl Arrangement {
     /// Upper bound on the number of distinct region keys (`2^H`, saturating).
     #[must_use]
     pub fn max_regions(&self) -> usize {
-        1usize.checked_shl(self.planes.len() as u32).unwrap_or(usize::MAX)
+        1usize
+            .checked_shl(self.planes.len() as u32)
+            .unwrap_or(usize::MAX)
+    }
+
+    /// `true` if this arrangement is exactly the orthogonal one for its
+    /// dimensionality — `D` axis planes `x(i) = 0` in axis order, whose
+    /// regions are the orthants. Index-accelerated selection paths use
+    /// this to recognise when per-orthant queries apply.
+    #[must_use]
+    pub fn is_orthogonal(&self) -> bool {
+        self.planes.len() == self.dim
+            && self.planes.iter().enumerate().all(|(d, plane)| {
+                plane
+                    .normal
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &c)| if j == d { c == 1.0 } else { c == 0.0 })
+            })
     }
 
     /// Classifies `q` into a region relative to reference point `p`
@@ -367,14 +393,22 @@ mod tests {
         let p = pt(&[0.0, 0.0]);
         // Eight points, one per 45° sector.
         let probes = [
-            [2.0, 1.0], [1.0, 2.0], [-1.0, 2.0], [-2.0, 1.0],
-            [-2.0, -1.0], [-1.0, -2.0], [1.0, -2.0], [2.0, -1.0],
+            [2.0, 1.0],
+            [1.0, 2.0],
+            [-1.0, 2.0],
+            [-2.0, 1.0],
+            [-2.0, -1.0],
+            [-1.0, -2.0],
+            [1.0, -2.0],
+            [2.0, -1.0],
         ];
-        let keys: std::collections::HashSet<RegionKey> = probes
-            .iter()
-            .map(|c| arr.classify(&p, &pt(c)))
-            .collect();
-        assert_eq!(keys.len(), 8, "2D signed arrangement must separate the 8 sectors");
+        let keys: std::collections::HashSet<RegionKey> =
+            probes.iter().map(|c| arr.classify(&p, &pt(c))).collect();
+        assert_eq!(
+            keys.len(),
+            8,
+            "2D signed arrangement must separate the 8 sectors"
+        );
     }
 
     #[test]

@@ -121,7 +121,10 @@ pub fn empty_rect_neighbors<P: AsRef<Point>>(p: &Point, candidates: &[P]) -> Vec
 /// are returned separately in the second component (they belong to no
 /// orthant; under the paper's assumptions this list is empty).
 #[must_use]
-pub fn group_by_orthant<P: AsRef<Point>>(p: &Point, candidates: &[P]) -> (Vec<Vec<usize>>, Vec<usize>) {
+pub fn group_by_orthant<P: AsRef<Point>>(
+    p: &Point,
+    candidates: &[P],
+) -> (Vec<Vec<usize>>, Vec<usize>) {
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); Orthant::count(p.dim())];
     let mut colliding = Vec::new();
     for (i, q) in candidates.iter().enumerate() {
@@ -179,7 +182,12 @@ mod tests {
     fn staircase_points_all_survive() {
         // Pareto staircase in the first quadrant: nobody dominates anybody.
         let p = pt(&[0.0, 0.0]);
-        let cands = vec![pt(&[1.0, 8.0]), pt(&[2.0, 5.0]), pt(&[4.0, 3.0]), pt(&[7.0, 1.0])];
+        let cands = vec![
+            pt(&[1.0, 8.0]),
+            pt(&[2.0, 5.0]),
+            pt(&[4.0, 3.0]),
+            pt(&[7.0, 1.0]),
+        ];
         let fast = empty_rect_neighbors(&p, &cands);
         assert_eq!(fast, vec![0, 1, 2, 3]);
     }
@@ -189,12 +197,12 @@ mod tests {
         let p = pt(&[5.0, 5.0]);
         let cands = vec![
             pt(&[6.0, 6.5]),
-            pt(&[8.0, 9.0]),   // dominated by (6, 6.5)
+            pt(&[8.0, 9.0]), // dominated by (6, 6.5)
             pt(&[6.5, 4.0]),
-            pt(&[9.0, 3.0]),   // NOT dominated by (6.5, 4): 3 < 4 in y
+            pt(&[9.0, 3.0]), // NOT dominated by (6.5, 4): 3 < 4 in y
             pt(&[1.0, 1.0]),
-            pt(&[2.0, 2.0]),   // dominated by ... nothing: (1,1) is farther
-            pt(&[0.0, 0.0]),   // dominated by (1,1) and (2,2)
+            pt(&[2.0, 2.0]), // dominated by ... nothing: (1,1) is farther
+            pt(&[0.0, 0.0]), // dominated by (1,1) and (2,2)
         ];
         let mut naive = empty_rect_neighbors_naive(&p, &cands);
         naive.sort_unstable();
@@ -248,8 +256,8 @@ mod tests {
         let p = pt(&[0.0, 0.0, 0.0]);
         let cands = vec![
             pt(&[1.0, 1.0, 1.0]),
-            pt(&[2.0, 2.0, 2.0]),  // dominated
-            pt(&[2.0, 2.0, 0.5]),  // closer in z: kept
+            pt(&[2.0, 2.0, 2.0]), // dominated
+            pt(&[2.0, 2.0, 0.5]), // closer in z: kept
         ];
         assert_eq!(empty_rect_neighbors(&p, &cands), vec![0, 2]);
     }

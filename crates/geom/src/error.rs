@@ -70,10 +70,16 @@ mod tests {
     fn display_is_nonempty_for_every_variant() {
         let variants = [
             GeomError::EmptyPoint,
-            GeomError::NonFiniteCoordinate { dim: 1, value: f64::NAN },
+            GeomError::NonFiniteCoordinate {
+                dim: 1,
+                value: f64::NAN,
+            },
             GeomError::DimensionMismatch { left: 2, right: 3 },
             GeomError::DuplicateCoordinate { dim: 0, value: 4.0 },
-            GeomError::InvalidOrthant { bits: 0b100, dim: 2 },
+            GeomError::InvalidOrthant {
+                bits: 0b100,
+                dim: 2,
+            },
             GeomError::ZeroNormal,
         ];
         for v in variants {

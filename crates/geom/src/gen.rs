@@ -181,7 +181,11 @@ pub fn lifetimes(n: usize, max_t: f64, seed: u64) -> Vec<f64> {
 /// dimensions.
 #[must_use]
 pub fn embed_lifetimes(set: &PointSet, times: &[f64]) -> PointSet {
-    assert_eq!(set.len(), times.len(), "one departure time per point required");
+    assert_eq!(
+        set.len(),
+        times.len(),
+        "one departure time per point required"
+    );
     let points = set
         .iter()
         .zip(times)

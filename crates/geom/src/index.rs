@@ -1,0 +1,783 @@
+//! A uniform-grid spatial index over a point set.
+//!
+//! [`GridIndex`] is the engine behind figure-scale overlay construction:
+//! it answers the two geometric queries every neighbour-selection rule
+//! reduces to, **exactly** (bit-for-bit the same answers as the
+//! brute-force formulations, which property tests assert):
+//!
+//! * [`GridIndex::empty_rect_neighbors`] — the §2 empty-rectangle rule,
+//!   i.e. the per-orthant Pareto frontier around a point
+//!   (see [`crate::dominance`]), and
+//! * [`GridIndex::k_nearest_per_orthant`] — the per-orthant `K` closest
+//!   points, the kernel of the *Orthogonal Hyperplanes* method.
+//!
+//! # How pruning works
+//!
+//! Points are bucketed into a `side^D` uniform grid (`side ≈ N^(1/D)`,
+//! so cells hold `O(1)` points on uniform workloads). A query walks the
+//! cells of each orthant around the reference point `p` outwards,
+//! innermost dimension last, and cuts the walk with a *cell-corner
+//! bound*: for a cell, the per-dimension minimum absolute offset from
+//! `p` to any point inside it is known from the cell boundaries.
+//!
+//! * For the empty-rectangle query, a cell can be skipped when some
+//!   already-collected point of the same orthant is strictly closer to
+//!   `p` in **every** dimension than the cell's corner — every point in
+//!   the cell is then rect-dominated ([`crate::dominance::rect_dominates`]),
+//!   and by transitivity of domination, skipping it changes neither the
+//!   frontier nor any later domination decision. Because the corner
+//!   bound grows monotonically along the innermost walk direction, the
+//!   first skippable cell ends the walk of that cell column.
+//! * For the `K`-nearest query, a cell column is cut as soon as the
+//!   metric applied to the corner bound exceeds (strictly) the current
+//!   `K`-th best distance — a tie at equal distance is *not* cut, so
+//!   the `(distance, tie-key)` order of the brute-force selection is
+//!   reproduced exactly.
+//!
+//! On uniform workloads each query touches `O(side)` cells per orthant
+//! instead of all `N` points, which turns the `O(N²)`-per-topology
+//! equilibrium construction into roughly `O(N^1.5)` in 2-D.
+//!
+//! Per-dimension coordinate collisions with the reference point make
+//! orthant membership ambiguous (the paper's standing distinctness
+//! assumption is violated); queries then return `None` and callers fall
+//! back to their brute-force paths, matching the fallback semantics of
+//! [`crate::dominance::empty_rect_neighbors`].
+
+use crate::{MetricKind, Point};
+
+/// Orthant walks keep one frontier per orthant; beyond this many
+/// dimensions the `2^D` tables would dwarf the point set and a linear
+/// scan wins anyway, so queries decline (return `None`).
+pub const MAX_INDEX_DIM: usize = 16;
+
+/// A uniform grid over a fixed point set, supporting exact per-orthant
+/// nearest-neighbour and empty-rectangle queries.
+///
+/// The index copies coordinates into a flat, cache-friendly layout at
+/// build time; it does not borrow the source points.
+///
+/// # Example
+///
+/// ```
+/// use geocast_geom::gen::uniform_points;
+/// use geocast_geom::index::GridIndex;
+/// use geocast_geom::dominance::empty_rect_neighbors;
+///
+/// let points = uniform_points(200, 2, 1000.0, 7).into_points();
+/// let index = GridIndex::build(&points);
+///
+/// // Exactly the brute-force empty-rectangle neighbours of point 3.
+/// let fast = index.empty_rect_neighbors(3).expect("distinct coords");
+/// let candidates: Vec<_> =
+///     points.iter().enumerate().filter(|&(j, _)| j != 3).map(|(_, p)| p).collect();
+/// let slow: Vec<usize> = empty_rect_neighbors(&points[3], &candidates)
+///     .into_iter()
+///     .map(|ci| if ci < 3 { ci } else { ci + 1 })
+///     .collect();
+/// assert_eq!(fast, slow);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    dim: usize,
+    side: usize,
+    lo: Vec<f64>,
+    cell_size: Vec<f64>,
+    /// CSR over cells: points of cell `c` are
+    /// `entries[cell_offsets[c]..cell_offsets[c + 1]]`.
+    cell_offsets: Vec<usize>,
+    entries: Vec<u32>,
+    /// Flattened coordinates, `coords[id * dim..][..dim]`.
+    coords: Vec<f64>,
+}
+
+impl GridIndex {
+    /// Builds the index over `points`.
+    ///
+    /// Accepts anything that dereferences to [`Point`] (e.g. peer
+    /// records), so overlay code can index peers without copying them
+    /// into a `PointSet` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points disagree on dimensionality or `points` is
+    /// non-empty with zero-dimensional points (impossible for validated
+    /// [`Point`]s).
+    #[must_use]
+    pub fn build<P: AsRef<Point>>(points: &[P]) -> Self {
+        let n = points.len();
+        let dim = points.first().map_or(1, |p| p.as_ref().dim());
+        let mut coords = Vec::with_capacity(n * dim);
+        for p in points {
+            let p = p.as_ref();
+            assert_eq!(p.dim(), dim, "index requires uniform dimensionality");
+            coords.extend_from_slice(p.coords());
+        }
+
+        let mut lo = vec![0.0f64; dim];
+        let mut hi = vec![0.0f64; dim];
+        for d in 0..dim {
+            let mut mn = f64::INFINITY;
+            let mut mx = f64::NEG_INFINITY;
+            for id in 0..n {
+                let v = coords[id * dim + d];
+                mn = mn.min(v);
+                mx = mx.max(v);
+            }
+            lo[d] = if mn.is_finite() { mn } else { 0.0 };
+            hi[d] = if mx.is_finite() { mx } else { 0.0 };
+        }
+
+        // ~1 point per cell on uniform data, capped so the cell table
+        // never dwarfs the point set.
+        let mut side = if n == 0 {
+            1
+        } else {
+            (n as f64).powf(1.0 / dim as f64).floor() as usize
+        }
+        .max(1);
+        while side > 1 && Self::cell_count(side, dim) > 4 * n.max(16) {
+            side -= 1;
+        }
+
+        let cell_size: Vec<f64> = (0..dim)
+            .map(|d| {
+                let span = hi[d] - lo[d];
+                if span > 0.0 {
+                    span / side as f64
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+
+        let cells = Self::cell_count(side, dim);
+        let mut counts = vec![0usize; cells + 1];
+        let cell_of = |id: usize| -> usize {
+            let mut cell = 0usize;
+            for d in 0..dim {
+                let c = Self::layer_raw(coords[id * dim + d], lo[d], cell_size[d], side);
+                cell = cell * side + c;
+            }
+            cell
+        };
+        for id in 0..n {
+            counts[cell_of(id) + 1] += 1;
+        }
+        for c in 0..cells {
+            counts[c + 1] += counts[c];
+        }
+        let cell_offsets = counts.clone();
+        let mut cursor = counts;
+        let mut entries = vec![0u32; n];
+        for id in 0..n {
+            let c = cell_of(id);
+            entries[cursor[c]] = id as u32;
+            cursor[c] += 1;
+        }
+
+        GridIndex {
+            dim,
+            side,
+            lo,
+            cell_size,
+            cell_offsets,
+            entries,
+            coords,
+        }
+    }
+
+    fn cell_count(side: usize, dim: usize) -> usize {
+        let mut cells = 1usize;
+        for _ in 0..dim {
+            cells = cells.saturating_mul(side);
+        }
+        cells
+    }
+
+    fn layer_raw(x: f64, lo: f64, cell_size: f64, side: usize) -> usize {
+        let c = ((x - lo) / cell_size).floor();
+        if c < 0.0 {
+            0
+        } else {
+            (c as usize).min(side - 1)
+        }
+    }
+
+    /// Number of indexed points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no points are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Dimensionality of the indexed space.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Cells per axis.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    fn point_coords(&self, id: usize) -> &[f64] {
+        &self.coords[id * self.dim..(id + 1) * self.dim]
+    }
+
+    fn layer_of(&self, d: usize, x: f64) -> usize {
+        Self::layer_raw(x, self.lo[d], self.cell_size[d], self.side)
+    }
+
+    /// The indices of the exact empty-rectangle neighbours of point `i`
+    /// among all other indexed points, sorted ascending.
+    ///
+    /// Returns `None` when some other point shares a coordinate with
+    /// point `i` (per-dimension distinctness violated) or the
+    /// dimensionality exceeds [`MAX_INDEX_DIM`]; callers then fall back
+    /// to [`crate::dominance::empty_rect_neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn empty_rect_neighbors(&self, i: usize) -> Option<Vec<usize>> {
+        assert!(i < self.len(), "point index out of range");
+        if self.dim > MAX_INDEX_DIM {
+            return None;
+        }
+        let dim = self.dim;
+        let p = self.point_coords(i).to_vec();
+        let orthants = 1usize << dim;
+
+        // Per orthant: collected candidate (offset vector, id) pairs and
+        // the pruning frontier (indices into the collected list).
+        let mut collected: Vec<Vec<(Vec<f64>, usize)>> = vec![Vec::new(); orthants];
+        let mut frontier: Vec<Vec<usize>> = vec![Vec::new(); orthants];
+
+        let p_layer: Vec<usize> = (0..dim).map(|d| self.layer_of(d, p[d])).collect();
+
+        let mut prefix_cells = vec![0usize; dim];
+        let mut prefix_offs = vec![0.0f64; dim];
+        for o in 0..orthants {
+            let ok = self.walk_empty_rect(
+                o,
+                0,
+                &p,
+                &p_layer,
+                &mut prefix_cells,
+                &mut prefix_offs,
+                i,
+                &mut collected,
+                &mut frontier,
+            );
+            if !ok {
+                return None; // coordinate collision: distinctness violated
+            }
+        }
+
+        // Exact per-orthant Pareto frontier over the (reduced) collected
+        // sets — the same computation dominance::empty_rect_neighbors
+        // runs over the full candidate set.
+        let mut kept = Vec::new();
+        for group in &mut collected {
+            group.sort_by(|a, b| {
+                let la: f64 = a.0.iter().sum();
+                let lb: f64 = b.0.iter().sum();
+                la.total_cmp(&lb).then(a.1.cmp(&b.1))
+            });
+            let mut local: Vec<usize> = Vec::new();
+            for qi in 0..group.len() {
+                let dominated = local
+                    .iter()
+                    .any(|&ri| group[ri].0.iter().zip(&group[qi].0).all(|(r, q)| r < q));
+                if !dominated {
+                    local.push(qi);
+                    kept.push(group[qi].1);
+                }
+            }
+        }
+        kept.sort_unstable();
+        Some(kept)
+    }
+
+    /// Walks the cells of orthant `o` (bit `d` set = positive side in
+    /// dimension `d`), collecting candidate points and pruning cells
+    /// whose corner is rect-dominated by an already-collected point.
+    /// Returns `false` on a coordinate collision.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_empty_rect(
+        &self,
+        o: usize,
+        depth: usize,
+        p: &[f64],
+        p_layer: &[usize],
+        prefix_cells: &mut [usize],
+        prefix_offs: &mut [f64],
+        skip: usize,
+        collected: &mut [Vec<(Vec<f64>, usize)>],
+        frontier: &mut [Vec<usize>],
+    ) -> bool {
+        let d = depth;
+        let positive = o >> d & 1 == 1;
+        let innermost = depth + 1 == self.dim;
+        for t in 0.. {
+            let Some((cell, offmin)) = self.layer_step(d, p, p_layer, positive, t) else {
+                break;
+            };
+            prefix_cells[d] = cell;
+            prefix_offs[d] = offmin;
+            if innermost {
+                // Full corner bound available: prune and, because the
+                // bound is monotone in `t`, stop the column at the first
+                // dominated cell.
+                let dominated = frontier[o].iter().any(|&ri| {
+                    collected[o][ri]
+                        .0
+                        .iter()
+                        .zip(prefix_offs.iter())
+                        .all(|(r, c)| r < c)
+                });
+                if dominated {
+                    break;
+                }
+                if !self.scan_cell_empty_rect(o, p, prefix_cells, skip, collected, frontier) {
+                    return false;
+                }
+            } else if !self.walk_empty_rect(
+                o,
+                depth + 1,
+                p,
+                p_layer,
+                prefix_cells,
+                prefix_offs,
+                skip,
+                collected,
+                frontier,
+            ) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The cell layer `t` steps from `p`'s layer along `d` (direction
+    /// `positive`), paired with the minimum absolute offset from `p` to
+    /// any point of that layer. `None` once the grid edge is passed.
+    fn layer_step(
+        &self,
+        d: usize,
+        p: &[f64],
+        p_layer: &[usize],
+        positive: bool,
+        t: usize,
+    ) -> Option<(usize, f64)> {
+        let base = p_layer[d];
+        let cell = if positive {
+            let c = base + t;
+            if c >= self.side {
+                return None;
+            }
+            c
+        } else {
+            if t > base {
+                return None;
+            }
+            base - t
+        };
+        let offmin = if t == 0 {
+            0.0
+        } else if positive {
+            (self.lo[d] + cell as f64 * self.cell_size[d]) - p[d]
+        } else {
+            p[d] - (self.lo[d] + (cell + 1) as f64 * self.cell_size[d])
+        };
+        Some((cell, offmin.max(0.0)))
+    }
+
+    /// Scans one cell for orthant `o` candidates, updating the collected
+    /// set and its pruning frontier. Returns `false` on a collision.
+    fn scan_cell_empty_rect(
+        &self,
+        o: usize,
+        p: &[f64],
+        cell: &[usize],
+        skip: usize,
+        collected: &mut [Vec<(Vec<f64>, usize)>],
+        frontier: &mut [Vec<usize>],
+    ) -> bool {
+        let dim = self.dim;
+        let mut flat = 0usize;
+        for &c in cell {
+            flat = flat * self.side + c;
+        }
+        for e in self.cell_offsets[flat]..self.cell_offsets[flat + 1] {
+            let id = self.entries[e] as usize;
+            if id == skip {
+                continue;
+            }
+            let q = self.point_coords(id);
+            let mut offsets = Vec::with_capacity(dim);
+            let mut in_orthant = true;
+            for d in 0..dim {
+                let delta = q[d] - p[d];
+                if delta == 0.0 {
+                    return false; // collision: distinctness violated
+                }
+                if (delta > 0.0) != (o >> d & 1 == 1) {
+                    in_orthant = false;
+                    break;
+                }
+                offsets.push(delta.abs());
+            }
+            if !in_orthant {
+                continue;
+            }
+            // Maintain the pruning frontier: a Pareto set of collected
+            // offsets (sound to prune with any collected point; keeping
+            // only non-dominated ones keeps the corner tests short).
+            let dominated = frontier[o]
+                .iter()
+                .any(|&ri| collected[o][ri].0.iter().zip(&offsets).all(|(r, q)| r < q));
+            collected[o].push((offsets, id));
+            if !dominated {
+                let new_ri = collected[o].len() - 1;
+                frontier[o].retain(|&ri| {
+                    !collected[o][new_ri]
+                        .0
+                        .iter()
+                        .zip(&collected[o][ri].0)
+                        .all(|(n, r)| n < r)
+                });
+                frontier[o].push(new_ri);
+            }
+        }
+        true
+    }
+
+    /// The `k` nearest indexed points to point `i` within each orthant
+    /// around it, under `metric`, each orthant sorted by
+    /// `(distance, index)` ascending — exactly the per-orthant ranking
+    /// of the *Orthogonal Hyperplanes* selection when point indices are
+    /// the tie-break key.
+    ///
+    /// Returns `None` on a per-dimension coordinate collision or when
+    /// the dimensionality exceeds [`MAX_INDEX_DIM`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `k == 0`.
+    #[must_use]
+    pub fn k_nearest_per_orthant(
+        &self,
+        i: usize,
+        k: usize,
+        metric: MetricKind,
+    ) -> Option<Vec<Vec<usize>>> {
+        assert!(i < self.len(), "point index out of range");
+        assert!(k > 0, "K must be at least 1");
+        if self.dim > MAX_INDEX_DIM {
+            return None;
+        }
+        let dim = self.dim;
+        let p = self.point_coords(i).to_vec();
+        let orthants = 1usize << dim;
+        let p_layer: Vec<usize> = (0..dim).map(|d| self.layer_of(d, p[d])).collect();
+
+        let mut best: Vec<Vec<(f64, usize)>> = vec![Vec::new(); orthants];
+        let mut prefix_cells = vec![0usize; dim];
+        let mut prefix_offs = vec![0.0f64; dim];
+        for o in 0..orthants {
+            if !self.walk_knn(
+                o,
+                0,
+                &p,
+                &p_layer,
+                &mut prefix_cells,
+                &mut prefix_offs,
+                i,
+                k,
+                metric,
+                &mut best,
+            ) {
+                return None;
+            }
+        }
+        Some(
+            best.into_iter()
+                .map(|group| group.into_iter().map(|(_, id)| id).collect())
+                .collect(),
+        )
+    }
+
+    fn corner_dist(&self, metric: MetricKind, offs: &[f64], upto: usize) -> f64 {
+        let it = offs.iter().take(upto);
+        match metric {
+            MetricKind::L1 => it.sum(),
+            MetricKind::L2 => it.map(|o| o * o).sum::<f64>().sqrt(),
+            MetricKind::LInf => it.fold(0.0f64, |a, &b| a.max(b)),
+        }
+    }
+
+    fn point_dist(&self, metric: MetricKind, p: &[f64], q: &[f64]) -> f64 {
+        match metric {
+            MetricKind::L1 => p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum(),
+            MetricKind::L2 => p
+                .iter()
+                .zip(q)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt(),
+            MetricKind::LInf => p
+                .iter()
+                .zip(q)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// Walks orthant `o` cells for the `k`-nearest query. The column
+    /// walk along each dimension stops once the corner bound (remaining
+    /// dimensions at zero offset) strictly exceeds the current `k`-th
+    /// best distance. Returns `false` on a coordinate collision.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_knn(
+        &self,
+        o: usize,
+        depth: usize,
+        p: &[f64],
+        p_layer: &[usize],
+        prefix_cells: &mut [usize],
+        prefix_offs: &mut [f64],
+        skip: usize,
+        k: usize,
+        metric: MetricKind,
+        best: &mut [Vec<(f64, usize)>],
+    ) -> bool {
+        let d = depth;
+        let positive = o >> d & 1 == 1;
+        let innermost = depth + 1 == self.dim;
+        for t in 0.. {
+            let Some((cell, offmin)) = self.layer_step(d, p, p_layer, positive, t) else {
+                break;
+            };
+            prefix_cells[d] = cell;
+            prefix_offs[d] = offmin;
+            // Lower bound on the distance of any point in this column
+            // (remaining dimensions contribute nothing); monotone in `t`.
+            if best[o].len() == k {
+                let bound = self.corner_dist(metric, prefix_offs, depth + 1);
+                if bound > best[o][k - 1].0 {
+                    break;
+                }
+            }
+            if innermost {
+                let mut flat = 0usize;
+                for &c in prefix_cells.iter() {
+                    flat = flat * self.side + c;
+                }
+                for e in self.cell_offsets[flat]..self.cell_offsets[flat + 1] {
+                    let id = self.entries[e] as usize;
+                    if id == skip {
+                        continue;
+                    }
+                    let q = self.point_coords(id);
+                    let mut in_orthant = true;
+                    for dd in 0..self.dim {
+                        let delta = q[dd] - p[dd];
+                        if delta == 0.0 {
+                            return false;
+                        }
+                        if (delta > 0.0) != (o >> dd & 1 == 1) {
+                            in_orthant = false;
+                            break;
+                        }
+                    }
+                    if !in_orthant {
+                        continue;
+                    }
+                    let dist = self.point_dist(metric, p, q);
+                    let entry = (dist, id);
+                    let group = &mut best[o];
+                    if group.len() == k {
+                        let worst = group[k - 1];
+                        if (entry.0, entry.1) >= (worst.0, worst.1) {
+                            continue;
+                        }
+                        group.pop();
+                    }
+                    let pos = group.partition_point(|&(gd, gid)| (gd, gid) < (entry.0, entry.1));
+                    group.insert(pos, entry);
+                }
+            } else if !self.walk_knn(
+                o,
+                depth + 1,
+                p,
+                p_layer,
+                prefix_cells,
+                prefix_offs,
+                skip,
+                k,
+                metric,
+                best,
+            ) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::empty_rect_neighbors;
+    use crate::gen::uniform_points;
+    use crate::{Metric, Orthant};
+
+    fn reindexed_brute(points: &[Point], i: usize) -> Vec<usize> {
+        let candidates: Vec<&Point> = points
+            .iter()
+            .enumerate()
+            .filter_map(|(j, p)| (j != i).then_some(p))
+            .collect();
+        empty_rect_neighbors(&points[i], &candidates)
+            .into_iter()
+            .map(|ci| if ci < i { ci } else { ci + 1 })
+            .collect()
+    }
+
+    #[test]
+    fn empty_rect_matches_brute_force_across_dims_and_sizes() {
+        for &(n, dim, seed) in &[
+            (2usize, 1usize, 1u64),
+            (40, 1, 2),
+            (60, 2, 3),
+            (120, 2, 4),
+            (50, 3, 5),
+            (40, 4, 6),
+            (30, 5, 7),
+        ] {
+            let points = uniform_points(n, dim, 1000.0, seed).into_points();
+            let index = GridIndex::build(&points);
+            for i in 0..n {
+                assert_eq!(
+                    index.empty_rect_neighbors(i).expect("distinct workload"),
+                    reindexed_brute(&points, i),
+                    "n={n} dim={dim} seed={seed} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rect_detects_collisions_and_declines() {
+        let points = vec![
+            Point::new(vec![0.0, 0.0]).unwrap(),
+            Point::new(vec![1.0, 0.0]).unwrap(), // shares y with point 0
+            Point::new(vec![2.0, 3.0]).unwrap(),
+        ];
+        let index = GridIndex::build(&points);
+        assert_eq!(index.empty_rect_neighbors(0), None);
+    }
+
+    #[test]
+    fn knn_matches_brute_force_ranking() {
+        for &(n, dim, seed) in &[
+            (80usize, 2usize, 11u64),
+            (60, 3, 12),
+            (30, 4, 13),
+            (50, 1, 14),
+        ] {
+            let points = uniform_points(n, dim, 1000.0, seed).into_points();
+            let index = GridIndex::build(&points);
+            for metric in [MetricKind::L1, MetricKind::L2, MetricKind::LInf] {
+                for k in [1usize, 2, 5, 64] {
+                    for i in 0..n.min(12) {
+                        let got = index.k_nearest_per_orthant(i, k, metric).unwrap();
+                        // Reference: group all others by orthant, sort by
+                        // (distance, index), truncate to k.
+                        let mut want: Vec<Vec<(f64, usize)>> =
+                            vec![Vec::new(); Orthant::count(dim)];
+                        for (j, q) in points.iter().enumerate() {
+                            if j == i {
+                                continue;
+                            }
+                            let o = Orthant::classify(&points[i], q).unwrap();
+                            want[o.index()].push((metric.dist(&points[i], q), j));
+                        }
+                        for group in &mut want {
+                            group.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                            group.truncate(k);
+                        }
+                        let want: Vec<Vec<usize>> = want
+                            .into_iter()
+                            .map(|g| g.into_iter().map(|(_, j)| j).collect())
+                            .collect();
+                        assert_eq!(got, want, "n={n} dim={dim} k={k} {metric} i={i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_declines_on_collision() {
+        let points = vec![
+            Point::new(vec![0.0, 5.0]).unwrap(),
+            Point::new(vec![3.0, 5.0]).unwrap(),
+        ];
+        let index = GridIndex::build(&points);
+        assert_eq!(index.k_nearest_per_orthant(0, 1, MetricKind::L1), None);
+    }
+
+    #[test]
+    fn build_handles_tiny_and_empty_sets() {
+        let empty: [Point; 0] = [];
+        let index = GridIndex::build(&empty);
+        assert!(index.is_empty());
+
+        let one = [Point::new(vec![3.0, 4.0]).unwrap()];
+        let index = GridIndex::build(&one);
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.empty_rect_neighbors(0), Some(vec![]));
+        assert_eq!(
+            index.k_nearest_per_orthant(0, 3, MetricKind::L1),
+            Some(vec![vec![]; 4])
+        );
+    }
+
+    #[test]
+    fn grid_side_scales_with_population() {
+        let small = GridIndex::build(&uniform_points(16, 2, 1000.0, 1).into_points());
+        let large = GridIndex::build(&uniform_points(4096, 2, 1000.0, 1).into_points());
+        assert!(large.side() > small.side());
+        assert_eq!(large.dim(), 2);
+    }
+
+    #[test]
+    fn clustered_degenerate_extents_still_exact() {
+        // All points on a narrow band: grid degenerates in one dimension
+        // but answers must stay exact.
+        let points: Vec<Point> = (0..50)
+            .map(|i| {
+                Point::new(vec![f64::from(i) * 7.0 + 0.13, 500.0 + f64::from(i) * 1e-6]).unwrap()
+            })
+            .collect();
+        let index = GridIndex::build(&points);
+        for i in 0..points.len() {
+            assert_eq!(
+                index.empty_rect_neighbors(i).unwrap(),
+                reindexed_brute(&points, i),
+                "i={i}"
+            );
+        }
+    }
+}

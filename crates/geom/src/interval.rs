@@ -52,7 +52,10 @@ impl Interval {
     /// The interval `(-∞, +∞)`.
     #[must_use]
     pub fn unbounded() -> Self {
-        Interval { lo: f64::NEG_INFINITY, hi: f64::INFINITY }
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
     }
 
     /// The interval `(-∞, hi)`.

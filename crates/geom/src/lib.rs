@@ -21,6 +21,9 @@
 //! * [`Metric`] — pluggable distance functions (L1 is the paper's choice).
 //! * [`dominance`] — per-orthant Pareto frontiers, the efficient
 //!   characterisation of the paper's empty-rectangle neighbour rule.
+//! * [`index::GridIndex`] — a uniform-grid spatial index answering the
+//!   per-orthant nearest-neighbour and empty-rectangle queries exactly,
+//!   the engine behind figure-scale overlay construction.
 //! * [`gen`] — reproducible workload generators (uniform, clustered, grid)
 //!   that guarantee per-dimension distinctness.
 //!
@@ -59,12 +62,14 @@ mod rect;
 pub mod arrangement;
 pub mod dominance;
 pub mod gen;
+pub mod index;
 pub mod metric;
 
 pub use arrangement::{Arrangement, RegionKey};
 pub use error::GeomError;
+pub use index::GridIndex;
 pub use interval::Interval;
-pub use metric::{Metric, MetricKind, L1, L2, LInf};
+pub use metric::{LInf, Metric, MetricKind, L1, L2};
 pub use orthant::{Orthant, MAX_ORTHANT_DIM};
 pub use point::{Point, PointSet};
 pub use rect::Rect;

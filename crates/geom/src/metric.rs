@@ -170,7 +170,10 @@ mod tests {
         let l1 = MetricKind::L1.dist(&a, &b);
         let l2 = MetricKind::L2.dist(&a, &b);
         let li = MetricKind::LInf.dist(&a, &b);
-        assert!(l1 >= l2 && l2 >= li, "norm ordering violated: {l1} {l2} {li}");
+        assert!(
+            l1 >= l2 && l2 >= li,
+            "norm ordering violated: {l1} {l2} {li}"
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ impl Orthant {
     /// Panics if `dim > MAX_ORTHANT_DIM`.
     #[must_use]
     pub fn count(dim: usize) -> usize {
-        assert!(dim <= MAX_ORTHANT_DIM, "dimension {dim} exceeds orthant capacity");
+        assert!(
+            dim <= MAX_ORTHANT_DIM,
+            "dimension {dim} exceeds orthant capacity"
+        );
         1usize << dim
     }
 
@@ -110,13 +113,19 @@ impl Orthant {
     /// Sign vector of the orthant as `+1`/`-1` entries of length `dim`.
     #[must_use]
     pub fn signs(&self, dim: usize) -> Vec<i8> {
-        (0..dim).map(|d| if self.is_positive(d) { 1 } else { -1 }).collect()
+        (0..dim)
+            .map(|d| if self.is_positive(d) { 1 } else { -1 })
+            .collect()
     }
 
     /// The orthant directly opposite this one (all signs flipped).
     #[must_use]
     pub fn opposite(&self, dim: usize) -> Orthant {
-        let mask = if dim >= 32 { u32::MAX } else { (1u32 << dim) - 1 };
+        let mask = if dim >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << dim) - 1
+        };
         Orthant(!self.0 & mask)
     }
 
@@ -182,7 +191,10 @@ mod tests {
         assert!(Orthant::from_bits(0b11, 2).is_ok());
         assert!(matches!(
             Orthant::from_bits(0b100, 2),
-            Err(GeomError::InvalidOrthant { bits: 0b100, dim: 2 })
+            Err(GeomError::InvalidOrthant {
+                bits: 0b100,
+                dim: 2
+            })
         ));
     }
 

@@ -112,7 +112,10 @@ impl Point {
         if self.dim() == other.dim() {
             Ok(())
         } else {
-            Err(GeomError::DimensionMismatch { left: self.dim(), right: other.dim() })
+            Err(GeomError::DimensionMismatch {
+                left: self.dim(),
+                right: other.dim(),
+            })
         }
     }
 }
@@ -198,7 +201,10 @@ impl PointSet {
         let dim = points.first().map_or(0, Point::dim);
         for p in &points {
             if p.dim() != dim {
-                return Err(GeomError::DimensionMismatch { left: dim, right: p.dim() });
+                return Err(GeomError::DimensionMismatch {
+                    left: dim,
+                    right: p.dim(),
+                });
             }
         }
         Ok(PointSet { points, dim })
@@ -243,7 +249,10 @@ impl PointSet {
         if self.points.is_empty() {
             self.dim = point.dim();
         } else if point.dim() != self.dim {
-            return Err(GeomError::DimensionMismatch { left: self.dim, right: point.dim() });
+            return Err(GeomError::DimensionMismatch {
+                left: self.dim,
+                right: point.dim(),
+            });
         }
         self.points.push(point);
         Ok(())
@@ -373,7 +382,10 @@ mod tests {
     #[test]
     fn point_set_validates_dimensions() {
         let err = PointSet::new(vec![pt(&[1.0]), pt(&[1.0, 2.0])]).unwrap_err();
-        assert!(matches!(err, GeomError::DimensionMismatch { left: 1, right: 2 }));
+        assert!(matches!(
+            err,
+            GeomError::DimensionMismatch { left: 1, right: 2 }
+        ));
     }
 
     #[test]

@@ -63,7 +63,9 @@ impl Rect {
     #[must_use]
     pub fn full(dim: usize) -> Self {
         assert!(dim > 0, "rectangles require at least one dimension");
-        Rect { sides: vec![Interval::unbounded(); dim] }
+        Rect {
+            sides: vec![Interval::unbounded(); dim],
+        }
     }
 
     /// The canonical empty rectangle of dimensionality `dim`.
@@ -74,7 +76,9 @@ impl Rect {
     #[must_use]
     pub fn empty(dim: usize) -> Self {
         assert!(dim > 0, "rectangles require at least one dimension");
-        Rect { sides: vec![Interval::EMPTY; dim] }
+        Rect {
+            sides: vec![Interval::EMPTY; dim],
+        }
     }
 
     /// The open orthant rectangle `HR` of the paper: around reference
@@ -148,7 +152,10 @@ impl Rect {
     #[must_use]
     pub fn contains(&self, p: &Point) -> bool {
         assert_eq!(p.dim(), self.dim(), "dimension mismatch in Rect::contains");
-        self.sides.iter().enumerate().all(|(d, side)| side.contains(p[d]))
+        self.sides
+            .iter()
+            .enumerate()
+            .all(|(d, side)| side.contains(p[d]))
     }
 
     /// The intersection of two rectangles.
@@ -158,7 +165,11 @@ impl Rect {
     /// Panics on dimensionality mismatch.
     #[must_use]
     pub fn intersect(&self, other: &Rect) -> Rect {
-        assert_eq!(self.dim(), other.dim(), "dimension mismatch in Rect::intersect");
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "dimension mismatch in Rect::intersect"
+        );
         let sides = self
             .sides
             .iter()
@@ -213,7 +224,11 @@ impl Rect {
     /// Panics on dimensionality mismatch.
     #[must_use]
     pub fn contains_rect(&self, other: &Rect) -> bool {
-        assert_eq!(self.dim(), other.dim(), "dimension mismatch in Rect::contains_rect");
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "dimension mismatch in Rect::contains_rect"
+        );
         other.is_empty()
             || self
                 .sides
@@ -293,7 +308,10 @@ mod tests {
         let rects: Vec<Rect> = Orthant::all(3).map(|o| Rect::orthant_of(&p, o)).collect();
         for i in 0..rects.len() {
             for j in 0..i {
-                assert!(rects[i].is_disjoint(&rects[j]), "orthants {i} and {j} overlap");
+                assert!(
+                    rects[i].is_disjoint(&rects[j]),
+                    "orthants {i} and {j} overlap"
+                );
             }
         }
     }
@@ -333,7 +351,10 @@ mod tests {
     fn disjointness_via_single_dimension() {
         let a = Rect::new(vec![Interval::new(0.0, 1.0), Interval::unbounded()]).unwrap();
         let b = Rect::new(vec![Interval::new(1.0, 2.0), Interval::unbounded()]).unwrap();
-        assert!(a.is_disjoint(&b), "open rects touching at a face are disjoint");
+        assert!(
+            a.is_disjoint(&b),
+            "open rects touching at a face are disjoint"
+        );
     }
 
     #[test]

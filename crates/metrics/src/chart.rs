@@ -37,7 +37,11 @@ impl AsciiChart {
     #[must_use]
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width >= 2 && height >= 2, "chart too small");
-        AsciiChart { width, height, series: Vec::new() }
+        AsciiChart {
+            width,
+            height,
+            series: Vec::new(),
+        }
     }
 
     /// Adds a named series of `(x, y)` points. NaN points are skipped at
@@ -64,8 +68,12 @@ impl AsciiChart {
         if points.is_empty() {
             return "(empty chart)\n".to_owned();
         }
-        let (mut x_min, mut x_max, mut y_min, mut y_max) =
-            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        let (mut x_min, mut x_max, mut y_min, mut y_max) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
         for (x, y) in &points {
             x_min = x_min.min(*x);
             x_max = x_max.max(*x);
@@ -87,7 +95,8 @@ impl AsciiChart {
                     continue;
                 }
                 let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
-                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
+                let cy =
+                    ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - cy;
                 grid[row][cx] = glyph;
             }

@@ -36,7 +36,11 @@ impl Histogram {
         assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
         assert!(lo < hi, "lo must be below hi");
         assert!(bins > 0, "need at least one bin");
-        Histogram { lo, hi, bins: vec![0; bins] }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+        }
     }
 
     /// Adds a sample, clamping out-of-range values into the edge bins.
@@ -100,7 +104,11 @@ impl fmt::Display for Histogram {
         for (i, &count) in self.bins.iter().enumerate() {
             let (lo, hi) = self.bin_range(i);
             let width = (count * 40 / max) as usize;
-            writeln!(f, "[{lo:>9.2}, {hi:>9.2}) |{:<40}| {count}", "#".repeat(width))?;
+            writeln!(
+                f,
+                "[{lo:>9.2}, {hi:>9.2}) |{:<40}| {count}",
+                "#".repeat(width)
+            )?;
         }
         Ok(())
     }

@@ -55,13 +55,21 @@ impl Summary {
     /// Smallest sample, or 0 when empty.
     #[must_use]
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min_or_zero()
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min_or_zero()
     }
 
     /// Largest sample, or 0 when empty.
     #[must_use]
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).max_or_zero()
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max_or_zero()
     }
 
     /// Arithmetic mean, or 0 when empty.
@@ -81,7 +89,11 @@ impl Summary {
             return 0.0;
         }
         let mean = self.mean();
-        let var = self.samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+        let var = self
+            .samples
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
             / self.samples.len() as f64;
         var.sqrt()
     }

@@ -25,7 +25,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(headers: Vec<String>) -> Self {
-        Table { headers, rows: Vec::new() }
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -102,7 +105,14 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));

@@ -52,8 +52,8 @@ pub struct OverlayProfile {
 pub fn profile(graph: &OverlayGraph, sample_sources: Option<usize>, seed: u64) -> OverlayProfile {
     assert!(!graph.is_empty(), "cannot profile an empty overlay");
     let n = graph.len();
-    let adj = graph.undirected();
-    let degrees: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let adj = graph.undirected_closure();
+    let degrees: Vec<usize> = (0..n).map(|i| adj.out_neighbors(i).len()).collect();
     let undirected_edges = degrees.iter().sum::<usize>() / 2;
 
     // Symmetry: fraction of directed selections whose reverse exists.
@@ -67,7 +67,11 @@ pub fn profile(graph: &OverlayGraph, sample_sources: Option<usize>, seed: u64) -
             }
         }
     }
-    let link_symmetry = if total == 0 { 1.0 } else { mutual as f64 / total as f64 };
+    let link_symmetry = if total == 0 {
+        1.0
+    } else {
+        mutual as f64 / total as f64
+    };
 
     // Hop distances over sampled sources.
     let mut rng = StdRng::seed_from_u64(seed);
@@ -102,14 +106,18 @@ pub fn profile(graph: &OverlayGraph, sample_sources: Option<usize>, seed: u64) -
             }
         }
     }
-    let mean_hop_distance =
-        if hop_count == 0 { 0.0 } else { hop_sum as f64 / hop_count as f64 };
+    let mean_hop_distance = if hop_count == 0 {
+        0.0
+    } else {
+        hop_sum as f64 / hop_count as f64
+    };
 
     // Local clustering: fraction of a peer's neighbour pairs that are
     // themselves linked.
     let mut clustering_sum = 0.0;
     let mut clustering_count = 0usize;
-    for nbrs in &adj {
+    for i in 0..n {
+        let nbrs = adj.out_neighbors(i);
         if nbrs.len() < 2 {
             continue;
         }
@@ -118,7 +126,7 @@ pub fn profile(graph: &OverlayGraph, sample_sources: Option<usize>, seed: u64) -
         for (a_idx, &a) in nbrs.iter().enumerate() {
             for &b in &nbrs[a_idx + 1..] {
                 pairs += 1;
-                if adj[a].binary_search(&b).is_ok() {
+                if adj.out_neighbors(a).binary_search(&b).is_ok() {
                     closed += 1;
                 }
             }
@@ -126,8 +134,11 @@ pub fn profile(graph: &OverlayGraph, sample_sources: Option<usize>, seed: u64) -
         clustering_sum += closed as f64 / pairs as f64;
         clustering_count += 1;
     }
-    let clustering_coefficient =
-        if clustering_count == 0 { 0.0 } else { clustering_sum / clustering_count as f64 };
+    let clustering_coefficient = if clustering_count == 0 {
+        0.0
+    } else {
+        clustering_sum / clustering_count as f64
+    };
 
     OverlayProfile {
         peers: n,
@@ -163,13 +174,13 @@ pub fn geometric_stretch(
 ) -> f64 {
     assert_eq!(peers.len(), graph.len(), "peer/overlay size mismatch");
     assert!(peers.len() >= 2, "stretch needs at least two peers");
-    let adj = graph.undirected();
+    let adj = graph.undirected_closure();
 
     // Mean geometric length of an overlay link, the natural yardstick.
     let mut link_len_sum = 0.0;
     let mut link_count = 0usize;
-    for (i, nbrs) in adj.iter().enumerate() {
-        for &j in nbrs {
+    for i in 0..peers.len() {
+        for &j in adj.out_neighbors(i) {
             if j > i {
                 link_len_sum += metric.dist(peers[i].point(), peers[j].point());
                 link_count += 1;
@@ -209,8 +220,8 @@ pub fn geometric_stretch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::select::EmptyRectSelection;
     use crate::oracle;
+    use crate::select::EmptyRectSelection;
     use geocast_geom::gen::uniform_points;
 
     fn overlay(n: usize, seed: u64) -> (Vec<PeerInfo>, OverlayGraph) {
@@ -265,8 +276,7 @@ mod tests {
 
     #[test]
     fn triangle_has_full_clustering() {
-        let graph =
-            OverlayGraph::from_out_neighbors(vec![vec![1, 2], vec![0, 2], vec![0, 1]]);
+        let graph = OverlayGraph::from_out_neighbors(vec![vec![1, 2], vec![0, 2], vec![0, 1]]);
         let p = profile(&graph, None, 0);
         assert_eq!(p.clustering_coefficient, 1.0);
         assert_eq!(p.mean_hop_distance, 1.0);
@@ -286,7 +296,10 @@ mod tests {
     fn stretch_of_linkless_graph_is_infinite() {
         let peers = PeerInfo::from_point_set(&uniform_points(3, 2, 100.0, 7));
         let graph = OverlayGraph::from_out_neighbors(vec![vec![], vec![], vec![]]);
-        assert_eq!(geometric_stretch(&peers, &graph, MetricKind::L1, 10, 0), f64::INFINITY);
+        assert_eq!(
+            geometric_stretch(&peers, &graph, MetricKind::L1, 10, 0),
+            f64::INFINITY
+        );
     }
 
     #[test]

@@ -131,7 +131,11 @@ pub struct ChurnReport {
 /// Replays `schedule` against `network`, converging after every event
 /// (the paper's procedure generalised to departures).
 pub fn run_schedule(network: &mut OverlayNetwork, schedule: &ChurnSchedule) -> ChurnReport {
-    let mut report = ChurnReport { joins: 0, leaves: 0, convergence_failures: 0 };
+    let mut report = ChurnReport {
+        joins: 0,
+        leaves: 0,
+        convergence_failures: 0,
+    };
     for event in schedule.events() {
         match event {
             ChurnEvent::Join(point) => {
@@ -160,8 +164,16 @@ mod tests {
     #[test]
     fn random_schedule_has_requested_event_counts() {
         let s = ChurnSchedule::random(10, 7, 5, 2, 1000.0, 3);
-        let joins = s.events().iter().filter(|e| matches!(e, ChurnEvent::Join(_))).count();
-        let leaves = s.events().iter().filter(|e| matches!(e, ChurnEvent::Leave(_))).count();
+        let joins = s
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Join(_)))
+            .count();
+        let leaves = s
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Leave(_)))
+            .count();
         assert_eq!(joins, 7);
         assert_eq!(leaves, 5);
         assert_eq!(s.len(), 12);
@@ -201,10 +213,7 @@ mod tests {
 
     #[test]
     fn replay_keeps_overlay_connected() {
-        let mut net = OverlayNetwork::new(
-            Arc::new(EmptyRectSelection),
-            NetworkConfig::default(),
-        );
+        let mut net = OverlayNetwork::new(Arc::new(EmptyRectSelection), NetworkConfig::default());
         for p in geocast_geom::gen::uniform_points(6, 2, 1000.0, 21).into_points() {
             net.add_peer(p);
         }
@@ -216,8 +225,9 @@ mod tests {
         assert_eq!(report.convergence_failures, 0);
         // Live peers stay mutually reachable.
         let topo = net.topology();
-        let live: Vec<usize> =
-            (0..net.len()).filter(|&i| !net.has_departed(PeerId(i as u64))).collect();
+        let live: Vec<usize> = (0..net.len())
+            .filter(|&i| !net.has_departed(PeerId(i as u64)))
+            .collect();
         let dist = topo.bfs_distances(live[0]);
         for &i in &live {
             assert!(dist[i].is_some(), "live peer {i} unreachable after churn");

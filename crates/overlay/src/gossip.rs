@@ -246,7 +246,10 @@ impl Node for GossipNode {
             return; // own announcement echoed back
         }
         let origin_idx = origin.id().index();
-        if self.known.insert(origin_idx, (origin.clone(), ctx.now())).is_none()
+        if self
+            .known
+            .insert(origin_idx, (origin.clone(), ctx.now()))
+            .is_none()
             && !self.address_book.contains(&origin_idx)
         {
             self.address_book.push(origin_idx);
@@ -260,7 +263,11 @@ impl Node for GossipNode {
         *newest = seq;
         if ttl > 1 {
             let targets = self.link_partners(ctx.now(), &[from.index(), origin_idx]);
-            let fwd = OverlayMsg::Announce { origin, seq, ttl: ttl - 1 };
+            let fwd = OverlayMsg::Announce {
+                origin,
+                seq,
+                ttl: ttl - 1,
+            };
             for nbr in targets {
                 ctx.send(NodeId(nbr), fwd.clone());
             }
@@ -304,8 +311,11 @@ mod tests {
         let nodes: Vec<GossipNode> = peers
             .iter()
             .map(|p| {
-                let bootstrap =
-                    if p.id().index() == 0 { Vec::new() } else { vec![peers[0].clone()] };
+                let bootstrap = if p.id().index() == 0 {
+                    Vec::new()
+                } else {
+                    vec![peers[0].clone()]
+                };
                 GossipNode::new(p.clone(), bootstrap, selection(), GossipConfig::default())
             })
             .collect();
@@ -338,7 +348,11 @@ mod tests {
             sim.crash(NodeId(i));
         }
         sim.run_for(SimDuration::from_secs(10));
-        assert_eq!(sim.node(NodeId(0)).known_count(), 0, "stale entries must expire");
+        assert_eq!(
+            sim.node(NodeId(0)).known_count(),
+            0,
+            "stale entries must expire"
+        );
         assert!(sim.node(NodeId(0)).neighbors().is_empty());
     }
 
@@ -362,7 +376,11 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                let bootstrap = if i == 0 { Vec::new() } else { vec![peers[i - 1].clone()] };
+                let bootstrap = if i == 0 {
+                    Vec::new()
+                } else {
+                    vec![peers[i - 1].clone()]
+                };
                 GossipNode::new(p.clone(), bootstrap, selection(), config)
             })
             .collect();
@@ -416,7 +434,10 @@ mod tests {
 
     #[test]
     fn config_validation_enforces_paper_constraints() {
-        let bad_br = GossipConfig { br: 1, ..GossipConfig::default() };
+        let bad_br = GossipConfig {
+            br: 1,
+            ..GossipConfig::default()
+        };
         assert!(std::panic::catch_unwind(|| bad_br.validate()).is_err());
         let bad_tmax = GossipConfig {
             tmax: SimDuration::from_millis(500),

@@ -2,18 +2,27 @@ use std::collections::VecDeque;
 use std::fmt;
 
 /// The topology of a converged overlay: a directed graph over dense peer
-/// indices, where `out[i]` lists the peers that peer `i` selected as its
-/// overlay neighbours.
+/// indices, where the out-list of peer `i` holds the peers that `i`
+/// selected as its overlay neighbours.
+///
+/// Adjacency is stored in CSR form — one offset table plus one flat,
+/// sorted neighbour array — so a topology is two allocations regardless
+/// of peer count, cloning it (the K-sweep holds one per `K`) is two
+/// `memcpy`s, and per-peer neighbour scans are cache-linear. See
+/// `docs/PERFORMANCE.md`.
 ///
 /// The paper's degree measurements (Fig. 1a/1c) are taken over the
-/// *undirected closure*: a link counts for both endpoints whether or not
-/// the selection was mutual. (Under the empty-rectangle rule at
-/// equilibrium the relation is symmetric anyway — the spanned rectangle
-/// does not depend on direction — which
-/// [`OverlayGraph::is_symmetric`] lets tests assert.)
+/// *undirected closure* ([`OverlayGraph::undirected_closure`]): a link
+/// counts for both endpoints whether or not the selection was mutual.
+/// (Under the empty-rectangle rule at equilibrium the relation is
+/// symmetric anyway — the spanned rectangle does not depend on direction
+/// — which [`OverlayGraph::is_symmetric`] lets tests assert.)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OverlayGraph {
-    out: Vec<Vec<usize>>,
+    /// `offsets.len() == len() + 1`; the out-neighbours of peer `i` are
+    /// `targets[offsets[i]..offsets[i + 1]]`, sorted and deduplicated.
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
 }
 
 impl OverlayGraph {
@@ -28,6 +37,9 @@ impl OverlayGraph {
     #[must_use]
     pub fn from_out_neighbors(mut out: Vec<Vec<usize>>) -> Self {
         let n = out.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut total = 0usize;
         for (i, nbrs) in out.iter_mut().enumerate() {
             nbrs.sort_unstable();
             nbrs.dedup();
@@ -35,20 +47,46 @@ impl OverlayGraph {
             if let Some(&max) = nbrs.last() {
                 assert!(max < n, "neighbour index {max} out of range for {n} peers");
             }
+            total += nbrs.len();
+            offsets.push(total);
         }
-        OverlayGraph { out }
+        let mut targets = Vec::with_capacity(total);
+        for nbrs in &out {
+            targets.extend_from_slice(nbrs);
+        }
+        OverlayGraph { offsets, targets }
+    }
+
+    /// Builds a graph directly from validated CSR parts: `offsets` must
+    /// be monotone with `offsets[0] == 0`, and every per-peer segment
+    /// sorted, deduplicated, self-loop-free and in range. Used by the
+    /// construction engine, which produces exactly that shape; debug
+    /// builds re-check the invariants.
+    #[must_use]
+    pub(crate) fn from_csr(offsets: Vec<usize>, targets: Vec<usize>) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().expect("non-empty"), targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!({
+            let n = offsets.len() - 1;
+            (0..n).all(|i| {
+                let seg = &targets[offsets[i]..offsets[i + 1]];
+                seg.windows(2).all(|w| w[0] < w[1]) && seg.iter().all(|&j| j < n && j != i)
+            })
+        });
+        OverlayGraph { offsets, targets }
     }
 
     /// Number of peers.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.out.len()
+        self.offsets.len() - 1
     }
 
     /// `true` if the graph has no peers.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.out.is_empty()
+        self.len() == 0
     }
 
     /// The out-neighbours peer `i` selected (sorted, deduplicated).
@@ -58,47 +96,94 @@ impl OverlayGraph {
     /// Panics if `i` is out of range.
     #[must_use]
     pub fn out_neighbors(&self, i: usize) -> &[usize] {
-        &self.out[i]
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
     }
 
     /// Number of directed edges.
     #[must_use]
     pub fn directed_edge_count(&self) -> usize {
-        self.out.iter().map(Vec::len).sum()
+        self.targets.len()
     }
 
-    /// The undirected closure: `undirected[i]` contains `j` iff `i`
-    /// selected `j` or `j` selected `i`.
+    /// The undirected closure as a graph: peer `i` links `j` iff `i`
+    /// selected `j` or `j` selected `i`. Symmetric by construction,
+    /// stored in the same CSR layout (no per-peer allocations).
     #[must_use]
-    pub fn undirected(&self) -> Vec<Vec<usize>> {
-        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.out.len()];
-        for (i, nbrs) in self.out.iter().enumerate() {
-            for &j in nbrs {
-                adj[i].push(j);
-                adj[j].push(i);
+    pub fn undirected_closure(&self) -> OverlayGraph {
+        let n = self.len();
+        // Degree counting pass: each directed edge contributes to both
+        // endpoints; mutual pairs are then deduplicated in the fill.
+        let mut counts = vec![0usize; n + 1];
+        for i in 0..n {
+            for &j in self.out_neighbors(i) {
+                counts[i + 1] += 1;
+                counts[j + 1] += 1;
             }
         }
-        for list in &mut adj {
-            list.sort_unstable();
-            list.dedup();
+        for i in 0..n {
+            counts[i + 1] += counts[i];
         }
-        adj
+        let mut cursor = counts.clone();
+        let mut targets = vec![0usize; *counts.last().unwrap_or(&0)];
+        for i in 0..n {
+            for &j in self.out_neighbors(i) {
+                targets[cursor[i]] = j;
+                cursor[i] += 1;
+                targets[cursor[j]] = i;
+                cursor[j] += 1;
+            }
+        }
+        // Sort and dedup each segment in place, then compact.
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut write = 0usize;
+        for i in 0..n {
+            let (start, end) = (counts[i], counts[i + 1]);
+            targets[start..end].sort_unstable();
+            let mut prev = usize::MAX;
+            for r in start..end {
+                let v = targets[r];
+                if v != prev {
+                    targets[write] = v;
+                    write += 1;
+                    prev = v;
+                }
+            }
+            offsets.push(write);
+        }
+        targets.truncate(write);
+        OverlayGraph::from_csr(offsets, targets)
+    }
+
+    /// The undirected closure as per-peer neighbour lists (compat shape;
+    /// [`OverlayGraph::undirected_closure`] avoids the per-peer
+    /// allocations).
+    #[must_use]
+    pub fn undirected(&self) -> Vec<Vec<usize>> {
+        let closure = self.undirected_closure();
+        (0..closure.len())
+            .map(|i| closure.out_neighbors(i).to_vec())
+            .collect()
     }
 
     /// Undirected degree of every peer (the paper's "degree of a peer
     /// within the obtained P2P topology").
     #[must_use]
     pub fn undirected_degrees(&self) -> Vec<usize> {
-        self.undirected().iter().map(Vec::len).collect()
+        let closure = self.undirected_closure();
+        (0..closure.len())
+            .map(|i| closure.out_neighbors(i).len())
+            .collect()
     }
 
     /// `true` if every selected link is mutual (`i → j` implies `j → i`).
     #[must_use]
     pub fn is_symmetric(&self) -> bool {
-        self.out
-            .iter()
-            .enumerate()
-            .all(|(i, nbrs)| nbrs.iter().all(|&j| self.out[j].binary_search(&i).is_ok()))
+        (0..self.len()).all(|i| {
+            self.out_neighbors(i)
+                .iter()
+                .all(|&j| self.out_neighbors(j).binary_search(&i).is_ok())
+        })
     }
 
     /// BFS hop distances from `start` over the undirected closure;
@@ -109,13 +194,13 @@ impl OverlayGraph {
     /// Panics if `start` is out of range.
     #[must_use]
     pub fn bfs_distances(&self, start: usize) -> Vec<Option<usize>> {
-        let adj = self.undirected();
-        let mut dist = vec![None; self.out.len()];
+        let adj = self.undirected_closure();
+        let mut dist = vec![None; self.len()];
         dist[start] = Some(0);
         let mut queue = VecDeque::from([start]);
         while let Some(u) = queue.pop_front() {
             let du = dist[u].expect("queued nodes have distances");
-            for &v in &adj[u] {
+            for &v in adj.out_neighbors(u) {
                 if dist[v].is_none() {
                     dist[v] = Some(du + 1);
                     queue.push_back(v);
@@ -129,7 +214,7 @@ impl OverlayGraph {
     /// graph is connected.
     #[must_use]
     pub fn is_connected_undirected(&self) -> bool {
-        if self.out.is_empty() {
+        if self.is_empty() {
             return true;
         }
         self.bfs_distances(0).iter().all(Option::is_some)
@@ -180,6 +265,17 @@ mod tests {
     }
 
     #[test]
+    fn undirected_closure_graph_matches_lists() {
+        let g = OverlayGraph::from_out_neighbors(vec![vec![1, 2], vec![2], vec![], vec![0]]);
+        let closure = g.undirected_closure();
+        assert!(closure.is_symmetric());
+        let lists = g.undirected();
+        for (i, list) in lists.iter().enumerate() {
+            assert_eq!(closure.out_neighbors(i), &list[..], "peer {i}");
+        }
+    }
+
+    #[test]
     fn symmetry_detection() {
         assert!(!path3().is_symmetric());
         let sym = OverlayGraph::from_out_neighbors(vec![vec![1], vec![0, 2], vec![1]]);
@@ -205,6 +301,14 @@ mod tests {
         let g = OverlayGraph::from_out_neighbors(vec![]);
         assert!(g.is_connected_undirected());
         assert!(g.is_empty());
+    }
+
+    #[test]
+    fn csr_fast_path_equals_validated_construction() {
+        let lists = vec![vec![1, 2], vec![0], vec![]];
+        let via_lists = OverlayGraph::from_out_neighbors(lists);
+        let via_csr = OverlayGraph::from_csr(vec![0, 2, 3, 3], vec![1, 2, 0]);
+        assert_eq!(via_lists, via_csr);
     }
 
     #[test]

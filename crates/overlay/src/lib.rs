@@ -20,8 +20,12 @@
 //! * [`oracle`] — the *equilibrium* topology, computed directly from the
 //!   full point set (the paper's definition of convergence target:
 //!   "the one obtained when every peer P knows all the other peers").
-//! * [`OverlayGraph`] — the resulting topology, with the analyses the
-//!   figures need (degrees, connectivity, BFS).
+//! * [`OverlayGraph`] — the resulting topology in a flat CSR layout,
+//!   with the analyses the figures need (degrees, connectivity, BFS).
+//!
+//! The equilibrium construction engine (spatial index, batch selection,
+//! per-peer parallelism) and its measured scaling behaviour are
+//! documented in `docs/PERFORMANCE.md` at the repository root.
 //!
 //! # Example: equilibrium topology under the empty-rectangle rule
 //!
@@ -40,6 +44,7 @@
 
 mod graph;
 mod network;
+mod par;
 mod peer;
 
 pub mod analysis;

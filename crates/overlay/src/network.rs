@@ -80,10 +80,7 @@ pub struct OverlayNetwork {
 impl OverlayNetwork {
     /// Creates an empty overlay.
     #[must_use]
-    pub fn new(
-        selection: Arc<dyn NeighborSelection + Send + Sync>,
-        config: NetworkConfig,
-    ) -> Self {
+    pub fn new(selection: Arc<dyn NeighborSelection + Send + Sync>, config: NetworkConfig) -> Self {
         config.gossip.validate();
         OverlayNetwork {
             sim: Simulation::builder(Vec::new()).seed(config.seed).build(),
@@ -139,8 +136,9 @@ impl OverlayNetwork {
     pub fn add_peer(&mut self, point: Point) -> PeerId {
         let id = PeerId(self.peers.len() as u64);
         let info = PeerInfo::new(id, point);
-        let live: Vec<usize> =
-            (0..self.peers.len()).filter(|&i| !self.departed[i]).collect();
+        let live: Vec<usize> = (0..self.peers.len())
+            .filter(|&i| !self.departed[i])
+            .collect();
         let bootstrap = if live.is_empty() {
             Vec::new()
         } else {
@@ -149,7 +147,12 @@ impl OverlayNetwork {
         };
         self.peers.push(info.clone());
         self.departed.push(false);
-        let node = GossipNode::new(info, bootstrap, Arc::clone(&self.selection), self.config.gossip);
+        let node = GossipNode::new(
+            info,
+            bootstrap,
+            Arc::clone(&self.selection),
+            self.config.gossip,
+        );
         let node_id = self.sim.spawn(node);
         debug_assert_eq!(node_id.index(), id.index(), "NodeId/PeerId alignment");
         id
@@ -177,14 +180,20 @@ impl OverlayNetwork {
             if current == last {
                 stable += 1;
                 if stable >= self.config.stable_checks {
-                    return ConvergenceReport { converged: true, checks };
+                    return ConvergenceReport {
+                        converged: true,
+                        checks,
+                    };
                 }
             } else {
                 stable = 0;
                 last = current;
             }
         }
-        ConvergenceReport { converged: false, checks: self.config.max_checks }
+        ConvergenceReport {
+            converged: false,
+            checks: self.config.max_checks,
+        }
     }
 
     /// The current topology over **live** peers: departed peers keep
@@ -240,7 +249,10 @@ mod tests {
     fn network(seed: u64) -> OverlayNetwork {
         OverlayNetwork::new(
             Arc::new(EmptyRectSelection),
-            NetworkConfig { seed, ..NetworkConfig::default() },
+            NetworkConfig {
+                seed,
+                ..NetworkConfig::default()
+            },
         )
     }
 
@@ -283,7 +295,10 @@ mod tests {
         let topo = net.topology();
         assert!(topo.out_neighbors(3).is_empty());
         for i in 0..topo.len() {
-            assert!(!topo.out_neighbors(i).contains(&3), "peer {i} still links to departed");
+            assert!(
+                !topo.out_neighbors(i).contains(&3),
+                "peer {i} still links to departed"
+            );
         }
     }
 

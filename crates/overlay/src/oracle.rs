@@ -4,47 +4,82 @@
 //! "obtained when every peer P knows all the other peers in the system
 //! (i.e. when I(P) contains all the peers except P)". This module
 //! computes that topology directly, which is how the figure-scale
-//! experiments (up to N = 5000) stay tractable; the integration tests
-//! cross-validate it against the actual gossip protocol on small
-//! networks.
+//! experiments stay tractable; the integration tests cross-validate it
+//! against the actual gossip protocol on small networks.
+//!
+//! # The construction engine
+//!
+//! [`equilibrium`] is the hot path of every figure sweep, bench and
+//! churn scenario. It builds a [`GridIndex`] over the population once
+//! and lets each selection method answer from it through the batch
+//! [`NeighborSelection::select_in`] API — no `O(N)` candidate vector
+//! per peer, no `O(N²)` aggregate allocation — and fans the per-peer
+//! selection out across CPU cores (the `parallel` feature, on by
+//! default). Results are **exactly** the brute-force topology:
+//! [`equilibrium_brute_force`] keeps the definitional path alive, and
+//! property tests assert graph equality between the two on every
+//! selection rule. See `docs/PERFORMANCE.md` for the numbers.
 
-use geocast_geom::{Metric, MetricKind, Orthant};
+use geocast_geom::{GridIndex, Metric, MetricKind, Orthant};
 
 use crate::graph::OverlayGraph;
+use crate::par;
 use crate::peer::PeerInfo;
-use crate::select::NeighborSelection;
+use crate::select::{ids_in_slice_order, NeighborSelection, SelectContext};
 
 /// The equilibrium overlay: every peer applies `selection` to the full
-/// candidate set (everyone but itself).
+/// candidate set (everyone but itself), accelerated by a spatial index
+/// and per-peer parallelism.
 ///
-/// Peer `i` of the slice becomes graph vertex `i`.
+/// Peer `i` of the slice becomes graph vertex `i`. Exactly equivalent
+/// to [`equilibrium_brute_force`] (property-tested).
 #[must_use]
-pub fn equilibrium(peers: &[PeerInfo], selection: &dyn NeighborSelection) -> OverlayGraph {
-    let out = peers
-        .iter()
-        .enumerate()
-        .map(|(i, who)| {
-            let candidates: Vec<&PeerInfo> = peers
-                .iter()
-                .enumerate()
-                .filter_map(|(j, p)| (j != i).then_some(p))
-                .collect();
-            selection
-                .select(who, &candidates)
-                .into_iter()
-                .map(|ci| if ci < i { ci } else { ci + 1 }) // undo the self-gap
-                .collect()
-        })
+pub fn equilibrium<S>(peers: &[PeerInfo], selection: &S) -> OverlayGraph
+where
+    S: NeighborSelection + Sync + ?Sized,
+{
+    let index = build_index(peers);
+    let ctx = match &index {
+        Some(ix) => SelectContext::with_index(ix, ids_in_slice_order(peers)),
+        None => SelectContext::without_index(),
+    };
+    let out = par::map_indexed(peers.len(), |i| selection.select_in(peers, i, &ctx));
+    OverlayGraph::from_out_neighbors(out)
+}
+
+/// The definitional equilibrium: sequential, no index — each peer runs
+/// plain [`NeighborSelection::select`] over a materialized candidate
+/// slice. Kept as the executable specification the engine is
+/// property-tested against, and as the baseline the scaling bench
+/// measures speedups over.
+#[must_use]
+pub fn equilibrium_brute_force(
+    peers: &[PeerInfo],
+    selection: &dyn NeighborSelection,
+) -> OverlayGraph {
+    let ctx = SelectContext::without_index();
+    let out = (0..peers.len())
+        .map(|i| selection.select_in(peers, i, &ctx))
         .collect();
     OverlayGraph::from_out_neighbors(out)
+}
+
+/// Builds the shared spatial index when the population shape supports
+/// it (at least two peers, indexable dimensionality).
+fn build_index(peers: &[PeerInfo]) -> Option<GridIndex> {
+    if peers.len() < 2 || peers[0].point().dim() > geocast_geom::index::MAX_INDEX_DIM {
+        return None;
+    }
+    Some(GridIndex::build(peers))
 }
 
 /// Equilibrium topologies of the *Orthogonal Hyperplanes* method for a
 /// whole sweep of `K` values at once.
 ///
 /// The §3 experiments vary `K` from 1 to 50 for each dimensionality;
-/// sorting each peer's orthant groups once and taking prefixes makes the
-/// sweep `O(N² D + N·Σk)` instead of 50 independent selections. The
+/// ranking each peer's orthant groups once (truncated to the largest
+/// requested `K`) and taking prefixes makes the sweep one ranking pass
+/// plus `O(N·Σk)` assembly instead of 50 independent selections. The
 /// result pairs each requested `K` with its topology, in input order.
 ///
 /// Equivalence with [`equilibrium`] over
@@ -87,31 +122,10 @@ pub fn orthogonal_k_sweep_with(
         }
         return;
     }
-    let dim = peers[0].point().dim();
-    // For each peer: orthant groups sorted by (distance, id).
-    let sorted_groups: Vec<Vec<Vec<usize>>> = peers
-        .iter()
-        .enumerate()
-        .map(|(i, who)| {
-            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); Orthant::count(dim)];
-            for (j, cand) in peers.iter().enumerate() {
-                if j == i {
-                    continue;
-                }
-                let o = Orthant::classify(who.point(), cand.point())
-                    .expect("distinct coordinates classify totally");
-                groups[o.index()].push(j);
-            }
-            for group in &mut groups {
-                group.sort_by(|&a, &b| {
-                    let da = metric.dist(who.point(), peers[a].point());
-                    let db = metric.dist(who.point(), peers[b].point());
-                    da.total_cmp(&db).then_with(|| peers[a].id().cmp(&peers[b].id()))
-                });
-            }
-            groups
-        })
-        .collect();
+    let Some(kmax) = ks.iter().copied().max() else {
+        return; // an empty sweep visits nothing
+    };
+    let sorted_groups = ranked_orthant_groups(peers, metric, kmax);
 
     for &k in ks {
         let out: Vec<Vec<usize>> = sorted_groups
@@ -128,6 +142,62 @@ pub fn orthogonal_k_sweep_with(
     }
 }
 
+/// For each peer: per-orthant candidate indices ranked by
+/// `(distance, id)` ascending, truncated to the best `kmax`. Uses the
+/// spatial index when distance ties broken by id and by slice position
+/// coincide; falls back to the full ranking pass otherwise.
+fn ranked_orthant_groups(
+    peers: &[PeerInfo],
+    metric: MetricKind,
+    kmax: usize,
+) -> Vec<Vec<Vec<usize>>> {
+    let dim = peers[0].point().dim();
+    let index = if ids_in_slice_order(peers) {
+        build_index(peers)
+    } else {
+        None
+    };
+    par::map_indexed(peers.len(), |i| {
+        if let Some(ix) = &index {
+            if let Some(groups) = ix.k_nearest_per_orthant(i, kmax, metric) {
+                return groups;
+            }
+        }
+        ranked_orthant_groups_brute(peers, i, dim, metric, kmax)
+    })
+}
+
+/// The definitional ranking for one peer: classify every other peer
+/// into an orthant, sort each group by `(distance, id)`, truncate.
+fn ranked_orthant_groups_brute(
+    peers: &[PeerInfo],
+    i: usize,
+    dim: usize,
+    metric: MetricKind,
+    kmax: usize,
+) -> Vec<Vec<usize>> {
+    let who = &peers[i];
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); Orthant::count(dim)];
+    for (j, cand) in peers.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        let o = Orthant::classify(who.point(), cand.point())
+            .expect("distinct coordinates classify totally");
+        groups[o.index()].push(j);
+    }
+    for group in &mut groups {
+        group.sort_by(|&a, &b| {
+            let da = metric.dist(who.point(), peers[a].point());
+            let db = metric.dist(who.point(), peers[b].point());
+            da.total_cmp(&db)
+                .then_with(|| peers[a].id().cmp(&peers[b].id()))
+        });
+        group.truncate(kmax);
+    }
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,8 +212,18 @@ mod tests {
     fn empty_rect_equilibrium_is_symmetric_and_connected() {
         let population = peers(120, 2, 3);
         let g = equilibrium(&population, &EmptyRectSelection);
-        assert!(g.is_symmetric(), "empty-rect links are mutual at equilibrium");
+        assert!(
+            g.is_symmetric(),
+            "empty-rect links are mutual at equilibrium"
+        );
         assert!(g.is_connected_undirected());
+    }
+
+    #[test]
+    fn empty_k_sweep_is_a_no_op() {
+        let population = peers(20, 2, 3);
+        assert!(orthogonal_k_sweep(&population, MetricKind::L1, &[]).is_empty());
+        assert!(orthogonal_k_sweep(&[], MetricKind::L1, &[]).is_empty());
     }
 
     #[test]
@@ -163,6 +243,44 @@ mod tests {
         for i in 0..g.len() {
             assert!(!g.out_neighbors(i).contains(&i));
         }
+    }
+
+    #[test]
+    fn engine_equals_brute_force_on_both_rules() {
+        for &(n, dim, seed) in &[(60usize, 2usize, 21u64), (80, 3, 22), (40, 4, 23)] {
+            let population = peers(n, dim, seed);
+            assert_eq!(
+                equilibrium(&population, &EmptyRectSelection),
+                equilibrium_brute_force(&population, &EmptyRectSelection),
+                "empty-rect n={n} dim={dim}"
+            );
+            for k in [1usize, 3] {
+                let sel = HyperplanesSelection::orthogonal(dim, k, MetricKind::L1);
+                assert_eq!(
+                    equilibrium(&population, &sel),
+                    equilibrium_brute_force(&population, &sel),
+                    "orthogonal K={k} n={n} dim={dim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_handles_non_dense_peer_ids() {
+        // Shuffled / sparse ids must not break the accelerated paths:
+        // the id-order gate routes Hyperplanes to the brute path while
+        // empty-rect (id-independent) still uses the index.
+        let mut population = peers(50, 2, 31);
+        population.reverse(); // ids now descend: 49, 48, ...
+        assert_eq!(
+            equilibrium(&population, &EmptyRectSelection),
+            equilibrium_brute_force(&population, &EmptyRectSelection),
+        );
+        let sel = HyperplanesSelection::orthogonal(2, 2, MetricKind::L2);
+        assert_eq!(
+            equilibrium(&population, &sel),
+            equilibrium_brute_force(&population, &sel),
+        );
     }
 
     #[test]
@@ -220,8 +338,12 @@ mod tests {
         let g2 = equilibrium(&reversed, &EmptyRectSelection);
         let n = population.len();
         for i in 0..n {
-            let mapped: Vec<usize> =
-                g2.out_neighbors(n - 1 - i).iter().map(|&j| n - 1 - j).rev().collect();
+            let mapped: Vec<usize> = g2
+                .out_neighbors(n - 1 - i)
+                .iter()
+                .map(|&j| n - 1 - j)
+                .rev()
+                .collect();
             assert_eq!(g1.out_neighbors(i), &mapped[..], "peer {i}");
         }
     }

@@ -89,7 +89,11 @@ impl PeerInfo {
     /// Creates a peer description.
     #[must_use]
     pub fn new(id: PeerId, point: Point) -> Self {
-        PeerInfo { id, addr: PeerAddr::from_id(id), point }
+        PeerInfo {
+            id,
+            addr: PeerAddr::from_id(id),
+            point,
+        }
     }
 
     /// Builds dense-id peers from a point set (peer `i` gets `PeerId(i)`),

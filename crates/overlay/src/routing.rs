@@ -79,19 +79,27 @@ pub fn greedy_route(
 ) -> RouteResult {
     assert_eq!(peers.len(), graph.len(), "peer/overlay size mismatch");
     assert!(from < peers.len(), "source out of range");
-    assert_eq!(peers[from].point().dim(), target.dim(), "target dimensionality mismatch");
+    assert_eq!(
+        peers[from].point().dim(),
+        target.dim(),
+        "target dimensionality mismatch"
+    );
 
-    let adj = graph.undirected();
+    let adj = graph.undirected_closure();
     let mut path = vec![from];
     let mut current = from;
     let mut current_dist = metric.dist(peers[current].point(), target);
 
     for _ in 0..max_hops {
         if current_dist == 0.0 {
-            return RouteResult { path, delivered: true, local_minimum: false };
+            return RouteResult {
+                path,
+                delivered: true,
+                local_minimum: false,
+            };
         }
         let mut best: Option<(usize, f64)> = None;
-        for &nbr in &adj[current] {
+        for &nbr in adj.out_neighbors(current) {
             let d = metric.dist(peers[nbr].point(), target);
             if d < current_dist {
                 let better = match best {
@@ -110,12 +118,20 @@ pub fn greedy_route(
                 current_dist = d;
             }
             None => {
-                return RouteResult { path, delivered: current_dist == 0.0, local_minimum: true };
+                return RouteResult {
+                    path,
+                    delivered: current_dist == 0.0,
+                    local_minimum: true,
+                };
             }
         }
     }
     let delivered = current_dist == 0.0;
-    RouteResult { path, delivered, local_minimum: false }
+    RouteResult {
+        path,
+        delivered,
+        local_minimum: false,
+    }
 }
 
 /// Routes greedily from `from` towards a **region**, minimising at each
@@ -147,22 +163,30 @@ pub fn greedy_route_to_rect(
     assert_eq!(peers.len(), graph.len(), "peer/overlay size mismatch");
     assert!(from < peers.len(), "source out of range");
     assert!(!region.is_empty(), "region must be non-empty");
-    assert_eq!(peers[from].point().dim(), region.dim(), "region dimensionality mismatch");
+    assert_eq!(
+        peers[from].point().dim(),
+        region.dim(),
+        "region dimensionality mismatch"
+    );
 
     let box_dist =
         |i: usize| -> f64 { metric.dist(peers[i].point(), &region.clamp(peers[i].point())) };
 
-    let adj = graph.undirected();
+    let adj = graph.undirected_closure();
     let mut path = vec![from];
     let mut current = from;
     let mut current_dist = box_dist(current);
 
     for _ in 0..max_hops {
         if region.contains(peers[current].point()) {
-            return RouteResult { path, delivered: true, local_minimum: false };
+            return RouteResult {
+                path,
+                delivered: true,
+                local_minimum: false,
+            };
         }
         let mut best: Option<(usize, f64)> = None;
-        for &nbr in &adj[current] {
+        for &nbr in adj.out_neighbors(current) {
             let d = box_dist(nbr);
             if d < current_dist {
                 let better = match best {
@@ -182,12 +206,20 @@ pub fn greedy_route_to_rect(
             }
             None => {
                 let delivered = region.contains(peers[current].point());
-                return RouteResult { path, delivered, local_minimum: true };
+                return RouteResult {
+                    path,
+                    delivered,
+                    local_minimum: true,
+                };
             }
         }
     }
     let delivered = region.contains(peers[current].point());
-    RouteResult { path, delivered, local_minimum: false }
+    RouteResult {
+        path,
+        delivered,
+        local_minimum: false,
+    }
 }
 
 /// Routes from `from` to the peer `to` (target = that peer's
@@ -265,8 +297,11 @@ mod tests {
         let (peers, graph) = setup(70, 2, 7);
         let route = route_to_peer(&peers, &graph, 3, 55, MetricKind::L1);
         let target = peers[55].point();
-        let dists: Vec<f64> =
-            route.path.iter().map(|&i| MetricKind::L1.dist(peers[i].point(), target)).collect();
+        let dists: Vec<f64> = route
+            .path
+            .iter()
+            .map(|&i| MetricKind::L1.dist(peers[i].point(), target))
+            .collect();
         for w in dists.windows(2) {
             assert!(w[1] < w[0], "non-decreasing step: {dists:?}");
         }
@@ -320,8 +355,7 @@ mod tests {
             assert!(best.1 > 2, "workload too small");
             best.0
         });
-        let truncated =
-            greedy_route(&peers, &graph, from, peers[to].point(), MetricKind::L1, 2);
+        let truncated = greedy_route(&peers, &graph, from, peers[to].point(), MetricKind::L1, 2);
         assert_eq!(truncated.hops(), 2);
         assert!(!truncated.delivered);
         assert!(!truncated.local_minimum);

@@ -1,7 +1,7 @@
 use geocast_geom::dominance;
 
 use crate::peer::PeerInfo;
-use crate::select::NeighborSelection;
+use crate::select::{select_in_brute, NeighborSelection, SelectContext};
 
 /// The §2 neighbour-selection rule: `Q ∈ I(P)` becomes a neighbour iff
 /// the axis-aligned hyper-rectangle having `P` and `Q` as corners
@@ -38,6 +38,20 @@ pub struct EmptyRectSelection;
 impl NeighborSelection for EmptyRectSelection {
     fn select(&self, who: &PeerInfo, candidates: &[&PeerInfo]) -> Vec<usize> {
         dominance::empty_rect_neighbors(who.point(), candidates)
+    }
+
+    fn select_in(&self, peers: &[PeerInfo], i: usize, ctx: &SelectContext<'_>) -> Vec<usize> {
+        // The frontier is a function of coordinates only (no id
+        // tie-breaking), so the index path applies whenever an index
+        // exists; it declines (None) on coordinate collisions, exactly
+        // when `dominance::empty_rect_neighbors` would fall back to the
+        // naive rule, which `select_in_brute` then reproduces.
+        if let Some(index) = ctx.index() {
+            if let Some(picked) = index.empty_rect_neighbors(i) {
+                return picked;
+            }
+        }
+        select_in_brute(self, peers, i)
     }
 
     fn name(&self) -> String {

@@ -3,7 +3,7 @@ use std::collections::HashMap;
 use geocast_geom::{Arrangement, Metric, MetricKind, RegionKey};
 
 use crate::peer::PeerInfo;
-use crate::select::NeighborSelection;
+use crate::select::{select_in_brute, NeighborSelection, SelectContext};
 
 /// The paper's generic *Hyperplanes* neighbour-selection method.
 ///
@@ -58,7 +58,11 @@ impl HyperplanesSelection {
     #[must_use]
     pub fn new(arrangement: Arrangement, k: usize, metric: MetricKind) -> Self {
         assert!(k > 0, "K must be at least 1");
-        HyperplanesSelection { arrangement, k, metric }
+        HyperplanesSelection {
+            arrangement,
+            k,
+            metric,
+        }
     }
 
     /// Instance 1: the *Orthogonal Hyperplanes* method.
@@ -110,12 +114,32 @@ impl NeighborSelection for HyperplanesSelection {
             group.sort_by(|&a, &b| {
                 let da = self.metric.dist(who.point(), candidates[a].point());
                 let db = self.metric.dist(who.point(), candidates[b].point());
-                da.total_cmp(&db).then_with(|| candidates[a].id().cmp(&candidates[b].id()))
+                da.total_cmp(&db)
+                    .then_with(|| candidates[a].id().cmp(&candidates[b].id()))
             });
             picked.extend(group.iter().take(self.k));
         }
         picked.sort_unstable();
         picked
+    }
+
+    fn select_in(&self, peers: &[PeerInfo], i: usize, ctx: &SelectContext<'_>) -> Vec<usize> {
+        // The index answers per-orthant K-nearest queries, which match
+        // this method exactly when (a) the arrangement is the orthogonal
+        // one (regions = orthants), and (b) distance ties broken by peer
+        // id coincide with ties broken by slice position. The index
+        // declines (None) on coordinate collisions, where region
+        // classification and orthant classification part ways.
+        if let Some(index) = ctx.index() {
+            if ctx.ids_in_slice_order() && self.arrangement.is_orthogonal() {
+                if let Some(groups) = index.k_nearest_per_orthant(i, self.k, self.metric) {
+                    let mut picked: Vec<usize> = groups.into_iter().flatten().collect();
+                    picked.sort_unstable();
+                    return picked;
+                }
+            }
+        }
+        select_in_brute(self, peers, i)
     }
 
     fn name(&self) -> String {
@@ -189,7 +213,11 @@ mod tests {
             .collect();
         let represented: std::collections::HashSet<u32> = picked
             .iter()
-            .map(|&ci| Orthant::classify(who.point(), cands[ci].point()).unwrap().bits())
+            .map(|&ci| {
+                Orthant::classify(who.point(), cands[ci].point())
+                    .unwrap()
+                    .bits()
+            })
             .collect();
         assert_eq!(populated, represented);
     }

@@ -26,7 +26,89 @@ mod hyperplanes;
 pub use empty_rect::EmptyRectSelection;
 pub use hyperplanes::HyperplanesSelection;
 
+use geocast_geom::GridIndex;
+
 use crate::peer::PeerInfo;
+
+/// Shared acceleration state for batch selection over a fixed peer
+/// population ([`NeighborSelection::select_in`]).
+///
+/// Built once per topology construction (by [`crate::oracle`]) and
+/// shared by every per-peer call; methods that cannot exploit it simply
+/// ignore it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelectContext<'a> {
+    index: Option<&'a GridIndex>,
+    ids_in_slice_order: bool,
+}
+
+impl<'a> SelectContext<'a> {
+    /// A context with no acceleration: every `select_in` call takes its
+    /// brute-force path.
+    #[must_use]
+    pub fn without_index() -> Self {
+        SelectContext {
+            index: None,
+            ids_in_slice_order: false,
+        }
+    }
+
+    /// A context backed by a spatial index built over exactly the peer
+    /// slice handed to `select_in`, in the same order.
+    ///
+    /// `ids_in_slice_order` must be `true` iff `peers[j].id().index() == j`
+    /// for every `j` (check with [`ids_in_slice_order`]); it gates
+    /// accelerated paths whose distance tie-breaking uses slice
+    /// positions in place of peer ids.
+    #[must_use]
+    pub fn with_index(index: &'a GridIndex, ids_in_slice_order: bool) -> Self {
+        SelectContext {
+            index: Some(index),
+            ids_in_slice_order,
+        }
+    }
+
+    /// The spatial index over the peer slice, if one was built.
+    #[must_use]
+    pub fn index(&self) -> Option<&'a GridIndex> {
+        self.index
+    }
+
+    /// `true` if peer ids coincide with slice positions.
+    #[must_use]
+    pub fn ids_in_slice_order(&self) -> bool {
+        self.ids_in_slice_order
+    }
+}
+
+/// `true` iff every peer's id equals its slice position — the standard
+/// experiment workload shape ([`PeerInfo::from_point_set`]), under which
+/// id-based and position-based distance tie-breaking agree.
+#[must_use]
+pub fn ids_in_slice_order(peers: &[PeerInfo]) -> bool {
+    peers.iter().enumerate().all(|(j, p)| p.id().index() == j)
+}
+
+/// The uniform brute-force batch path: materialize the candidate slice
+/// (everyone but `i`), run [`NeighborSelection::select`], and translate
+/// candidate indices back to slice positions. This is the one place the
+/// self-gap re-indexing lives.
+pub(crate) fn select_in_brute<S: NeighborSelection + ?Sized>(
+    selection: &S,
+    peers: &[PeerInfo],
+    i: usize,
+) -> Vec<usize> {
+    let candidates: Vec<&PeerInfo> = peers
+        .iter()
+        .enumerate()
+        .filter_map(|(j, p)| (j != i).then_some(p))
+        .collect();
+    selection
+        .select(&peers[i], &candidates)
+        .into_iter()
+        .map(|ci| if ci < i { ci } else { ci + 1 }) // undo the self-gap
+        .collect()
+}
 
 /// A neighbour-selection method: a deterministic map from
 /// `(peer, candidate set)` to selected out-neighbours.
@@ -36,6 +118,20 @@ use crate::peer::PeerInfo;
 pub trait NeighborSelection {
     /// Selects overlay out-neighbours of `who` among `candidates`.
     fn select(&self, who: &PeerInfo, candidates: &[&PeerInfo]) -> Vec<usize>;
+
+    /// Batch path: selects the out-neighbours of `peers[i]` among all
+    /// other peers of the slice, returning slice positions sorted
+    /// ascending.
+    ///
+    /// Semantically identical to running [`NeighborSelection::select`]
+    /// on the candidate slice `peers \ {peers[i]}` (property tests
+    /// assert equality); implementations override it to answer from
+    /// `ctx`'s spatial index without materializing the `O(N)` candidate
+    /// vector per peer.
+    fn select_in(&self, peers: &[PeerInfo], i: usize, ctx: &SelectContext<'_>) -> Vec<usize> {
+        let _ = ctx;
+        select_in_brute(self, peers, i)
+    }
 
     /// Human-readable method name for reports.
     fn name(&self) -> String;

@@ -16,6 +16,147 @@ fn peers(n: usize, dim: usize, seed: u64) -> Vec<PeerInfo> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
+    /// THE engine guarantee: the spatially-indexed, parallel equilibrium
+    /// is bit-identical to the brute-force definitional path, for the
+    /// empty-rectangle rule.
+    #[test]
+    fn indexed_equilibrium_equals_brute_force_empty_rect(
+        n in 2usize..120,
+        dim in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let population = peers(n, dim, seed);
+        let engine = oracle::equilibrium(&population, &EmptyRectSelection);
+        let brute = oracle::equilibrium_brute_force(&population, &EmptyRectSelection);
+        prop_assert_eq!(engine, brute);
+    }
+
+    /// Same engine guarantee for the Hyperplanes family: orthogonal
+    /// instances take the per-orthant index path, signed and K-closest
+    /// instances the fallback — all must equal the brute-force result.
+    #[test]
+    fn indexed_equilibrium_equals_brute_force_hyperplanes(
+        n in 2usize..80,
+        dim in 1usize..4,
+        k in 1usize..5,
+        seed in 0u64..10_000,
+        variant in 0usize..3,
+    ) {
+        let population = peers(n, dim, seed);
+        let sel = match variant {
+            0 => HyperplanesSelection::orthogonal(dim, k, MetricKind::L1),
+            1 => HyperplanesSelection::signed(dim, k, MetricKind::L1),
+            _ => HyperplanesSelection::k_closest(dim, k, MetricKind::L2),
+        };
+        let engine = oracle::equilibrium(&population, &sel);
+        let brute = oracle::equilibrium_brute_force(&population, &sel);
+        prop_assert_eq!(engine, brute, "variant {}", variant);
+    }
+
+    /// The batch selection API is position-for-position the same as the
+    /// candidate-slice API with the self-gap re-indexing applied.
+    #[test]
+    fn select_in_matches_select_with_reindexing(
+        n in 2usize..60,
+        dim in 1usize..4,
+        seed in 0u64..10_000,
+        who_pick in 0usize..1000,
+    ) {
+        use geocast_overlay::select::SelectContext;
+        let population = peers(n, dim, seed);
+        let i = who_pick % n;
+        let cands: Vec<&PeerInfo> = population
+            .iter()
+            .enumerate()
+            .filter_map(|(j, p)| (j != i).then_some(p))
+            .collect();
+        let ctx = SelectContext::without_index();
+        for sel in [
+            Box::new(EmptyRectSelection) as Box<dyn NeighborSelection>,
+            Box::new(HyperplanesSelection::orthogonal(dim, 2, MetricKind::L1)),
+        ] {
+            let direct: Vec<usize> = sel
+                .select(&population[i], &cands)
+                .into_iter()
+                .map(|ci| if ci < i { ci } else { ci + 1 })
+                .collect();
+            prop_assert_eq!(sel.select_in(&population, i, &ctx), direct);
+        }
+    }
+
+    /// CSR round-trip: whatever lists go into `from_out_neighbors` come
+    /// back out of `out_neighbors` sorted, deduplicated and
+    /// self-loop-free — and the graph equals a rebuild from its own
+    /// neighbour lists.
+    #[test]
+    fn csr_graph_round_trips(
+        n in 1usize..40,
+        seed in 0u64..10_000,
+        density in 1usize..8,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out: Vec<Vec<usize>> = (0..n)
+            .map(|_| (0..density).map(|_| rng.random_range(0..n)).collect())
+            .collect();
+        let g = geocast_overlay::OverlayGraph::from_out_neighbors(out.clone());
+        for (i, lists) in out.iter().enumerate() {
+            let mut want: Vec<usize> = lists.iter().copied().filter(|&j| j != i).collect();
+            want.sort_unstable();
+            want.dedup();
+            prop_assert_eq!(g.out_neighbors(i), &want[..], "peer {}", i);
+        }
+        let rebuilt = geocast_overlay::OverlayGraph::from_out_neighbors(
+            (0..n).map(|i| g.out_neighbors(i).to_vec()).collect(),
+        );
+        prop_assert_eq!(&rebuilt, &g);
+        prop_assert_eq!(
+            g.directed_edge_count(),
+            (0..n).map(|i| g.out_neighbors(i).len()).sum::<usize>()
+        );
+    }
+
+    /// The CSR `undirected()` closure is unchanged versus the seed's
+    /// per-list construction, and `undirected_closure()` agrees with it.
+    #[test]
+    fn undirected_closure_matches_seed_reference(
+        n in 1usize..50,
+        seed in 0u64..10_000,
+        density in 1usize..6,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc5);
+        let out: Vec<Vec<usize>> = (0..n)
+            .map(|_| (0..density).map(|_| rng.random_range(0..n)).collect())
+            .collect();
+        let g = geocast_overlay::OverlayGraph::from_out_neighbors(out);
+
+        // Seed representation of the closure: push both directions into
+        // per-peer Vecs, then sort + dedup.
+        let mut reference: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for &j in g.out_neighbors(i) {
+                reference[i].push(j);
+                reference[j].push(i);
+            }
+        }
+        for list in &mut reference {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        prop_assert_eq!(&g.undirected(), &reference);
+        let closure = g.undirected_closure();
+        for (i, list) in reference.iter().enumerate() {
+            prop_assert_eq!(closure.out_neighbors(i), &list[..], "peer {}", i);
+        }
+        prop_assert!(closure.is_symmetric());
+        let degrees: Vec<usize> = reference.iter().map(Vec::len).collect();
+        prop_assert_eq!(g.undirected_degrees(), degrees);
+    }
+
     /// The empty-rectangle equilibrium is symmetric and connected for any
     /// population — the §2 construction's substrate guarantees.
     #[test]

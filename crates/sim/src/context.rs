@@ -36,7 +36,13 @@ impl<'a, M> Context<'a, M> {
         next_timer_id: &'a mut u64,
         actions: &'a mut Vec<Action<M>>,
     ) -> Self {
-        Context { self_id, now, rng, next_timer_id, actions }
+        Context {
+            self_id,
+            now,
+            rng,
+            next_timer_id,
+            actions,
+        }
     }
 
     /// The id of the node running this callback.
@@ -101,7 +107,13 @@ mod tests {
         let t = ctx.set_timer(SimDuration::from_millis(5));
         ctx.cancel_timer(t);
         assert_eq!(actions.len(), 3);
-        assert!(matches!(actions[0], Action::Send { to: NodeId(1), msg: 42 }));
+        assert!(matches!(
+            actions[0],
+            Action::Send {
+                to: NodeId(1),
+                msg: 42
+            }
+        ));
         assert!(matches!(actions[1], Action::Arm { timer, .. } if timer == t));
         assert!(matches!(actions[2], Action::Cancel { timer } if timer == t));
     }

@@ -138,7 +138,10 @@ pub struct TraceLog {
 
 impl TraceLog {
     pub(crate) fn new(capacity: usize) -> Self {
-        TraceLog { entries: std::collections::VecDeque::with_capacity(capacity.min(4096)), capacity }
+        TraceLog {
+            entries: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+        }
     }
 
     /// `true` if tracing is enabled.
@@ -235,7 +238,12 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut log = TraceLog::new(0);
         assert!(!log.is_enabled());
-        log.record(TraceEntry { time: SimTime::ZERO, from: NodeId(0), to: NodeId(0), tag: "t" });
+        log.record(TraceEntry {
+            time: SimTime::ZERO,
+            from: NodeId(0),
+            to: NodeId(0),
+            tag: "t",
+        });
         assert!(log.is_empty());
     }
 }

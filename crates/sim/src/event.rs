@@ -69,7 +69,10 @@ mod tests {
         Event {
             time: SimTime::from_nanos(nanos),
             seq,
-            kind: EventKind::Timer { node: NodeId(0), timer: TimerId(seq) },
+            kind: EventKind::Timer {
+                node: NodeId(0),
+                timer: TimerId(seq),
+            },
         }
     }
 
@@ -79,7 +82,8 @@ mod tests {
         heap.push(ev(30, 0));
         heap.push(ev(10, 1));
         heap.push(ev(20, 2));
-        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|e| e.time.as_nanos())).collect();
+        let order: Vec<u64> =
+            std::iter::from_fn(|| heap.pop().map(|e| e.time.as_nanos())).collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 

@@ -42,8 +42,13 @@ impl FaultModel {
     /// Panics unless `0.0 <= p <= 1.0`.
     #[must_use]
     pub fn with_loss(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
-        FaultModel { loss_probability: p }
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
+        FaultModel {
+            loss_probability: p,
+        }
     }
 
     /// The configured per-message loss probability.
@@ -61,7 +66,9 @@ impl FaultModel {
 impl Default for FaultModel {
     /// The default model is lossless.
     fn default() -> Self {
-        FaultModel { loss_probability: 0.0 }
+        FaultModel {
+            loss_probability: 0.0,
+        }
     }
 }
 

@@ -85,7 +85,11 @@ impl CoordDistanceLatency {
     /// distance between endpoints.
     #[must_use]
     pub fn new(positions: Vec<Point>, base: SimDuration, per_unit: SimDuration) -> Self {
-        CoordDistanceLatency { positions, base, per_unit }
+        CoordDistanceLatency {
+            positions,
+            base,
+            per_unit,
+        }
     }
 }
 

@@ -66,7 +66,7 @@ pub use context::Context;
 pub use counters::{Counters, TraceEntry, TraceLog};
 pub use event::TimerId;
 pub use fault::FaultModel;
-pub use latency::{CoordDistanceLatency, ConstantLatency, LatencyModel, UniformLatency};
+pub use latency::{ConstantLatency, CoordDistanceLatency, LatencyModel, UniformLatency};
 pub use node::{Message, Node, NodeId};
 pub use sim::{RunOutcome, Simulation, SimulationBuilder};
 pub use time::{SimDuration, SimTime};

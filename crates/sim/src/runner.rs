@@ -5,9 +5,27 @@
 //! replay exactly), and parallelism is applied where it is free of
 //! nondeterminism: across **independent** experiment instances (seeds,
 //! parameter points). [`ParallelRunner`] fans a closure out over inputs
-//! on a scoped thread pool and returns outputs in input order.
+//! on scoped `std::thread`s and returns outputs in input order.
 
-use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+
+std::thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` on a [`ParallelRunner`] worker thread.
+///
+/// Nested data-parallel helpers (e.g. the overlay engine's per-peer
+/// fan-out) should check this and run sequentially: the cores are
+/// already saturated one level up, and another `available_parallelism`
+/// fan-out per job would oversubscribe the CPU quadratically.
+#[must_use]
+pub fn in_parallel_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
 
 /// Runs independent experiment instances across CPU cores.
 ///
@@ -65,24 +83,26 @@ impl ParallelRunner {
         if threads == 1 {
             return inputs.iter().map(f).collect();
         }
-        let cursor = std::sync::atomic::AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<O>>> =
-            Mutex::new((0..inputs.len()).map(|_| None).collect());
-        crossbeam::scope(|scope| {
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<O>>> = Mutex::new((0..inputs.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= inputs.len() {
-                        break;
+                scope.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= inputs.len() {
+                            break;
+                        }
+                        let out = f(&inputs[i]);
+                        results.lock().expect("result lock poisoned")[i] = Some(out);
                     }
-                    let out = f(&inputs[i]);
-                    results.lock()[i] = Some(out);
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
         results
             .into_inner()
+            .expect("result lock poisoned")
             .into_iter()
             .map(|o| o.expect("every input produced an output"))
             .collect()
@@ -153,9 +173,21 @@ mod tests {
         let runner = ParallelRunner::default();
         let seeds: Vec<u64> = (0..16).collect();
         let parallel = runner.map_seeds(&seeds, |s| s.wrapping_mul(0x9E3779B97F4A7C15));
-        let sequential: Vec<u64> =
-            seeds.iter().map(|s| s.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let sequential: Vec<u64> = seeds
+            .iter()
+            .map(|s| s.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn worker_threads_are_marked() {
+        assert!(!in_parallel_worker());
+        let runner = ParallelRunner::new(4);
+        let inputs: Vec<u64> = (0..64).collect();
+        let flags = runner.map(&inputs, |_| in_parallel_worker());
+        assert!(flags.iter().all(|&inside| inside));
+        assert!(!in_parallel_worker());
     }
 
     #[test]

@@ -225,11 +225,18 @@ impl<N: Node> Simulation<N> {
     /// `from == to` by convention. Injections bypass the fault model —
     /// they are experiment bootstrap, not protocol traffic.
     pub fn inject(&mut self, to: NodeId, msg: N::Msg) {
-        assert!(to.index() < self.nodes.len(), "message to unknown node {to}");
+        assert!(
+            to.index() < self.nodes.len(),
+            "message to unknown node {to}"
+        );
         self.counters.record_sent(msg.tag());
         let delay = self.latency.latency(to, to, &mut self.rng);
         let time = self.now + delay;
-        self.push_event(Event { time, seq: 0, kind: EventKind::Deliver { from: to, to, msg } });
+        self.push_event(Event {
+            time,
+            seq: 0,
+            kind: EventKind::Deliver { from: to, to, msg },
+        });
     }
 
     /// Runs every node's `on_start` if not yet started. Called implicitly
@@ -259,7 +266,12 @@ impl<N: Node> Simulation<N> {
                 } else {
                     let tag = msg.tag();
                     self.counters.record_delivered(tag);
-                    self.trace.record(TraceEntry { time: self.now, from, to, tag });
+                    self.trace.record(TraceEntry {
+                        time: self.now,
+                        from,
+                        to,
+                        tag,
+                    });
                     self.run_callback(to, |node, ctx| node.on_message(ctx, from, msg));
                 }
             }
@@ -268,7 +280,12 @@ impl<N: Node> Simulation<N> {
                     // Lazily-cancelled or owned by a crashed node.
                 } else {
                     self.counters.record_timer();
-                    self.trace.record(TraceEntry { time: self.now, from: node, to: node, tag: "timer" });
+                    self.trace.record(TraceEntry {
+                        time: self.now,
+                        from: node,
+                        to: node,
+                        tag: "timer",
+                    });
                     self.run_callback(node, |n, ctx| n.on_timer(ctx, timer));
                 }
             }
@@ -283,7 +300,11 @@ impl<N: Node> Simulation<N> {
         while events < self.max_events && self.step() {
             events += 1;
         }
-        RunOutcome { events, quiescent: self.queue.is_empty(), now: self.now }
+        RunOutcome {
+            events,
+            quiescent: self.queue.is_empty(),
+            now: self.now,
+        }
     }
 
     /// Processes all events scheduled at or before `deadline`, then
@@ -303,7 +324,11 @@ impl<N: Node> Simulation<N> {
         if self.now < deadline {
             self.now = deadline;
         }
-        RunOutcome { events, quiescent: self.queue.is_empty(), now: self.now }
+        RunOutcome {
+            events,
+            quiescent: self.queue.is_empty(),
+            now: self.now,
+        }
     }
 
     /// Runs for `duration` of virtual time from the current clock.
@@ -320,8 +345,13 @@ impl<N: Node> Simulation<N> {
     {
         let mut actions: Vec<Action<N::Msg>> = Vec::new();
         {
-            let mut ctx =
-                Context::new(id, self.now, &mut self.rng, &mut self.next_timer_id, &mut actions);
+            let mut ctx = Context::new(
+                id,
+                self.now,
+                &mut self.rng,
+                &mut self.next_timer_id,
+                &mut actions,
+            );
             f(&mut self.nodes[id.index()], &mut ctx);
         }
         for action in actions {
@@ -329,7 +359,11 @@ impl<N: Node> Simulation<N> {
                 Action::Send { to, msg } => self.enqueue_send(id, to, msg),
                 Action::Arm { delay, timer } => {
                     let time = self.now + delay;
-                    self.push_event(Event { time, seq: 0, kind: EventKind::Timer { node: id, timer } });
+                    self.push_event(Event {
+                        time,
+                        seq: 0,
+                        kind: EventKind::Timer { node: id, timer },
+                    });
                 }
                 Action::Cancel { timer } => {
                     self.cancelled.insert(timer);
@@ -339,7 +373,10 @@ impl<N: Node> Simulation<N> {
     }
 
     fn enqueue_send(&mut self, from: NodeId, to: NodeId, msg: N::Msg) {
-        assert!(to.index() < self.nodes.len(), "message to unknown node {to}");
+        assert!(
+            to.index() < self.nodes.len(),
+            "message to unknown node {to}"
+        );
         self.counters.record_sent(msg.tag());
         if self.fault.drops(from, to, &mut self.rng) {
             self.counters.record_dropped_fault();
@@ -347,7 +384,11 @@ impl<N: Node> Simulation<N> {
         }
         let delay = self.latency.latency(from, to, &mut self.rng);
         let time = self.now + delay;
-        self.push_event(Event { time, seq: 0, kind: EventKind::Deliver { from, to, msg } });
+        self.push_event(Event {
+            time,
+            seq: 0,
+            kind: EventKind::Deliver { from, to, msg },
+        });
     }
 
     fn push_event(&mut self, mut event: Event<N::Msg>) {
@@ -399,7 +440,12 @@ mod tests {
 
     impl Relay {
         fn new(next: NodeId) -> Self {
-            Relay { next, received: Vec::new(), timer_fired: 0, periodic: false }
+            Relay {
+                next,
+                received: Vec::new(),
+                timer_fired: 0,
+                periodic: false,
+            }
         }
     }
 
@@ -502,7 +548,9 @@ mod tests {
 
     #[test]
     fn full_loss_kills_all_protocol_traffic() {
-        let mut sim = Simulation::builder(ring(3)).fault(FaultModel::with_loss(1.0)).build();
+        let mut sim = Simulation::builder(ring(3))
+            .fault(FaultModel::with_loss(1.0))
+            .build();
         sim.inject(NodeId(0), TestMsg::Token(5));
         sim.run_until_quiescent();
         // The injection bypasses faults and is delivered; the forward it

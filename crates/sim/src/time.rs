@@ -182,7 +182,10 @@ mod tests {
 
     #[test]
     fn duration_constructors_agree() {
-        assert_eq!(SimDuration::from_millis(1500), SimDuration::from_secs_f64(1.5));
+        assert_eq!(
+            SimDuration::from_millis(1500),
+            SimDuration::from_secs_f64(1.5)
+        );
         assert_eq!(SimDuration::from_secs(3), SimDuration::from_millis(3000));
         assert_eq!(SimDuration::from_nanos(5).as_nanos(), 5);
     }
@@ -191,7 +194,10 @@ mod tests {
     fn duration_from_secs_f64_edge_cases() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY).as_nanos(), u64::MAX);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::INFINITY).as_nanos(),
+            u64::MAX
+        );
         assert!(SimDuration::from_secs_f64(0.0).is_zero());
     }
 
@@ -200,7 +206,10 @@ mod tests {
         let max = SimDuration::from_nanos(u64::MAX);
         assert_eq!(max + SimDuration::from_secs(1), max);
         assert_eq!(max * 2, max);
-        assert_eq!(SimDuration::from_secs(1) - SimDuration::from_secs(2), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs(1) - SimDuration::from_secs(2),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -219,7 +228,10 @@ mod tests {
 
     #[test]
     fn display_renders_seconds() {
-        assert_eq!(SimTime::from_nanos(1_500_000_000).to_string(), "t=1.500000s");
+        assert_eq!(
+            SimTime::from_nanos(1_500_000_000).to_string(),
+            "t=1.500000s"
+        );
         assert_eq!(SimDuration::from_millis(250).to_string(), "0.250000s");
     }
 }

@@ -37,7 +37,12 @@ impl Node for RingNode {
 }
 
 fn ring(n: usize) -> Vec<RingNode> {
-    (0..n).map(|i| RingNode { next: NodeId((i + 1) % n), seen_at: Vec::new() }).collect()
+    (0..n)
+        .map(|i| RingNode {
+            next: NodeId((i + 1) % n),
+            seen_at: Vec::new(),
+        })
+        .collect()
 }
 
 proptest! {

@@ -16,7 +16,10 @@ use geocast::prelude::*;
 fn main() {
     let initial = 16usize;
     let config = NetworkConfig {
-        gossip: GossipConfig { br: 8, ..GossipConfig::default() },
+        gossip: GossipConfig {
+            br: 8,
+            ..GossipConfig::default()
+        },
         seed: 11,
         stable_checks: 4,
         ..NetworkConfig::default()
@@ -33,11 +36,22 @@ fn main() {
     println!(
         "replaying churn: {} events ({} joins, {} leaves)\n",
         schedule.len(),
-        schedule.events().iter().filter(|e| matches!(e, ChurnEvent::Join(_))).count(),
-        schedule.events().iter().filter(|e| matches!(e, ChurnEvent::Leave(_))).count(),
+        schedule
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Join(_)))
+            .count(),
+        schedule
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Leave(_)))
+            .count(),
     );
 
-    println!("{:<8} {:<22} {:>6} {:>10} {:>10}", "event", "kind", "live", "messages", "covered");
+    println!(
+        "{:<8} {:<22} {:>6} {:>10} {:>10}",
+        "event", "kind", "live", "messages", "covered"
+    );
     for (i, event) in schedule.events().iter().enumerate() {
         match event {
             ChurnEvent::Join(p) => {
@@ -48,8 +62,9 @@ fn main() {
         assert!(net.converge().converged, "event {i} failed to re-converge");
 
         // Rebuild the dissemination tree from the oldest live peer.
-        let live: Vec<usize> =
-            (0..net.len()).filter(|&j| !net.has_departed(PeerId(j as u64))).collect();
+        let live: Vec<usize> = (0..net.len())
+            .filter(|&j| !net.has_departed(PeerId(j as u64)))
+            .collect();
         let root = live[0];
         let peers = net.peers().to_vec();
         let topo = net.topology();

@@ -24,8 +24,10 @@ fn main() {
     println!("{n} tenant VMs, lease expiries within {horizon_secs}s");
 
     // The §3 overlay: Orthogonal Hyperplanes, K=2 closest per orthant.
-    let overlay =
-        oracle::equilibrium(&peers, &HyperplanesSelection::orthogonal(3, 2, MetricKind::L1));
+    let overlay = oracle::equilibrium(
+        &peers,
+        &HyperplanesSelection::orthogonal(3, 2, MetricKind::L1),
+    );
     println!(
         "overlay:  Orthogonal Hyperplanes (K=2), {} directed edges",
         overlay.directed_edge_count()
@@ -46,15 +48,24 @@ fn main() {
     // Replay the full lease schedule.
     let times: Vec<f64> = peers.iter().map(|p| p.departure_time()).collect();
     let ours = non_leaf_departures(&tree, &times);
-    let random = non_leaf_departures(&baseline::random_parent_tree(&overlay, tree.root(), 1), &times);
+    let random = non_leaf_departures(
+        &baseline::random_parent_tree(&overlay, tree.root(), 1),
+        &times,
+    );
     let bfs = non_leaf_departures(&baseline::bfs_tree(&overlay, tree.root()), &times);
 
     println!("\ndisconnecting lease expiries over the full schedule:");
     println!("  §3 stability tree : {ours}");
     println!("  BFS tree          : {bfs}");
     println!("  random tree       : {random}");
-    assert_eq!(ours, 0, "lease expiries must never split the stability tree");
-    assert!(bfs > 0 || random > 0, "baselines show the sensitivity the paper criticises");
+    assert_eq!(
+        ours, 0,
+        "lease expiries must never split the stability tree"
+    );
+    assert!(
+        bfs > 0 || random > 0,
+        "baselines show the sensitivity the paper criticises"
+    );
 
     // When a new VM is leased it slots in below longer leases.
     let mut extended: Vec<PeerInfo> = peers.clone();
@@ -66,8 +77,10 @@ fn main() {
         PeerId(n as u64),
         Point::new(coords).expect("valid point"),
     ));
-    let overlay2 =
-        oracle::equilibrium(&extended, &HyperplanesSelection::orthogonal(3, 2, MetricKind::L1));
+    let overlay2 = oracle::equilibrium(
+        &extended,
+        &HyperplanesSelection::orthogonal(3, 2, MetricKind::L1),
+    );
     let forest2 = preferred_links(&extended, &overlay2, PreferredPolicy::MaxT);
     assert!(forest2.is_tree());
     let parent = forest2.preferred()[n].expect("newcomer found a parent");

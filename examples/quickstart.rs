@@ -17,8 +17,11 @@ fn main() {
     // 2. The converged overlay under the paper's empty-rectangle rule
     //    (equivalently: per-orthant Pareto frontiers).
     let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
-    let degree_summary: Summary =
-        overlay.undirected_degrees().iter().map(|&d| d as f64).collect();
+    let degree_summary: Summary = overlay
+        .undirected_degrees()
+        .iter()
+        .map(|&d| d as f64)
+        .collect();
     println!(
         "overlay:    {} directed edges, degree {}",
         overlay.directed_edge_count(),
@@ -51,10 +54,17 @@ fn main() {
     println!(
         "simulated:  {} build messages, 0 duplicates ({}), finished in {} of virtual time",
         dist.messages,
-        if dist.duplicates == 0 { "verified" } else { "VIOLATED" },
+        if dist.duplicates == 0 {
+            "verified"
+        } else {
+            "VIOLATED"
+        },
         dist.elapsed,
     );
-    assert_eq!(dist.tree, result.tree, "offline and distributed builds agree");
+    assert_eq!(
+        dist.tree, result.tree,
+        "offline and distributed builds agree"
+    );
 
     println!("\nevery §2 claim checked: N-1 messages, full coverage, no duplicates ✓");
 }

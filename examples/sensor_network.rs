@@ -53,8 +53,10 @@ fn main() {
     // Battery estimates in hours, embedded as the first coordinate.
     let batteries = lifetimes(n, 720.0, 7);
     let aware = PeerInfo::from_point_set(&embed_lifetimes(&field, &batteries));
-    let aware_overlay =
-        oracle::equilibrium(&aware, &HyperplanesSelection::orthogonal(2, 2, MetricKind::L1));
+    let aware_overlay = oracle::equilibrium(
+        &aware,
+        &HyperplanesSelection::orthogonal(2, 2, MetricKind::L1),
+    );
     let tree = preferred_links(&aware, &aware_overlay, PreferredPolicy::MaxT)
         .to_multicast_tree()
         .expect("battery-aware links form a tree");
@@ -82,7 +84,11 @@ fn main() {
         "\nconvergecast: mean {:.2}°C / peak {:.1}°C from {} sensors in {} messages",
         mean.value, peak.value, mean.contributors, mean.messages
     );
-    assert_eq!(mean.messages, n - 1, "one report per sensor, like dissemination");
+    assert_eq!(
+        mean.messages,
+        n - 1,
+        "one report per sensor, like dissemination"
+    );
 
     // ---- Targeted reconfiguration: region multicast --------------------
     // Push new parameters only to the sensors in the south-west sector.

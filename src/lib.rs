@@ -1,0 +1,7 @@
+//! Workspace root crate.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and scenario examples (`examples/`); the library surface
+//! lives in the member crates — start at [`geocast`].
+
+#![forbid(unsafe_code)]

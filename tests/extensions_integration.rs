@@ -43,7 +43,9 @@ fn repair_then_multicast_delivers_to_survivors() {
     let peers = PeerInfo::from_point_set(&uniform_points(n, 2, 1000.0, 5));
     let overlay = oracle::equilibrium(&peers, &EmptyRectSelection);
     let build = build_tree(&peers, &overlay, 0, &OrthantRectPartitioner::median());
-    let victim = (1..n).find(|&i| !build.tree.children(i).is_empty()).unwrap();
+    let victim = (1..n)
+        .find(|&i| !build.tree.children(i).is_empty())
+        .unwrap();
 
     // Survivor equilibrium.
     let live: Vec<usize> = (0..n).filter(|&i| i != victim).collect();
@@ -81,7 +83,10 @@ fn routing_works_on_gossip_converged_topology() {
     // routing over the resulting topology.
     let points = uniform_points(14, 2, 1000.0, 7);
     let config = NetworkConfig {
-        gossip: GossipConfig { br: 8, ..GossipConfig::default() },
+        gossip: GossipConfig {
+            br: 8,
+            ..GossipConfig::default()
+        },
         seed: 7,
         stable_checks: 4,
         ..NetworkConfig::default()
@@ -127,10 +132,14 @@ fn region_multicast_composes_with_stability_overlay_peers() {
         &OrthantRectPartitioner::median(),
         MetricKind::L1,
     );
-    let expected: Vec<usize> =
-        (0..n).filter(|&i| peers[i].departure_time() < 300.0).collect();
+    let expected: Vec<usize> = (0..n)
+        .filter(|&i| peers[i].departure_time() < 300.0)
+        .collect();
     assert_eq!(result.members, expected);
-    assert!(result.full_coverage(), "lifetime-sliced region missed members");
+    assert!(
+        result.full_coverage(),
+        "lifetime-sliced region missed members"
+    );
 }
 
 #[test]

@@ -2,16 +2,20 @@
 //! scale and reproduces the paper's qualitative shapes.
 
 use geocast::figures::{
-    ablation_partitioner, baseline_messages, baseline_stability, claims_section2,
-    claims_section3, fig1a, fig1b, fig1c, stability_sweep, AblationConfig, BaselineConfig,
-    ClaimsConfig, Fig1Config, Fig1cConfig, StabilityConfig,
+    ablation_partitioner, baseline_messages, baseline_stability, claims_section2, claims_section3,
+    fig1a, fig1b, fig1c, stability_sweep, AblationConfig, BaselineConfig, ClaimsConfig, Fig1Config,
+    Fig1cConfig, StabilityConfig,
 };
 
 #[test]
 fn fig1a_degree_grows_with_dimension() {
     let report = fig1a(&Fig1Config::quick());
-    let max_degrees: Vec<f64> =
-        report.table.rows().iter().map(|r| r[1].parse().unwrap()).collect();
+    let max_degrees: Vec<f64> = report
+        .table
+        .rows()
+        .iter()
+        .map(|r| r[1].parse().unwrap())
+        .collect();
     assert!(max_degrees.len() >= 2);
     assert!(
         max_degrees.windows(2).all(|w| w[1] >= w[0] * 0.9),
@@ -26,8 +30,12 @@ fn fig1a_degree_grows_with_dimension() {
 #[test]
 fn fig1b_paths_shrink_with_dimension() {
     let report = fig1b(&Fig1Config::quick());
-    let avg_max: Vec<f64> =
-        report.table.rows().iter().map(|r| r[2].parse().unwrap()).collect();
+    let avg_max: Vec<f64> = report
+        .table
+        .rows()
+        .iter()
+        .map(|r| r[2].parse().unwrap())
+        .collect();
     let first = avg_max.first().copied().unwrap();
     let last = avg_max.last().copied().unwrap();
     assert!(
@@ -91,7 +99,10 @@ fn ablation_median_is_between_closest_and_farthest() {
     let report = ablation_partitioner(&AblationConfig::quick());
     for chunk in report.table.rows().chunks(3) {
         let paths: Vec<f64> = chunk.iter().map(|r| r[2].parse().unwrap()).collect();
-        assert!(paths.iter().all(|&p| p >= 1.0), "degenerate path lengths: {paths:?}");
+        assert!(
+            paths.iter().all(|&p| p >= 1.0),
+            "degenerate path lengths: {paths:?}"
+        );
     }
 }
 
@@ -100,7 +111,10 @@ fn baselines_quantify_the_papers_motivation() {
     let msgs = baseline_messages(&BaselineConfig::quick());
     for row in msgs.table.rows() {
         let factor: f64 = row[4].trim_end_matches('x').parse().unwrap();
-        assert!(factor > 1.0, "flooding overhead factor must exceed 1: {row:?}");
+        assert!(
+            factor > 1.0,
+            "flooding overhead factor must exceed 1: {row:?}"
+        );
     }
     let stab = baseline_stability(&BaselineConfig::quick());
     for row in stab.table.rows() {
@@ -108,7 +122,10 @@ fn baselines_quantify_the_papers_motivation() {
         let bfs: f64 = row[2].parse().unwrap();
         let rand: f64 = row[3].parse().unwrap();
         assert_eq!(ours, 0.0);
-        assert!(bfs + rand > 0.0, "baselines should show sensitivity: {row:?}");
+        assert!(
+            bfs + rand > 0.0,
+            "baselines should show sensitivity: {row:?}"
+        );
     }
 }
 

@@ -42,7 +42,11 @@ fn all_roots_produce_valid_spanning_trees_and_metrics() {
     }
     // Paths are short relative to N (the paper's Fig. 1b is ~10-25 for
     // N=1000): for 80 peers anything near N would mean degenerate chains.
-    assert!(path_lengths.max() < 40.0, "suspicious path length {}", path_lengths.max());
+    assert!(
+        path_lengths.max() < 40.0,
+        "suspicious path length {}",
+        path_lengths.max()
+    );
     assert!(path_lengths.mean() >= 1.0);
 }
 
@@ -60,7 +64,10 @@ fn zone_disjointness_makes_delivery_exactly_once() {
             delivered[i] += 1;
         }
     }
-    assert!(delivered.iter().all(|&d| d == 1), "some peer delivered != once");
+    assert!(
+        delivered.iter().all(|&d| d == 1),
+        "some peer delivered != once"
+    );
 }
 
 #[test]
@@ -95,7 +102,10 @@ fn deeper_dimensions_shrink_paths_but_grow_overlay_degree() {
         let result = build_tree(&peers, &overlay, 0, &OrthantRectPartitioner::median());
         depths.push(result.tree.longest_root_to_leaf());
     }
-    assert!(depths[1] <= depths[0], "higher D should not deepen trees ({depths:?})");
+    assert!(
+        depths[1] <= depths[0],
+        "higher D should not deepen trees ({depths:?})"
+    );
 }
 
 #[test]
@@ -116,7 +126,11 @@ fn ablation_partitioners_only_change_tree_shape() {
     let median = build_tree(&peers, &overlay, 0, &OrthantRectPartitioner::median());
     let closest = build_tree(&peers, &overlay, 0, &OrthantRectPartitioner::closest());
     let farthest = build_tree(&peers, &overlay, 0, &OrthantRectPartitioner::farthest());
-    for (name, r) in [("median", &median), ("closest", &closest), ("farthest", &farthest)] {
+    for (name, r) in [
+        ("median", &median),
+        ("closest", &closest),
+        ("farthest", &farthest),
+    ] {
         assert!(r.tree.is_spanning(), "{name}");
         assert_eq!(r.messages, peers.len() - 1, "{name}");
     }
@@ -154,7 +168,10 @@ fn build_on_gossip_converged_overlay_matches_oracle_build() {
     // End-to-end: real protocol overlay, then the §2 construction on it.
     let points = uniform_points(12, 2, 1000.0, 29);
     let config = NetworkConfig {
-        gossip: GossipConfig { br: 8, ..GossipConfig::default() },
+        gossip: GossipConfig {
+            br: 8,
+            ..GossipConfig::default()
+        },
         seed: 29,
         stable_checks: 4,
         ..NetworkConfig::default()
@@ -165,7 +182,12 @@ fn build_on_gossip_converged_overlay_matches_oracle_build() {
         net.converge();
     }
     let peers = PeerInfo::from_point_set(&points);
-    let gossip_build = build_tree(&peers, &net.topology(), 0, &OrthantRectPartitioner::median());
+    let gossip_build = build_tree(
+        &peers,
+        &net.topology(),
+        0,
+        &OrthantRectPartitioner::median(),
+    );
     let oracle_build = build_tree(
         &peers,
         &oracle::equilibrium(&peers, &EmptyRectSelection),

@@ -20,7 +20,10 @@ fn converged_network(
     let config = NetworkConfig {
         // Generous BR so existence floods cover the whole (small) overlay
         // and I(P) converges to full knowledge.
-        gossip: GossipConfig { br: 8, ..GossipConfig::default() },
+        gossip: GossipConfig {
+            br: 8,
+            ..GossipConfig::default()
+        },
         seed,
         stable_checks: 4,
         ..NetworkConfig::default()
@@ -58,7 +61,11 @@ fn gossip_fixpoint_matches_oracle_for_orthogonal_hyperplanes() {
     let expected = oracle::equilibrium(&peers, &selection);
     let actual = net.topology();
     for i in 0..peers.len() {
-        assert_eq!(actual.out_neighbors(i), expected.out_neighbors(i), "peer {i}");
+        assert_eq!(
+            actual.out_neighbors(i),
+            expected.out_neighbors(i),
+            "peer {i}"
+        );
     }
 }
 
@@ -99,11 +106,17 @@ fn departed_peer_is_forgotten_and_overlay_heals() {
     let points = uniform_points(12, 2, 1000.0, 19);
     let mut net = converged_network(Arc::new(EmptyRectSelection), &points, 19);
     net.remove_peer(PeerId(4));
-    assert!(net.converge().converged, "overlay must re-converge after departure");
+    assert!(
+        net.converge().converged,
+        "overlay must re-converge after departure"
+    );
 
     let topo = net.topology();
     for i in 0..topo.len() {
-        assert!(!topo.out_neighbors(i).contains(&4), "peer {i} kept the departed neighbour");
+        assert!(
+            !topo.out_neighbors(i).contains(&4),
+            "peer {i} kept the departed neighbour"
+        );
     }
     // Healed equilibrium equals the oracle over the survivors.
     let peers = PeerInfo::from_point_set(&points);
@@ -116,8 +129,11 @@ fn departed_peer_is_forgotten_and_overlay_heals() {
     let expected = oracle::equilibrium(&survivors, &EmptyRectSelection);
     let original_of: Vec<usize> = (0..peers.len()).filter(|&i| i != 4).collect();
     for (si, &oi) in original_of.iter().enumerate() {
-        let mut expected_nbrs: Vec<usize> =
-            expected.out_neighbors(si).iter().map(|&sj| original_of[sj]).collect();
+        let mut expected_nbrs: Vec<usize> = expected
+            .out_neighbors(si)
+            .iter()
+            .map(|&sj| original_of[sj])
+            .collect();
         expected_nbrs.sort_unstable();
         assert_eq!(topo.out_neighbors(oi), &expected_nbrs[..], "survivor {oi}");
     }
@@ -134,8 +150,9 @@ fn churn_schedule_keeps_live_overlay_at_oracle_equilibrium() {
     assert_eq!(report.convergence_failures, 0);
 
     // The live peers' topology equals the oracle over exactly those peers.
-    let live: Vec<usize> =
-        (0..net.len()).filter(|&i| !net.has_departed(PeerId(i as u64))).collect();
+    let live: Vec<usize> = (0..net.len())
+        .filter(|&i| !net.has_departed(PeerId(i as u64)))
+        .collect();
     let live_peers: Vec<PeerInfo> = live
         .iter()
         .enumerate()
@@ -146,10 +163,17 @@ fn churn_schedule_keeps_live_overlay_at_oracle_equilibrium() {
     let expected = oracle::equilibrium(&live_peers, &EmptyRectSelection);
     let topo = net.topology();
     for (dense, &orig) in live.iter().enumerate() {
-        let mut expected_nbrs: Vec<usize> =
-            expected.out_neighbors(dense).iter().map(|&dj| live[dj]).collect();
+        let mut expected_nbrs: Vec<usize> = expected
+            .out_neighbors(dense)
+            .iter()
+            .map(|&dj| live[dj])
+            .collect();
         expected_nbrs.sort_unstable();
-        assert_eq!(topo.out_neighbors(orig), &expected_nbrs[..], "live peer {orig}");
+        assert_eq!(
+            topo.out_neighbors(orig),
+            &expected_nbrs[..],
+            "live peer {orig}"
+        );
     }
 }
 

@@ -77,8 +77,7 @@ fn construction_time_scales_with_tree_depth_not_size() {
         FaultModel::default(),
         5,
     );
-    let expected =
-        SimDuration::from_millis(10) * (offline.tree.longest_root_to_leaf() as u64 + 1);
+    let expected = SimDuration::from_millis(10) * (offline.tree.longest_root_to_leaf() as u64 + 1);
     assert_eq!(result.elapsed, expected);
 }
 
@@ -160,7 +159,12 @@ fn crashed_subtree_is_exactly_the_lost_zone() {
         .collect();
     let mut sim = Simulation::builder(build_nodes).seed(13).build();
     sim.crash(NodeId(victim));
-    sim.inject(NodeId(0), BuildMsg::Request { zone: Rect::full(2) });
+    sim.inject(
+        NodeId(0),
+        BuildMsg::Request {
+            zone: Rect::full(2),
+        },
+    );
     sim.run_until_quiescent();
 
     for i in 0..peers.len() {

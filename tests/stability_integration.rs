@@ -2,9 +2,7 @@
 //! dimensions and overlay parameters, plus the baseline comparison the
 //! paper's introduction implies.
 
-use geocast::core::stability::{
-    non_leaf_departures, preferred_links, PreferredPolicy,
-};
+use geocast::core::stability::{non_leaf_departures, preferred_links, PreferredPolicy};
 use geocast::prelude::*;
 
 fn embedded_peers(n: usize, dim: usize, seed: u64) -> Vec<PeerInfo> {
@@ -24,7 +22,10 @@ fn paper_grid_sample_always_forms_heap_trees() {
         );
         let forest = preferred_links(&peers, &overlay, PreferredPolicy::MaxT);
         assert!(forest.is_tree(), "D={dim} K={k}: not a tree");
-        assert!(forest.heap_property_holds(&peers), "D={dim} K={k}: heap violated");
+        assert!(
+            forest.heap_property_holds(&peers),
+            "D={dim} K={k}: heap violated"
+        );
         let tree = forest.to_multicast_tree().unwrap();
         assert_eq!(tree.validate(), Ok(()), "D={dim} K={k}");
         let times: Vec<f64> = peers.iter().map(|p| p.departure_time()).collect();
@@ -52,8 +53,14 @@ fn diameter_shrinks_and_degree_grows_with_k() {
     };
     let (diam_k1, deg_k1) = measure(1);
     let (diam_k20, deg_k20) = measure(20);
-    assert!(diam_k20 <= diam_k1, "diameter should shrink with K ({diam_k1} -> {diam_k20})");
-    assert!(deg_k20 >= deg_k1, "max degree should grow with K ({deg_k1} -> {deg_k20})");
+    assert!(
+        diam_k20 <= diam_k1,
+        "diameter should shrink with K ({diam_k1} -> {diam_k20})"
+    );
+    assert!(
+        deg_k20 >= deg_k1,
+        "max degree should grow with K ({deg_k1} -> {deg_k20})"
+    );
 }
 
 #[test]
@@ -147,7 +154,10 @@ fn departure_replay_on_live_simulation() {
     );
     assert_eq!(dist.duplicates, 0);
     assert_eq!(dist.tree.validate(), Ok(()));
-    assert!(dist.tree.reached_count() >= peers.len() / 2, "coverage collapsed entirely");
+    assert!(
+        dist.tree.reached_count() >= peers.len() / 2,
+        "coverage collapsed entirely"
+    );
 
     // On the §2 empty-rectangle overlay over the same peers, spanning is
     // guaranteed.

@@ -1,0 +1,273 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! This build environment has no access to a crate registry, so the
+//! workspace vendors the part of criterion its bench targets use:
+//! [`Criterion`], [`BenchmarkGroup`]s, [`Bencher::iter`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! It is a *real* harness — it warms up, runs the configured number of
+//! samples, and prints mean / median / min wall-clock per iteration —
+//! just without criterion's statistical machinery (outlier analysis,
+//! HTML reports, comparison against saved baselines).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long a benchmark warms up before sampling.
+const WARM_UP: Duration = Duration::from_millis(200);
+/// Soft cap on sampling time per benchmark.
+const MEASUREMENT_BUDGET: Duration = Duration::from_secs(3);
+
+/// Identifies one benchmark, optionally parameterized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter (grouped benches already carry
+    /// the group name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn with_sample_size(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            sample_size,
+        }
+    }
+
+    /// Runs `f` repeatedly: warm-up first, then one timed sample per
+    /// configured sample, stopping early if the time budget runs out.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_start.elapsed() < WARM_UP && warm_iters < 1_000 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+            if budget_start.elapsed() > MEASUREMENT_BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<40} no samples collected");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        println!(
+            "{label:<40} time: [min {} median {} mean {}] ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            sorted.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// The benchmark manager handed to every target function.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::with_sample_size(self.default_sample_size);
+        f(&mut bencher);
+        bencher.report(&id.label);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n--- bench group: {name} ---");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::with_sample_size(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. `--bench`); none apply to
+            // this vendored harness, so they are accepted and ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("sort", 100).to_string(), "sort/100");
+        assert_eq!(BenchmarkId::from_parameter("n50_d2").to_string(), "n50_d2");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut bencher = Bencher::with_sample_size(5);
+        let mut count = 0u64;
+        bencher.iter(|| count += 1);
+        assert_eq!(bencher.samples.len(), 5);
+        assert!(count >= 5, "warm-up plus samples must all have run");
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("unit");
+        let mut ran = false;
+        group.sample_size(10).bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert!(fmt_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Collection strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// A length specification for [`vec`]: an exact size or a range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length
+/// lies in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        let len = runner.random_index(self.size.lo, self.size.hi_inclusive + 1);
+        (0..len).map(|_| self.element.new_value(runner)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::ProptestConfig;
+
+    #[test]
+    fn exact_size_is_respected() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(1), "vec_exact");
+        let v = vec(0u32..10, 7).new_value(&mut runner);
+        assert_eq!(v.len(), 7);
+        assert!(v.iter().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn ranged_size_stays_in_range() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(1), "vec_range");
+        for _ in 0..50 {
+            let v = vec(0u32..3, 2..6).new_value(&mut runner);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn nested_vecs_compose() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(1), "vec_nested");
+        let vv = vec(vec(0u32..5, 3), 4).new_value(&mut runner);
+        assert_eq!(vv.len(), 4);
+        assert!(vv.iter().all(|inner| inner.len() == 3));
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! This build environment has no access to a crate registry, so the
+//! workspace vendors the part of proptest its test suites use:
+//!
+//! * the [`proptest!`] macro (with the `#![proptest_config(..)]` header),
+//! * random [`strategy::Strategy`] values: ranges of primitives, tuples,
+//!   [`strategy::Just`], `prop_map` / `prop_flat_map`,
+//!   [`collection::vec`], and [`prop_oneof!`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from upstream, deliberate for a vendored test harness:
+//! failing cases are **not shrunk** (the failing input is printed
+//! as-is), and generation is deterministic per test name, so a failure
+//! reproduces by re-running the test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+///
+/// Upstream returns a `TestCaseError`; this vendored subset panics,
+/// which fails the test with the same message and no shrinking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Picks uniformly among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     // In a test module this would carry `#[test]`.
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($config:expr)) => {};
+    (@cfg($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = config.cases;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            for case in 0..cases {
+                runner.begin_case(case);
+                $(let $pat = $crate::strategy::Strategy::new_value(
+                    &($strategy),
+                    &mut runner,
+                );)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!(@cfg($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::{ProptestConfig, TestRunner};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3usize..17,
+            b in -5i32..5,
+            c in 0.25f64..0.75,
+            d in 1usize..=4,
+        ) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&c));
+            prop_assert!((1..=4).contains(&d));
+        }
+
+        #[test]
+        fn tuples_and_patterns_destructure((x, y) in (0u64..10, 10u64..20)) {
+            prop_assert!(x < 10 && (10..20).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_respects_dependency(
+            v in (1usize..5).prop_flat_map(|n| crate::collection::vec(0u32..100, n)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_only_yields_listed_values(
+            v in prop_oneof![Just(1u8), Just(3u8), Just(5u8)],
+        ) {
+            prop_assert!(v == 1 || v == 3 || v == 5);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let draw = || {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(1), "fixed_name");
+            Strategy::new_value(&(0u64..u64::MAX), &mut runner)
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn prop_map_transforms_values() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(1), "map");
+        let doubled = (1usize..10).prop_map(|v| v * 2);
+        let v = Strategy::new_value(&doubled, &mut runner);
+        assert!(v % 2 == 0 && (2..20).contains(&v));
+    }
+}

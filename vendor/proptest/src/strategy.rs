@@ -1,0 +1,232 @@
+//! Value-generation strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::test_runner::TestRunner;
+
+/// A boxed, type-erased strategy (what [`Strategy::boxed`] returns and
+/// [`crate::prop_oneof!`] unions over).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+/// Produces random values of an associated type.
+///
+/// Unlike upstream proptest there is no value *tree* (no shrinking):
+/// a strategy simply draws a fresh value per case.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Transforms every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        (**self).new_value(runner)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).new_value(runner)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.base.new_value(runner))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        (self.f)(self.base.new_value(runner)).new_value(runner)
+    }
+}
+
+/// Uniform choice among same-typed strategies (see
+/// [`crate::prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds the union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        let pick = runner.random_index(0, self.options.len());
+        self.options[pick].new_value(runner)
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().random_range(self.clone())
+            }
+        }
+    )+};
+}
+
+impl_range_strategies!(usize, u64, u32, u16, u8, isize, i64, i32, f64);
+
+macro_rules! impl_tuple_strategies {
+    ($(($($name:ident),+);)+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategies! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::ProptestConfig;
+
+    fn runner(name: &str) -> TestRunner {
+        TestRunner::new(ProptestConfig::with_cases(1), name)
+    }
+
+    #[test]
+    fn just_always_yields_its_value() {
+        let mut r = runner("just");
+        for _ in 0..10 {
+            assert_eq!(Just(42u8).new_value(&mut r), 42);
+        }
+    }
+
+    #[test]
+    fn union_draws_from_every_option() {
+        let mut r = runner("union");
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.new_value(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one option")]
+    fn empty_union_rejected() {
+        let _ = Union::<u8>::new(vec![]);
+    }
+
+    #[test]
+    fn tuple_strategy_draws_componentwise() {
+        let mut r = runner("tuple");
+        let (a, b, c) = (0usize..5, 5usize..10, 10usize..15).new_value(&mut r);
+        assert!(a < 5 && (5..10).contains(&b) && (10..15).contains(&c));
+    }
+}
