@@ -1,0 +1,26 @@
+use geocast_geom::index::GridIndex;
+use geocast_geom::{MetricKind, Point};
+
+#[test]
+fn knn_detects_far_collision_beyond_prune_horizon() {
+    // Point 0 is the query point; the last point shares y == 0.0 with it
+    // but sits far away in x, beyond the k-NN prune horizon once each
+    // orthant already holds a close best candidate.
+    let mut pts = vec![
+        Point::new(vec![0.0, 0.0]).unwrap(),
+        Point::new(vec![1.0, 1.0]).unwrap(),
+        Point::new(vec![1.5, -1.0]).unwrap(),
+        Point::new(vec![-1.0, 2.0]).unwrap(),
+        Point::new(vec![-1.5, -2.0]).unwrap(),
+    ];
+    for i in 0..11 {
+        let x = 10.0 + 7.3 * i as f64;
+        let y = -40.0 + 11.7 * i as f64;
+        pts.push(Point::new(vec![x, y]).unwrap());
+    }
+    pts.push(Point::new(vec![100.0, 0.0]).unwrap()); // collides with point 0 in y
+    let index = GridIndex::build(&pts);
+    assert!(index.side() > 1, "need a multi-cell grid, side={}", index.side());
+    let got = index.k_nearest_per_orthant(0, 1, MetricKind::L1);
+    assert_eq!(got, None, "collision must make the query decline");
+}
