@@ -1,0 +1,166 @@
+//! Live-path churn: the incremental (localized) membership engine versus
+//! the old full-reconvergence procedure, with a machine-readable summary.
+//!
+//! The paper's experimental procedure inserts one peer at a time and
+//! re-converges the **whole** overlay after every insertion — `O(N)`
+//! gossip rounds of `O(N · deg^BR)` messages per event. The
+//! `TopologyStore`-backed localized path touches only the dirty region
+//! of each event. This bench builds an `N`-peer live overlay through
+//! sequential localized insertion, then samples both paths' per-insert
+//! cost *at the same population* and records the speedup in
+//! `crates/bench/BENCH_churn.json` (quick scale by default; set
+//! `GEOCAST_FULL=1` for the N = 5000 paper-scale point).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geocast::prelude::*;
+use geocast_bench::full_scale;
+
+fn fresh_points(n: usize, seed: u64) -> Vec<Point> {
+    uniform_points(n, 2, 1000.0, seed).into_points()
+}
+
+struct Measurement {
+    n: usize,
+    incremental_build_s: f64,
+    localized_per_insert_s: f64,
+    full_per_insert_s: f64,
+    full_samples: usize,
+    localized_samples: usize,
+    store_mixed_events_per_s: f64,
+    exact: bool,
+}
+
+fn measure(n: usize) -> Measurement {
+    let mut net = OverlayNetwork::new(Arc::new(EmptyRectSelection), NetworkConfig::default());
+
+    // 1. Sequential-insertion build through the localized live path.
+    let points = fresh_points(n, 1);
+    let start = Instant::now();
+    for p in points {
+        net.add_peer_localized(p);
+    }
+    let incremental_build_s = start.elapsed().as_secs_f64();
+
+    // Exactness gate: the localized live build must sit at the oracle
+    // equilibrium of the same point set.
+    let peers = PeerInfo::from_point_set(&uniform_points(n, 2, 1000.0, 1));
+    let exact = net.topology() == oracle::equilibrium(&peers, &EmptyRectSelection)
+        && net.topology() == net.reference_topology();
+
+    // 2. Old full-reconvergence path, sampled at population ~N: random
+    //    bootstrap join + global gossip convergence (the paper's
+    //    procedure). One sample: a single event already costs minutes
+    //    at paper scale, and the measurement is deterministic-ish.
+    let full_samples = 1usize;
+    let extra = fresh_points(full_samples, 2);
+    let start = Instant::now();
+    for p in extra {
+        net.add_peer(p);
+        let report = net.converge();
+        assert!(report.converged, "full path must re-converge at N={n}");
+    }
+    let full_per_insert_s = start.elapsed().as_secs_f64() / full_samples as f64;
+
+    // 3. Localized path, sampled at the same population.
+    let localized_samples = 50usize;
+    let extra = fresh_points(localized_samples, 3);
+    let start = Instant::now();
+    for p in extra {
+        net.add_peer_localized(p);
+    }
+    let localized_per_insert_s = start.elapsed().as_secs_f64() / localized_samples as f64;
+
+    // 4. Bonus: pure store churn throughput under sustained mixed churn
+    //    (the figure panel's workload) at the same N.
+    let base = PeerInfo::from_point_set(&uniform_points(n, 2, 1000.0, 5));
+    let mut store = TopologyStore::from_peers(base, Arc::new(EmptyRectSelection));
+    let pattern = ChurnPattern::Mixed {
+        events: 200,
+        join_rate: 1,
+        leave_rate: 1,
+    };
+    let schedule = churn::ChurnSchedule::from_pattern(n, &pattern, 2, 1000.0, 6);
+    let start = Instant::now();
+    let report = churn::run_schedule_on_store(&mut store, &schedule);
+    let store_mixed_events_per_s =
+        (report.joins + report.leaves) as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    Measurement {
+        n,
+        incremental_build_s,
+        localized_per_insert_s,
+        full_per_insert_s,
+        full_samples,
+        localized_samples,
+        store_mixed_events_per_s,
+        exact,
+    }
+}
+
+fn write_summary(m: &Measurement) {
+    let speedup = m.full_per_insert_s / m.localized_per_insert_s;
+    let json = format!(
+        "{{\n  \"bench\": \"churn_live_path\",\n  \"dim\": 2,\n  \"n\": {},\n  \
+         \"incremental_build_seconds\": {:.6},\n  \
+         \"localized_per_insert_seconds\": {:.9},\n  \
+         \"full_reconverge_per_insert_seconds\": {:.6},\n  \
+         \"speedup_per_insert\": {:.1},\n  \
+         \"full_samples\": {},\n  \"localized_samples\": {},\n  \
+         \"store_mixed_events_per_second\": {:.0},\n  \
+         \"incremental_equals_oracle\": {}\n}}\n",
+        m.n,
+        m.incremental_build_s,
+        m.localized_per_insert_s,
+        m.full_per_insert_s,
+        speedup,
+        m.full_samples,
+        m.localized_samples,
+        m.store_mixed_events_per_s,
+        m.exact,
+    );
+    // Anchor at this crate's manifest dir — cargo gives bench binaries a
+    // package-relative cwd, which varies by invocation.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_churn.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+fn churn_live_path(c: &mut Criterion) {
+    let n = if full_scale() { 5_000 } else { 500 };
+    let m = measure(n);
+    println!(
+        "N={}: localized build {:.2}s total; per-insert localized {:.6}s vs full reconvergence {:.3}s => {:.1}x; store mixed churn {:.0} events/s; exact={}",
+        m.n,
+        m.incremental_build_s,
+        m.localized_per_insert_s,
+        m.full_per_insert_s,
+        m.full_per_insert_s / m.localized_per_insert_s,
+        m.store_mixed_events_per_s,
+        m.exact,
+    );
+    assert!(m.exact, "incremental live build diverged from the oracle");
+    write_summary(&m);
+
+    // Criterion samples the store's insert path at a fixed modest size.
+    let mut group = c.benchmark_group("churn/store_insert");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("n2000_d2"), |b| {
+        let base = PeerInfo::from_point_set(&uniform_points(2_000, 2, 1000.0, 9));
+        let mut store = TopologyStore::from_peers(base, Arc::new(EmptyRectSelection));
+        let mut extra = fresh_points(4_096, 10).into_iter();
+        b.iter(|| {
+            let p = extra.next().expect("enough pre-drawn points");
+            store.insert(std::hint::black_box(p))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, churn_live_path);
+criterion_main!(benches);

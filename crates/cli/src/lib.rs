@@ -155,6 +155,7 @@ pub fn run(inv: &Invocation) -> Result<String, CliError> {
         "stability" => cmd_stability(inv),
         "session" => cmd_session(inv),
         "route" => cmd_route(inv),
+        "churn" => cmd_churn(inv),
         "figures" => cmd_figures(inv),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }
@@ -175,8 +176,11 @@ COMMANDS:
              --n 200 --dim 2 --seed 1 --payloads 5 --loss 0.0
   route      greedy geometric routing between two peers
              --n 200 --dim 2 --seed 1 --from 0 --to 10
+  churn      replay a churn pattern through the incremental engine
+             --n 500 --dim 2 --seed 1 --pattern join-wave|leave-wave|flash-crowd|mixed
+             --events 200 --join-rate 1 --leave-rate 1 --mode store|live
   figures    regenerate the paper's artifacts
-             --panel fig1a|fig1b|fig1c|fig1d|fig1e|claims|ablation|baselines|repair|scaling|all [--full]
+             --panel fig1a|fig1b|fig1c|fig1d|fig1e|claims|ablation|baselines|repair|scaling|churn|all [--full]
   help       this text
 ";
 
@@ -444,6 +448,145 @@ fn cmd_route(inv: &Invocation) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
+    use geocast::overlay::churn::{run_schedule_localized, run_schedule_on_store, ChurnSchedule};
+    use std::time::Instant;
+
+    let n: usize = opt_peers(inv, 500)?;
+    let dim: usize = opt(inv, "dim", 2)?;
+    let seed: u64 = opt(inv, "seed", 1)?;
+    let events: usize = opt(inv, "events", 200)?;
+    let join_rate: u32 = opt(inv, "join-rate", 1)?;
+    let leave_rate: u32 = opt(inv, "leave-rate", 1)?;
+    let pattern_name: String = opt(inv, "pattern", "mixed".to_owned())?;
+    let mode: String = opt(inv, "mode", "store".to_owned())?;
+    let pattern = match pattern_name.as_str() {
+        "join-wave" => ChurnPattern::JoinWave { count: events },
+        "leave-wave" => ChurnPattern::LeaveWave { count: events },
+        "flash-crowd" => ChurnPattern::FlashCrowd {
+            surge: events / 2,
+            exodus: events - events / 2,
+        },
+        "mixed" => {
+            if join_rate == 0 && leave_rate == 0 {
+                return Err(CliError::BadValue {
+                    key: "join-rate".into(),
+                    value: "0 (with --leave-rate 0)".into(),
+                });
+            }
+            ChurnPattern::Mixed {
+                events,
+                join_rate,
+                leave_rate,
+            }
+        }
+        other => {
+            return Err(CliError::BadValue {
+                key: "pattern".into(),
+                value: other.into(),
+            })
+        }
+    };
+
+    let points = uniform_points(n, dim, 1000.0, seed);
+    let schedule = ChurnSchedule::from_pattern(n, &pattern, dim, 1000.0, seed ^ 0xc4);
+    // Departed peers keep their (edge-less) vertex, so connectivity is a
+    // live-peers-only question.
+    let live_connected = |topo: &OverlayGraph, live: Vec<usize>| -> bool {
+        match live.first() {
+            None => true,
+            Some(&start) => {
+                let dist = topo.bfs_distances(start);
+                live.iter().all(|&i| dist[i].is_some())
+            }
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "churn replay: {pattern} on {n} initial peers (D={dim}, seed {seed}, mode {mode})\n\n"
+    ));
+    match mode.as_str() {
+        "store" => {
+            let mut store = TopologyStore::from_peers(
+                PeerInfo::from_point_set(&points),
+                Arc::new(EmptyRectSelection),
+            );
+            let start = Instant::now();
+            let report = run_schedule_on_store(&mut store, &schedule);
+            let secs = start.elapsed().as_secs_f64();
+            out.push_str(&format!(
+                "  events applied    : {} ({} joins, {} leaves)\n",
+                report.joins + report.leaves,
+                report.joins,
+                report.leaves
+            ));
+            out.push_str(&format!("  elapsed           : {secs:.3}s\n"));
+            out.push_str(&format!(
+                "  events per second : {:.0}\n",
+                (report.joins + report.leaves) as f64 / secs.max(1e-9)
+            ));
+            out.push_str(&format!(
+                "  dirty region      : mean {:.1} / max {} peers\n",
+                report.touched_mean(),
+                report.touched_max
+            ));
+            out.push_str(&format!("  live peers after  : {}\n", store.live_count()));
+            let live: Vec<usize> = (0..store.len())
+                .filter(|&i| !store.is_departed(PeerId(i as u64)))
+                .collect();
+            out.push_str(&format!(
+                "  connected         : {}\n",
+                live_connected(&store.graph(), live)
+            ));
+        }
+        "live" => {
+            let mut net =
+                OverlayNetwork::new(Arc::new(EmptyRectSelection), NetworkConfig::default());
+            for p in points.iter() {
+                net.add_peer_localized(p.clone());
+            }
+            let start = Instant::now();
+            let report = run_schedule_localized(&mut net, &schedule);
+            let secs = start.elapsed().as_secs_f64();
+            let stats = net.churn_stats();
+            out.push_str(&format!(
+                "  events applied    : {} ({} joins, {} leaves)\n",
+                report.joins + report.leaves,
+                report.joins,
+                report.leaves
+            ));
+            out.push_str(&format!("  elapsed           : {secs:.3}s\n"));
+            out.push_str(&format!(
+                "  events per second : {:.0}\n",
+                (report.joins + report.leaves) as f64 / secs.max(1e-9)
+            ));
+            out.push_str(&format!(
+                "  locate contacts   : {} across {} localized events (build + schedule)\n",
+                stats.contacts,
+                stats.joins + stats.leaves
+            ));
+            out.push_str(&format!(
+                "  topology == store : {}\n",
+                net.topology() == net.reference_topology()
+            ));
+            let live: Vec<usize> = (0..net.len())
+                .filter(|&i| !net.has_departed(PeerId(i as u64)))
+                .collect();
+            out.push_str(&format!(
+                "  connected         : {}\n",
+                live_connected(&net.topology(), live)
+            ));
+        }
+        other => {
+            return Err(CliError::BadValue {
+                key: "mode".into(),
+                value: other.into(),
+            })
+        }
+    }
+    Ok(out)
+}
+
 fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
     let panel: String = opt(inv, "panel", "all".to_owned())?;
     let full = inv.options.contains_key("full");
@@ -488,6 +631,11 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
     } else {
         figures::ScalingConfig::quick()
     };
+    let churn = if full {
+        figures::ChurnConfig::default()
+    } else {
+        figures::ChurnConfig::quick()
+    };
 
     let mut reports = Vec::new();
     match panel.as_str() {
@@ -507,6 +655,7 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
         }
         "repair" => reports.push(figures::repair_cost(&repair)),
         "scaling" => reports.push(figures::overlay_scaling(&scaling)),
+        "churn" => reports.push(figures::churn_panel(&churn)),
         "all" => {
             reports.push(figures::fig1a(&fig1));
             reports.push(figures::fig1b(&fig1));
@@ -521,6 +670,7 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
             reports.push(figures::baseline_stability(&base));
             reports.push(figures::repair_cost(&repair));
             reports.push(figures::overlay_scaling(&scaling));
+            reports.push(figures::churn_panel(&churn));
         }
         other => {
             return Err(CliError::BadValue {
@@ -652,6 +802,61 @@ mod tests {
     fn route_rejects_bad_endpoints() {
         let inv = parse_args(&args(&["route", "--n", "10", "--to", "10"])).unwrap();
         assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn churn_store_mode_reports_exact_locality() {
+        let inv = parse_args(&args(&[
+            "churn",
+            "--n",
+            "60",
+            "--events",
+            "20",
+            "--pattern",
+            "mixed",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("events applied    : 20"), "{out}");
+        assert!(out.contains("connected         : true"), "{out}");
+    }
+
+    #[test]
+    fn churn_live_mode_tracks_the_store() {
+        let inv = parse_args(&args(&[
+            "churn",
+            "--n",
+            "30",
+            "--events",
+            "10",
+            "--pattern",
+            "flash-crowd",
+            "--mode",
+            "live",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("topology == store : true"), "{out}");
+    }
+
+    #[test]
+    fn churn_rejects_unknown_pattern_and_mode() {
+        let inv = parse_args(&args(&["churn", "--pattern", "tsunami"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+        let inv = parse_args(&args(&["churn", "--mode", "dream"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn figures_churn_panel_runs_quick() {
+        let inv = parse_args(&args(&["figures", "--panel", "churn"])).unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("## churn"), "{out}");
+        assert!(out.contains("join-wave"), "{out}");
+        assert!(
+            !out.contains("false"),
+            "a scenario diverged from rebuild: {out}"
+        );
     }
 
     #[test]

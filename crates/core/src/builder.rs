@@ -1,7 +1,7 @@
 use std::collections::VecDeque;
 
 use geocast_geom::Rect;
-use geocast_overlay::{OverlayGraph, PeerInfo};
+use geocast_overlay::{OverlayGraph, PeerInfo, TopologyStore};
 
 use crate::partition::ZonePartitioner;
 use crate::tree::MulticastTree;
@@ -54,6 +54,57 @@ pub fn build_tree(
     build_in_zone(peers, overlay, root, Rect::full(dim), partitioner)
 }
 
+/// [`build_tree`] over a [`TopologyStore`]'s incrementally-maintained
+/// equilibrium: overlay neighbours are read straight from the store's
+/// forward + reverse adjacency — no [`OverlayGraph`] is materialized and
+/// no undirected closure is recomputed, so churn-then-rebuild loops pay
+/// only for the tree.
+///
+/// Departed peers contribute no edges and end up `stranded` (they are
+/// outside every live peer's neighbour lists), mirroring
+/// [`geocast_overlay::OverlayNetwork::topology`] semantics.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range or departed.
+#[must_use]
+pub fn build_tree_on_store(
+    store: &TopologyStore,
+    root: usize,
+    partitioner: &dyn ZonePartitioner,
+) -> BuildResult {
+    assert!(root < store.len(), "root out of range");
+    assert!(
+        !store.is_departed(geocast_overlay::PeerId(root as u64)),
+        "root has departed"
+    );
+    let dim = store.peers()[root].point().dim();
+    build_in_zone_on_store(store, root, Rect::full(dim), partitioner)
+}
+
+/// [`build_in_zone`] over a [`TopologyStore`] (see
+/// [`build_tree_on_store`]); the machinery behind store-backed repair.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+#[must_use]
+pub fn build_in_zone_on_store(
+    store: &TopologyStore,
+    start: usize,
+    zone: Rect,
+    partitioner: &dyn ZonePartitioner,
+) -> BuildResult {
+    assert!(start < store.len(), "start out of range");
+    build_in_zone_generic(
+        store.peers(),
+        |i, buf| store.undirected_neighbors_into(i, buf),
+        start,
+        zone,
+        partitioner,
+    )
+}
+
 /// Runs the §2 work-queue construction seeded at `(start, zone)` instead
 /// of `(root, full space)` — the machinery behind both [`build_tree`]
 /// and zone repair ([`crate::repair`]).
@@ -75,10 +126,31 @@ pub fn build_in_zone(
 ) -> BuildResult {
     assert_eq!(peers.len(), overlay.len(), "peer/overlay size mismatch");
     assert!(start < peers.len(), "start out of range");
-    let n = peers.len();
     // CSR closure: one shared flat adjacency, no per-peer list allocations.
     let adj = overlay.undirected_closure();
+    build_in_zone_generic(
+        peers,
+        |i, buf| {
+            buf.clear();
+            buf.extend_from_slice(adj.out_neighbors(i));
+        },
+        start,
+        zone,
+        partitioner,
+    )
+}
 
+/// The shared §2 work-queue over any undirected-neighbour source:
+/// `neighbors_into(i, buf)` fills `buf` with peer `i`'s overlay link
+/// partners (sorted or not — zone filtering does not care).
+fn build_in_zone_generic(
+    peers: &[PeerInfo],
+    neighbors_into: impl Fn(usize, &mut Vec<usize>),
+    start: usize,
+    zone: Rect,
+    partitioner: &dyn ZonePartitioner,
+) -> BuildResult {
+    let n = peers.len();
     let mut parent: Vec<Option<usize>> = vec![None; n];
     let mut reached = vec![false; n];
     let mut zones: Vec<Option<Rect>> = vec![None; n];
@@ -88,10 +160,11 @@ pub fn build_in_zone(
 
     let mut queue: VecDeque<(usize, Rect)> = VecDeque::new();
     queue.push_back((start, zone));
+    let mut nbuf: Vec<usize> = Vec::new();
 
     while let Some((p, zone)) = queue.pop_front() {
-        let in_zone: Vec<&PeerInfo> = adj
-            .out_neighbors(p)
+        neighbors_into(p, &mut nbuf);
+        let in_zone: Vec<&PeerInfo> = nbuf
             .iter()
             .map(|&q| &peers[q])
             .filter(|q| zone.contains(q.point()))
@@ -208,6 +281,53 @@ mod tests {
         assert!(result.tree.is_spanning());
         assert_eq!(result.messages, 1);
         assert_eq!(result.tree.parent(0), Some(1));
+    }
+
+    #[test]
+    fn store_backed_build_matches_graph_backed_build() {
+        use std::sync::Arc;
+        let points = uniform_points(60, 2, 1000.0, 29);
+        let mut store = geocast_overlay::TopologyStore::new(Arc::new(EmptyRectSelection));
+        for p in points.into_points() {
+            store.insert(p);
+        }
+        let via_graph = build_tree(
+            store.peers(),
+            &store.graph(),
+            0,
+            &OrthantRectPartitioner::median(),
+        );
+        let via_store = build_tree_on_store(&store, 0, &OrthantRectPartitioner::median());
+        assert_eq!(via_graph, via_store);
+        assert!(via_store.tree.is_spanning());
+        assert_eq!(via_store.messages, store.len() - 1);
+    }
+
+    #[test]
+    fn store_backed_build_strands_departed_peers() {
+        use std::sync::Arc;
+        let points = uniform_points(30, 2, 1000.0, 31);
+        let mut store = geocast_overlay::TopologyStore::new(Arc::new(EmptyRectSelection));
+        for p in points.into_points() {
+            store.insert(p);
+        }
+        store.remove(geocast_overlay::PeerId(7));
+        let result = build_tree_on_store(&store, 0, &OrthantRectPartitioner::median());
+        assert_eq!(
+            result.stranded,
+            vec![7],
+            "departed peer must not be spanned"
+        );
+        assert_eq!(
+            result.messages,
+            store.len() - 2,
+            "one message per live child"
+        );
+        for i in 0..store.len() {
+            if i != 7 {
+                assert!(result.tree.is_reached(i), "live peer {i} lost");
+            }
+        }
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub mod session;
 pub mod stability;
 pub mod validate;
 
-pub use builder::{build_in_zone, build_tree, BuildResult};
+pub use builder::{
+    build_in_zone, build_in_zone_on_store, build_tree, build_tree_on_store, BuildResult,
+};
 pub use partition::{OrthantRectPartitioner, PickRule, ZonePartitioner};
 pub use tree::{MulticastTree, TreeError};

@@ -27,7 +27,7 @@
 //! every populated orthant contributes at least one selected neighbour.
 
 use geocast_geom::{Metric, MetricKind};
-use geocast_overlay::{OverlayGraph, PeerInfo};
+use geocast_overlay::{OverlayGraph, PeerId, PeerInfo, TopologyStore};
 
 use crate::tree::MulticastTree;
 
@@ -159,6 +159,54 @@ impl StabilityForest {
                 None => true,
             })
     }
+
+    /// Incrementally refreshes the forest after a membership change on
+    /// `store`: only the peers in `delta` (the store's dirty region —
+    /// exactly the peers whose undirected neighbourhood changed) re-run
+    /// their preferred-neighbour pick. New peers extend the forest;
+    /// departed peers drop their link.
+    ///
+    /// Equivalent to re-running [`preferred_links_on_store`] from
+    /// scratch (property-tested), at `O(|delta| · deg)` instead of
+    /// `O(N · deg)` per event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any delta index exceeds the store's peer count.
+    pub fn refresh_on_store(
+        &mut self,
+        store: &TopologyStore,
+        policy: PreferredPolicy,
+        delta: &[usize],
+    ) {
+        self.preferred.resize(store.len(), None);
+        let mut buf = Vec::new();
+        for &i in delta {
+            if store.is_departed(PeerId(i as u64)) {
+                self.preferred[i] = None;
+                continue;
+            }
+            self.preferred[i] = pick_on_store(store, i, policy, &mut buf);
+        }
+    }
+}
+
+/// One peer's preferred pick over the store's undirected neighbourhood.
+fn pick_on_store(
+    store: &TopologyStore,
+    i: usize,
+    policy: PreferredPolicy,
+    buf: &mut Vec<usize>,
+) -> Option<usize> {
+    let peers = store.peers();
+    let who = &peers[i];
+    store.undirected_neighbors_into(i, buf);
+    let higher: Vec<&PeerInfo> = buf
+        .iter()
+        .map(|&j| &peers[j])
+        .filter(|q| q.departure_time() > who.departure_time())
+        .collect();
+    policy.pick(who, &higher).map(|ci| higher[ci].id().index())
 }
 
 /// Runs the §3 selection: every peer picks a preferred tree neighbour
@@ -186,6 +234,26 @@ pub fn preferred_links(
                 .filter(|q| q.departure_time() > who.departure_time())
                 .collect();
             policy.pick(who, &higher).map(|ci| higher[ci].id().index())
+        })
+        .collect();
+    StabilityForest { preferred }
+}
+
+/// [`preferred_links`] over a [`TopologyStore`]'s
+/// incrementally-maintained equilibrium: neighbourhoods come straight
+/// from the store's forward + reverse adjacency, no graph or closure is
+/// materialized. Departed peers get no preferred link (and, having no
+/// edges, are nobody's).
+#[must_use]
+pub fn preferred_links_on_store(store: &TopologyStore, policy: PreferredPolicy) -> StabilityForest {
+    let mut buf = Vec::new();
+    let preferred = (0..store.len())
+        .map(|i| {
+            if store.is_departed(PeerId(i as u64)) {
+                None
+            } else {
+                pick_on_store(store, i, policy, &mut buf)
+            }
         })
         .collect();
     StabilityForest { preferred }
@@ -325,6 +393,56 @@ mod tests {
             min_t.longest_root_to_leaf(),
             max_t.longest_root_to_leaf()
         );
+    }
+
+    #[test]
+    fn store_backed_preferred_links_match_graph_backed() {
+        use std::sync::Arc;
+        let base = uniform_points(60, 3, 1000.0, 33);
+        let times = lifetimes(60, 1000.0, 34);
+        let points = embed_lifetimes(&base, &times);
+        let sel = Arc::new(HyperplanesSelection::orthogonal(3, 2, MetricKind::L1));
+        let mut store = TopologyStore::new(sel);
+        for p in points.into_points() {
+            store.insert(p);
+        }
+        for policy in [PreferredPolicy::MaxT, PreferredPolicy::MinHigherT] {
+            let via_store = preferred_links_on_store(&store, policy);
+            let via_graph = preferred_links(store.peers(), &store.graph(), policy);
+            assert_eq!(via_store, via_graph, "{policy}");
+        }
+    }
+
+    #[test]
+    fn incremental_forest_refresh_equals_from_scratch_under_churn() {
+        use std::sync::Arc;
+        let base = uniform_points(50, 2, 1000.0, 35);
+        let times = lifetimes(50, 1000.0, 36);
+        let points = embed_lifetimes(&base, &times).into_points();
+        let sel = Arc::new(HyperplanesSelection::orthogonal(2, 1, MetricKind::L1));
+        let mut store = TopologyStore::new(Arc::clone(&sel) as _);
+        let mut forest = preferred_links_on_store(&store, PreferredPolicy::MaxT);
+        // Joins: refresh after each event with that event's delta.
+        for p in &points {
+            store.insert(p.clone());
+            forest.refresh_on_store(&store, PreferredPolicy::MaxT, store.last_delta());
+            assert_eq!(
+                forest,
+                preferred_links_on_store(&store, PreferredPolicy::MaxT),
+                "forest diverged after join {}",
+                store.len()
+            );
+        }
+        // Leaves: same contract.
+        for victim in [8u64, 19, 42] {
+            store.remove(PeerId(victim));
+            forest.refresh_on_store(&store, PreferredPolicy::MaxT, store.last_delta());
+            assert_eq!(
+                forest,
+                preferred_links_on_store(&store, PreferredPolicy::MaxT),
+                "forest diverged after leave {victim}"
+            );
+        }
     }
 
     #[test]

@@ -17,12 +17,14 @@
 //! | Baseline: flooding message cost | [`baseline_messages`] |
 //! | Baseline: departure sensitivity | [`baseline_stability`] |
 //! | Beyond the paper: construction scaling to `N = 50_000` | [`overlay_scaling`] |
+//! | Beyond the paper: incremental churn engine (waves, flash crowds, mixed rates) | [`churn_panel`] |
 //!
 //! Every harness takes an explicit config (with a paper-scale
 //! [`Default`] and a reduced [`quick`](Fig1Config::quick) variant for
 //! CI), runs deterministically from its seeds, and returns a
 //! [`FigureReport`] holding the same rows/series the paper plots.
 
+mod churn;
 mod claims;
 mod extra;
 mod fig1;
@@ -30,6 +32,7 @@ mod repair;
 mod report;
 mod scaling;
 
+pub use churn::{churn_panel, ChurnConfig};
 pub use claims::{claims_section2, claims_section3, ClaimsConfig};
 pub use extra::{
     ablation_partitioner, baseline_messages, baseline_stability, AblationConfig, BaselineConfig,

@@ -72,9 +72,10 @@ pub mod prelude {
     };
     pub use geocast_overlay::{
         churn, oracle, ConvergenceReport, NetworkConfig, OverlayGraph, OverlayNetwork, PeerId,
-        PeerInfo,
+        PeerInfo, TopologyStore,
     };
     pub use geocast_sim::{
-        runner::ParallelRunner, FaultModel, NodeId, SimDuration, SimTime, Simulation,
+        runner::ParallelRunner, workload::ChurnPattern, FaultModel, NodeId, SimDuration, SimTime,
+        Simulation,
     };
 }

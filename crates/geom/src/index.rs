@@ -1,15 +1,23 @@
-//! A uniform-grid spatial index over a point set.
+//! A uniform-grid spatial index over a mutable point population.
 //!
-//! [`GridIndex`] is the engine behind figure-scale overlay construction:
-//! it answers the two geometric queries every neighbour-selection rule
-//! reduces to, **exactly** (bit-for-bit the same answers as the
-//! brute-force formulations, which property tests assert):
+//! [`GridIndex`] is the engine behind figure-scale overlay construction
+//! and the incremental churn engine: it answers the two geometric
+//! queries every neighbour-selection rule reduces to, **exactly**
+//! (bit-for-bit the same answers as the brute-force formulations, which
+//! property tests assert):
 //!
 //! * [`GridIndex::empty_rect_neighbors`] — the §2 empty-rectangle rule,
 //!   i.e. the per-orthant Pareto frontier around a point
 //!   (see [`crate::dominance`]), and
 //! * [`GridIndex::k_nearest_per_orthant`] — the per-orthant `K` closest
 //!   points, the kernel of the *Orthogonal Hyperplanes* method.
+//!
+//! Unlike a build-once index, the population is **mutable**:
+//! [`GridIndex::insert`] and [`GridIndex::remove`] apply membership
+//! churn in `O(1)` amortized time. Removed points keep their id (so
+//! callers' dense id spaces stay stable) but stop contributing to every
+//! query; the grid re-buckets itself automatically when the live
+//! population outgrows or outshrinks the geometry it was built for.
 //!
 //! # How pruning works
 //!
@@ -34,6 +42,11 @@
 //!   the `(distance, tie-key)` order of the brute-force selection is
 //!   reproduced exactly.
 //!
+//! Points inserted outside the built bounding box land in clamped edge
+//! cells; the corner bound stays a valid *lower* bound for them, so
+//! answers remain exact and only locality degrades until the next
+//! re-bucketing.
+//!
 //! On uniform workloads each query touches `O(side)` cells per orthant
 //! instead of all `N` points, which turns the `O(N²)`-per-topology
 //! equilibrium construction into roughly `O(N^1.5)` in 2-D.
@@ -42,7 +55,13 @@
 //! orthant membership ambiguous (the paper's standing distinctness
 //! assumption is violated); queries then return `None` and callers fall
 //! back to their brute-force paths, matching the fallback semantics of
-//! [`crate::dominance::empty_rect_neighbors`].
+//! [`crate::dominance::empty_rect_neighbors`]. Collisions are detected
+//! from per-dimension coordinate multiplicity tables maintained on
+//! every insert/remove — **before** any cell is walked — so a collision
+//! beyond the prune horizon declines exactly like a nearby one (the
+//! regression `grid_collision_regression.rs` guards this).
+
+use std::collections::HashMap;
 
 use crate::{MetricKind, Point};
 
@@ -51,11 +70,21 @@ use crate::{MetricKind, Point};
 /// scan wins anyway, so queries decline (return `None`).
 pub const MAX_INDEX_DIM: usize = 16;
 
-/// A uniform grid over a fixed point set, supporting exact per-orthant
-/// nearest-neighbour and empty-rectangle queries.
+/// Canonical bit pattern of a coordinate for the per-dimension
+/// multiplicity tables (`-0.0` and `+0.0` collide, like `delta == 0.0`
+/// does in the scan loops).
+fn coord_bits(x: f64) -> u64 {
+    (x + 0.0).to_bits()
+}
+
+/// A uniform grid over a mutable point population, supporting exact
+/// per-orthant nearest-neighbour and empty-rectangle queries plus
+/// incremental [`GridIndex::insert`] / [`GridIndex::remove`].
 ///
-/// The index copies coordinates into a flat, cache-friendly layout at
-/// build time; it does not borrow the source points.
+/// The index copies coordinates into a flat, cache-friendly layout; it
+/// does not borrow the source points. Ids are dense insertion indices:
+/// the `i`-th point of the build slice (and then each inserted point in
+/// order) gets id `i`, and removal never reuses ids.
 ///
 /// # Example
 ///
@@ -83,12 +112,22 @@ pub struct GridIndex {
     side: usize,
     lo: Vec<f64>,
     cell_size: Vec<f64>,
-    /// CSR over cells: points of cell `c` are
-    /// `entries[cell_offsets[c]..cell_offsets[c + 1]]`.
-    cell_offsets: Vec<usize>,
-    entries: Vec<u32>,
-    /// Flattened coordinates, `coords[id * dim..][..dim]`.
+    /// Per-cell buckets of live point ids (removal-friendly, unlike the
+    /// original CSR layout).
+    cells: Vec<Vec<u32>>,
+    /// Flattened coordinates, `coords[id * dim..][..dim]`; kept for
+    /// removed ids too so id arithmetic never shifts.
     coords: Vec<f64>,
+    /// Tombstones: `removed[id]` points contribute to no query.
+    removed: Vec<bool>,
+    /// Live point count (`removed` false entries).
+    live: usize,
+    /// Live count when the grid geometry was last computed; drifting a
+    /// factor of 2 away from it triggers a re-bucketing.
+    built_live: usize,
+    /// Per-dimension multiplicity of each live coordinate value — the
+    /// `O(D)` collision oracle behind the decline contract.
+    coord_counts: Vec<HashMap<u64, u32>>,
 }
 
 impl GridIndex {
@@ -114,13 +153,45 @@ impl GridIndex {
             coords.extend_from_slice(p.coords());
         }
 
+        let mut coord_counts = vec![HashMap::new(); dim];
+        for id in 0..n {
+            for (d, counts) in coord_counts.iter_mut().enumerate() {
+                *counts.entry(coord_bits(coords[id * dim + d])).or_insert(0) += 1;
+            }
+        }
+
+        let mut index = GridIndex {
+            dim,
+            side: 1,
+            lo: vec![0.0; dim],
+            cell_size: vec![1.0; dim],
+            cells: vec![Vec::new()],
+            coords,
+            removed: vec![false; n],
+            live: n,
+            built_live: n,
+            coord_counts,
+        };
+        index.regrid();
+        index
+    }
+
+    /// Recomputes the grid geometry from the live population and
+    /// re-buckets every live point. Ids, coordinates and tombstones are
+    /// untouched.
+    fn regrid(&mut self) {
+        let n = self.live;
+        let dim = self.dim;
         let mut lo = vec![0.0f64; dim];
         let mut hi = vec![0.0f64; dim];
         for d in 0..dim {
             let mut mn = f64::INFINITY;
             let mut mx = f64::NEG_INFINITY;
-            for id in 0..n {
-                let v = coords[id * dim + d];
+            for id in 0..self.removed.len() {
+                if self.removed[id] {
+                    continue;
+                }
+                let v = self.coords[id * dim + d];
                 mn = mn.min(v);
                 mx = mx.max(v);
             }
@@ -151,39 +222,95 @@ impl GridIndex {
             })
             .collect();
 
+        self.side = side;
+        self.lo = lo;
+        self.cell_size = cell_size;
+        self.built_live = n;
         let cells = Self::cell_count(side, dim);
-        let mut counts = vec![0usize; cells + 1];
-        let cell_of = |id: usize| -> usize {
-            let mut cell = 0usize;
-            for d in 0..dim {
-                let c = Self::layer_raw(coords[id * dim + d], lo[d], cell_size[d], side);
-                cell = cell * side + c;
+        self.cells = vec![Vec::new(); cells];
+        for id in 0..self.removed.len() {
+            if !self.removed[id] {
+                let c = self.cell_of(id);
+                self.cells[c].push(id as u32);
             }
-            cell
-        };
-        for id in 0..n {
-            counts[cell_of(id) + 1] += 1;
         }
-        for c in 0..cells {
-            counts[c + 1] += counts[c];
+    }
+
+    /// Adds a point to the population, returning its id (the next dense
+    /// insertion index). Amortized `O(1)`: the grid re-buckets itself
+    /// when the live population doubles past the built geometry or a
+    /// point escapes the bounding box after meaningful growth.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch with the existing population
+    /// (an empty index adopts the first point's dimensionality).
+    pub fn insert(&mut self, point: &Point) -> usize {
+        let adopting = self.coords.is_empty();
+        if adopting {
+            self.dim = point.dim();
+            self.coord_counts = vec![HashMap::new(); self.dim];
         }
-        let cell_offsets = counts.clone();
-        let mut cursor = counts;
-        let mut entries = vec![0u32; n];
-        for id in 0..n {
-            let c = cell_of(id);
-            entries[cursor[c]] = id as u32;
-            cursor[c] += 1;
+        assert_eq!(
+            point.dim(),
+            self.dim,
+            "index requires uniform dimensionality"
+        );
+        let id = self.removed.len();
+        self.coords.extend_from_slice(point.coords());
+        self.removed.push(false);
+        self.live += 1;
+        for (d, counts) in self.coord_counts.iter_mut().enumerate() {
+            *counts.entry(coord_bits(point[d])).or_insert(0) += 1;
         }
 
-        GridIndex {
-            dim,
-            side,
-            lo,
-            cell_size,
-            cell_offsets,
-            entries,
-            coords,
+        if adopting {
+            // The empty-built geometry (lo/cell_size) may not even have
+            // this dimensionality yet; rebuild it around the first point.
+            self.regrid();
+            return id;
+        }
+        let escaped = (0..self.dim).any(|d| {
+            let x = point[d];
+            x < self.lo[d] || x > self.lo[d] + self.side as f64 * self.cell_size[d]
+        });
+        let grown = self.live > 2 * self.built_live.max(8);
+        if grown || (escaped && self.live > self.built_live + self.built_live / 8) {
+            self.regrid();
+        } else {
+            let c = self.cell_of(id);
+            self.cells[c].push(id as u32);
+        }
+        id
+    }
+
+    /// Removes a point: it keeps its id (no other id shifts) but stops
+    /// contributing to every query, including collision detection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or already removed.
+    pub fn remove(&mut self, id: usize) {
+        assert!(id < self.removed.len(), "point id out of range");
+        assert!(!self.removed[id], "point {id} already removed");
+        self.removed[id] = true;
+        self.live -= 1;
+        for (d, counts) in self.coord_counts.iter_mut().enumerate() {
+            let bits = coord_bits(self.coords[id * self.dim + d]);
+            let slot = counts.get_mut(&bits).expect("live coordinate counted");
+            *slot -= 1;
+            if *slot == 0 {
+                counts.remove(&bits);
+            }
+        }
+        let c = self.cell_of(id);
+        let pos = self.cells[c]
+            .iter()
+            .position(|&e| e as usize == id)
+            .expect("live point bucketed");
+        self.cells[c].swap_remove(pos);
+        if self.live * 2 < self.built_live && self.built_live > 32 {
+            self.regrid();
         }
     }
 
@@ -204,16 +331,42 @@ impl GridIndex {
         }
     }
 
-    /// Number of indexed points.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.entries.len()
+    fn cell_of(&self, id: usize) -> usize {
+        let mut cell = 0usize;
+        for d in 0..self.dim {
+            let c = self.layer_of(d, self.coords[id * self.dim + d]);
+            cell = cell * self.side + c;
+        }
+        cell
     }
 
-    /// `true` if no points are indexed.
+    /// Number of ids ever issued (removed points included); the valid
+    /// query range is `0..len()`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// `true` if no points were ever indexed.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.removed.is_empty()
+    }
+
+    /// Number of live (non-removed) points.
+    #[must_use]
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if the point has been removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn is_removed(&self, id: usize) -> bool {
+        self.removed[id]
     }
 
     /// Dimensionality of the indexed space.
@@ -236,21 +389,32 @@ impl GridIndex {
         Self::layer_raw(x, self.lo[d], self.cell_size[d], self.side)
     }
 
+    /// `true` if some *other* live point shares a coordinate with point
+    /// `i` in any dimension — the exact condition under which queries
+    /// must decline. `O(D)` against the multiplicity tables.
+    fn collides(&self, i: usize) -> bool {
+        (0..self.dim).any(|d| {
+            let bits = coord_bits(self.coords[i * self.dim + d]);
+            self.coord_counts[d].get(&bits).copied().unwrap_or(0) >= 2
+        })
+    }
+
     /// The indices of the exact empty-rectangle neighbours of point `i`
-    /// among all other indexed points, sorted ascending.
+    /// among all other live indexed points, sorted ascending.
     ///
-    /// Returns `None` when some other point shares a coordinate with
-    /// point `i` (per-dimension distinctness violated) or the
+    /// Returns `None` when some other live point shares a coordinate
+    /// with point `i` (per-dimension distinctness violated) or the
     /// dimensionality exceeds [`MAX_INDEX_DIM`]; callers then fall back
     /// to [`crate::dominance::empty_rect_neighbors`].
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range.
+    /// Panics if `i` is out of range or removed.
     #[must_use]
     pub fn empty_rect_neighbors(&self, i: usize) -> Option<Vec<usize>> {
         assert!(i < self.len(), "point index out of range");
-        if self.dim > MAX_INDEX_DIM {
+        assert!(!self.removed[i], "query point {i} was removed");
+        if self.dim > MAX_INDEX_DIM || self.collides(i) {
             return None;
         }
         let dim = self.dim;
@@ -267,7 +431,7 @@ impl GridIndex {
         let mut prefix_cells = vec![0usize; dim];
         let mut prefix_offs = vec![0.0f64; dim];
         for o in 0..orthants {
-            let ok = self.walk_empty_rect(
+            self.walk_empty_rect(
                 o,
                 0,
                 &p,
@@ -278,9 +442,6 @@ impl GridIndex {
                 &mut collected,
                 &mut frontier,
             );
-            if !ok {
-                return None; // coordinate collision: distinctness violated
-            }
         }
 
         // Exact per-orthant Pareto frontier over the (reduced) collected
@@ -311,7 +472,7 @@ impl GridIndex {
     /// Walks the cells of orthant `o` (bit `d` set = positive side in
     /// dimension `d`), collecting candidate points and pruning cells
     /// whose corner is rect-dominated by an already-collected point.
-    /// Returns `false` on a coordinate collision.
+    /// Collisions cannot occur: [`GridIndex::collides`] gates the walk.
     #[allow(clippy::too_many_arguments)]
     fn walk_empty_rect(
         &self,
@@ -324,7 +485,7 @@ impl GridIndex {
         skip: usize,
         collected: &mut [Vec<(Vec<f64>, usize)>],
         frontier: &mut [Vec<usize>],
-    ) -> bool {
+    ) {
         let d = depth;
         let positive = o >> d & 1 == 1;
         let innermost = depth + 1 == self.dim;
@@ -348,24 +509,21 @@ impl GridIndex {
                 if dominated {
                     break;
                 }
-                if !self.scan_cell_empty_rect(o, p, prefix_cells, skip, collected, frontier) {
-                    return false;
-                }
-            } else if !self.walk_empty_rect(
-                o,
-                depth + 1,
-                p,
-                p_layer,
-                prefix_cells,
-                prefix_offs,
-                skip,
-                collected,
-                frontier,
-            ) {
-                return false;
+                self.scan_cell_empty_rect(o, p, prefix_cells, skip, collected, frontier);
+            } else {
+                self.walk_empty_rect(
+                    o,
+                    depth + 1,
+                    p,
+                    p_layer,
+                    prefix_cells,
+                    prefix_offs,
+                    skip,
+                    collected,
+                    frontier,
+                );
             }
         }
-        true
     }
 
     /// The cell layer `t` steps from `p`'s layer along `d` (direction
@@ -403,7 +561,7 @@ impl GridIndex {
     }
 
     /// Scans one cell for orthant `o` candidates, updating the collected
-    /// set and its pruning frontier. Returns `false` on a collision.
+    /// set and its pruning frontier.
     fn scan_cell_empty_rect(
         &self,
         o: usize,
@@ -412,25 +570,24 @@ impl GridIndex {
         skip: usize,
         collected: &mut [Vec<(Vec<f64>, usize)>],
         frontier: &mut [Vec<usize>],
-    ) -> bool {
+    ) {
         let dim = self.dim;
         let mut flat = 0usize;
         for &c in cell {
             flat = flat * self.side + c;
         }
-        for e in self.cell_offsets[flat]..self.cell_offsets[flat + 1] {
-            let id = self.entries[e] as usize;
+        for &entry in &self.cells[flat] {
+            let id = entry as usize;
             if id == skip {
                 continue;
             }
+            debug_assert!(!self.removed[id], "buckets hold live points only");
             let q = self.point_coords(id);
             let mut offsets = Vec::with_capacity(dim);
             let mut in_orthant = true;
             for d in 0..dim {
                 let delta = q[d] - p[d];
-                if delta == 0.0 {
-                    return false; // collision: distinctness violated
-                }
+                debug_assert!(delta != 0.0, "collides() must gate the walk");
                 if (delta > 0.0) != (o >> d & 1 == 1) {
                     in_orthant = false;
                     break;
@@ -459,21 +616,21 @@ impl GridIndex {
                 frontier[o].push(new_ri);
             }
         }
-        true
     }
 
-    /// The `k` nearest indexed points to point `i` within each orthant
-    /// around it, under `metric`, each orthant sorted by
+    /// The `k` nearest live indexed points to point `i` within each
+    /// orthant around it, under `metric`, each orthant sorted by
     /// `(distance, index)` ascending — exactly the per-orthant ranking
     /// of the *Orthogonal Hyperplanes* selection when point indices are
     /// the tie-break key.
     ///
-    /// Returns `None` on a per-dimension coordinate collision or when
-    /// the dimensionality exceeds [`MAX_INDEX_DIM`].
+    /// Returns `None` on a per-dimension coordinate collision with any
+    /// other live point or when the dimensionality exceeds
+    /// [`MAX_INDEX_DIM`].
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range or `k == 0`.
+    /// Panics if `i` is out of range, removed, or `k == 0`.
     #[must_use]
     pub fn k_nearest_per_orthant(
         &self,
@@ -482,8 +639,9 @@ impl GridIndex {
         metric: MetricKind,
     ) -> Option<Vec<Vec<usize>>> {
         assert!(i < self.len(), "point index out of range");
+        assert!(!self.removed[i], "query point {i} was removed");
         assert!(k > 0, "K must be at least 1");
-        if self.dim > MAX_INDEX_DIM {
+        if self.dim > MAX_INDEX_DIM || self.collides(i) {
             return None;
         }
         let dim = self.dim;
@@ -495,7 +653,7 @@ impl GridIndex {
         let mut prefix_cells = vec![0usize; dim];
         let mut prefix_offs = vec![0.0f64; dim];
         for o in 0..orthants {
-            if !self.walk_knn(
+            self.walk_knn(
                 o,
                 0,
                 &p,
@@ -506,9 +664,7 @@ impl GridIndex {
                 k,
                 metric,
                 &mut best,
-            ) {
-                return None;
-            }
+            );
         }
         Some(
             best.into_iter()
@@ -546,7 +702,8 @@ impl GridIndex {
     /// Walks orthant `o` cells for the `k`-nearest query. The column
     /// walk along each dimension stops once the corner bound (remaining
     /// dimensions at zero offset) strictly exceeds the current `k`-th
-    /// best distance. Returns `false` on a coordinate collision.
+    /// best distance. Collisions cannot occur: [`GridIndex::collides`]
+    /// gates the walk.
     #[allow(clippy::too_many_arguments)]
     fn walk_knn(
         &self,
@@ -560,7 +717,7 @@ impl GridIndex {
         k: usize,
         metric: MetricKind,
         best: &mut [Vec<(f64, usize)>],
-    ) -> bool {
+    ) {
         let d = depth;
         let positive = o >> d & 1 == 1;
         let innermost = depth + 1 == self.dim;
@@ -583,18 +740,17 @@ impl GridIndex {
                 for &c in prefix_cells.iter() {
                     flat = flat * self.side + c;
                 }
-                for e in self.cell_offsets[flat]..self.cell_offsets[flat + 1] {
-                    let id = self.entries[e] as usize;
+                for &entry in &self.cells[flat] {
+                    let id = entry as usize;
                     if id == skip {
                         continue;
                     }
+                    debug_assert!(!self.removed[id], "buckets hold live points only");
                     let q = self.point_coords(id);
                     let mut in_orthant = true;
                     for dd in 0..self.dim {
                         let delta = q[dd] - p[dd];
-                        if delta == 0.0 {
-                            return false;
-                        }
+                        debug_assert!(delta != 0.0, "collides() must gate the walk");
                         if (delta > 0.0) != (o >> dd & 1 == 1) {
                             in_orthant = false;
                             break;
@@ -616,22 +772,21 @@ impl GridIndex {
                     let pos = group.partition_point(|&(gd, gid)| (gd, gid) < (entry.0, entry.1));
                     group.insert(pos, entry);
                 }
-            } else if !self.walk_knn(
-                o,
-                depth + 1,
-                p,
-                p_layer,
-                prefix_cells,
-                prefix_offs,
-                skip,
-                k,
-                metric,
-                best,
-            ) {
-                return false;
+            } else {
+                self.walk_knn(
+                    o,
+                    depth + 1,
+                    p,
+                    p_layer,
+                    prefix_cells,
+                    prefix_offs,
+                    skip,
+                    k,
+                    metric,
+                    best,
+                );
             }
         }
-        true
     }
 }
 
@@ -779,5 +934,133 @@ mod tests {
                 "i={i}"
             );
         }
+    }
+
+    #[test]
+    fn empty_built_index_adopts_first_point_dimensionality() {
+        // Regression: build(&[]) defaults to dim 1; the first insert of a
+        // higher-dimensional point must rebuild the geometry instead of
+        // indexing stale 1-D bounds (this used to panic whenever the
+        // first coordinate happened to land inside the default bounds).
+        let mut index = GridIndex::build::<Point>(&[]);
+        let id = index.insert(&Point::new(vec![0.5, 0.5]).unwrap());
+        assert_eq!(id, 0);
+        assert_eq!(index.dim(), 2);
+        index.insert(&Point::new(vec![0.25, 0.75]).unwrap());
+        assert_eq!(index.empty_rect_neighbors(0), Some(vec![1]));
+    }
+
+    #[test]
+    fn incremental_inserts_match_fresh_build() {
+        // Insert one point at a time starting from an empty index; after
+        // every insertion the answers equal a from-scratch build's.
+        let points = uniform_points(120, 2, 1000.0, 41).into_points();
+        let mut index = GridIndex::build(&points[..0]);
+        for (next, point) in points.iter().enumerate() {
+            assert_eq!(index.insert(point), next);
+            let fresh = GridIndex::build(&points[..=next]);
+            for i in [0, next / 2, next] {
+                assert_eq!(
+                    index.empty_rect_neighbors(i),
+                    fresh.empty_rect_neighbors(i),
+                    "after inserting {next}, query {i}"
+                );
+                assert_eq!(
+                    index.k_nearest_per_orthant(i, 2, MetricKind::L1),
+                    fresh.k_nearest_per_orthant(i, 2, MetricKind::L1),
+                    "after inserting {next}, query {i}"
+                );
+            }
+        }
+        assert_eq!(index.live_len(), points.len());
+    }
+
+    #[test]
+    fn removal_expires_points_from_answers() {
+        let points = uniform_points(80, 2, 1000.0, 43).into_points();
+        let mut index = GridIndex::build(&points);
+        // Remove every third point; answers must equal the brute force
+        // over the survivors (in original ids).
+        let victims: Vec<usize> = (0..points.len()).step_by(3).collect();
+        for &v in &victims {
+            index.remove(v);
+        }
+        assert_eq!(index.live_len(), points.len() - victims.len());
+        let live: Vec<usize> = (0..points.len()).filter(|i| !victims.contains(i)).collect();
+        for &i in live.iter().take(10) {
+            let got = index.empty_rect_neighbors(i).expect("distinct workload");
+            let cand_ids: Vec<usize> = live.iter().copied().filter(|&j| j != i).collect();
+            let candidates: Vec<&Point> = cand_ids.iter().map(|&j| &points[j]).collect();
+            let want: Vec<usize> = empty_rect_neighbors(&points[i], &candidates)
+                .into_iter()
+                .map(|ci| cand_ids[ci])
+                .collect();
+            assert_eq!(got, want, "query {i}");
+            assert!(got.iter().all(|n| !victims.contains(n)));
+        }
+    }
+
+    #[test]
+    fn heavy_removal_triggers_shrink_and_stays_exact() {
+        let points = uniform_points(200, 2, 1000.0, 47).into_points();
+        let mut index = GridIndex::build(&points);
+        let side_before = index.side();
+        for v in 40..200 {
+            index.remove(v);
+        }
+        assert!(index.side() < side_before, "grid must re-bucket smaller");
+        let fresh = GridIndex::build(&points[..40]);
+        for i in 0..40 {
+            assert_eq!(
+                index.empty_rect_neighbors(i),
+                fresh.empty_rect_neighbors(i),
+                "query {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_colliding_point_restores_index_answers() {
+        // Points 0 and 1 share y: both decline. Removing point 1 makes
+        // point 0's queries answer again.
+        let points = vec![
+            Point::new(vec![0.0, 5.0]).unwrap(),
+            Point::new(vec![90.0, 5.0]).unwrap(),
+            Point::new(vec![3.0, 8.0]).unwrap(),
+        ];
+        let mut index = GridIndex::build(&points);
+        assert_eq!(index.empty_rect_neighbors(0), None);
+        index.remove(1);
+        assert_eq!(index.empty_rect_neighbors(0), Some(vec![2]));
+        assert_eq!(
+            index.k_nearest_per_orthant(0, 1, MetricKind::L1),
+            Some(vec![vec![], vec![], vec![], vec![2]])
+        );
+    }
+
+    #[test]
+    fn insert_outside_built_bounds_stays_exact() {
+        // Clamped edge cells keep the corner bound a valid lower bound.
+        let mut points = uniform_points(60, 2, 100.0, 51).into_points();
+        let mut index = GridIndex::build(&points);
+        let far = Point::new(vec![5000.5, -3000.25]).unwrap();
+        index.insert(&far);
+        points.push(far);
+        for i in 0..points.len() {
+            assert_eq!(
+                index.empty_rect_neighbors(i).expect("distinct workload"),
+                reindexed_brute(&points, i),
+                "query {i}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already removed")]
+    fn double_removal_is_rejected() {
+        let points = uniform_points(4, 2, 100.0, 3).into_points();
+        let mut index = GridIndex::build(&points);
+        index.remove(2);
+        index.remove(2);
     }
 }

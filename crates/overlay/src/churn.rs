@@ -13,9 +13,11 @@ use rand::{Rng, SeedableRng};
 
 use geocast_geom::gen::uniform_points;
 use geocast_geom::Point;
+use geocast_sim::workload::{ChurnOp, ChurnPattern};
 
 use crate::network::OverlayNetwork;
 use crate::peer::PeerId;
+use crate::store::TopologyStore;
 
 /// One membership event.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +116,52 @@ impl ChurnSchedule {
         }
         ChurnSchedule { events }
     }
+
+    /// Binds an abstract [`ChurnPattern`] to this overlay's workload
+    /// shape: joins get fresh identifiers, leaves pick a uniformly
+    /// random present peer. The caller's `initial` peers (added before
+    /// replay) are leave candidates from the start. Leaves that would
+    /// empty the network are dropped (the paper's overlay has no notion
+    /// of an empty re-bootstrap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or (for `Mixed`) both rates are zero.
+    #[must_use]
+    pub fn from_pattern(
+        initial: usize,
+        pattern: &ChurnPattern,
+        dim: usize,
+        vmax: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        let ops = pattern.ops(seed);
+        let joins_total = ops.iter().filter(|op| matches!(op, ChurnOp::Join)).count();
+        let join_points = uniform_points(joins_total, dim, vmax, seed ^ 0x9e37_79b9).into_points();
+        let mut joins = join_points.into_iter();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6c65_6176_6573); // "leaves"
+        let mut present: Vec<u64> = (0..initial as u64).collect();
+        let mut next_id = initial as u64;
+        let mut events = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                ChurnOp::Join => {
+                    events.push(ChurnEvent::Join(joins.next().expect("join budget tracked")));
+                    present.push(next_id);
+                    next_id += 1;
+                }
+                ChurnOp::Leave => {
+                    if present.len() <= 1 {
+                        continue; // never empty the network
+                    }
+                    let victim = present.swap_remove(rng.random_range(0..present.len()));
+                    events.push(ChurnEvent::Leave(PeerId(victim)));
+                }
+            }
+        }
+        ChurnSchedule { events }
+    }
 }
 
 /// Outcome of replaying a churn schedule.
@@ -150,6 +198,105 @@ pub fn run_schedule(network: &mut OverlayNetwork, schedule: &ChurnSchedule) -> C
         if !network.converge().converged {
             report.convergence_failures += 1;
         }
+    }
+    report
+}
+
+/// Replays `schedule` against `network` through the **localized** churn
+/// path: no global re-convergence between events — the shared
+/// [`TopologyStore`] keeps the topology at the equilibrium after every
+/// event, touching only the affected neighbourhood.
+pub fn run_schedule_localized(
+    network: &mut OverlayNetwork,
+    schedule: &ChurnSchedule,
+) -> ChurnReport {
+    let mut report = ChurnReport {
+        joins: 0,
+        leaves: 0,
+        convergence_failures: 0,
+    };
+    for event in schedule.events() {
+        match event {
+            ChurnEvent::Join(point) => {
+                network.add_peer_localized(point.clone());
+                report.joins += 1;
+            }
+            ChurnEvent::Leave(id) => {
+                network.remove_peer_localized(*id);
+                report.leaves += 1;
+            }
+        }
+    }
+    report
+}
+
+/// Outcome of replaying a churn schedule directly on a
+/// [`TopologyStore`] (no simulator at all — the pure incremental
+/// equilibrium engine, the fastest way to drive large-N churn studies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreChurnReport {
+    /// Join events applied.
+    pub joins: usize,
+    /// Leave events applied.
+    pub leaves: usize,
+    /// Total peers touched across all events (Σ dirty-region sizes).
+    pub touched_total: usize,
+    /// Largest single-event dirty region.
+    pub touched_max: usize,
+}
+
+impl StoreChurnReport {
+    /// Mean dirty-region size per event (0 for an empty schedule).
+    #[must_use]
+    pub fn touched_mean(&self) -> f64 {
+        let events = self.joins + self.leaves;
+        if events == 0 {
+            0.0
+        } else {
+            self.touched_total as f64 / events as f64
+        }
+    }
+}
+
+/// Replays `schedule` against a bare [`TopologyStore`], recording how
+/// local each membership change stayed (the dirty-region sizes).
+pub fn run_schedule_on_store(
+    store: &mut TopologyStore,
+    schedule: &ChurnSchedule,
+) -> StoreChurnReport {
+    run_schedule_on_store_with(store, schedule, |_, _| {})
+}
+
+/// [`run_schedule_on_store`] with a per-event observer: `observe(event
+/// index, dirty-region size)` runs after each applied event — the hook
+/// figure harnesses use to chart locality traces without re-implementing
+/// the replay.
+pub fn run_schedule_on_store_with(
+    store: &mut TopologyStore,
+    schedule: &ChurnSchedule,
+    mut observe: impl FnMut(usize, usize),
+) -> StoreChurnReport {
+    let mut report = StoreChurnReport {
+        joins: 0,
+        leaves: 0,
+        touched_total: 0,
+        touched_max: 0,
+    };
+    for (ei, event) in schedule.events().iter().enumerate() {
+        match event {
+            ChurnEvent::Join(point) => {
+                store.insert(point.clone());
+                report.joins += 1;
+            }
+            ChurnEvent::Leave(id) => {
+                store.remove(*id);
+                report.leaves += 1;
+            }
+        }
+        let touched = store.last_delta().len();
+        report.touched_total += touched;
+        report.touched_max = report.touched_max.max(touched);
+        observe(ei, touched);
     }
     report
 }
@@ -209,6 +356,77 @@ mod tests {
     #[should_panic(expected = "empty the network")]
     fn schedule_refuses_to_empty_network() {
         let _ = ChurnSchedule::random(2, 1, 3, 2, 100.0, 0);
+    }
+
+    #[test]
+    fn pattern_schedules_bind_to_points_and_victims() {
+        let flash = ChurnPattern::FlashCrowd {
+            surge: 6,
+            exodus: 4,
+        };
+        let s = ChurnSchedule::from_pattern(5, &flash, 2, 1000.0, 3);
+        assert_eq!(s.len(), 10);
+        let joins = s
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Join(_)))
+            .count();
+        assert_eq!(joins, 6);
+        // Reproducible per seed.
+        assert_eq!(s, ChurnSchedule::from_pattern(5, &flash, 2, 1000.0, 3));
+        assert_ne!(s, ChurnSchedule::from_pattern(5, &flash, 2, 1000.0, 4));
+    }
+
+    #[test]
+    fn pattern_schedules_never_empty_the_network() {
+        // A leave wave longer than the population: excess leaves drop.
+        let wave = ChurnPattern::LeaveWave { count: 10 };
+        let s = ChurnSchedule::from_pattern(4, &wave, 2, 1000.0, 7);
+        assert_eq!(s.len(), 3, "only initial-1 leaves are possible");
+        let mut present: std::collections::HashSet<u64> = (0..4).collect();
+        for event in s.events() {
+            if let ChurnEvent::Leave(id) = event {
+                assert!(present.remove(&id.0));
+            }
+        }
+        assert_eq!(present.len(), 1);
+    }
+
+    #[test]
+    fn localized_replay_tracks_the_store_equilibrium() {
+        let mut net = OverlayNetwork::new(Arc::new(EmptyRectSelection), NetworkConfig::default());
+        for p in geocast_geom::gen::uniform_points(8, 2, 1000.0, 51).into_points() {
+            net.add_peer_localized(p);
+        }
+        let pattern = ChurnPattern::Mixed {
+            events: 12,
+            join_rate: 1,
+            leave_rate: 1,
+        };
+        let schedule = ChurnSchedule::from_pattern(8, &pattern, 2, 1000.0, 52);
+        let report = run_schedule_localized(&mut net, &schedule);
+        assert_eq!(report.joins + report.leaves, schedule.len());
+        assert_eq!(report.convergence_failures, 0);
+        assert_eq!(net.topology(), net.reference_topology());
+    }
+
+    #[test]
+    fn store_replay_reports_dirty_regions() {
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        for p in geocast_geom::gen::uniform_points(10, 2, 1000.0, 61).into_points() {
+            store.insert(p.clone());
+        }
+        let pattern = ChurnPattern::FlashCrowd {
+            surge: 5,
+            exodus: 5,
+        };
+        let schedule = ChurnSchedule::from_pattern(10, &pattern, 2, 1000.0, 62);
+        let report = run_schedule_on_store(&mut store, &schedule);
+        assert_eq!(report.joins, 5);
+        assert_eq!(report.leaves, 5);
+        assert!(report.touched_max >= 1);
+        assert!(report.touched_mean() >= 1.0);
+        assert_eq!(store.live_count(), 10);
     }
 
     #[test]

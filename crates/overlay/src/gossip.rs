@@ -113,6 +113,10 @@ pub struct GossipNode {
     address_book: Vec<usize>,
     /// Round-robin cursor into the address book for fallback announces.
     fallback_cursor: usize,
+    /// Rolling fingerprint of `neighbors` (see
+    /// [`crate::topology_hash`]); lets convergence checks compare
+    /// topologies without snapshotting adjacency lists.
+    neighbors_hash: u64,
     next_seq: u64,
     announce_timer: Option<TimerId>,
     reselect_timer: Option<TimerId>,
@@ -135,6 +139,7 @@ impl GossipNode {
             .into_iter()
             .map(|p| (p.id().index(), (p, SimTime::ZERO)))
             .collect();
+        let neighbors_hash = crate::store::topology_hash(info.id().index(), &neighbors);
         GossipNode {
             info,
             config,
@@ -145,6 +150,7 @@ impl GossipNode {
             known,
             seen_seq: HashMap::new(),
             fallback_cursor: 0,
+            neighbors_hash,
             next_seq: 0,
             announce_timer: None,
             reselect_timer: None,
@@ -163,10 +169,50 @@ impl GossipNode {
         &self.neighbors
     }
 
+    /// Rolling fingerprint of the current out-neighbour list
+    /// ([`crate::topology_hash`]); maintained on every re-selection so
+    /// convergence checks read one `u64` per peer instead of cloning
+    /// adjacency.
+    #[must_use]
+    pub fn neighbors_hash(&self) -> u64 {
+        self.neighbors_hash
+    }
+
     /// Size of the current candidate set `I(P)`.
     #[must_use]
     pub fn known_count(&self) -> usize {
         self.known.len()
+    }
+
+    /// `true` if `idx` is currently in this peer's candidate set `I(P)`.
+    #[must_use]
+    pub fn knows(&self, idx: usize) -> bool {
+        self.known.contains_key(&idx)
+    }
+
+    /// Hands this peer another peer's description out of band — the
+    /// driver-side locate handshake of a localized membership change
+    /// ([`crate::OverlayNetwork::add_peer_localized`]). Equivalent to
+    /// hearing an existence announcement at `now`.
+    pub(crate) fn learn(&mut self, info: PeerInfo, now: SimTime) {
+        let idx = info.id().index();
+        if self.known.insert(idx, (info, now)).is_none() && !self.address_book.contains(&idx) {
+            self.address_book.push(idx);
+        }
+    }
+
+    /// Expires a departed peer from the candidate set immediately (the
+    /// localized-leave counterpart of the `Tmax` timeout).
+    pub(crate) fn forget(&mut self, idx: usize) {
+        self.known.remove(&idx);
+        self.in_links.remove(&idx);
+    }
+
+    /// Driver-side overwrite of the selected out-neighbours (the result
+    /// of a localized re-selection); keeps the fingerprint in step.
+    pub(crate) fn set_neighbors(&mut self, neighbors: Vec<usize>) {
+        self.neighbors = neighbors;
+        self.neighbors_hash = crate::store::topology_hash(self.info.id().index(), &self.neighbors);
     }
 
     /// All live link partners: selected out-neighbours plus unexpired
@@ -224,7 +270,8 @@ impl GossipNode {
         indices.sort_unstable(); // deterministic candidate order
         let candidates: Vec<&PeerInfo> = indices.iter().map(|i| &self.known[i].0).collect();
         let picked = self.selection.select(&self.info, &candidates);
-        self.neighbors = picked.into_iter().map(|ci| indices[ci]).collect();
+        let neighbors = picked.into_iter().map(|ci| indices[ci]).collect();
+        self.set_neighbors(neighbors);
         self.reselect_timer = Some(ctx.set_timer(self.config.reselect_period));
     }
 }

@@ -46,6 +46,7 @@ mod graph;
 mod network;
 mod par;
 mod peer;
+mod store;
 
 pub mod analysis;
 pub mod churn;
@@ -57,3 +58,4 @@ pub mod select;
 pub use graph::OverlayGraph;
 pub use network::{ConvergenceReport, NetworkConfig, OverlayNetwork};
 pub use peer::{PeerAddr, PeerId, PeerInfo};
+pub use store::{topology_hash, TopologyStore};

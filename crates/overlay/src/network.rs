@@ -10,6 +10,7 @@ use crate::gossip::{GossipConfig, GossipNode};
 use crate::graph::OverlayGraph;
 use crate::peer::{PeerId, PeerInfo};
 use crate::select::NeighborSelection;
+use crate::store::TopologyStore;
 
 /// Configuration of an [`OverlayNetwork`] run.
 #[derive(Debug, Clone, Copy)]
@@ -20,8 +21,8 @@ pub struct NetworkConfig {
     pub seed: u64,
     /// Virtual time between convergence checks.
     pub check_interval: SimDuration,
-    /// Number of consecutive unchanged topology snapshots required to
-    /// declare convergence.
+    /// Number of consecutive unchanged topology fingerprints required
+    /// to declare convergence.
     pub stable_checks: usize,
     /// Upper bound on convergence checks per [`OverlayNetwork::converge`]
     /// call.
@@ -49,9 +50,40 @@ pub struct ConvergenceReport {
     pub checks: usize,
 }
 
+/// Message accounting of the localized churn path (which bypasses the
+/// simulated announcement flood, so the simulator's counters do not see
+/// its traffic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalizedChurnStats {
+    /// Joins applied through [`OverlayNetwork::add_peer_localized`].
+    pub joins: usize,
+    /// Leaves applied through [`OverlayNetwork::remove_peer_localized`].
+    pub leaves: usize,
+    /// Peer-state contacts performed (one per affected peer per event —
+    /// the message cost a locate-first join/leave protocol would pay).
+    pub contacts: usize,
+}
+
 /// A live overlay: gossip peers inside a discrete-event simulation, with
 /// the paper's experimental procedure on top (insert peers one at a time,
 /// let the topology converge after every insertion).
+///
+/// Membership is backed by a shared [`TopologyStore`], which maintains
+/// the full-knowledge equilibrium incrementally across churn. Two churn
+/// paths exist:
+///
+/// * the **protocol path** ([`OverlayNetwork::add_peer`] /
+///   [`OverlayNetwork::remove_peer`] + [`OverlayNetwork::converge`]):
+///   the paper's procedure — random bootstrap, BR-hop announcement
+///   flooding, global re-convergence;
+/// * the **localized path** ([`OverlayNetwork::add_peer_localized`] /
+///   [`OverlayNetwork::remove_peer_localized`]): the store computes the
+///   dirty region of the membership change and only those peers'
+///   protocol state is re-synchronized (the locate-first join of
+///   Kaafar et al. played by the driver). The result is the same
+///   equilibrium the protocol path converges to — cross-validated by
+///   tests — at a per-event cost proportional to the affected
+///   neighbourhood instead of the whole network.
 ///
 /// # Example
 ///
@@ -70,11 +102,11 @@ pub struct ConvergenceReport {
 /// ```
 pub struct OverlayNetwork {
     sim: Simulation<GossipNode>,
-    peers: Vec<PeerInfo>,
-    departed: Vec<bool>,
+    store: TopologyStore,
     selection: Arc<dyn NeighborSelection + Send + Sync>,
     config: NetworkConfig,
     rng: StdRng,
+    churn_stats: LocalizedChurnStats,
 }
 
 impl OverlayNetwork {
@@ -84,30 +116,30 @@ impl OverlayNetwork {
         config.gossip.validate();
         OverlayNetwork {
             sim: Simulation::builder(Vec::new()).seed(config.seed).build(),
-            peers: Vec::new(),
-            departed: Vec::new(),
+            store: TopologyStore::new(Arc::clone(&selection)),
             selection,
             config,
             rng: StdRng::seed_from_u64(config.seed ^ 0x0067_656f_6361_7374), // "geocast"
+            churn_stats: LocalizedChurnStats::default(),
         }
     }
 
     /// Number of peers ever added (departed ones included).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.peers.len()
+        self.store.len()
     }
 
     /// `true` if no peer was ever added.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.peers.is_empty()
+        self.store.is_empty()
     }
 
     /// All peer descriptions, indexable by [`PeerId::index`].
     #[must_use]
     pub fn peers(&self) -> &[PeerInfo] {
-        &self.peers
+        self.store.peers()
     }
 
     /// `true` if the peer has departed.
@@ -117,13 +149,27 @@ impl OverlayNetwork {
     /// Panics if `id` is out of range.
     #[must_use]
     pub fn has_departed(&self, id: PeerId) -> bool {
-        self.departed[id.index()]
+        self.store.is_departed(id)
     }
 
     /// Message counters of the underlying simulation.
     #[must_use]
     pub fn counters(&self) -> &Counters {
         self.sim.counters()
+    }
+
+    /// Accounting of the localized churn path (not visible to the
+    /// simulator's counters).
+    #[must_use]
+    pub fn churn_stats(&self) -> LocalizedChurnStats {
+        self.churn_stats
+    }
+
+    /// The shared topology store: the incrementally-maintained
+    /// full-knowledge equilibrium over the current membership.
+    #[must_use]
+    pub fn store(&self) -> &TopologyStore {
+        &self.store
     }
 
     /// Adds a peer with the given identifier. Per the paper's join
@@ -134,19 +180,74 @@ impl OverlayNetwork {
     /// call [`OverlayNetwork::converge`] to replicate the paper's
     /// insert-then-converge loop.
     pub fn add_peer(&mut self, point: Point) -> PeerId {
-        let id = PeerId(self.peers.len() as u64);
-        let info = PeerInfo::new(id, point);
-        let live: Vec<usize> = (0..self.peers.len())
-            .filter(|&i| !self.departed[i])
+        let live: Vec<usize> = (0..self.store.len())
+            .filter(|&i| !self.store.is_departed(PeerId(i as u64)))
             .collect();
         let bootstrap = if live.is_empty() {
             Vec::new()
         } else {
             let pick = live[self.rng.random_range(0..live.len())];
-            vec![self.peers[pick].clone()]
+            vec![self.store.peers()[pick].clone()]
         };
-        self.peers.push(info.clone());
-        self.departed.push(false);
+        let id = self.store.insert(point);
+        self.spawn_gossip_node(id, bootstrap)
+    }
+
+    /// Adds a peer through the localized churn path: the shared store
+    /// computes the equilibrium delta of the join, the newcomer
+    /// bootstraps directly from its equilibrium neighbourhood
+    /// (locate-first instead of random walk), and only the affected
+    /// peers' protocol state is re-synchronized. No global
+    /// re-convergence is needed; [`OverlayNetwork::converge`] afterwards
+    /// is a no-op change-wise (tests assert the fixpoint).
+    pub fn add_peer_localized(&mut self, point: Point) -> PeerId {
+        let id = self.store.insert(point);
+        let bootstrap: Vec<PeerInfo> = self
+            .store
+            .out_neighbors(id.index())
+            .iter()
+            .map(|&j| self.store.peers()[j].clone())
+            .collect();
+        let spawned = self.spawn_gossip_node(id, bootstrap);
+        self.sync_dirty_region(id);
+        self.churn_stats.joins += 1;
+        spawned
+    }
+
+    /// Removes a peer abruptly (crash-stop): its traffic ceases and other
+    /// peers expire it from their candidate sets after `Tmax`. Removing
+    /// an already-departed peer is a no-op (crash-stop is idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn remove_peer(&mut self, id: PeerId) {
+        if self.store.is_departed(id) {
+            return;
+        }
+        self.store.remove(id);
+        self.sim.crash(NodeId(id.index()));
+    }
+
+    /// Removes a peer through the localized churn path: the store hands
+    /// the exact set of peers whose selections the departure can change
+    /// (its selectors), and only their protocol state is repaired — the
+    /// departed peer is expired from their candidate sets immediately
+    /// instead of after `Tmax`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or already departed.
+    pub fn remove_peer_localized(&mut self, id: PeerId) {
+        self.store.remove(id);
+        self.sim.crash(NodeId(id.index()));
+        self.sync_dirty_region(id);
+        self.churn_stats.leaves += 1;
+    }
+
+    /// Spawns the gossip node for a freshly-inserted store peer.
+    fn spawn_gossip_node(&mut self, id: PeerId, bootstrap: Vec<PeerInfo>) -> PeerId {
+        let info = self.store.peers()[id.index()].clone();
         let node = GossipNode::new(
             info,
             bootstrap,
@@ -158,25 +259,48 @@ impl OverlayNetwork {
         id
     }
 
-    /// Removes a peer abruptly (crash-stop): its traffic ceases and other
-    /// peers expire it from their candidate sets after `Tmax`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is out of range.
-    pub fn remove_peer(&mut self, id: PeerId) {
-        self.departed[id.index()] = true;
-        self.sim.crash(NodeId(id.index()));
+    /// Replays the store's last delta onto the affected gossip nodes:
+    /// their candidate sets learn every selected neighbour (and forget
+    /// the departed peer, if any), and their out-neighbour lists adopt
+    /// the new equilibrium selection. One contact is counted per
+    /// affected peer — the locate-first message cost.
+    fn sync_dirty_region(&mut self, changed: PeerId) {
+        let now = self.sim.now();
+        let delta: Vec<usize> = self.store.last_delta().to_vec();
+        let departed_idx = self.store.is_departed(changed).then_some(changed.index());
+        for &i in &delta {
+            if i == changed.index() || self.store.is_departed(PeerId(i as u64)) {
+                continue;
+            }
+            let new_out = self.store.out_neighbors(i).to_vec();
+            let infos: Vec<PeerInfo> = new_out
+                .iter()
+                .map(|&j| self.store.peers()[j].clone())
+                .collect();
+            let node = self.sim.node_mut(NodeId(i));
+            if let Some(gone) = departed_idx {
+                node.forget(gone);
+            } else {
+                node.learn(self.store.peers()[changed.index()].clone(), now);
+            }
+            for info in infos {
+                node.learn(info, now);
+            }
+            node.set_neighbors(new_out);
+            self.churn_stats.contacts += 1;
+        }
     }
 
-    /// Runs the gossip protocol until the topology is unchanged for
-    /// `stable_checks` consecutive checks (or the check budget runs out).
+    /// Runs the gossip protocol until the topology fingerprint is
+    /// unchanged for `stable_checks` consecutive checks (or the check
+    /// budget runs out). Each check XORs one cached 64-bit fingerprint
+    /// per live peer — no adjacency snapshots are allocated.
     pub fn converge(&mut self) -> ConvergenceReport {
-        let mut last = self.snapshot();
+        let mut last = self.live_fingerprint();
         let mut stable = 0usize;
         for checks in 1..=self.config.max_checks {
             self.sim.run_for(self.config.check_interval);
-            let current = self.snapshot();
+            let current = self.live_fingerprint();
             if current == last {
                 stable += 1;
                 if stable >= self.config.stable_checks {
@@ -196,11 +320,28 @@ impl OverlayNetwork {
         }
     }
 
+    /// The rolling fingerprint of the live gossip topology: XOR of every
+    /// live peer's cached neighbour-list hash.
+    fn live_fingerprint(&self) -> u64 {
+        (0..self.store.len())
+            .filter(|&i| !self.store.is_departed(PeerId(i as u64)))
+            .fold(0u64, |acc, i| {
+                acc ^ self.sim.node(NodeId(i)).neighbors_hash()
+            })
+    }
+
     /// The current topology over **live** peers: departed peers keep
     /// their vertex (so ids stay dense) but contribute no edges.
     #[must_use]
     pub fn topology(&self) -> OverlayGraph {
         OverlayGraph::from_out_neighbors(self.snapshot())
+    }
+
+    /// The store's incrementally-maintained equilibrium topology — the
+    /// convergence target of the gossip protocol, without running it.
+    #[must_use]
+    pub fn reference_topology(&self) -> OverlayGraph {
+        self.store.graph()
     }
 
     /// Read access to the underlying simulation (for tests and metrics).
@@ -210,9 +351,9 @@ impl OverlayNetwork {
     }
 
     fn snapshot(&self) -> Vec<Vec<usize>> {
-        (0..self.peers.len())
+        (0..self.store.len())
             .map(|i| {
-                if self.departed[i] {
+                if self.store.is_departed(PeerId(i as u64)) {
                     Vec::new()
                 } else {
                     let mut nbrs: Vec<usize> = self
@@ -221,7 +362,7 @@ impl OverlayNetwork {
                         .neighbors()
                         .iter()
                         .copied()
-                        .filter(|&j| !self.departed[j])
+                        .filter(|&j| !self.store.is_departed(PeerId(j as u64)))
                         .collect();
                     nbrs.sort_unstable();
                     nbrs
@@ -234,7 +375,7 @@ impl OverlayNetwork {
 impl std::fmt::Debug for OverlayNetwork {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OverlayNetwork")
-            .field("peers", &self.peers.len())
+            .field("peers", &self.store.len())
             .field("selection", &self.selection.name())
             .finish()
     }
@@ -243,6 +384,7 @@ impl std::fmt::Debug for OverlayNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oracle;
     use crate::select::EmptyRectSelection;
     use geocast_geom::gen::uniform_points;
 
@@ -300,6 +442,97 @@ mod tests {
                 "peer {i} still links to departed"
             );
         }
+    }
+
+    #[test]
+    fn departed_peers_expire_from_every_candidate_set() {
+        // The §1 expiry contract after a crash-stop: once the overlay
+        // re-converges (Tmax has passed), no live peer may still hold
+        // the departed peer in I(P), and the topology may carry no edge
+        // to the departed vertex.
+        let mut net = network(21);
+        for p in uniform_points(10, 2, 1000.0, 21).into_points() {
+            net.add_peer(p);
+        }
+        net.converge();
+        let victim = PeerId(4);
+        net.remove_peer(victim);
+        let report = net.converge();
+        assert!(report.converged, "departure must re-converge");
+        for i in 0..net.len() {
+            if net.has_departed(PeerId(i as u64)) {
+                continue;
+            }
+            assert!(
+                !net.sim().node(geocast_sim::NodeId(i)).knows(victim.index()),
+                "peer {i} still holds departed {victim} in its candidate set"
+            );
+        }
+        let topo = net.topology();
+        for i in 0..topo.len() {
+            assert!(
+                !topo.out_neighbors(i).contains(&victim.index()),
+                "peer {i} still links to departed {victim}"
+            );
+        }
+        assert!(topo.out_neighbors(victim.index()).is_empty());
+    }
+
+    #[test]
+    fn localized_join_reaches_the_equilibrium_without_convergence() {
+        let mut net = network(31);
+        for p in uniform_points(12, 2, 1000.0, 31).into_points() {
+            net.add_peer_localized(p);
+        }
+        // No converge() call: the localized path must already sit at the
+        // full-knowledge equilibrium.
+        let peers = PeerInfo::from_point_set(&uniform_points(12, 2, 1000.0, 31));
+        let want = oracle::equilibrium(&peers, &EmptyRectSelection);
+        assert_eq!(net.topology(), want);
+        assert_eq!(net.reference_topology(), want);
+        assert_eq!(net.churn_stats().joins, 12);
+    }
+
+    #[test]
+    fn localized_join_is_a_gossip_fixpoint() {
+        // Running the real protocol after a localized build must not
+        // change the topology: the synced state is a fixpoint.
+        let mut net = network(37);
+        for p in uniform_points(10, 2, 1000.0, 37).into_points() {
+            net.add_peer_localized(p);
+        }
+        let before = net.topology();
+        let report = net.converge();
+        assert!(report.converged);
+        assert_eq!(net.topology(), before, "gossip rewired a localized build");
+    }
+
+    #[test]
+    fn localized_leave_expires_immediately_and_matches_reference() {
+        let mut net = network(41);
+        for p in uniform_points(14, 2, 1000.0, 41).into_points() {
+            net.add_peer_localized(p);
+        }
+        net.remove_peer_localized(PeerId(6));
+        net.remove_peer_localized(PeerId(2));
+        // Immediately — no Tmax wait — every live candidate set and the
+        // topology must have dropped the departed peers.
+        let topo = net.topology();
+        for i in 0..net.len() {
+            if net.has_departed(PeerId(i as u64)) {
+                assert!(topo.out_neighbors(i).is_empty());
+                continue;
+            }
+            for gone in [2usize, 6] {
+                assert!(
+                    !topo.out_neighbors(i).contains(&gone),
+                    "peer {i} still links to departed {gone}"
+                );
+            }
+        }
+        assert_eq!(topo, net.reference_topology());
+        assert_eq!(net.churn_stats().leaves, 2);
+        assert!(net.churn_stats().contacts > 0);
     }
 
     #[test]

@@ -20,16 +20,19 @@
 //! property tests assert graph equality between the two on every
 //! selection rule. See `docs/PERFORMANCE.md` for the numbers.
 
-use geocast_geom::{GridIndex, Metric, MetricKind, Orthant};
+use geocast_geom::{Metric, MetricKind, Orthant};
 
 use crate::graph::OverlayGraph;
 use crate::par;
 use crate::peer::PeerInfo;
 use crate::select::{ids_in_slice_order, NeighborSelection, SelectContext};
+use crate::store;
 
 /// The equilibrium overlay: every peer applies `selection` to the full
 /// candidate set (everyone but itself), accelerated by a spatial index
-/// and per-peer parallelism.
+/// and per-peer parallelism. This is the [`crate::TopologyStore`] bulk
+/// path — the same engine that maintains the equilibrium incrementally
+/// under churn.
 ///
 /// Peer `i` of the slice becomes graph vertex `i`. Exactly equivalent
 /// to [`equilibrium_brute_force`] (property-tested).
@@ -38,12 +41,8 @@ pub fn equilibrium<S>(peers: &[PeerInfo], selection: &S) -> OverlayGraph
 where
     S: NeighborSelection + Sync + ?Sized,
 {
-    let index = build_index(peers);
-    let ctx = match &index {
-        Some(ix) => SelectContext::with_index(ix, ids_in_slice_order(peers)),
-        None => SelectContext::without_index(),
-    };
-    let out = par::map_indexed(peers.len(), |i| selection.select_in(peers, i, &ctx));
+    let index = store::build_shared_index(peers);
+    let out = store::bulk_out_neighbors(peers, selection, index.as_ref(), None);
     OverlayGraph::from_out_neighbors(out)
 }
 
@@ -62,15 +61,6 @@ pub fn equilibrium_brute_force(
         .map(|i| selection.select_in(peers, i, &ctx))
         .collect();
     OverlayGraph::from_out_neighbors(out)
-}
-
-/// Builds the shared spatial index when the population shape supports
-/// it (at least two peers, indexable dimensionality).
-fn build_index(peers: &[PeerInfo]) -> Option<GridIndex> {
-    if peers.len() < 2 || peers[0].point().dim() > geocast_geom::index::MAX_INDEX_DIM {
-        return None;
-    }
-    Some(GridIndex::build(peers))
 }
 
 /// Equilibrium topologies of the *Orthogonal Hyperplanes* method for a
@@ -153,7 +143,7 @@ fn ranked_orthant_groups(
 ) -> Vec<Vec<Vec<usize>>> {
     let dim = peers[0].point().dim();
     let index = if ids_in_slice_order(peers) {
-        build_index(peers)
+        store::build_shared_index(peers)
     } else {
         None
     };

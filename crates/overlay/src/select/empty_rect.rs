@@ -51,7 +51,7 @@ impl NeighborSelection for EmptyRectSelection {
                 return picked;
             }
         }
-        select_in_brute(self, peers, i)
+        select_in_brute(self, peers, i, ctx)
     }
 
     fn name(&self) -> String {

@@ -139,7 +139,7 @@ impl NeighborSelection for HyperplanesSelection {
                 }
             }
         }
-        select_in_brute(self, peers, i)
+        select_in_brute(self, peers, i, ctx)
     }
 
     fn name(&self) -> String {

@@ -40,6 +40,7 @@ use crate::peer::PeerInfo;
 pub struct SelectContext<'a> {
     index: Option<&'a GridIndex>,
     ids_in_slice_order: bool,
+    departed: Option<&'a [bool]>,
 }
 
 impl<'a> SelectContext<'a> {
@@ -50,6 +51,7 @@ impl<'a> SelectContext<'a> {
         SelectContext {
             index: None,
             ids_in_slice_order: false,
+            departed: None,
         }
     }
 
@@ -65,7 +67,23 @@ impl<'a> SelectContext<'a> {
         SelectContext {
             index: Some(index),
             ids_in_slice_order,
+            departed: None,
         }
+    }
+
+    /// Marks slice positions as departed: masked candidates are skipped
+    /// by every selection path ([`crate::TopologyStore`]'s churn
+    /// bookkeeping). Index-backed paths expect the same peers to be
+    /// tombstoned in the index; the brute path filters by the mask.
+    ///
+    /// # Panics
+    ///
+    /// `select_in` panics later if the mask is shorter than the peer
+    /// slice.
+    #[must_use]
+    pub fn masked(mut self, departed: &'a [bool]) -> Self {
+        self.departed = Some(departed);
+        self
     }
 
     /// The spatial index over the peer slice, if one was built.
@@ -79,6 +97,12 @@ impl<'a> SelectContext<'a> {
     pub fn ids_in_slice_order(&self) -> bool {
         self.ids_in_slice_order
     }
+
+    /// The departed mask, if one was set.
+    #[must_use]
+    pub fn departed(&self) -> Option<&'a [bool]> {
+        self.departed
+    }
 }
 
 /// `true` iff every peer's id equals its slice position — the standard
@@ -90,24 +114,43 @@ pub fn ids_in_slice_order(peers: &[PeerInfo]) -> bool {
 }
 
 /// The uniform brute-force batch path: materialize the candidate slice
-/// (everyone but `i`), run [`NeighborSelection::select`], and translate
-/// candidate indices back to slice positions. This is the one place the
-/// self-gap re-indexing lives.
+/// (everyone but `i`, minus any departed-mask exclusions), run
+/// [`NeighborSelection::select`], and translate candidate indices back
+/// to slice positions. This is the one place the self-gap re-indexing
+/// lives.
 pub(crate) fn select_in_brute<S: NeighborSelection + ?Sized>(
     selection: &S,
     peers: &[PeerInfo],
     i: usize,
+    ctx: &SelectContext<'_>,
 ) -> Vec<usize> {
-    let candidates: Vec<&PeerInfo> = peers
-        .iter()
-        .enumerate()
-        .filter_map(|(j, p)| (j != i).then_some(p))
-        .collect();
-    selection
-        .select(&peers[i], &candidates)
-        .into_iter()
-        .map(|ci| if ci < i { ci } else { ci + 1 }) // undo the self-gap
-        .collect()
+    match ctx.departed() {
+        None => {
+            let candidates: Vec<&PeerInfo> = peers
+                .iter()
+                .enumerate()
+                .filter_map(|(j, p)| (j != i).then_some(p))
+                .collect();
+            selection
+                .select(&peers[i], &candidates)
+                .into_iter()
+                .map(|ci| if ci < i { ci } else { ci + 1 }) // undo the self-gap
+                .collect()
+        }
+        Some(departed) => {
+            // Masked populations have irregular gaps: carry the explicit
+            // candidate-position table instead of the self-gap dance.
+            let positions: Vec<usize> = (0..peers.len())
+                .filter(|&j| j != i && !departed[j])
+                .collect();
+            let candidates: Vec<&PeerInfo> = positions.iter().map(|&j| &peers[j]).collect();
+            selection
+                .select(&peers[i], &candidates)
+                .into_iter()
+                .map(|ci| positions[ci])
+                .collect()
+        }
+    }
 }
 
 /// A neighbour-selection method: a deterministic map from
@@ -129,8 +172,7 @@ pub trait NeighborSelection {
     /// `ctx`'s spatial index without materializing the `O(N)` candidate
     /// vector per peer.
     fn select_in(&self, peers: &[PeerInfo], i: usize, ctx: &SelectContext<'_>) -> Vec<usize> {
-        let _ = ctx;
-        select_in_brute(self, peers, i)
+        select_in_brute(self, peers, i, ctx)
     }
 
     /// Human-readable method name for reports.

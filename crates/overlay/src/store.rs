@@ -1,0 +1,763 @@
+//! The shared topology substrate behind the oracle and the live overlay.
+//!
+//! [`TopologyStore`] owns the peer population, the incremental spatial
+//! index ([`GridIndex`]), the current equilibrium adjacency (forward
+//! **and** reverse, both sorted), per-peer topology fingerprints, and the
+//! dirty-region bookkeeping of the last membership change. It is the one
+//! engine both consumers drive:
+//!
+//! * [`crate::oracle::equilibrium`] runs the store's **bulk path**
+//!   ([`build_shared_index`] + [`bulk_out_neighbors`]): index once,
+//!   batch-select every peer in parallel.
+//! * [`crate::OverlayNetwork`] keeps a store alive across churn and uses
+//!   its **incremental path**: a join or leave touches only the peers
+//!   whose candidate sets the membership change can affect, instead of
+//!   re-converging the whole overlay.
+//!
+//! # Why the incremental path is exact
+//!
+//! Both shipped selection families are *monotone-local*:
+//!
+//! * **Join of `q`.** A rule only changes peer `i`'s selection if `q`
+//!   itself enters it — a new candidate can displace but never
+//!   *unblock*. For the empty-rectangle rule, the rectangle spanned by
+//!   `i` and any candidate `j` is non-empty iff it contains one of `i`'s
+//!   *selected* neighbours (the finite-descent argument of
+//!   `geocast_geom::dominance`), so re-running the rule on
+//!   `selection(i) ∪ {q}` yields exactly the selection over the full
+//!   candidate set plus `q`. For Hyperplanes rules the old selection
+//!   already holds every region's top-`K`, so the reduced re-run again
+//!   equals the full one.
+//! * **Leave of `q`.** A departure only changes the selection of peers
+//!   that had `q` selected: for empty-rectangle, if `q` was the *only*
+//!   point in some spanned rectangle of `i`, then `q`'s own rectangle
+//!   with `i` was empty — i.e. `q` ∈ selection(`i`); for Hyperplanes,
+//!   dropping a non-selected candidate leaves every top-`K` intact.
+//!   The reverse-adjacency table hands the affected set directly.
+//!
+//! Property tests (`tests/prop_store.rs`) assert the incremental result
+//! equals a from-scratch rebuild for the empty-rectangle rule and all
+//! Hyperplanes instances, across random join/leave interleavings.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use geocast_geom::{GridIndex, Point};
+
+use crate::graph::OverlayGraph;
+use crate::par;
+use crate::peer::{PeerId, PeerInfo};
+use crate::select::{ids_in_slice_order, NeighborSelection, SelectContext};
+
+/// FNV-1a fingerprint of one peer's out-neighbour list. Mixing the peer
+/// index in keeps the XOR-of-all-peers network fingerprint collision
+/// resistant against permuted-but-equal lists.
+#[must_use]
+pub fn topology_hash(i: usize, neighbors: &[usize]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(i as u64 ^ 0x9e37_79b9_7f4a_7c15);
+    mix(neighbors.len() as u64);
+    for &j in neighbors {
+        mix(j as u64 + 1);
+    }
+    h
+}
+
+/// Builds the shared spatial index when the population shape supports
+/// it (at least two peers, indexable dimensionality, uniform `dim`).
+#[must_use]
+pub(crate) fn build_shared_index(peers: &[PeerInfo]) -> Option<GridIndex> {
+    let dim = peers.first()?.point().dim();
+    if peers.len() < 2
+        || dim > geocast_geom::index::MAX_INDEX_DIM
+        || peers.iter().any(|p| p.point().dim() != dim)
+    {
+        return None;
+    }
+    Some(GridIndex::build(peers))
+}
+
+/// The store's bulk path: every live peer's selection over the full live
+/// candidate set, fanned out across CPU cores, answered from `index`
+/// where possible. Departed peers get empty lists.
+#[must_use]
+pub(crate) fn bulk_out_neighbors<S>(
+    peers: &[PeerInfo],
+    selection: &S,
+    index: Option<&GridIndex>,
+    departed: Option<&[bool]>,
+) -> Vec<Vec<usize>>
+where
+    S: NeighborSelection + Sync + ?Sized,
+{
+    let ctx = match index {
+        Some(ix) => SelectContext::with_index(ix, ids_in_slice_order(peers)),
+        None => SelectContext::without_index(),
+    };
+    let ctx = match departed {
+        Some(mask) => ctx.masked(mask),
+        None => ctx,
+    };
+    par::map_indexed(peers.len(), |i| {
+        if departed.is_some_and(|mask| mask[i]) {
+            Vec::new()
+        } else {
+            selection.select_in(peers, i, &ctx)
+        }
+    })
+}
+
+/// The shared, incrementally-maintained overlay topology: peer
+/// population, spatial index, equilibrium adjacency, fingerprints and
+/// dirty-region tracking, behind both the oracle and the live network.
+///
+/// Peer ids are dense insertion indices ([`PeerId`]`(i)` for the `i`-th
+/// inserted peer); departed peers keep their vertex but contribute no
+/// edges, exactly like [`crate::OverlayNetwork::topology`] reports.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use geocast_geom::gen::uniform_points;
+/// use geocast_overlay::{oracle, select::EmptyRectSelection, TopologyStore};
+///
+/// let points = uniform_points(40, 2, 1000.0, 3).into_points();
+/// let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+/// for p in &points {
+///     store.insert(p.clone());
+/// }
+/// // The incremental equilibrium equals the from-scratch oracle.
+/// let peers = geocast_overlay::PeerInfo::from_point_set(
+///     &uniform_points(40, 2, 1000.0, 3));
+/// assert_eq!(store.graph(), oracle::equilibrium(&peers, &EmptyRectSelection));
+/// ```
+pub struct TopologyStore {
+    peers: Vec<PeerInfo>,
+    departed: Vec<bool>,
+    live: usize,
+    index: Option<GridIndex>,
+    /// `true` once a dimensionality mix disabled indexing for good.
+    index_disabled: bool,
+    out: Vec<Vec<usize>>,
+    rev: Vec<Vec<usize>>,
+    peer_hash: Vec<u64>,
+    fingerprint: u64,
+    last_delta: Vec<usize>,
+    selection: Arc<dyn NeighborSelection + Send + Sync>,
+}
+
+impl TopologyStore {
+    /// Creates an empty store for the given selection rule.
+    #[must_use]
+    pub fn new(selection: Arc<dyn NeighborSelection + Send + Sync>) -> Self {
+        TopologyStore {
+            peers: Vec::new(),
+            departed: Vec::new(),
+            live: 0,
+            index: None,
+            index_disabled: false,
+            out: Vec::new(),
+            rev: Vec::new(),
+            peer_hash: Vec::new(),
+            fingerprint: 0,
+            last_delta: Vec::new(),
+            selection,
+        }
+    }
+
+    /// Builds a store over an existing dense-id population in one bulk
+    /// pass (the oracle path), ready for incremental churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `peers[i].id().index() == i` for every `i` — the
+    /// store owns the id space.
+    #[must_use]
+    pub fn from_peers(
+        peers: Vec<PeerInfo>,
+        selection: Arc<dyn NeighborSelection + Send + Sync>,
+    ) -> Self {
+        assert!(
+            ids_in_slice_order(&peers),
+            "TopologyStore requires dense insertion-order peer ids"
+        );
+        let index = build_shared_index(&peers);
+        let out = bulk_out_neighbors(&peers, selection.as_ref(), index.as_ref(), None);
+        let n = peers.len();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, nbrs) in out.iter().enumerate() {
+            for &j in nbrs {
+                rev[j].push(i);
+            }
+        }
+        // Fill order is ascending in `i`, so rev lists are born sorted.
+        let peer_hash: Vec<u64> = out
+            .iter()
+            .enumerate()
+            .map(|(i, nbrs)| topology_hash(i, nbrs))
+            .collect();
+        let fingerprint = peer_hash.iter().fold(0, |acc, h| acc ^ h);
+        TopologyStore {
+            departed: vec![false; n],
+            live: n,
+            index,
+            index_disabled: false,
+            out,
+            rev,
+            peer_hash,
+            fingerprint,
+            last_delta: (0..n).collect(),
+            peers,
+            selection,
+        }
+    }
+
+    /// Number of peers ever inserted (departed ones included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// `true` if no peer was ever inserted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Number of live (non-departed) peers.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// All peer descriptions, indexable by [`PeerId::index`].
+    #[must_use]
+    pub fn peers(&self) -> &[PeerInfo] {
+        &self.peers
+    }
+
+    /// `true` if the peer has departed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn is_departed(&self, id: PeerId) -> bool {
+        self.departed[id.index()]
+    }
+
+    /// The selection rule the store maintains the equilibrium of.
+    #[must_use]
+    pub fn selection(&self) -> &Arc<dyn NeighborSelection + Send + Sync> {
+        &self.selection
+    }
+
+    /// The equilibrium out-neighbours of peer `i` (sorted; empty for
+    /// departed peers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn out_neighbors(&self, i: usize) -> &[usize] {
+        &self.out[i]
+    }
+
+    /// The peers currently selecting `i` (sorted; empties out when `i`
+    /// departs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn rev_neighbors(&self, i: usize) -> &[usize] {
+        &self.rev[i]
+    }
+
+    /// Merges `i`'s out- and reverse-neighbours into `buf` (sorted,
+    /// deduplicated) — the undirected closure row, without materializing
+    /// a graph. `buf` is cleared first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn undirected_neighbors_into(&self, i: usize, buf: &mut Vec<usize>) {
+        buf.clear();
+        let (a, b) = (&self.out[i], &self.rev[i]);
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < a.len() || y < b.len() {
+            let next = match (a.get(x), b.get(y)) {
+                (Some(&u), Some(&v)) if u == v => {
+                    x += 1;
+                    y += 1;
+                    u
+                }
+                (Some(&u), Some(&v)) if u < v => {
+                    x += 1;
+                    u
+                }
+                (Some(_), Some(&v)) => {
+                    y += 1;
+                    v
+                }
+                (Some(&u), None) => {
+                    x += 1;
+                    u
+                }
+                (None, Some(&v)) => {
+                    y += 1;
+                    v
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            buf.push(next);
+        }
+    }
+
+    /// The undirected closure row of peer `i` as a fresh vector.
+    #[must_use]
+    pub fn undirected_neighbors(&self, i: usize) -> Vec<usize> {
+        let mut buf = Vec::with_capacity(self.out[i].len() + self.rev[i].len());
+        self.undirected_neighbors_into(i, &mut buf);
+        buf
+    }
+
+    /// The current equilibrium topology as a CSR graph (departed peers
+    /// keep their vertex, edge-less).
+    #[must_use]
+    pub fn graph(&self) -> OverlayGraph {
+        OverlayGraph::from_out_neighbors(self.out.clone())
+    }
+
+    /// Rolling 64-bit fingerprint of the whole topology: XOR of every
+    /// peer's [`topology_hash`]. Changes whenever any out-list changes.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The dirty region of the last [`TopologyStore::insert`] /
+    /// [`TopologyStore::remove`]: every peer whose out-list, reverse
+    /// list, or membership changed, sorted ascending. Consumers
+    /// (stability forests, localized gossip sync) re-check exactly these
+    /// peers.
+    #[must_use]
+    pub fn last_delta(&self) -> &[usize] {
+        &self.last_delta
+    }
+
+    /// Inserts a new peer and incrementally re-converges the
+    /// equilibrium: only peers whose candidate sets the join can affect
+    /// are re-checked (each against its current selection plus the
+    /// newcomer — see the module docs for why that is exact).
+    ///
+    /// Returns the new peer's id; [`TopologyStore::last_delta`] lists
+    /// the affected peers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point`'s dimensionality disagrees with the population
+    /// (the paper fixes `D` per system).
+    pub fn insert(&mut self, point: Point) -> PeerId {
+        if let Some(first) = self.peers.first() {
+            assert_eq!(
+                point.dim(),
+                first.point().dim(),
+                "population dimensionality is fixed per overlay"
+            );
+        }
+        let id = self.peers.len();
+        let info = PeerInfo::new(PeerId(id as u64), point);
+        self.peers.push(info);
+        self.departed.push(false);
+        self.live += 1;
+        self.out.push(Vec::new());
+        self.rev.push(Vec::new());
+        self.peer_hash.push(topology_hash(id, &[]));
+        self.fingerprint ^= self.peer_hash[id];
+        self.maintain_index_on_insert(id);
+
+        // The newcomer's own selection runs over the full live set.
+        let own = self.select_full(id);
+
+        // Localized re-check: peer i's selection can only change if the
+        // newcomer enters it, and that is decided exactly by re-running
+        // the rule on selection(i) ∪ {newcomer}.
+        let updates: Vec<Option<Vec<usize>>> = {
+            let peers = &self.peers;
+            let departed = &self.departed;
+            let out = &self.out;
+            let selection = self.selection.as_ref();
+            par::map_indexed(id, |i| {
+                if departed[i] {
+                    return None;
+                }
+                // `id` is the largest index, so appending keeps the
+                // candidate id list sorted.
+                let mut cand_ids: Vec<usize> = Vec::with_capacity(out[i].len() + 1);
+                cand_ids.extend_from_slice(&out[i]);
+                cand_ids.push(id);
+                let candidates: Vec<&PeerInfo> = cand_ids.iter().map(|&j| &peers[j]).collect();
+                let picked = selection.select(&peers[i], &candidates);
+                let new_out: Vec<usize> = picked.into_iter().map(|ci| cand_ids[ci]).collect();
+                (new_out != out[i]).then_some(new_out)
+            })
+        };
+
+        let mut delta = BTreeSet::new();
+        delta.insert(id);
+        self.apply_out(id, own, &mut delta);
+        for (i, update) in updates.into_iter().enumerate() {
+            if let Some(new_out) = update {
+                self.apply_out(i, new_out, &mut delta);
+            }
+        }
+        self.last_delta = delta.into_iter().collect();
+        PeerId(id as u64)
+    }
+
+    /// Removes a peer (crash-stop) and incrementally re-converges the
+    /// equilibrium: exactly the peers that had the departed peer
+    /// selected re-run their selection over the surviving population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or already departed.
+    pub fn remove(&mut self, id: PeerId) {
+        let v = id.index();
+        assert!(v < self.peers.len(), "peer id out of range");
+        assert!(!self.departed[v], "{id} already departed");
+        self.departed[v] = true;
+        self.live -= 1;
+        if let Some(ix) = &mut self.index {
+            ix.remove(v);
+        }
+
+        let mut delta = BTreeSet::new();
+        delta.insert(v);
+        // The departed peer selects nobody.
+        self.apply_out(v, Vec::new(), &mut delta);
+        // Only its selectors can lose an edge; they re-select over the
+        // survivors (index-tombstoned or mask-filtered).
+        let affected = self.rev[v].clone();
+        for i in affected {
+            let new_out = self.select_full(i);
+            self.apply_out(i, new_out, &mut delta);
+        }
+        debug_assert!(self.rev[v].is_empty(), "survivors must drop the departed");
+        self.last_delta = delta.into_iter().collect();
+    }
+
+    /// One peer's selection over the full live candidate set, through
+    /// the index when it applies.
+    fn select_full(&self, i: usize) -> Vec<usize> {
+        let ctx = match &self.index {
+            Some(ix) => SelectContext::with_index(ix, true),
+            None => SelectContext::without_index(),
+        }
+        .masked(&self.departed);
+        self.selection.select_in(&self.peers, i, &ctx)
+    }
+
+    /// Replaces `i`'s out-list, maintaining reverse lists, hashes, the
+    /// rolling fingerprint, and the delta set.
+    fn apply_out(&mut self, i: usize, new_out: Vec<usize>, delta: &mut BTreeSet<usize>) {
+        if self.out[i] == new_out {
+            return;
+        }
+        let old_out = std::mem::replace(&mut self.out[i], new_out);
+        // Symmetric difference updates the reverse lists; both lists are
+        // sorted, so a merge walk finds the diffs.
+        let (mut x, mut y) = (0usize, 0usize);
+        loop {
+            match (old_out.get(x), self.out[i].get(y)) {
+                (Some(&u), Some(&v)) if u == v => {
+                    x += 1;
+                    y += 1;
+                }
+                (Some(&u), Some(&v)) if u < v => {
+                    Self::rev_remove(&mut self.rev[u], i);
+                    delta.insert(u);
+                    x += 1;
+                }
+                (Some(_), Some(&v)) => {
+                    Self::rev_insert(&mut self.rev[v], i);
+                    delta.insert(v);
+                    y += 1;
+                }
+                (Some(&u), None) => {
+                    Self::rev_remove(&mut self.rev[u], i);
+                    delta.insert(u);
+                    x += 1;
+                }
+                (None, Some(&v)) => {
+                    Self::rev_insert(&mut self.rev[v], i);
+                    delta.insert(v);
+                    y += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        let new_hash = topology_hash(i, &self.out[i]);
+        self.fingerprint ^= self.peer_hash[i] ^ new_hash;
+        self.peer_hash[i] = new_hash;
+        delta.insert(i);
+    }
+
+    fn rev_insert(rev: &mut Vec<usize>, i: usize) {
+        if let Err(pos) = rev.binary_search(&i) {
+            rev.insert(pos, i);
+        }
+    }
+
+    fn rev_remove(rev: &mut Vec<usize>, i: usize) {
+        if let Ok(pos) = rev.binary_search(&i) {
+            rev.remove(pos);
+        }
+    }
+
+    /// Keeps the incremental index in step with an insertion: adds the
+    /// point, or builds the index once the population supports one.
+    fn maintain_index_on_insert(&mut self, id: usize) {
+        if self.index_disabled {
+            return;
+        }
+        let dim = self.peers[id].point().dim();
+        if dim > geocast_geom::index::MAX_INDEX_DIM {
+            self.index = None;
+            self.index_disabled = true;
+            return;
+        }
+        match &mut self.index {
+            Some(ix) => {
+                let got = ix.insert(self.peers[id].point());
+                debug_assert_eq!(got, id, "index ids track peer ids");
+            }
+            None if self.peers.len() >= 2 => {
+                let mut ix = GridIndex::build(&self.peers);
+                for (i, &gone) in self.departed.iter().enumerate() {
+                    if gone {
+                        ix.remove(i);
+                    }
+                }
+                self.index = Some(ix);
+            }
+            None => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for TopologyStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopologyStore")
+            .field("peers", &self.peers.len())
+            .field("live", &self.live)
+            .field("selection", &self.selection.name())
+            .field("fingerprint", &self.fingerprint)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use crate::select::{EmptyRectSelection, HyperplanesSelection};
+    use geocast_geom::gen::uniform_points;
+    use geocast_geom::MetricKind;
+
+    fn points(n: usize, dim: usize, seed: u64) -> Vec<Point> {
+        uniform_points(n, dim, 1000.0, seed).into_points()
+    }
+
+    /// The definitional reference: selections of the live population
+    /// computed from scratch, expressed over the store's dense ids.
+    fn reference_graph(store: &TopologyStore) -> OverlayGraph {
+        let departed: Vec<bool> = (0..store.len())
+            .map(|i| store.is_departed(PeerId(i as u64)))
+            .collect();
+        let out = bulk_out_neighbors(
+            store.peers(),
+            store.selection().as_ref(),
+            None,
+            Some(&departed),
+        );
+        OverlayGraph::from_out_neighbors(out)
+    }
+
+    #[test]
+    fn sequential_insertion_matches_oracle() {
+        let pts = points(60, 2, 7);
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        for p in &pts {
+            store.insert(p.clone());
+        }
+        let peers = PeerInfo::from_point_set(&uniform_points(60, 2, 1000.0, 7));
+        assert_eq!(
+            store.graph(),
+            oracle::equilibrium(&peers, &EmptyRectSelection)
+        );
+    }
+
+    #[test]
+    fn insert_then_remove_matches_reference_for_hyperplanes() {
+        let pts = points(50, 3, 11);
+        let sel = Arc::new(HyperplanesSelection::orthogonal(3, 2, MetricKind::L1));
+        let mut store = TopologyStore::new(sel);
+        for p in &pts {
+            store.insert(p.clone());
+        }
+        for v in [3u64, 17, 29, 44] {
+            store.remove(PeerId(v));
+            assert_eq!(store.graph(), reference_graph(&store), "after removing {v}");
+        }
+    }
+
+    #[test]
+    fn bulk_build_equals_incremental_build() {
+        let pts = points(80, 2, 13);
+        let mut inc = TopologyStore::new(Arc::new(EmptyRectSelection));
+        for p in &pts {
+            inc.insert(p.clone());
+        }
+        let peers = PeerInfo::from_point_set(&uniform_points(80, 2, 1000.0, 13));
+        let bulk = TopologyStore::from_peers(peers, Arc::new(EmptyRectSelection));
+        assert_eq!(inc.graph(), bulk.graph());
+        assert_eq!(inc.fingerprint(), bulk.fingerprint());
+    }
+
+    #[test]
+    fn delta_covers_every_changed_out_list() {
+        let pts = points(70, 2, 17);
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        let mut previous: Vec<Vec<usize>> = Vec::new();
+        for p in &pts {
+            store.insert(p.clone());
+            previous.push(Vec::new());
+            let delta: std::collections::HashSet<usize> =
+                store.last_delta().iter().copied().collect();
+            for (i, prev) in previous.iter_mut().enumerate() {
+                if store.out_neighbors(i) != prev.as_slice() {
+                    assert!(delta.contains(&i), "changed peer {i} missing from delta");
+                }
+                *prev = store.out_neighbors(i).to_vec();
+            }
+        }
+    }
+
+    #[test]
+    fn rev_neighbors_invert_out_neighbors() {
+        let pts = points(40, 2, 19);
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        for p in &pts {
+            store.insert(p.clone());
+        }
+        store.remove(PeerId(5));
+        for i in 0..store.len() {
+            for &j in store.out_neighbors(i) {
+                assert!(
+                    store.rev_neighbors(j).contains(&i),
+                    "edge {i}->{j} missing from reverse table"
+                );
+            }
+            for &j in store.rev_neighbors(i) {
+                assert!(
+                    store.out_neighbors(j).contains(&i),
+                    "reverse entry {j}->{i} has no forward edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_rows_match_graph_closure() {
+        let pts = points(35, 2, 23);
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        for p in &pts {
+            store.insert(p.clone());
+        }
+        store.remove(PeerId(9));
+        let closure = store.graph().undirected_closure();
+        for i in 0..store.len() {
+            assert_eq!(
+                store.undirected_neighbors(i),
+                closure.out_neighbors(i).to_vec(),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_rolls_with_membership() {
+        let pts = points(20, 2, 29);
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        let mut seen = std::collections::HashSet::new();
+        for p in &pts {
+            store.insert(p.clone());
+            assert!(
+                seen.insert(store.fingerprint()),
+                "fingerprint must change on every join here"
+            );
+        }
+        let before = store.fingerprint();
+        store.remove(PeerId(4));
+        assert_ne!(store.fingerprint(), before);
+    }
+
+    #[test]
+    fn empty_and_singleton_stores_are_trivial() {
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        assert!(store.is_empty());
+        assert_eq!(store.fingerprint(), 0);
+        let id = store.insert(Point::new(vec![1.0, 2.0]).unwrap());
+        assert_eq!(id, PeerId(0));
+        assert_eq!(store.live_count(), 1);
+        assert!(store.out_neighbors(0).is_empty());
+        store.remove(id);
+        assert_eq!(store.live_count(), 0);
+        assert!(store.graph().is_empty() || store.graph().directed_edge_count() == 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already departed")]
+    fn double_removal_is_rejected() {
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        let id = store.insert(Point::new(vec![1.0, 2.0]).unwrap());
+        store.remove(id);
+        store.remove(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn mixed_dimensions_are_rejected() {
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        store.insert(Point::new(vec![1.0, 2.0]).unwrap());
+        store.insert(Point::new(vec![1.0, 2.0, 3.0]).unwrap());
+    }
+
+    #[test]
+    fn colliding_coordinates_fall_back_exactly() {
+        // A workload violating per-dimension distinctness: the index
+        // declines and the masked brute path must keep incremental ==
+        // reference.
+        let pts = vec![
+            Point::new(vec![0.0, 0.0]).unwrap(),
+            Point::new(vec![5.0, 0.0]).unwrap(), // shares y with 0
+            Point::new(vec![2.0, 3.0]).unwrap(),
+            Point::new(vec![5.0, 7.0]).unwrap(), // shares x with 1
+            Point::new(vec![9.0, 4.0]).unwrap(),
+        ];
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        for p in &pts {
+            store.insert(p.clone());
+            assert_eq!(store.graph(), reference_graph(&store));
+        }
+        store.remove(PeerId(1));
+        assert_eq!(store.graph(), reference_graph(&store));
+    }
+}

@@ -61,6 +61,7 @@ mod sim;
 mod time;
 
 pub mod runner;
+pub mod workload;
 
 pub use context::Context;
 pub use counters::{Counters, TraceEntry, TraceLog};

@@ -1,0 +1,247 @@
+//! Membership-churn workload patterns.
+//!
+//! Self-organizing overlays live or die by how cheaply they absorb
+//! membership change, and the interesting regimes are not uniform: real
+//! deployments see *join waves* (a popular stream starts), *leave waves*
+//! (it ends), *flash crowds* (a surge joins and most of it leaves again),
+//! and sustained *mixed churn* at some join/leave rate ratio. This module
+//! generates those shapes as protocol-agnostic operation sequences; the
+//! overlay layer binds them to coordinates and victims
+//! (`geocast_overlay::churn::ChurnSchedule::from_pattern`), and the
+//! figure/bench harnesses replay them against the incremental churn
+//! engine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One abstract membership operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// A new member arrives.
+    Join,
+    /// An existing member departs.
+    Leave,
+}
+
+/// A named churn shape, expanded into a [`ChurnOp`] sequence by
+/// [`ChurnPattern::ops`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnPattern {
+    /// `count` joins back to back (a popular session starting up).
+    JoinWave {
+        /// Number of joins.
+        count: usize,
+    },
+    /// `count` departures back to back (a session winding down).
+    LeaveWave {
+        /// Number of leaves.
+        count: usize,
+    },
+    /// A surge of `surge` joins immediately followed by `exodus`
+    /// departures — the flash-crowd shape (most of the crowd leaves
+    /// again once the event passes).
+    FlashCrowd {
+        /// Joins in the surge phase.
+        surge: usize,
+        /// Leaves in the exodus phase (callers keep it `<= surge` plus
+        /// whatever base population may shrink).
+        exodus: usize,
+    },
+    /// `events` operations drawn i.i.d. with the given join/leave rate
+    /// weights (e.g. `join_rate: 3, leave_rate: 1` models a growing
+    /// system with 75% joins).
+    Mixed {
+        /// Total operations to draw.
+        events: usize,
+        /// Relative weight of joins; must not both be zero.
+        join_rate: u32,
+        /// Relative weight of leaves; must not both be zero.
+        leave_rate: u32,
+    },
+}
+
+impl ChurnPattern {
+    /// Total number of operations the pattern expands to.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match *self {
+            ChurnPattern::JoinWave { count } | ChurnPattern::LeaveWave { count } => count,
+            ChurnPattern::FlashCrowd { surge, exodus } => surge + exodus,
+            ChurnPattern::Mixed { events, .. } => events,
+        }
+    }
+
+    /// `true` if the pattern expands to no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of joins the pattern expands to (exact for the wave and
+    /// flash-crowd shapes; for `Mixed` it depends on the seed).
+    #[must_use]
+    pub fn join_count(&self, seed: u64) -> usize {
+        self.ops(seed)
+            .iter()
+            .filter(|op| matches!(op, ChurnOp::Join))
+            .count()
+    }
+
+    /// Expands the pattern into its operation sequence, reproducibly
+    /// per seed (`Mixed` draws from a seeded RNG; the other shapes are
+    /// deterministic and ignore the seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Mixed` when both rates are zero.
+    #[must_use]
+    pub fn ops(&self, seed: u64) -> Vec<ChurnOp> {
+        match *self {
+            ChurnPattern::JoinWave { count } => vec![ChurnOp::Join; count],
+            ChurnPattern::LeaveWave { count } => vec![ChurnOp::Leave; count],
+            ChurnPattern::FlashCrowd { surge, exodus } => {
+                let mut ops = vec![ChurnOp::Join; surge];
+                ops.resize(surge + exodus, ChurnOp::Leave);
+                ops
+            }
+            ChurnPattern::Mixed {
+                events,
+                join_rate,
+                leave_rate,
+            } => {
+                assert!(
+                    join_rate > 0 || leave_rate > 0,
+                    "mixed churn needs a non-zero rate"
+                );
+                let total = u64::from(join_rate) + u64::from(leave_rate);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x6368_7572_6e21_0000); // "churn!"
+                (0..events)
+                    .map(|_| {
+                        if rng.random_range(0..total) < u64::from(join_rate) {
+                            ChurnOp::Join
+                        } else {
+                            ChurnOp::Leave
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ChurnPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ChurnPattern::JoinWave { count } => write!(f, "join-wave({count})"),
+            ChurnPattern::LeaveWave { count } => write!(f, "leave-wave({count})"),
+            ChurnPattern::FlashCrowd { surge, exodus } => {
+                write!(f, "flash-crowd(+{surge}/-{exodus})")
+            }
+            ChurnPattern::Mixed {
+                events,
+                join_rate,
+                leave_rate,
+            } => write!(f, "mixed({events} @ {join_rate}:{leave_rate})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waves_are_pure() {
+        assert!(ChurnPattern::JoinWave { count: 5 }
+            .ops(1)
+            .iter()
+            .all(|op| *op == ChurnOp::Join));
+        assert!(ChurnPattern::LeaveWave { count: 4 }
+            .ops(1)
+            .iter()
+            .all(|op| *op == ChurnOp::Leave));
+    }
+
+    #[test]
+    fn flash_crowd_surges_then_drains() {
+        let ops = ChurnPattern::FlashCrowd {
+            surge: 3,
+            exodus: 2,
+        }
+        .ops(9);
+        assert_eq!(
+            ops,
+            vec![
+                ChurnOp::Join,
+                ChurnOp::Join,
+                ChurnOp::Join,
+                ChurnOp::Leave,
+                ChurnOp::Leave
+            ]
+        );
+    }
+
+    #[test]
+    fn mixed_respects_rates_and_seed() {
+        let pattern = ChurnPattern::Mixed {
+            events: 1000,
+            join_rate: 3,
+            leave_rate: 1,
+        };
+        let ops = pattern.ops(7);
+        assert_eq!(ops, pattern.ops(7), "same seed, same sequence");
+        let joins = ops.iter().filter(|op| matches!(op, ChurnOp::Join)).count();
+        assert!(
+            (650..850).contains(&joins),
+            "3:1 rates should yield ~750 joins, got {joins}"
+        );
+        assert_ne!(ops, pattern.ops(8), "different seed should reshuffle");
+    }
+
+    #[test]
+    fn lengths_add_up() {
+        assert_eq!(ChurnPattern::JoinWave { count: 7 }.len(), 7);
+        assert_eq!(
+            ChurnPattern::FlashCrowd {
+                surge: 4,
+                exodus: 3
+            }
+            .len(),
+            7
+        );
+        assert!(ChurnPattern::Mixed {
+            events: 0,
+            join_rate: 1,
+            leave_rate: 1
+        }
+        .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero rate")]
+    fn zero_rates_are_rejected() {
+        let _ = ChurnPattern::Mixed {
+            events: 1,
+            join_rate: 0,
+            leave_rate: 0,
+        }
+        .ops(0);
+    }
+
+    #[test]
+    fn display_names_patterns() {
+        assert_eq!(
+            ChurnPattern::JoinWave { count: 2 }.to_string(),
+            "join-wave(2)"
+        );
+        assert_eq!(
+            ChurnPattern::Mixed {
+                events: 9,
+                join_rate: 2,
+                leave_rate: 1
+            }
+            .to_string(),
+            "mixed(9 @ 2:1)"
+        );
+    }
+}
