@@ -156,6 +156,7 @@ pub fn run(inv: &Invocation) -> Result<String, CliError> {
         "session" => cmd_session(inv),
         "route" => cmd_route(inv),
         "churn" => cmd_churn(inv),
+        "groups" => cmd_groups(inv),
         "figures" => cmd_figures(inv),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }
@@ -179,8 +180,11 @@ COMMANDS:
   churn      replay a churn pattern through the incremental engine
              --n 500 --dim 2 --seed 1 --pattern join-wave|leave-wave|flash-crowd|mixed
              --events 200 --join-rate 1 --leave-rate 1 --mode store|live
+  groups     drive N concurrent multicast groups over one shared store
+             --n 500 --dim 2 --seed 1 --groups 16 --subs 1000 --zipf 1.0
+             --events 200 --group-events 200
   figures    regenerate the paper's artifacts
-             --panel fig1a|fig1b|fig1c|fig1d|fig1e|claims|ablation|baselines|repair|scaling|churn|all [--full]
+             --panel fig1a|fig1b|fig1c|fig1d|fig1e|claims|ablation|baselines|repair|scaling|churn|groups|all [--full]
   help       this text
 ";
 
@@ -587,6 +591,130 @@ fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_groups(inv: &Invocation) -> Result<String, CliError> {
+    use geocast::core::groups::GroupEngine;
+    use geocast::overlay::churn::{ChurnEvent, ChurnSchedule};
+    use geocast::sim::workload::zipf_group_sizes;
+    use std::time::Instant;
+
+    let n: usize = opt_peers(inv, 500)?;
+    let dim: usize = opt(inv, "dim", 2)?;
+    let seed: u64 = opt(inv, "seed", 1)?;
+    let num_groups: usize = opt(inv, "groups", 16)?;
+    let subs: usize = opt(inv, "subs", 2 * n)?;
+    let zipf: f64 = opt(inv, "zipf", 1.0)?;
+    let churn_events: usize = opt(inv, "events", 200)?;
+    let group_events: usize = opt(inv, "group-events", 200)?;
+    if num_groups == 0 {
+        return Err(CliError::BadValue {
+            key: "groups".into(),
+            value: "0".into(),
+        });
+    }
+    if !zipf.is_finite() || zipf < 0.0 {
+        return Err(CliError::BadValue {
+            key: "zipf".into(),
+            value: zipf.to_string(),
+        });
+    }
+
+    let points = uniform_points(n, dim, 1000.0, seed);
+    let store = TopologyStore::from_peers(
+        PeerInfo::from_point_set(&points),
+        Arc::new(EmptyRectSelection),
+    );
+    let mut engine = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+    let mut state = seed ^ 0x6772_6f75_7073; // "groups"
+    let sizes = zipf_group_sizes(num_groups, subs.max(num_groups), zipf);
+    let ids = engine.seed_groups_clustered(&sizes, &mut state);
+
+    let schedule = ChurnSchedule::from_pattern(
+        n,
+        &ChurnPattern::Mixed {
+            events: churn_events,
+            join_rate: 1,
+            leave_rate: 1,
+        },
+        dim,
+        1000.0,
+        seed ^ 0xc9,
+    );
+    let workload = GroupWorkload {
+        groups: num_groups,
+        exponent: zipf,
+        events: group_events,
+        subscribe_weight: 2,
+        unsubscribe_weight: 1,
+        publish_weight: 2,
+    };
+
+    let start = Instant::now();
+    let mut affected_sum = 0usize;
+    let mut affected_max = 0usize;
+    for event in schedule.events() {
+        match event {
+            ChurnEvent::Join(p) => {
+                engine.join(p.clone());
+            }
+            ChurnEvent::Leave(id) => engine.leave(*id),
+        }
+        affected_sum += engine.last_sync().affected_groups;
+        affected_max = affected_max.max(engine.last_sync().affected_groups);
+    }
+    for op in workload.ops(seed ^ 0x09) {
+        engine.apply_workload_op(op, &mut state);
+    }
+    let secs = start.elapsed().as_secs_f64();
+
+    let mut exact = true;
+    let mut coverage_sum = 0.0;
+    let mut memberships = 0usize;
+    for &g in &ids {
+        memberships += engine.members(g).len();
+        coverage_sum += engine.coverage(g);
+        exact &= engine.matches_reference(g);
+    }
+    let events = schedule.len() + group_events;
+    let totals = *engine.totals();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "multi-group sessions: {num_groups} groups over {n} peers (D={dim}, seed {seed}, zipf {zipf:.1})\n\n"
+    ));
+    out.push_str(&format!(
+        "  events applied      : {} churn + {} group ops\n",
+        schedule.len(),
+        group_events
+    ));
+    out.push_str(&format!("  elapsed             : {secs:.3}s\n"));
+    out.push_str(&format!(
+        "  events per second   : {:.0}\n",
+        events as f64 / secs.max(1e-9)
+    ));
+    out.push_str(&format!(
+        "  affected groups     : mean {:.2} / max {} (naive engine: {num_groups} per event)\n",
+        affected_sum as f64 / schedule.len().max(1) as f64,
+        affected_max
+    ));
+    out.push_str(&format!(
+        "  tree rebuilds       : {}\n",
+        totals.tree_rebuilds
+    ));
+    out.push_str(&format!(
+        "  memberships after   : {memberships} across {num_groups} groups\n"
+    ));
+    out.push_str(&format!(
+        "  mean coverage       : {:.0}%\n",
+        coverage_sum * 100.0 / ids.len() as f64
+    ));
+    out.push_str(&format!(
+        "  live peers after    : {}\n",
+        engine.store().live_count()
+    ));
+    out.push_str(&format!("  all == rebuild      : {exact}\n"));
+    Ok(out)
+}
+
 fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
     let panel: String = opt(inv, "panel", "all".to_owned())?;
     let full = inv.options.contains_key("full");
@@ -636,6 +764,11 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
     } else {
         figures::ChurnConfig::quick()
     };
+    let groups = if full {
+        figures::GroupsConfig::default()
+    } else {
+        figures::GroupsConfig::quick()
+    };
 
     let mut reports = Vec::new();
     match panel.as_str() {
@@ -656,6 +789,7 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
         "repair" => reports.push(figures::repair_cost(&repair)),
         "scaling" => reports.push(figures::overlay_scaling(&scaling)),
         "churn" => reports.push(figures::churn_panel(&churn)),
+        "groups" => reports.push(figures::groups_panel(&groups)),
         "all" => {
             reports.push(figures::fig1a(&fig1));
             reports.push(figures::fig1b(&fig1));
@@ -671,6 +805,7 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
             reports.push(figures::repair_cost(&repair));
             reports.push(figures::overlay_scaling(&scaling));
             reports.push(figures::churn_panel(&churn));
+            reports.push(figures::groups_panel(&groups));
         }
         other => {
             return Err(CliError::BadValue {
@@ -845,6 +980,50 @@ mod tests {
         assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
         let inv = parse_args(&args(&["churn", "--mode", "dream"])).unwrap();
         assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn groups_command_reports_locality_and_exactness() {
+        let inv = parse_args(&args(&[
+            "groups",
+            "--n",
+            "100",
+            "--groups",
+            "6",
+            "--subs",
+            "150",
+            "--events",
+            "15",
+            "--group-events",
+            "15",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(
+            out.contains("events applied      : 15 churn + 15 group ops"),
+            "{out}"
+        );
+        assert!(out.contains("all == rebuild      : true"), "{out}");
+        assert!(out.contains("affected groups"), "{out}");
+    }
+
+    #[test]
+    fn groups_rejects_bad_values() {
+        let inv = parse_args(&args(&["groups", "--groups", "0"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+        let inv = parse_args(&args(&["groups", "--zipf", "-1"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn figures_groups_panel_runs_quick() {
+        let inv = parse_args(&args(&["figures", "--panel", "groups"])).unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("## groups"), "{out}");
+        assert!(
+            !out.contains("false"),
+            "a group diverged from rebuild: {out}"
+        );
     }
 
     #[test]

@@ -142,8 +142,10 @@ pub fn build_in_zone(
 
 /// The shared §2 work-queue over any undirected-neighbour source:
 /// `neighbors_into(i, buf)` fills `buf` with peer `i`'s overlay link
-/// partners (sorted or not — zone filtering does not care).
-fn build_in_zone_generic(
+/// partners (sorted or not — zone filtering does not care). Crate-wide
+/// machinery: the full-space build, zone repair and the group layer
+/// (`crate::groups`, member-filtered neighbour sources) all run on it.
+pub(crate) fn build_in_zone_generic(
     peers: &[PeerInfo],
     neighbors_into: impl Fn(usize, &mut Vec<usize>),
     start: usize,

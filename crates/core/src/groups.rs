@@ -1,0 +1,1071 @@
+//! Multi-group sessions: N concurrent multicast trees over one shared
+//! [`TopologyStore`].
+//!
+//! The paper's overlay exists to embed multicast *trees* — plural. A
+//! production deployment serves many concurrent groups (topics,
+//! channels, sensor clusters), each a tree rooted at its own source,
+//! all sharing one overlay. The [`GroupEngine`] owns that arrangement:
+//!
+//! * **One substrate.** A single [`TopologyStore`] carries the peer
+//!   population and the incrementally-maintained equilibrium adjacency.
+//! * **N group trees.** Each group is a subscriber set plus a §2
+//!   space-partitioning tree over the **member-induced subgraph** of the
+//!   shared overlay ([`build_group_tree_on_store`]): a member delegates
+//!   sub-zones only to overlay neighbours that are fellow members.
+//!   Members with no member-to-member overlay path to the root are
+//!   reported stranded, first-class (routing-based group join is the
+//!   roadmap item that will pick them up).
+//! * **Delta-driven repair.** The engine is a registered consumer of the
+//!   store's epoch-numbered delta stream ([`geocast_overlay::DeltaLog`]).
+//!   Per churn event it repairs *only* the groups whose members
+//!   intersect the event's dirty region — a group's tree is a pure
+//!   function of its members' adjacency rows, membership and liveness,
+//!   so a group untouched by every delta is provably unchanged.
+//!   Consumers that fall behind the log's retention window resync from
+//!   the full store state.
+//!
+//! The multi-tree analogue of PR 3's incremental guarantee, property
+//! tested (`tests/prop_groups.rs`): after any churn interleaving, every
+//! registered group's tree is byte-identical to a from-scratch
+//! [`build_group_tree_on_store`] rebuild on the surviving members, while
+//! the engine pays only for delta-affected groups.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use geocast_core::groups::GroupEngine;
+//! use geocast_core::OrthantRectPartitioner;
+//! use geocast_geom::gen::uniform_points;
+//! use geocast_overlay::{select::EmptyRectSelection, PeerId, PeerInfo, TopologyStore};
+//!
+//! let peers = PeerInfo::from_point_set(&uniform_points(40, 2, 1000.0, 7));
+//! let store = TopologyStore::from_peers(peers, Arc::new(EmptyRectSelection));
+//! let mut engine = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+//!
+//! let g = engine.create_group(PeerId(0));
+//! for peer in [3u64, 11, 29] {
+//!     engine.subscribe(g, PeerId(peer));
+//! }
+//! assert_eq!(engine.members(g).len(), 4);
+//! // A member departs; the engine absorbs the delta and repairs.
+//! engine.leave(PeerId(11));
+//! assert_eq!(engine.members(g).len(), 3);
+//! assert!(engine.tree(g).is_some());
+//! ```
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use geocast_geom::{Point, Rect};
+use geocast_overlay::delta::DeltaKind;
+use geocast_overlay::{PeerId, TopologyDelta, TopologyStore};
+use geocast_sim::workload::GroupOp;
+
+use crate::builder::{build_in_zone_generic, BuildResult};
+use crate::partition::ZonePartitioner;
+use crate::stability::{preferred_links_on_store, PreferredPolicy, StabilityForest};
+
+/// Identifier of a multicast group (dense creation index within one
+/// engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// The dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for GroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "group#{}", self.0)
+    }
+}
+
+/// Builds one group's §2 tree from scratch: the space-partitioning
+/// work-queue seeded at `root` over the **member-induced subgraph** of
+/// the store's undirected equilibrium adjacency. Departed members are
+/// excluded (the "surviving members" semantics); `stranded` lists the
+/// surviving members the member subgraph could not reach — *not* the
+/// non-members, which are simply outside the session.
+///
+/// This is the definitional reference the [`GroupEngine`] must match
+/// after any churn interleaving.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range, departed, or not in `members`.
+#[must_use]
+pub fn build_group_tree_on_store(
+    store: &TopologyStore,
+    root: usize,
+    members: &BTreeSet<usize>,
+    partitioner: &dyn ZonePartitioner,
+) -> BuildResult {
+    assert!(root < store.len(), "root out of range");
+    assert!(members.contains(&root), "root must be a member");
+    assert!(!store.is_departed(PeerId(root as u64)), "root has departed");
+    let mut mask = vec![false; store.len()];
+    for &m in members {
+        assert!(m < store.len(), "member {m} out of range");
+        mask[m] = !store.is_departed(PeerId(m as u64));
+    }
+    let dim = store.peers()[root].point().dim();
+    let mut result = build_in_zone_generic(
+        store.peers(),
+        |i, buf| {
+            store.undirected_neighbors_into(i, buf);
+            buf.retain(|&j| mask[j]);
+        },
+        root,
+        Rect::full(dim),
+        partitioner,
+    );
+    // Unreached *members* are the meaningful strandings of a group
+    // build; everyone else is simply not part of the session.
+    result.stranded.retain(|&i| mask[i]);
+    result
+}
+
+/// One registered group: subscriber set, session root, current tree.
+#[derive(Debug, Clone)]
+struct Group {
+    /// Current session root; `None` while the group has no members.
+    root: Option<usize>,
+    /// Subscribed live peers (the engine prunes departures), root
+    /// included.
+    members: BTreeSet<usize>,
+    /// The current tree; `None` while the group has no members.
+    build: Option<BuildResult>,
+    /// Times this group's tree was recomputed (the locality metric the
+    /// bench asserts on: untouched groups stay at their old count).
+    rebuilds: u64,
+}
+
+/// What one [`GroupEngine::sync`] absorbed and repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Deltas replayed from the store's log.
+    pub deltas: usize,
+    /// Groups whose members intersected some dirty region (each
+    /// rebuilt exactly once).
+    pub affected_groups: usize,
+    /// Σ member-set sizes over the rebuilt groups — the work actually
+    /// paid, versus Σ over *all* groups for a naive engine.
+    pub rebuilt_members: usize,
+    /// `true` when the engine had fallen out of the delta log's
+    /// retention window and resynchronised from full store state.
+    pub resynced: bool,
+}
+
+/// Cumulative engine counters (for benches and reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineTotals {
+    /// Store deltas absorbed.
+    pub deltas: u64,
+    /// Subscribe/unsubscribe operations applied.
+    pub membership_ops: u64,
+    /// Group-tree rebuilds performed (any cause).
+    pub tree_rebuilds: u64,
+    /// Σ member-set sizes over all rebuilds.
+    pub rebuilt_members: u64,
+    /// Payloads published.
+    pub publishes: u64,
+    /// Full resyncs forced by delta-log truncation.
+    pub full_resyncs: u64,
+}
+
+/// What binding one abstract [`GroupOp`] to the population did (see
+/// [`GroupEngine::apply_workload_op`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AppliedOp {
+    /// A live non-member was subscribed.
+    Subscribed(GroupId, PeerId),
+    /// A member was unsubscribed.
+    Unsubscribed(GroupId, PeerId),
+    /// A payload was published.
+    Published(GroupId, PublishOutcome),
+    /// The op had no valid binding (no candidate peer, dormant group).
+    Skipped(GroupId),
+}
+
+/// splitmix64 — the deterministic peer picker behind workload binding,
+/// so the facade crates need no RNG dependency.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Delivery accounting of one published payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishOutcome {
+    /// Members the tree delivered to (root included).
+    pub delivered: usize,
+    /// Surviving members the member subgraph could not reach.
+    pub stranded: usize,
+    /// Data messages sent (one per delivered non-root member).
+    pub messages: usize,
+}
+
+/// N concurrent multicast trees kept current over one shared
+/// [`TopologyStore`] by consuming its epoch-numbered delta stream.
+///
+/// All membership mutation goes through the engine ([`GroupEngine::join`]
+/// / [`GroupEngine::leave`]) or — for external drivers — through
+/// [`GroupEngine::store_mut`] followed by [`GroupEngine::sync`]; either
+/// way the engine repairs exactly the groups whose members intersect the
+/// absorbed dirty regions.
+pub struct GroupEngine {
+    store: TopologyStore,
+    partitioner: Arc<dyn ZonePartitioner + Send + Sync>,
+    groups: Vec<Group>,
+    /// Peer index → sorted group ids the peer subscribes to.
+    member_of: Vec<Vec<u32>>,
+    /// Last store epoch this engine absorbed.
+    seen_epoch: u64,
+    /// Optional §3 stability forest, refreshed from the same deltas.
+    stability: Option<(PreferredPolicy, StabilityForest)>,
+    last_sync: SyncReport,
+    totals: EngineTotals,
+}
+
+impl GroupEngine {
+    /// Adopts a store (empty or populated) as the shared substrate.
+    #[must_use]
+    pub fn new(store: TopologyStore, partitioner: Arc<dyn ZonePartitioner + Send + Sync>) -> Self {
+        let member_of = vec![Vec::new(); store.len()];
+        let seen_epoch = store.epoch();
+        GroupEngine {
+            store,
+            partitioner,
+            groups: Vec::new(),
+            member_of,
+            seen_epoch,
+            stability: None,
+            last_sync: SyncReport::default(),
+            totals: EngineTotals::default(),
+        }
+    }
+
+    /// Maintains a §3 stability forest alongside the group trees,
+    /// refreshed from the same delta stream (computed from scratch
+    /// now).
+    pub fn enable_stability(&mut self, policy: PreferredPolicy) {
+        self.stability = Some((policy, preferred_links_on_store(&self.store, policy)));
+    }
+
+    /// The shared substrate.
+    #[must_use]
+    pub fn store(&self) -> &TopologyStore {
+        &self.store
+    }
+
+    /// Mutable access to the substrate for external churn drivers.
+    /// After mutating, call [`GroupEngine::sync`] — the engine catches
+    /// up through the delta log exactly as if the mutation had gone
+    /// through [`GroupEngine::join`] / [`GroupEngine::leave`].
+    pub fn store_mut(&mut self) -> &mut TopologyStore {
+        &mut self.store
+    }
+
+    /// Number of registered groups.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// A group's subscriber set (live peers only; the engine prunes
+    /// departures on sync).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown.
+    #[must_use]
+    pub fn members(&self, g: GroupId) -> &BTreeSet<usize> {
+        &self.groups[g.index()].members
+    }
+
+    /// A group's current session root (`None` while it has no members).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown.
+    #[must_use]
+    pub fn root(&self, g: GroupId) -> Option<usize> {
+        self.groups[g.index()].root
+    }
+
+    /// A group's current tree (`None` while it has no members).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown.
+    #[must_use]
+    pub fn tree(&self, g: GroupId) -> Option<&BuildResult> {
+        self.groups[g.index()].build.as_ref()
+    }
+
+    /// How many times a group's tree has been recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown.
+    #[must_use]
+    pub fn rebuild_count(&self, g: GroupId) -> u64 {
+        self.groups[g.index()].rebuilds
+    }
+
+    /// Fraction of surviving members the group tree reaches (1.0 for
+    /// empty groups — nothing is missing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown.
+    #[must_use]
+    pub fn coverage(&self, g: GroupId) -> f64 {
+        let group = &self.groups[g.index()];
+        if group.members.is_empty() {
+            return 1.0;
+        }
+        let build = group.build.as_ref().expect("non-empty groups have trees");
+        let reached = group
+            .members
+            .iter()
+            .filter(|&&m| build.tree.is_reached(m))
+            .count();
+        reached as f64 / group.members.len() as f64
+    }
+
+    /// The maintained stability forest, when enabled.
+    #[must_use]
+    pub fn stability_forest(&self) -> Option<&StabilityForest> {
+        self.stability.as_ref().map(|(_, forest)| forest)
+    }
+
+    /// Audits one group against the definitional reference: `true` iff
+    /// the incrementally-maintained tree is byte-identical to a
+    /// from-scratch [`build_group_tree_on_store`] rebuild with the
+    /// engine's partitioner (dormant groups must have no tree). The
+    /// single exactness check every harness reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown.
+    #[must_use]
+    pub fn matches_reference(&self, g: GroupId) -> bool {
+        let group = &self.groups[g.index()];
+        match group.root {
+            Some(root) => {
+                let reference = build_group_tree_on_store(
+                    &self.store,
+                    root,
+                    &group.members,
+                    self.partitioner.as_ref(),
+                );
+                group.build.as_ref() == Some(&reference)
+            }
+            None => group.build.is_none(),
+        }
+    }
+
+    /// What the last [`GroupEngine::sync`] absorbed.
+    #[must_use]
+    pub fn last_sync(&self) -> &SyncReport {
+        &self.last_sync
+    }
+
+    /// Cumulative counters.
+    #[must_use]
+    pub fn totals(&self) -> &EngineTotals {
+        &self.totals
+    }
+
+    /// Registers a new group rooted at (and subscribed by) `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range or departed.
+    pub fn create_group(&mut self, root: PeerId) -> GroupId {
+        self.sync();
+        let r = root.index();
+        assert!(r < self.store.len(), "root out of range");
+        assert!(!self.store.is_departed(root), "root has departed");
+        let id = GroupId(u32::try_from(self.groups.len()).expect("group count fits u32"));
+        self.groups.push(Group {
+            root: Some(r),
+            members: BTreeSet::from([r]),
+            build: None,
+            rebuilds: 0,
+        });
+        self.member_of[r].push(id.0);
+        self.rebuild_group(id.index());
+        id
+    }
+
+    /// Subscribes a live peer to a group. Returns `false` (and changes
+    /// nothing) if it already is a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown or `peer` is out of range or departed.
+    pub fn subscribe(&mut self, g: GroupId, peer: PeerId) -> bool {
+        self.sync();
+        let p = peer.index();
+        assert!(p < self.store.len(), "peer out of range");
+        assert!(!self.store.is_departed(peer), "{peer} has departed");
+        let group = &mut self.groups[g.index()];
+        if !group.members.insert(p) {
+            return false;
+        }
+        if group.root.is_none() {
+            // First subscriber of a dormant group becomes the root.
+            group.root = Some(p);
+        }
+        let ids = &mut self.member_of[p];
+        let pos = ids.partition_point(|&x| x < g.0);
+        ids.insert(pos, g.0);
+        self.totals.membership_ops += 1;
+        self.rebuild_group(g.index());
+        true
+    }
+
+    /// Unsubscribes a peer from a group. Returns `false` (and changes
+    /// nothing) if it was not a member. When the session root
+    /// unsubscribes, the smallest-index surviving member is promoted;
+    /// the last member leaving makes the group dormant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown or `peer` is out of range.
+    pub fn unsubscribe(&mut self, g: GroupId, peer: PeerId) -> bool {
+        self.sync();
+        let p = peer.index();
+        assert!(p < self.store.len(), "peer out of range");
+        if !self.groups[g.index()].members.remove(&p) {
+            return false;
+        }
+        self.member_of[p].retain(|&x| x != g.0);
+        self.totals.membership_ops += 1;
+        let group = &mut self.groups[g.index()];
+        if group.root == Some(p) {
+            group.root = group.members.first().copied();
+        }
+        self.rebuild_group(g.index());
+        true
+    }
+
+    /// Inserts a peer into the shared overlay and repairs the affected
+    /// groups (a newcomer subscribes to nothing, but its arrival can
+    /// rewire member-to-member overlay links).
+    pub fn join(&mut self, point: Point) -> PeerId {
+        let id = self.store.insert(point);
+        self.sync();
+        id
+    }
+
+    /// Removes a peer from the shared overlay (crash-stop), prunes it
+    /// from every group it subscribed to, and repairs the affected
+    /// groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or already departed.
+    pub fn leave(&mut self, id: PeerId) {
+        self.store.remove(id);
+        self.sync();
+    }
+
+    /// Publishes one payload over a group's tree and reports delivery.
+    /// Returns `None` for dormant (member-less) groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown.
+    pub fn publish(&mut self, g: GroupId) -> Option<PublishOutcome> {
+        self.sync();
+        let group = &self.groups[g.index()];
+        let build = group.build.as_ref()?;
+        self.totals.publishes += 1;
+        let delivered = group
+            .members
+            .iter()
+            .filter(|&&m| build.tree.is_reached(m))
+            .count();
+        Some(PublishOutcome {
+            delivered,
+            stranded: group.members.len() - delivered,
+            messages: delivered.saturating_sub(1),
+        })
+    }
+
+    /// Registers `sizes.len()` groups with Zipf-shaped sizes (see
+    /// [`geocast_sim::workload::zipf_group_sizes`]): each group gets
+    /// `sizes[g]` distinct live members picked deterministically from
+    /// `state` (splitmix64 stream; groups may overlap). The first pick
+    /// roots the group. Sizes are capped at the live population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store has no live peers or a size is zero.
+    pub fn seed_groups(&mut self, sizes: &[usize], state: &mut u64) -> Vec<GroupId> {
+        self.sync();
+        let live: Vec<usize> = (0..self.store.len())
+            .filter(|&i| !self.store.is_departed(PeerId(i as u64)))
+            .collect();
+        assert!(!live.is_empty(), "cannot seed groups over an empty overlay");
+        let mut ids = Vec::with_capacity(sizes.len());
+        let mut scratch = live.clone();
+        for &size in sizes {
+            assert!(size > 0, "groups start with at least one member");
+            let size = size.min(scratch.len());
+            // Partial Fisher–Yates: the first `size` slots become the
+            // member sample.
+            for k in 0..size {
+                let j = k + (splitmix(state) as usize) % (scratch.len() - k);
+                scratch.swap(k, j);
+            }
+            let g = self.create_group(PeerId(scratch[0] as u64));
+            for &m in &scratch[1..size] {
+                self.subscribe(g, PeerId(m as u64));
+            }
+            ids.push(g);
+        }
+        ids
+    }
+
+    /// [`GroupEngine::seed_groups`] with **spatially clustered**
+    /// membership: each group picks a deterministic random center peer
+    /// and subscribes that peer plus its `size − 1` nearest live peers
+    /// (L1) — the sensor-cluster / regional-channel shape. The center
+    /// roots the group. Clustered members sit densely interconnected in
+    /// the overlay, so the member-induced subgraph stays well connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store has no live peers or a size is zero.
+    pub fn seed_groups_clustered(&mut self, sizes: &[usize], state: &mut u64) -> Vec<GroupId> {
+        use geocast_geom::{Metric, MetricKind};
+        self.sync();
+        let live: Vec<usize> = (0..self.store.len())
+            .filter(|&i| !self.store.is_departed(PeerId(i as u64)))
+            .collect();
+        assert!(!live.is_empty(), "cannot seed groups over an empty overlay");
+        let mut ids = Vec::with_capacity(sizes.len());
+        for &size in sizes {
+            assert!(size > 0, "groups start with at least one member");
+            let size = size.min(live.len());
+            let center = live[(splitmix(state) as usize) % live.len()];
+            let cp = self.store.peers()[center].point().clone();
+            let mut by_dist: Vec<usize> = live.clone();
+            by_dist.sort_by(|&a, &b| {
+                MetricKind::L1
+                    .dist(self.store.peers()[a].point(), &cp)
+                    .total_cmp(&MetricKind::L1.dist(self.store.peers()[b].point(), &cp))
+                    .then(a.cmp(&b))
+            });
+            let g = self.create_group(PeerId(center as u64));
+            for &m in by_dist.iter().take(size).filter(|&&m| m != center) {
+                self.subscribe(g, PeerId(m as u64));
+            }
+            ids.push(g);
+        }
+        ids
+    }
+
+    /// Binds one abstract workload operation to the population and
+    /// applies it: `Subscribe` picks a deterministic live non-member,
+    /// `Unsubscribe` a deterministic member, `Publish` publishes.
+    /// Unbindable operations (everyone already subscribed, dormant
+    /// group) are reported as [`AppliedOp::Skipped`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op names an unknown group.
+    pub fn apply_workload_op(&mut self, op: GroupOp, state: &mut u64) -> AppliedOp {
+        let gi = op.group();
+        assert!(gi < self.groups.len(), "unknown group {gi}");
+        let g = GroupId(gi as u32);
+        match op {
+            GroupOp::Subscribe { .. } => {
+                self.sync();
+                let members = &self.groups[gi].members;
+                let candidates = self.store.live_count() - members.len();
+                if candidates == 0 {
+                    return AppliedOp::Skipped(g);
+                }
+                let pick = (splitmix(state) as usize) % candidates;
+                let peer = (0..self.store.len())
+                    .filter(|&i| !self.store.is_departed(PeerId(i as u64)) && !members.contains(&i))
+                    .nth(pick)
+                    .expect("candidate count was just checked");
+                self.subscribe(g, PeerId(peer as u64));
+                AppliedOp::Subscribed(g, PeerId(peer as u64))
+            }
+            GroupOp::Unsubscribe { .. } => {
+                self.sync();
+                let members = &self.groups[gi].members;
+                if members.is_empty() {
+                    return AppliedOp::Skipped(g);
+                }
+                let pick = (splitmix(state) as usize) % members.len();
+                let peer = *members.iter().nth(pick).expect("non-empty member set");
+                self.unsubscribe(g, PeerId(peer as u64));
+                AppliedOp::Unsubscribed(g, PeerId(peer as u64))
+            }
+            GroupOp::Publish { .. } => match self.publish(g) {
+                Some(outcome) => AppliedOp::Published(g, outcome),
+                None => AppliedOp::Skipped(g),
+            },
+        }
+    }
+
+    /// Catches up with the store's delta stream: replays every delta
+    /// recorded since the engine's last absorbed epoch, prunes departed
+    /// members, and rebuilds exactly the groups whose members intersect
+    /// the union of dirty regions. Falls back to a full resync when the
+    /// log has evicted a needed delta.
+    ///
+    /// Idempotent; called automatically by every mutating engine entry
+    /// point.
+    pub fn sync(&mut self) {
+        let target = self.store.epoch();
+        if target == self.seen_epoch {
+            return;
+        }
+        let missed: Option<Vec<TopologyDelta>> = self
+            .store
+            .delta_log()
+            .deltas_since(self.seen_epoch)
+            .map(|it| it.cloned().collect());
+        let Some(deltas) = missed else {
+            self.full_resync(target);
+            return;
+        };
+
+        let mut affected: BTreeSet<usize> = BTreeSet::new();
+        for delta in &deltas {
+            self.member_of.resize(self.store.len(), Vec::new());
+            for &p in &delta.dirty {
+                affected.extend(self.member_of[p].iter().map(|&g| g as usize));
+            }
+            if let DeltaKind::Leave(v) = delta.kind {
+                // Crash-stop implies unsubscription from everything.
+                for gi in std::mem::take(&mut self.member_of[v]) {
+                    let group = &mut self.groups[gi as usize];
+                    group.members.remove(&v);
+                    if group.root == Some(v) {
+                        group.root = group.members.first().copied();
+                    }
+                }
+            }
+            if let Some((policy, forest)) = &mut self.stability {
+                forest.refresh_on_store(&self.store, *policy, &delta.dirty);
+            }
+        }
+
+        // Joins grow the peer universe: pad untouched groups' cached
+        // trees with the new (unreached, non-member) peers so they stay
+        // byte-identical to a from-scratch rebuild — O(new peers) per
+        // group, no tree computation.
+        let n = self.store.len();
+        for (gi, group) in self.groups.iter_mut().enumerate() {
+            if affected.contains(&gi) {
+                continue;
+            }
+            if let Some(build) = &mut group.build {
+                if build.tree.len() < n {
+                    build.tree.extend_len(n);
+                    build.zones.resize(n, None);
+                }
+            }
+        }
+
+        let mut rebuilt_members = 0usize;
+        for &gi in &affected {
+            rebuilt_members += self.groups[gi].members.len();
+            self.rebuild_group(gi);
+        }
+        self.totals.deltas += deltas.len() as u64;
+        self.last_sync = SyncReport {
+            deltas: deltas.len(),
+            affected_groups: affected.len(),
+            rebuilt_members,
+            resynced: false,
+        };
+        self.seen_epoch = target;
+    }
+
+    /// The laggard path: reconcile every group against the full store
+    /// state (prune departures, rebuild all trees, re-pick the forest).
+    fn full_resync(&mut self, target: u64) {
+        self.member_of.resize(self.store.len(), Vec::new());
+        let mut rebuilt_members = 0usize;
+        for gi in 0..self.groups.len() {
+            let departed: Vec<usize> = self.groups[gi]
+                .members
+                .iter()
+                .copied()
+                .filter(|&m| self.store.is_departed(PeerId(m as u64)))
+                .collect();
+            for v in departed {
+                self.groups[gi].members.remove(&v);
+                self.member_of[v].retain(|&x| x as usize != gi);
+                if self.groups[gi].root == Some(v) {
+                    self.groups[gi].root = self.groups[gi].members.first().copied();
+                }
+            }
+            rebuilt_members += self.groups[gi].members.len();
+            self.rebuild_group(gi);
+        }
+        if let Some((policy, forest)) = &mut self.stability {
+            *forest = preferred_links_on_store(&self.store, *policy);
+        }
+        self.totals.full_resyncs += 1;
+        self.last_sync = SyncReport {
+            deltas: 0,
+            affected_groups: self.groups.len(),
+            rebuilt_members,
+            resynced: true,
+        };
+        self.seen_epoch = target;
+    }
+
+    fn rebuild_group(&mut self, gi: usize) {
+        let group = &mut self.groups[gi];
+        let Some(root) = group.root else {
+            group.build = None;
+            return;
+        };
+        let build =
+            build_group_tree_on_store(&self.store, root, &group.members, self.partitioner.as_ref());
+        group.build = Some(build);
+        group.rebuilds += 1;
+        self.totals.tree_rebuilds += 1;
+        self.totals.rebuilt_members += group.members.len() as u64;
+    }
+}
+
+impl std::fmt::Debug for GroupEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupEngine")
+            .field("groups", &self.groups.len())
+            .field("peers", &self.store.len())
+            .field("live", &self.store.live_count())
+            .field("seen_epoch", &self.seen_epoch)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::OrthantRectPartitioner;
+    use crate::stability::preferred_links_on_store;
+    use geocast_geom::gen::{embed_lifetimes, lifetimes, uniform_points};
+    use geocast_overlay::select::EmptyRectSelection;
+    use geocast_overlay::PeerInfo;
+
+    fn engine(n: usize, seed: u64) -> GroupEngine {
+        let peers = PeerInfo::from_point_set(&uniform_points(n, 2, 1000.0, seed));
+        let store = TopologyStore::from_peers(peers, Arc::new(EmptyRectSelection));
+        GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()))
+    }
+
+    /// Every group's engine-maintained tree equals the from-scratch
+    /// reference.
+    fn assert_exact(engine: &GroupEngine) {
+        for gi in 0..engine.group_count() {
+            let g = GroupId(gi as u32);
+            match engine.root(g) {
+                Some(root) => {
+                    let reference = build_group_tree_on_store(
+                        engine.store(),
+                        root,
+                        engine.members(g),
+                        &OrthantRectPartitioner::median(),
+                    );
+                    assert_eq!(engine.tree(g), Some(&reference), "{g} diverged");
+                }
+                None => assert!(engine.tree(g).is_none(), "dormant {g} has a tree"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_membership_group_tree_spans_like_the_global_build() {
+        let mut eng = engine(50, 3);
+        let g = eng.create_group(PeerId(0));
+        for p in 1..50u64 {
+            eng.subscribe(g, PeerId(p));
+        }
+        // Every peer is a member: the member-induced subgraph IS the
+        // overlay, so the group tree equals the global §2 build.
+        let global =
+            crate::builder::build_tree_on_store(eng.store(), 0, &OrthantRectPartitioner::median());
+        assert_eq!(eng.tree(g), Some(&global));
+        assert_eq!(eng.coverage(g), 1.0);
+        assert_eq!(eng.tree(g).unwrap().messages, 49);
+    }
+
+    #[test]
+    fn churn_repairs_only_intersecting_groups() {
+        let mut eng = engine(80, 5);
+        // Two disjoint groups far apart in id space.
+        let a = eng.create_group(PeerId(1));
+        for p in [2u64, 3, 4, 5] {
+            eng.subscribe(a, PeerId(p));
+        }
+        let b = eng.create_group(PeerId(70));
+        for p in [71u64, 72, 73] {
+            eng.subscribe(b, PeerId(p));
+        }
+        // Churn until some event's dirty region misses one group.
+        let mut saw_partial_repair = false;
+        for seed in 0..10u64 {
+            let p = uniform_points(1, 2, 1000.0, 1000 + seed).into_points();
+            eng.join(p.into_iter().next().unwrap());
+            assert_exact(&eng);
+            if eng.last_sync().affected_groups < 2 {
+                saw_partial_repair = true;
+            }
+        }
+        assert!(
+            saw_partial_repair,
+            "ten joins never spared either group: locality is broken"
+        );
+    }
+
+    #[test]
+    fn member_departure_prunes_and_repairs() {
+        let mut eng = engine(60, 7);
+        let g = eng.create_group(PeerId(10));
+        for p in [20u64, 30, 40] {
+            eng.subscribe(g, PeerId(p));
+        }
+        eng.leave(PeerId(30));
+        assert!(!eng.members(g).contains(&30));
+        assert_eq!(eng.members(g).len(), 3);
+        assert_exact(&eng);
+        // The group that lost a member was necessarily affected.
+        assert!(eng.last_sync().affected_groups >= 1);
+    }
+
+    #[test]
+    fn root_departure_promotes_the_smallest_member() {
+        let mut eng = engine(40, 9);
+        let g = eng.create_group(PeerId(5));
+        for p in [17u64, 23] {
+            eng.subscribe(g, PeerId(p));
+        }
+        eng.leave(PeerId(5));
+        assert_eq!(eng.root(g), Some(17));
+        assert_exact(&eng);
+    }
+
+    #[test]
+    fn unsubscribing_everyone_makes_the_group_dormant_and_revivable() {
+        let mut eng = engine(30, 11);
+        let g = eng.create_group(PeerId(2));
+        eng.subscribe(g, PeerId(8));
+        assert!(eng.unsubscribe(g, PeerId(2)));
+        assert_eq!(eng.root(g), Some(8), "root unsubscription promotes");
+        assert!(eng.unsubscribe(g, PeerId(8)));
+        assert_eq!(eng.root(g), None);
+        assert!(eng.tree(g).is_none());
+        assert_eq!(eng.coverage(g), 1.0);
+        assert!(eng.publish(g).is_none());
+        // Revival: the first new subscriber roots the group.
+        assert!(eng.subscribe(g, PeerId(4)));
+        assert_eq!(eng.root(g), Some(4));
+        assert_exact(&eng);
+    }
+
+    #[test]
+    fn duplicate_membership_ops_are_no_ops() {
+        let mut eng = engine(20, 13);
+        let g = eng.create_group(PeerId(0));
+        assert!(eng.subscribe(g, PeerId(7)));
+        let rebuilds = eng.rebuild_count(g);
+        assert!(!eng.subscribe(g, PeerId(7)));
+        assert!(!eng.unsubscribe(g, PeerId(19)));
+        assert_eq!(eng.rebuild_count(g), rebuilds, "no-ops must not rebuild");
+    }
+
+    #[test]
+    fn external_store_mutation_is_absorbed_on_sync() {
+        let mut eng = engine(50, 15);
+        let g = eng.create_group(PeerId(0));
+        for p in 1..25u64 {
+            eng.subscribe(g, PeerId(p));
+        }
+        // An external driver mutates the store directly.
+        eng.store_mut().remove(PeerId(12));
+        let p = uniform_points(1, 2, 1000.0, 999).into_points();
+        eng.store_mut().insert(p.into_iter().next().unwrap());
+        eng.sync();
+        assert!(!eng.members(g).contains(&12));
+        assert_exact(&eng);
+        assert_eq!(eng.last_sync().deltas, 2);
+    }
+
+    #[test]
+    fn laggards_fall_back_to_full_resync() {
+        let mut eng = engine(40, 17);
+        let g = eng.create_group(PeerId(0));
+        for p in 1..10u64 {
+            eng.subscribe(g, PeerId(p));
+        }
+        eng.store_mut().set_delta_capacity(2);
+        // More external events than the log retains.
+        for seed in 0..5u64 {
+            let p = uniform_points(1, 2, 1000.0, 2000 + seed).into_points();
+            eng.store_mut().insert(p.into_iter().next().unwrap());
+        }
+        eng.store_mut().remove(PeerId(3));
+        eng.sync();
+        assert!(eng.last_sync().resynced, "truncated log must force resync");
+        assert!(!eng.members(g).contains(&3));
+        assert_eq!(eng.totals().full_resyncs, 1);
+        assert_exact(&eng);
+    }
+
+    #[test]
+    fn publish_reports_member_delivery() {
+        let mut eng = engine(60, 19);
+        let g = eng.create_group(PeerId(0));
+        for p in 1..60u64 {
+            eng.subscribe(g, PeerId(p));
+        }
+        let outcome = eng.publish(g).unwrap();
+        assert_eq!(outcome.delivered, 60);
+        assert_eq!(outcome.stranded, 0);
+        assert_eq!(outcome.messages, 59);
+    }
+
+    #[test]
+    fn stability_forest_tracks_deltas_exactly() {
+        let base = uniform_points(40, 2, 1000.0, 21);
+        let times = lifetimes(40, 1000.0, 22);
+        let peers = PeerInfo::from_point_set(&embed_lifetimes(&base, &times));
+        let store = TopologyStore::from_peers(peers, Arc::new(EmptyRectSelection));
+        let mut eng = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+        eng.enable_stability(PreferredPolicy::MaxT);
+        for victim in [4u64, 19, 33] {
+            eng.leave(PeerId(victim));
+            assert_eq!(
+                eng.stability_forest().unwrap(),
+                &preferred_links_on_store(eng.store(), PreferredPolicy::MaxT),
+                "forest diverged after leave {victim}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_connectivity_is_reported_not_hidden() {
+        // A tiny group of far-apart members in a large overlay: their
+        // member subgraph is likely disconnected. Whatever happens, the
+        // engine must agree with the from-scratch reference and report
+        // coverage honestly.
+        let mut eng = engine(200, 23);
+        let g = eng.create_group(PeerId(0));
+        for p in [57u64, 113, 181] {
+            eng.subscribe(g, PeerId(p));
+        }
+        assert_exact(&eng);
+        let build = eng.tree(g).unwrap();
+        let reached: usize = eng
+            .members(g)
+            .iter()
+            .filter(|&&m| build.tree.is_reached(m))
+            .count();
+        assert_eq!(
+            build.stranded.len(),
+            eng.members(g).len() - reached,
+            "stranded must list exactly the unreached members"
+        );
+        let outcome = eng.publish(g).unwrap();
+        assert_eq!(outcome.delivered, reached);
+    }
+
+    #[test]
+    fn seeded_workloads_bind_deterministically() {
+        use geocast_sim::workload::{zipf_group_sizes, GroupOp, GroupWorkload};
+        let build = |seed: u64| {
+            let mut eng = engine(60, 29);
+            let mut state = seed;
+            let ids = eng.seed_groups(&zipf_group_sizes(6, 60, 1.0), &mut state);
+            assert_eq!(ids.len(), 6);
+            let wl = GroupWorkload {
+                groups: 6,
+                exponent: 1.0,
+                events: 40,
+                subscribe_weight: 2,
+                unsubscribe_weight: 1,
+                publish_weight: 1,
+            };
+            for op in wl.ops(seed) {
+                eng.apply_workload_op(op, &mut state);
+            }
+            (0..6)
+                .map(|gi| eng.members(GroupId(gi)).clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(3), build(3), "same seed, same memberships");
+        assert_ne!(build(3), build(4), "different seed, different run");
+
+        // Zipf head outweighs the tail at seeding time.
+        let mut eng = engine(80, 31);
+        let mut state = 1u64;
+        let ids = eng.seed_groups(&zipf_group_sizes(8, 160, 1.2), &mut state);
+        assert!(eng.members(ids[0]).len() > eng.members(ids[7]).len());
+        assert_exact(&eng);
+        // Workload binding skips gracefully when everyone subscribed.
+        let mut eng = engine(3, 33);
+        let g = eng.create_group(PeerId(0));
+        for p in [1u64, 2] {
+            eng.subscribe(g, PeerId(p));
+        }
+        let got = eng.apply_workload_op(GroupOp::Subscribe { group: 0 }, &mut state);
+        assert_eq!(got, AppliedOp::Skipped(g));
+    }
+
+    #[test]
+    fn clustered_seeding_yields_well_connected_groups() {
+        let mut eng = engine(150, 35);
+        let mut state = 7u64;
+        let ids = eng.seed_groups_clustered(&[20, 20, 20], &mut state);
+        assert_exact(&eng);
+        for &g in &ids {
+            assert_eq!(eng.members(g).len(), 20);
+            assert!(
+                eng.coverage(g) >= 0.9,
+                "{g}: clustered members should be near-fully reachable, got {:.0}%",
+                eng.coverage(g) * 100.0
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "has departed")]
+    fn subscribing_a_departed_peer_is_rejected() {
+        let mut eng = engine(10, 25);
+        let g = eng.create_group(PeerId(0));
+        eng.leave(PeerId(5));
+        eng.subscribe(g, PeerId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "root must be a member")]
+    fn reference_build_rejects_non_member_roots() {
+        let eng = engine(10, 27);
+        let members = BTreeSet::from([1usize, 2]);
+        let _ =
+            build_group_tree_on_store(eng.store(), 0, &members, &OrthantRectPartitioner::median());
+    }
+}

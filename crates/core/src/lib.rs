@@ -28,6 +28,12 @@
 //!   approaches: overlay flooding, BFS spanning trees, and random-parent
 //!   trees ([`baseline`]).
 //!
+//! * **Beyond the paper — multi-group sessions.** A [`groups::GroupEngine`]
+//!   keeps N concurrent group trees current over one shared
+//!   [`geocast_overlay::TopologyStore`] by consuming its epoch-numbered
+//!   delta stream, repairing only the groups whose members a membership
+//!   event actually touched ([`groups`]).
+//!
 //! # Example
 //!
 //! ```
@@ -52,6 +58,7 @@ mod tree;
 
 pub mod aggregate;
 pub mod baseline;
+pub mod groups;
 pub mod protocol;
 pub mod region;
 pub mod repair;

@@ -289,6 +289,57 @@ mod tests {
     }
 
     #[test]
+    fn region_fallback_delivers_where_point_greedy_stalls() {
+        // Greedy routing onto a *non-peer* target point stops at a local
+        // minimum — possibly outside the region of interest. The region
+        // module's distance-to-box retargeting is the fallback that
+        // still delivers. This test pins a concrete instance: a stall
+        // peer outside the region, then full region coverage anyway.
+        use geocast_overlay::routing::greedy_route;
+        let target = geocast_geom::Point::new(vec![500.0, 500.0]).unwrap();
+        let region = rect2((460.0, 540.0), (460.0, 540.0));
+        let mut pinned = false;
+        for seed in 31u64..48 {
+            let (peers, overlay) = setup(120, 2, seed);
+            let walk = greedy_route(&peers, &overlay, 0, &target, MetricKind::L1, peers.len());
+            assert!(
+                walk.local_minimum && !walk.delivered,
+                "seed {seed}: non-peer target must end in a declared local minimum"
+            );
+            let members: Vec<usize> = (0..peers.len())
+                .filter(|&i| region.contains(peers[i].point()))
+                .collect();
+            // The interesting instance: the point-greedy stall peer is
+            // NOT a region member, yet the region holds peers.
+            if members.is_empty() || region.contains(peers[walk.last()].point()) {
+                continue;
+            }
+            let result = multicast_region(
+                &peers,
+                &overlay,
+                0,
+                &region,
+                &OrthantRectPartitioner::median(),
+                MetricKind::L1,
+            );
+            assert!(
+                result.entry.is_some(),
+                "seed {seed}: box-greedy must enter the populated region"
+            );
+            assert!(
+                result.full_coverage(),
+                "seed {seed}: fallback missed members where greedy stalled at {}",
+                walk.last()
+            );
+            pinned = true;
+        }
+        assert!(
+            pinned,
+            "no seed produced an out-of-region stall; widen the search"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "region must be non-empty")]
     fn empty_rect_region_rejected() {
         let (peers, overlay) = setup(10, 2, 29);

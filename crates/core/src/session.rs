@@ -46,23 +46,18 @@ impl Message for SessionMsg {
 }
 
 /// A peer participating in a multicast session (construction + data
-/// forwarding).
+/// forwarding). The §2 build phase is the shared
+/// [`crate::protocol::BuildState`]; this node adds payload forwarding
+/// on top.
 pub struct SessionNode {
-    info: PeerInfo,
-    neighbors: Vec<usize>,
-    partitioner: Arc<dyn ZonePartitioner + Send + Sync>,
-    peers: Arc<Vec<PeerInfo>>,
-    parent: Option<usize>,
-    children: Vec<usize>,
-    zone: Option<Rect>,
+    build: crate::protocol::BuildState,
     delivered: HashSet<u64>,
-    duplicate_builds: u32,
     duplicate_data: u32,
 }
 
 impl SessionNode {
     /// Creates a session participant (see
-    /// [`crate::protocol::BuildNode::new`] for the argument contract).
+    /// [`crate::protocol::BuildState::new`] for the argument contract).
     #[must_use]
     pub fn new(
         info: PeerInfo,
@@ -71,15 +66,8 @@ impl SessionNode {
         peers: Arc<Vec<PeerInfo>>,
     ) -> Self {
         SessionNode {
-            info,
-            neighbors,
-            partitioner,
-            peers,
-            parent: None,
-            children: Vec::new(),
-            zone: None,
+            build: crate::protocol::BuildState::new(info, neighbors, partitioner, peers),
             delivered: HashSet::new(),
-            duplicate_builds: 0,
             duplicate_data: 0,
         }
     }
@@ -87,19 +75,19 @@ impl SessionNode {
     /// The tree parent acquired during construction.
     #[must_use]
     pub fn parent(&self) -> Option<usize> {
-        self.parent
+        self.build.parent()
     }
 
     /// The tree children delegated during construction.
     #[must_use]
     pub fn children(&self) -> &[usize] {
-        &self.children
+        self.build.children()
     }
 
     /// `true` if this peer joined the tree.
     #[must_use]
     pub fn is_reached(&self) -> bool {
-        self.zone.is_some()
+        self.build.is_reached()
     }
 
     /// Payload ids this peer received.
@@ -112,7 +100,7 @@ impl SessionNode {
     /// trees.
     #[must_use]
     pub fn duplicates(&self) -> u32 {
-        self.duplicate_builds + self.duplicate_data
+        self.build.duplicate_requests() + self.duplicate_data
     }
 }
 
@@ -122,33 +110,18 @@ impl Node for SessionNode {
     fn on_message(&mut self, ctx: &mut Context<'_, SessionMsg>, from: NodeId, msg: SessionMsg) {
         match msg {
             SessionMsg::Build { zone } => {
-                if self.zone.is_some() {
-                    self.duplicate_builds += 1;
-                    return;
-                }
-                if from.index() != ctx.self_id().index() {
-                    self.parent = Some(from.index());
-                }
-                let in_zone: Vec<&PeerInfo> = self
-                    .neighbors
-                    .iter()
-                    .map(|&q| &self.peers[q])
-                    .filter(|q| zone.contains(q.point()))
-                    .collect();
-                for (ci, child_zone) in self.partitioner.partition(&self.info, &zone, &in_zone) {
-                    let child = in_zone[ci].id().index();
-                    self.children.push(child);
-                    ctx.send(NodeId(child), SessionMsg::Build { zone: child_zone });
-                }
-                self.children.sort_unstable();
-                self.zone = Some(zone);
+                let self_idx = ctx.self_id().index();
+                self.build
+                    .on_request(self_idx, from.index(), zone, |child, child_zone| {
+                        ctx.send(NodeId(child), SessionMsg::Build { zone: child_zone });
+                    });
             }
             SessionMsg::Data { payload } => {
                 if !self.delivered.insert(payload) {
                     self.duplicate_data += 1;
                     return;
                 }
-                for &child in &self.children {
+                for &child in self.build.children() {
                     ctx.send(NodeId(child), SessionMsg::Data { payload });
                 }
             }

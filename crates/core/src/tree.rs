@@ -92,6 +92,20 @@ impl MulticastTree {
         }
     }
 
+    /// Extends the tree's peer universe to `n`, marking the new peers
+    /// unreached — how cached group trees (`crate::groups`) stay aligned
+    /// with a growing population without a rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` shrinks the tree.
+    pub(crate) fn extend_len(&mut self, n: usize) {
+        assert!(n >= self.len(), "a tree's universe never shrinks");
+        self.parent.resize(n, None);
+        self.children.resize_with(n, Vec::new);
+        self.reached.resize(n, false);
+    }
+
     /// The session initiator.
     #[must_use]
     pub fn root(&self) -> usize {

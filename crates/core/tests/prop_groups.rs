@@ -1,0 +1,183 @@
+//! THE multi-group acceptance property: across random churn
+//! interleavings (overlay joins/leaves mixed with group
+//! subscribe/unsubscribe), every group tree maintained incrementally by
+//! the `GroupEngine` stays byte-identical to a from-scratch
+//! `build_group_tree_on_store` rebuild on the surviving members — for
+//! the empty-rectangle rule and a Hyperplanes instance — while the
+//! engine rebuilds exactly the delta-affected groups, never the rest.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use geocast_core::groups::{build_group_tree_on_store, GroupEngine, GroupId};
+use geocast_core::OrthantRectPartitioner;
+use geocast_geom::gen::uniform_points;
+use geocast_geom::MetricKind;
+use geocast_overlay::select::{EmptyRectSelection, HyperplanesSelection, NeighborSelection};
+use geocast_overlay::{PeerId, PeerInfo, TopologyStore};
+use geocast_sim::workload::zipf_group_sizes;
+
+/// One step of a churn interleaving; raw indices are bound to live
+/// peers / groups modulo the current state, so every generated sequence
+/// is valid by construction.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Join,
+    Leave(usize),
+    Subscribe(usize),
+    Unsubscribe(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::Join),
+        (0usize..1000).prop_map(Step::Leave),
+        (0usize..1000).prop_map(Step::Subscribe),
+        (0usize..1000).prop_map(Step::Unsubscribe),
+    ]
+}
+
+fn selection_for(rule: u8, dim: usize) -> Arc<dyn NeighborSelection + Send + Sync> {
+    if rule == 0 {
+        Arc::new(EmptyRectSelection)
+    } else {
+        Arc::new(HyperplanesSelection::orthogonal(dim, 2, MetricKind::L1))
+    }
+}
+
+/// Asserts every group equals its from-scratch reference and returns
+/// how many groups' rebuild counters moved since `counts`.
+fn check_exact_and_count_rebuilds(
+    engine: &GroupEngine,
+    ids: &[GroupId],
+    counts: &mut [u64],
+) -> usize {
+    let mut moved = 0usize;
+    for (i, &g) in ids.iter().enumerate() {
+        match engine.root(g) {
+            Some(root) => {
+                let reference = build_group_tree_on_store(
+                    engine.store(),
+                    root,
+                    engine.members(g),
+                    &OrthantRectPartitioner::median(),
+                );
+                assert_eq!(
+                    engine.tree(g),
+                    Some(&reference),
+                    "{g} diverged from the from-scratch rebuild"
+                );
+            }
+            None => assert!(engine.tree(g).is_none(), "dormant {g} kept a tree"),
+        }
+        let now = engine.rebuild_count(g);
+        if now != counts[i] {
+            moved += 1;
+            counts[i] = now;
+        }
+    }
+    moved
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_group_tree_equals_from_scratch_rebuild_under_churn(
+        n in 25usize..55,
+        dim in 2usize..4,
+        seed in 0u64..10_000,
+        rule in 0u8..2,
+        steps in proptest::collection::vec(step_strategy(), 10..18),
+    ) {
+        let points = uniform_points(n, dim, 1000.0, seed);
+        let store = TopologyStore::from_peers(
+            PeerInfo::from_point_set(&points),
+            selection_for(rule, dim),
+        );
+        let mut engine = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+
+        // ≥ 8 concurrent groups, Zipf-sized, overlapping membership.
+        let mut state = seed ^ 0x5eed;
+        let sizes = zipf_group_sizes(8, (2 * n).max(8), 1.0);
+        let ids = engine.seed_groups(&sizes, &mut state);
+        prop_assert!(ids.len() >= 8);
+        let mut counts: Vec<u64> = ids.iter().map(|&g| engine.rebuild_count(g)).collect();
+        check_exact_and_count_rebuilds(&engine, &ids, &mut counts);
+
+        let join_pool = uniform_points(steps.len(), dim, 1000.0, seed ^ 0x101)
+            .into_points();
+        let mut joins = join_pool.into_iter();
+
+        for step in steps {
+            match step {
+                Step::Join => {
+                    engine.join(joins.next().expect("pool sized to steps"));
+                    let rebuilt = check_exact_and_count_rebuilds(&engine, &ids, &mut counts);
+                    // The locality contract: exactly the delta-affected
+                    // groups were recomputed, no others.
+                    prop_assert_eq!(rebuilt, engine.last_sync().affected_groups);
+                }
+                Step::Leave(raw) => {
+                    let live: Vec<usize> = (0..engine.store().len())
+                        .filter(|&i| !engine.store().is_departed(PeerId(i as u64)))
+                        .collect();
+                    if live.len() <= 1 {
+                        continue;
+                    }
+                    let victim = live[raw % live.len()];
+                    engine.leave(PeerId(victim as u64));
+                    let rebuilt = check_exact_and_count_rebuilds(&engine, &ids, &mut counts);
+                    prop_assert_eq!(rebuilt, engine.last_sync().affected_groups);
+                    for &g in &ids {
+                        prop_assert!(
+                            !engine.members(g).contains(&victim),
+                            "departed peer lingers in {g}"
+                        );
+                    }
+                }
+                Step::Subscribe(raw) => {
+                    let g = ids[raw % ids.len()];
+                    let members: BTreeSet<usize> = engine.members(g).clone();
+                    let candidate = (0..engine.store().len())
+                        .filter(|&i| {
+                            !engine.store().is_departed(PeerId(i as u64))
+                                && !members.contains(&i)
+                        })
+                        .nth(raw % engine.store().len().max(1));
+                    if let Some(p) = candidate {
+                        engine.subscribe(g, PeerId(p as u64));
+                        check_exact_and_count_rebuilds(&engine, &ids, &mut counts);
+                    }
+                }
+                Step::Unsubscribe(raw) => {
+                    let g = ids[raw % ids.len()];
+                    let members: Vec<usize> = engine.members(g).iter().copied().collect();
+                    if members.is_empty() {
+                        continue;
+                    }
+                    let p = members[raw % members.len()];
+                    engine.unsubscribe(g, PeerId(p as u64));
+                    check_exact_and_count_rebuilds(&engine, &ids, &mut counts);
+                }
+            }
+        }
+
+        // End-state structural sanity: every non-dormant tree validates
+        // and strands only unreachable members.
+        for &g in &ids {
+            if let Some(build) = engine.tree(g) {
+                prop_assert_eq!(build.tree.validate(), Ok(()));
+                for &m in engine.members(g) {
+                    prop_assert_eq!(
+                        build.stranded.contains(&m),
+                        !build.tree.is_reached(m),
+                        "stranded bookkeeping wrong for member {} of {}", m, g
+                    );
+                }
+            }
+        }
+    }
+}

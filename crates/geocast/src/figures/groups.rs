@@ -1,0 +1,329 @@
+//! Beyond-the-paper multi-group scenario: N concurrent multicast trees
+//! over one shared overlay, kept current by the delta-driven
+//! [`GroupEngine`].
+//!
+//! A production deployment of the paper's overlay serves many groups at
+//! once — topics, channels, sensor clusters — each a §2 tree rooted at
+//! its own source. This harness sweeps the number of concurrent groups
+//! at a **fixed population and fixed total subscription count**
+//! (Zipf-distributed across groups), replays identical overlay churn
+//! plus a subscribe/unsubscribe/publish workload, and reports the
+//! engine's locality: the groups actually repaired per churn event
+//! (those whose members intersect the event's dirty region) against the
+//! total a naive engine would rebuild. The final state of every group is
+//! cross-checked against a from-scratch
+//! [`build_group_tree_on_store`] rebuild — the engine is exact, not
+//! approximate.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use geocast_core::groups::GroupEngine;
+use geocast_core::OrthantRectPartitioner;
+use geocast_metrics::{AsciiChart, Table};
+use geocast_overlay::churn::{ChurnEvent, ChurnSchedule};
+use geocast_overlay::select::EmptyRectSelection;
+use geocast_overlay::{PeerInfo, TopologyStore};
+use geocast_sim::workload::{zipf_group_sizes, ChurnPattern, GroupWorkload};
+
+use crate::figures::FigureReport;
+
+/// Configuration for the multi-group scenario.
+#[derive(Debug, Clone)]
+pub struct GroupsConfig {
+    /// Base overlay population.
+    pub initial: usize,
+    /// Concurrent-group counts to sweep (each a table row).
+    pub group_counts: Vec<usize>,
+    /// Total initial subscriptions, held fixed across the sweep and
+    /// split across groups by Zipf popularity.
+    pub subscriptions: usize,
+    /// Zipf popularity exponent.
+    pub exponent: f64,
+    /// Overlay churn events (1:1 mixed joins/leaves) per scenario.
+    pub churn_events: usize,
+    /// Group-workload operations (subscribe/unsubscribe/publish) per
+    /// scenario.
+    pub group_events: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Coordinate bound.
+    pub vmax: f64,
+}
+
+impl Default for GroupsConfig {
+    /// Paper-overreach scale: a 2000-peer overlay carrying up to 128
+    /// concurrent groups.
+    fn default() -> Self {
+        GroupsConfig {
+            initial: 2_000,
+            group_counts: vec![8, 32, 128],
+            subscriptions: 4_000,
+            exponent: 1.0,
+            churn_events: 300,
+            group_events: 300,
+            dim: 2,
+            seed: 1,
+            vmax: 1000.0,
+        }
+    }
+}
+
+impl GroupsConfig {
+    /// Reduced scale for CI.
+    #[must_use]
+    pub fn quick() -> Self {
+        GroupsConfig {
+            initial: 220,
+            group_counts: vec![4, 8, 16],
+            subscriptions: 440,
+            exponent: 1.0,
+            churn_events: 50,
+            group_events: 50,
+            dim: 2,
+            seed: 1,
+            vmax: 1000.0,
+        }
+    }
+}
+
+/// Per-scenario accounting the table reports.
+struct ScenarioStats {
+    groups: usize,
+    memberships: usize,
+    affected_sum: usize,
+    affected_max: usize,
+    repaired_members_sum: usize,
+    churn_events: usize,
+    group_events: usize,
+    coverage_mean: f64,
+    events_per_s: f64,
+    exact: bool,
+}
+
+/// Replays one scenario at `num_groups` concurrent groups; pushes the
+/// per-churn-event affected-group trace into `trace` when `chart` is
+/// set.
+fn run_scenario(
+    cfg: &GroupsConfig,
+    num_groups: usize,
+    chart: bool,
+    trace: &mut Vec<(f64, f64)>,
+) -> ScenarioStats {
+    let base = geocast_geom::gen::uniform_points(cfg.initial, cfg.dim, cfg.vmax, cfg.seed);
+    let store = TopologyStore::from_peers(
+        PeerInfo::from_point_set(&base),
+        Arc::new(EmptyRectSelection),
+    );
+    let mut engine = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+    let mut state = cfg.seed ^ 0x6d75_6c74_6963_6173; // "multicas"
+    let sizes = zipf_group_sizes(num_groups, cfg.subscriptions.max(num_groups), cfg.exponent);
+    let ids = engine.seed_groups_clustered(&sizes, &mut state);
+
+    let churn = ChurnSchedule::from_pattern(
+        cfg.initial,
+        &ChurnPattern::Mixed {
+            events: cfg.churn_events,
+            join_rate: 1,
+            leave_rate: 1,
+        },
+        cfg.dim,
+        cfg.vmax,
+        cfg.seed ^ (num_groups as u64),
+    );
+    let workload = GroupWorkload {
+        groups: num_groups,
+        exponent: cfg.exponent,
+        events: cfg.group_events,
+        subscribe_weight: 2,
+        unsubscribe_weight: 1,
+        publish_weight: 2,
+    };
+    let group_ops = workload.ops(cfg.seed ^ 0x67 ^ (num_groups as u64));
+
+    let mut stats = ScenarioStats {
+        groups: num_groups,
+        memberships: 0,
+        affected_sum: 0,
+        affected_max: 0,
+        repaired_members_sum: 0,
+        churn_events: 0,
+        group_events: 0,
+        coverage_mean: 0.0,
+        events_per_s: 0.0,
+        exact: true,
+    };
+
+    // Interleave overlay churn with the group workload, round-robin.
+    let start = Instant::now();
+    let mut churn_it = churn.events().iter();
+    let mut ops_it = group_ops.into_iter();
+    loop {
+        let mut progressed = false;
+        if let Some(event) = churn_it.next() {
+            match event {
+                ChurnEvent::Join(p) => {
+                    engine.join(p.clone());
+                }
+                ChurnEvent::Leave(id) => engine.leave(*id),
+            }
+            let sync = *engine.last_sync();
+            stats.churn_events += 1;
+            stats.affected_sum += sync.affected_groups;
+            stats.affected_max = stats.affected_max.max(sync.affected_groups);
+            stats.repaired_members_sum += sync.rebuilt_members;
+            if chart {
+                trace.push((stats.churn_events as f64, sync.affected_groups as f64));
+            }
+            progressed = true;
+        }
+        if let Some(op) = ops_it.next() {
+            engine.apply_workload_op(op, &mut state);
+            stats.group_events += 1;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let total_events = stats.churn_events + stats.group_events;
+    stats.events_per_s = if seconds > 0.0 {
+        total_events as f64 / seconds
+    } else {
+        f64::INFINITY
+    };
+
+    // Final-state audit: memberships, coverage, and exactness against
+    // the from-scratch reference.
+    let mut coverage_sum = 0.0;
+    for &g in &ids {
+        stats.memberships += engine.members(g).len();
+        coverage_sum += engine.coverage(g);
+        stats.exact &= engine.matches_reference(g);
+    }
+    stats.coverage_mean = coverage_sum / ids.len() as f64;
+    stats
+}
+
+/// **Multi-group scenario** — N concurrent group trees over one shared
+/// store, delta-driven repair, Zipf-distributed group sizes.
+///
+/// Per-event repair cost must track the *delta-affected* groups (the
+/// `affected μ` column), not the group count (`naive` column); every
+/// row must report `== rebuild: true`.
+#[must_use]
+pub fn groups_panel(cfg: &GroupsConfig) -> FigureReport {
+    let mut table = Table::new(vec![
+        "groups".into(),
+        "members".into(),
+        "events".into(),
+        "affected μ".into(),
+        "affected max".into(),
+        "naive".into(),
+        "repaired members μ".into(),
+        "coverage".into(),
+        "events/s".into(),
+        "== rebuild".into(),
+    ]);
+    let mut trace: Vec<(f64, f64)> = Vec::new();
+    let largest = cfg.group_counts.iter().copied().max().unwrap_or(0);
+    for &num_groups in &cfg.group_counts {
+        let chart_this = num_groups == largest;
+        if chart_this {
+            trace.clear();
+        }
+        let s = run_scenario(cfg, num_groups, chart_this, &mut trace);
+        let churn = s.churn_events.max(1);
+        table.push_row(vec![
+            s.groups.to_string(),
+            s.memberships.to_string(),
+            format!("{}+{}", s.churn_events, s.group_events),
+            format!("{:.2}", s.affected_sum as f64 / churn as f64),
+            s.affected_max.to_string(),
+            s.groups.to_string(),
+            format!("{:.1}", s.repaired_members_sum as f64 / churn as f64),
+            format!("{:.0}%", s.coverage_mean * 100.0),
+            format!("{:.0}", s.events_per_s),
+            s.exact.to_string(),
+        ]);
+    }
+
+    let mut chart = AsciiChart::new(56, 12);
+    chart.add_series(
+        format!("groups repaired per churn event (of {largest})"),
+        trace,
+    );
+    FigureReport::new(
+        "groups",
+        format!(
+            "multi-group session engine (N0={}, D={}, {} subscriptions, zipf {:.1})",
+            cfg.initial, cfg.dim, cfg.subscriptions, cfg.exponent
+        ),
+        table,
+    )
+    .with_chart(chart.render())
+    .with_note(
+        "affected μ/max = groups whose members intersected a churn \
+         event's dirty region (only these are repaired); naive = groups \
+         a rebuild-everything engine would touch per event; every row \
+         must report '== rebuild: true'",
+    )
+    .with_note(format!(
+        "seed: {}, churn: {} mixed events, workload: {} ops @ 2:1:2 \
+         subscribe:unsubscribe:publish",
+        cfg.seed, cfg.churn_events, cfg.group_events
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> GroupsConfig {
+        GroupsConfig {
+            initial: 80,
+            group_counts: vec![4, 8],
+            subscriptions: 120,
+            churn_events: 20,
+            group_events: 20,
+            ..GroupsConfig::quick()
+        }
+    }
+
+    #[test]
+    fn groups_panel_is_exact_for_every_row() {
+        let report = groups_panel(&tiny());
+        assert_eq!(report.table.len(), 2);
+        for row in report.table.rows() {
+            assert_eq!(row[9], "true", "groups={}: diverged from rebuild", row[0]);
+        }
+        assert!(report.chart.is_some());
+    }
+
+    #[test]
+    fn repair_cost_does_not_scale_with_group_count() {
+        // Fixed subscriptions, growing group count: the affected-group
+        // mean must stay well below the naive all-groups cost. Needs a
+        // population large enough that a churn event's dirty region is
+        // a small fraction of the space.
+        let cfg = GroupsConfig {
+            initial: 220,
+            group_counts: vec![4, 16],
+            subscriptions: 440,
+            churn_events: 40,
+            group_events: 40,
+            ..GroupsConfig::quick()
+        };
+        let report = groups_panel(&cfg);
+        let rows = report.table.rows();
+        let affected: f64 = rows[1][3].parse().unwrap();
+        let naive: f64 = rows[1][5].parse().unwrap();
+        assert!(
+            affected < 0.7 * naive,
+            "affected μ {affected} vs naive {naive}: locality lost"
+        );
+    }
+}

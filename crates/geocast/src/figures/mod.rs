@@ -18,6 +18,7 @@
 //! | Baseline: departure sensitivity | [`baseline_stability`] |
 //! | Beyond the paper: construction scaling to `N = 50_000` | [`overlay_scaling`] |
 //! | Beyond the paper: incremental churn engine (waves, flash crowds, mixed rates) | [`churn_panel`] |
+//! | Beyond the paper: multi-group session engine (N trees, one store, Zipf groups) | [`groups_panel`] |
 //!
 //! Every harness takes an explicit config (with a paper-scale
 //! [`Default`] and a reduced [`quick`](Fig1Config::quick) variant for
@@ -28,6 +29,7 @@ mod churn;
 mod claims;
 mod extra;
 mod fig1;
+mod groups;
 mod repair;
 mod report;
 mod scaling;
@@ -41,6 +43,7 @@ pub use fig1::{
     fig1a, fig1b, fig1c, fig1d, fig1e, stability_sweep, Fig1Config, Fig1cConfig, StabilityConfig,
     StabilityRow, StabilitySweep,
 };
+pub use groups::{groups_panel, GroupsConfig};
 pub use repair::{repair_cost, RepairConfig};
 pub use report::FigureReport;
 pub use scaling::{overlay_scaling, ScalingConfig};

@@ -60,6 +60,7 @@ pub use geocast_sim as sim;
 
 /// The things almost every user of geocast needs, in one import.
 pub mod prelude {
+    pub use geocast_core::groups::{build_group_tree_on_store, GroupEngine, GroupId};
     pub use geocast_core::{
         baseline, build_tree, protocol, stability, validate, BuildResult, MulticastTree,
         OrthantRectPartitioner, PickRule, ZonePartitioner,
@@ -75,7 +76,8 @@ pub mod prelude {
         PeerInfo, TopologyStore,
     };
     pub use geocast_sim::{
-        runner::ParallelRunner, workload::ChurnPattern, FaultModel, NodeId, SimDuration, SimTime,
-        Simulation,
+        runner::ParallelRunner,
+        workload::{ChurnPattern, GroupOp, GroupWorkload},
+        FaultModel, NodeId, SimDuration, SimTime, Simulation,
     };
 }

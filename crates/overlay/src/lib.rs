@@ -50,11 +50,13 @@ mod store;
 
 pub mod analysis;
 pub mod churn;
+pub mod delta;
 pub mod gossip;
 pub mod oracle;
 pub mod routing;
 pub mod select;
 
+pub use delta::{DeltaKind, DeltaLog, TopologyDelta};
 pub use graph::OverlayGraph;
 pub use network::{ConvergenceReport, NetworkConfig, OverlayNetwork};
 pub use peer::{PeerAddr, PeerId, PeerInfo};

@@ -10,7 +10,7 @@
 //! # The construction engine
 //!
 //! [`equilibrium`] is the hot path of every figure sweep, bench and
-//! churn scenario. It builds a [`GridIndex`] over the population once
+//! churn scenario. It builds a [`geocast_geom::GridIndex`] over the population once
 //! and lets each selection method answer from it through the batch
 //! [`NeighborSelection::select_in`] API — no `O(N)` candidate vector
 //! per peer, no `O(N²)` aggregate allocation — and fans the per-peer

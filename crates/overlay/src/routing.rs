@@ -341,6 +341,60 @@ mod tests {
     }
 
     #[test]
+    fn non_peer_local_minimum_is_reported_deterministically() {
+        // Three mutually-linked peers; target (9,9) is nobody's
+        // coordinate. From (0,0) greedy moves to (10,0) (L1 distance 10,
+        // tie with (0,10) broken by index) where no neighbour is
+        // *strictly* closer — a certified local minimum, not a loop or
+        // hop exhaustion.
+        let peers = PeerInfo::from_point_set(
+            &geocast_geom::PointSet::new(vec![
+                Point::new(vec![0.0, 0.0]).unwrap(),
+                Point::new(vec![10.0, 0.0]).unwrap(),
+                Point::new(vec![0.0, 10.0]).unwrap(),
+            ])
+            .unwrap(),
+        );
+        let graph = oracle::equilibrium(&peers, &EmptyRectSelection);
+        let target = Point::new(vec![9.0, 9.0]).unwrap();
+        let route = greedy_route(&peers, &graph, 0, &target, MetricKind::L1, 10);
+        assert_eq!(route.path, vec![0, 1]);
+        assert!(route.local_minimum, "stall must be declared");
+        assert!(!route.delivered);
+        assert_eq!(route.last(), 1);
+    }
+
+    #[test]
+    fn non_peer_targets_always_terminate_with_a_verdict() {
+        // Routing onto arbitrary non-peer coordinates must end in a
+        // declared state — delivered (coordinate collision aside,
+        // impossible here) or local_minimum — never silent hop
+        // exhaustion, across sources and targets.
+        let (peers, graph) = setup(90, 2, 21);
+        for (tx, ty) in [(500.0, 500.0), (1.0, 999.0), (250.0, 750.0), (999.0, 1.0)] {
+            let target = Point::new(vec![tx, ty]).unwrap();
+            for from in [0usize, 30, 60] {
+                let route =
+                    greedy_route(&peers, &graph, from, &target, MetricKind::L1, peers.len());
+                assert!(
+                    route.local_minimum && !route.delivered,
+                    "({tx},{ty}) from {from}: expected a declared local minimum, got {route:?}"
+                );
+                // The verdict peer is a true local minimum: no overlay
+                // neighbour improves on it.
+                let last = route.last();
+                let d_last = MetricKind::L1.dist(peers[last].point(), &target);
+                for &nbr in graph.undirected_closure().out_neighbors(last) {
+                    assert!(
+                        MetricKind::L1.dist(peers[nbr].point(), &target) >= d_last,
+                        "neighbour {nbr} of {last} disproves the minimum"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn max_hops_truncates_walks() {
         let (peers, graph) = setup(100, 2, 15);
         // Find a pair needing more than 2 hops.

@@ -44,6 +44,7 @@ use std::sync::Arc;
 
 use geocast_geom::{GridIndex, Point};
 
+use crate::delta::{DeltaKind, DeltaLog, TopologyDelta};
 use crate::graph::OverlayGraph;
 use crate::par;
 use crate::peer::{PeerId, PeerInfo};
@@ -148,6 +149,8 @@ pub struct TopologyStore {
     peer_hash: Vec<u64>,
     fingerprint: u64,
     last_delta: Vec<usize>,
+    epoch: u64,
+    log: DeltaLog,
     selection: Arc<dyn NeighborSelection + Send + Sync>,
 }
 
@@ -166,6 +169,8 @@ impl TopologyStore {
             peer_hash: Vec::new(),
             fingerprint: 0,
             last_delta: Vec::new(),
+            epoch: 0,
+            log: DeltaLog::default(),
             selection,
         }
     }
@@ -212,6 +217,8 @@ impl TopologyStore {
             peer_hash,
             fingerprint,
             last_delta: (0..n).collect(),
+            epoch: 0,
+            log: DeltaLog::default(),
             peers,
             selection,
         }
@@ -351,6 +358,50 @@ impl TopologyStore {
         &self.last_delta
     }
 
+    /// The store's mutation epoch: 0 at construction (whether empty or
+    /// bulk-built), incremented by every [`TopologyStore::insert`] /
+    /// [`TopologyStore::remove`]. Together with
+    /// [`TopologyStore::delta_log`] this is the consumer contract —
+    /// remember the epoch you last absorbed, catch up from the log.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch-numbered delta stream: one [`TopologyDelta`] per
+    /// mutation, bounded retention
+    /// ([`crate::delta::DEFAULT_DELTA_CAPACITY`] events by default).
+    /// Consumers that fall behind the retention window get `None` from
+    /// [`DeltaLog::deltas_since`] and must resynchronise from the full
+    /// store state.
+    #[must_use]
+    pub fn delta_log(&self) -> &DeltaLog {
+        &self.log
+    }
+
+    /// Replaces the delta log with an empty one of the given retention,
+    /// anchored at the current epoch. History is dropped: consumers
+    /// behind the current epoch will be told to resynchronise, exactly
+    /// as if they had fallen out of the retention window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_delta_capacity(&mut self, capacity: usize) {
+        self.log = DeltaLog::anchored(capacity, self.epoch);
+    }
+
+    /// Records the mutation that produced the current `last_delta` in
+    /// the delta log.
+    fn record_delta(&mut self, kind: DeltaKind) {
+        self.epoch += 1;
+        self.log.record(TopologyDelta {
+            epoch: self.epoch,
+            kind,
+            dirty: self.last_delta.clone(),
+        });
+    }
+
     /// Inserts a new peer and incrementally re-converges the
     /// equilibrium: only peers whose candidate sets the join can affect
     /// are re-checked (each against its current selection plus the
@@ -418,6 +469,7 @@ impl TopologyStore {
             }
         }
         self.last_delta = delta.into_iter().collect();
+        self.record_delta(DeltaKind::Join(id));
         PeerId(id as u64)
     }
 
@@ -451,6 +503,7 @@ impl TopologyStore {
         }
         debug_assert!(self.rev[v].is_empty(), "survivors must drop the departed");
         self.last_delta = delta.into_iter().collect();
+        self.record_delta(DeltaKind::Leave(v));
     }
 
     /// One peer's selection over the full live candidate set, through
@@ -721,6 +774,61 @@ mod tests {
         store.remove(id);
         assert_eq!(store.live_count(), 0);
         assert!(store.graph().is_empty() || store.graph().directed_edge_count() == 0);
+    }
+
+    #[test]
+    fn epochs_count_mutations_and_deltas_replay_the_dirty_regions() {
+        let pts = points(30, 2, 41);
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        let mut dirty_by_epoch: Vec<Vec<usize>> = Vec::new();
+        for p in &pts {
+            store.insert(p.clone());
+            dirty_by_epoch.push(store.last_delta().to_vec());
+        }
+        store.remove(PeerId(3));
+        dirty_by_epoch.push(store.last_delta().to_vec());
+        assert_eq!(store.epoch(), 31, "one epoch per mutation");
+        assert_eq!(store.delta_log().head_epoch(), 31);
+
+        // A consumer that absorbed up to epoch 28 replays exactly the
+        // last three deltas, dirty regions intact.
+        let missed: Vec<&TopologyDelta> = store.delta_log().deltas_since(28).unwrap().collect();
+        assert_eq!(missed.len(), 3);
+        for (d, expect) in missed.iter().zip(&dirty_by_epoch[28..]) {
+            assert_eq!(&d.dirty, expect);
+        }
+        assert_eq!(missed[2].kind, DeltaKind::Leave(3));
+        assert!(matches!(missed[0].kind, DeltaKind::Join(28)));
+    }
+
+    #[test]
+    fn bulk_built_stores_start_at_epoch_zero() {
+        let peers = PeerInfo::from_point_set(&uniform_points(20, 2, 1000.0, 43));
+        let mut store = TopologyStore::from_peers(peers, Arc::new(EmptyRectSelection));
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.delta_log().deltas_since(0).unwrap().count(), 0);
+        store.insert(Point::new(vec![1.5, 2.5]).unwrap());
+        assert_eq!(store.epoch(), 1);
+        let d: Vec<&TopologyDelta> = store.delta_log().deltas_since(0).unwrap().collect();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, DeltaKind::Join(20));
+        assert_eq!(d[0].dirty, store.last_delta());
+    }
+
+    #[test]
+    fn capacity_change_anchors_the_log_at_the_current_epoch() {
+        let pts = points(10, 2, 47);
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        for p in &pts {
+            store.insert(p.clone());
+        }
+        store.set_delta_capacity(4);
+        // History dropped: a lagging consumer is told to resync…
+        assert!(store.delta_log().deltas_since(5).is_none());
+        // …an up-to-date one proceeds, and new deltas flow normally.
+        assert_eq!(store.delta_log().deltas_since(10).unwrap().count(), 0);
+        store.remove(PeerId(2));
+        assert_eq!(store.delta_log().deltas_since(10).unwrap().count(), 1);
     }
 
     #[test]

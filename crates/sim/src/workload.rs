@@ -10,6 +10,13 @@
 //! (`geocast_overlay::churn::ChurnSchedule::from_pattern`), and the
 //! figure/bench harnesses replay them against the incremental churn
 //! engine.
+//!
+//! Multi-group sessions add a second workload dimension: *which* of N
+//! concurrent multicast groups an event touches. [`GroupWorkload`]
+//! draws subscribe/unsubscribe/publish operations over groups whose
+//! popularity follows a Zipf distribution ([`zipf_weights`] /
+//! [`zipf_group_sizes`]) — the canonical topic-popularity model — and
+//! the group-engine harnesses bind them to actual peers.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -146,6 +153,186 @@ impl std::fmt::Display for ChurnPattern {
     }
 }
 
+/// One abstract multi-group session operation. Like [`ChurnOp`], group
+/// operations are protocol-agnostic: they name groups by dense index
+/// and leave the choice of *which peer* subscribes/unsubscribes to the
+/// layer that binds the workload to a population (the group engine
+/// harnesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupOp {
+    /// A peer subscribes to the group.
+    Subscribe {
+        /// Dense group index.
+        group: usize,
+    },
+    /// A member unsubscribes from the group.
+    Unsubscribe {
+        /// Dense group index.
+        group: usize,
+    },
+    /// The group's source publishes one payload.
+    Publish {
+        /// Dense group index.
+        group: usize,
+    },
+}
+
+impl GroupOp {
+    /// The group the operation targets.
+    #[must_use]
+    pub fn group(&self) -> usize {
+        match *self {
+            GroupOp::Subscribe { group }
+            | GroupOp::Unsubscribe { group }
+            | GroupOp::Publish { group } => group,
+        }
+    }
+}
+
+/// Zipf popularity weights over `groups` ranks: weight of rank `k`
+/// (0-based) is `1 / (k + 1)^exponent`, normalized to sum to 1. The
+/// classic model for topic/channel popularity — a few huge groups, a
+/// long tail of small ones. `exponent = 0` degenerates to uniform.
+///
+/// # Panics
+///
+/// Panics if `groups == 0` or `exponent` is negative or non-finite.
+#[must_use]
+pub fn zipf_weights(groups: usize, exponent: f64) -> Vec<f64> {
+    assert!(groups > 0, "at least one group required");
+    assert!(
+        exponent >= 0.0 && exponent.is_finite(),
+        "exponent must be finite and non-negative"
+    );
+    let raw: Vec<f64> = (0..groups)
+        .map(|k| 1.0 / ((k + 1) as f64).powf(exponent))
+        .collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+/// Zipf-proportional initial group sizes: `subscriptions` memberships
+/// distributed over `groups` groups by [`zipf_weights`], every group
+/// getting at least one member (the head of the distribution absorbs
+/// the rounding).
+///
+/// # Panics
+///
+/// Panics if `subscriptions < groups` (someone would be empty) or the
+/// weight preconditions fail.
+#[must_use]
+pub fn zipf_group_sizes(groups: usize, subscriptions: usize, exponent: f64) -> Vec<usize> {
+    assert!(
+        subscriptions >= groups,
+        "need at least one subscription per group"
+    );
+    let weights = zipf_weights(groups, exponent);
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| ((subscriptions as f64 * w).floor() as usize).max(1))
+        .collect();
+    // Reconcile rounding: a shortfall goes to the most popular group; a
+    // debt (the `.max(1)` floors over-assigned) is clawed back head
+    // first, never below one member. Σ(size − 1) = assigned − groups ≥
+    // assigned − subscriptions, so the debt always drains and the sizes
+    // sum to exactly `subscriptions`.
+    let assigned: usize = sizes.iter().sum();
+    if assigned < subscriptions {
+        sizes[0] += subscriptions - assigned;
+    } else {
+        let mut debt = assigned - subscriptions;
+        for size in &mut sizes {
+            let cut = (*size - 1).min(debt);
+            *size -= cut;
+            debt -= cut;
+            if debt == 0 {
+                break;
+            }
+        }
+    }
+    sizes
+}
+
+/// A multi-group session workload: `events` operations over `groups`
+/// concurrent groups whose *popularity* follows a Zipf distribution —
+/// both which group an event targets and the subscribe/unsubscribe/
+/// publish mix are drawn reproducibly per seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupWorkload {
+    /// Number of concurrent groups.
+    pub groups: usize,
+    /// Zipf popularity exponent (`~1.0` is the classic shape; `0.0` is
+    /// uniform).
+    pub exponent: f64,
+    /// Total operations to draw.
+    pub events: usize,
+    /// Relative weight of subscribes.
+    pub subscribe_weight: u32,
+    /// Relative weight of unsubscribes.
+    pub unsubscribe_weight: u32,
+    /// Relative weight of publishes (per-group publish rate follows the
+    /// same Zipf popularity: hot groups publish more).
+    pub publish_weight: u32,
+}
+
+impl GroupWorkload {
+    /// Expands the workload into its operation sequence, reproducibly
+    /// per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all three weights are zero or the Zipf preconditions
+    /// fail.
+    #[must_use]
+    pub fn ops(&self, seed: u64) -> Vec<GroupOp> {
+        let total = u64::from(self.subscribe_weight)
+            + u64::from(self.unsubscribe_weight)
+            + u64::from(self.publish_weight);
+        assert!(total > 0, "group workload needs a non-zero weight");
+        let weights = zipf_weights(self.groups, self.exponent);
+        // Cumulative distribution for inverse-transform sampling.
+        let cdf: Vec<f64> = weights
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w;
+                Some(*acc)
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6772_6f75_7073_2100); // "groups!"
+        (0..self.events)
+            .map(|_| {
+                let u: f64 = rng.random_range(0.0..1.0);
+                let group = cdf.partition_point(|&c| c < u).min(self.groups - 1);
+                let pick = rng.random_range(0..total);
+                if pick < u64::from(self.subscribe_weight) {
+                    GroupOp::Subscribe { group }
+                } else if pick
+                    < u64::from(self.subscribe_weight) + u64::from(self.unsubscribe_weight)
+                {
+                    GroupOp::Unsubscribe { group }
+                } else {
+                    GroupOp::Publish { group }
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for GroupWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "groups({} @ zipf {:.2}, {} events, {}:{}:{})",
+            self.groups,
+            self.exponent,
+            self.events,
+            self.subscribe_weight,
+            self.unsubscribe_weight,
+            self.publish_weight
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +413,98 @@ mod tests {
             leave_rate: 0,
         }
         .ops(0);
+    }
+
+    #[test]
+    fn zipf_weights_are_normalized_and_monotone() {
+        let w = zipf_weights(16, 1.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1], "popularity must strictly decay");
+        }
+        // Exponent 0 is uniform.
+        let u = zipf_weights(5, 0.0);
+        for w in &u {
+            assert!((w - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sizes_conserve_subscriptions_and_never_empty() {
+        // (50, 50, 3.0) and (100, 100, 2.0) produce a rounding debt
+        // larger than the head group alone can absorb — the claw-back
+        // must spread it without emptying anyone.
+        for (groups, subs, s) in [
+            (8usize, 100usize, 1.0f64),
+            (12, 12, 2.0),
+            (5, 1000, 0.5),
+            (50, 50, 3.0),
+            (100, 100, 2.0),
+        ] {
+            let sizes = zipf_group_sizes(groups, subs, s);
+            assert_eq!(sizes.len(), groups);
+            assert_eq!(sizes.iter().sum::<usize>(), subs, "{groups}/{subs}/{s}");
+            assert!(sizes.iter().all(|&sz| sz >= 1));
+            assert!(sizes[0] >= sizes[groups - 1], "head outranks tail");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one subscription per group")]
+    fn zipf_sizes_reject_too_few_subscriptions() {
+        let _ = zipf_group_sizes(10, 5, 1.0);
+    }
+
+    #[test]
+    fn group_ops_follow_popularity_and_seed() {
+        let wl = GroupWorkload {
+            groups: 10,
+            exponent: 1.0,
+            events: 3000,
+            subscribe_weight: 2,
+            unsubscribe_weight: 1,
+            publish_weight: 3,
+        };
+        let ops = wl.ops(5);
+        assert_eq!(ops.len(), 3000);
+        assert_eq!(ops, wl.ops(5), "same seed, same sequence");
+        assert_ne!(ops, wl.ops(6), "different seed reshuffles");
+        // Group 0 (the Zipf head) must dominate the tail group.
+        let hits = |g: usize| ops.iter().filter(|op| op.group() == g).count();
+        assert!(hits(0) > 4 * hits(9), "head {} tail {}", hits(0), hits(9));
+        // All three op kinds occur at these weights.
+        assert!(ops.iter().any(|op| matches!(op, GroupOp::Subscribe { .. })));
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, GroupOp::Unsubscribe { .. })));
+        assert!(ops.iter().any(|op| matches!(op, GroupOp::Publish { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero weight")]
+    fn zero_group_weights_are_rejected() {
+        let _ = GroupWorkload {
+            groups: 2,
+            exponent: 1.0,
+            events: 1,
+            subscribe_weight: 0,
+            unsubscribe_weight: 0,
+            publish_weight: 0,
+        }
+        .ops(0);
+    }
+
+    #[test]
+    fn group_workload_displays() {
+        let wl = GroupWorkload {
+            groups: 4,
+            exponent: 1.0,
+            events: 9,
+            subscribe_weight: 1,
+            unsubscribe_weight: 2,
+            publish_weight: 3,
+        };
+        assert_eq!(wl.to_string(), "groups(4 @ zipf 1.00, 9 events, 1:2:3)");
     }
 
     #[test]

@@ -2,6 +2,6 @@
 //!
 //! This crate exists to host the repository-level integration tests
 //! (`tests/`) and scenario examples (`examples/`); the library surface
-//! lives in the member crates — start at [`geocast`].
+//! lives in the member crates — start at the `geocast` facade crate.
 
 #![forbid(unsafe_code)]
