@@ -48,6 +48,14 @@ pub enum CliError {
         /// Offending value.
         value: String,
     },
+    /// `--strict-coverage` was requested and some published payload
+    /// failed to reach every subscriber (the CI coverage gate).
+    StrandedMembers {
+        /// Total stranded deliveries across the run's publishes.
+        stranded: usize,
+        /// Publishes performed.
+        publishes: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -59,6 +67,13 @@ impl fmt::Display for CliError {
                 write!(f, "malformed option `{o}` (expected --key value)")
             }
             CliError::BadValue { key, value } => write!(f, "invalid value `{value}` for --{key}"),
+            CliError::StrandedMembers {
+                stranded,
+                publishes,
+            } => write!(
+                f,
+                "strict coverage violated: {stranded} stranded deliveries across {publishes} publishes"
+            ),
         }
     }
 }
@@ -83,7 +98,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
         };
         // Boolean flags (no value) are stored as "true".
         match key {
-            "full" | "csv" => {
+            "full" | "csv" | "strict-coverage" => {
                 options.insert(key.to_owned(), "true".to_owned());
             }
             _ => {
@@ -182,7 +197,8 @@ COMMANDS:
              --events 200 --join-rate 1 --leave-rate 1 --mode store|live
   groups     drive N concurrent multicast groups over one shared store
              --n 500 --dim 2 --seed 1 --groups 16 --subs 1000 --zipf 1.0
-             --events 200 --group-events 200
+             --events 200 --group-events 200 --placement clustered|scattered
+             [--strict-coverage]  (fail if any publish strands a member)
   figures    regenerate the paper's artifacts
              --panel fig1a|fig1b|fig1c|fig1d|fig1e|claims|ablation|baselines|repair|scaling|churn|groups|all [--full]
   help       this text
@@ -439,10 +455,10 @@ fn cmd_route(inv: &Invocation) -> Result<String, CliError> {
     out.push_str(&format!(
         "greedy route {from} -> {to} over {n} peers (D={dim}, seed {seed})\n\n"
     ));
-    out.push_str(&format!("  delivered : {}\n", route.delivered));
+    out.push_str(&format!("  delivered : {}\n", route.delivered()));
     out.push_str(&format!("  hops      : {}\n", route.hops()));
     out.push_str("  path      : ");
-    for (i, hop) in route.path.iter().enumerate() {
+    for (i, hop) in route.path().iter().enumerate() {
         if i > 0 {
             out.push_str(" -> ");
         }
@@ -592,7 +608,7 @@ fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
 }
 
 fn cmd_groups(inv: &Invocation) -> Result<String, CliError> {
-    use geocast::core::groups::GroupEngine;
+    use geocast::core::groups::{AppliedOp, GroupEngine};
     use geocast::overlay::churn::{ChurnEvent, ChurnSchedule};
     use geocast::sim::workload::zipf_group_sizes;
     use std::time::Instant;
@@ -605,6 +621,18 @@ fn cmd_groups(inv: &Invocation) -> Result<String, CliError> {
     let zipf: f64 = opt(inv, "zipf", 1.0)?;
     let churn_events: usize = opt(inv, "events", 200)?;
     let group_events: usize = opt(inv, "group-events", 200)?;
+    let placement_name: String = opt(inv, "placement", "clustered".to_owned())?;
+    let strict_coverage = inv.options.contains_key("strict-coverage");
+    let placement = match placement_name.as_str() {
+        "clustered" => MembershipPlacement::Clustered,
+        "scattered" => MembershipPlacement::Scattered,
+        other => {
+            return Err(CliError::BadValue {
+                key: "placement".into(),
+                value: other.into(),
+            })
+        }
+    };
     if num_groups == 0 {
         return Err(CliError::BadValue {
             key: "groups".into(),
@@ -626,7 +654,7 @@ fn cmd_groups(inv: &Invocation) -> Result<String, CliError> {
     let mut engine = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
     let mut state = seed ^ 0x6772_6f75_7073; // "groups"
     let sizes = zipf_group_sizes(num_groups, subs.max(num_groups), zipf);
-    let ids = engine.seed_groups_clustered(&sizes, &mut state);
+    let ids = engine.seed_groups_placed(placement, &sizes, &mut state);
 
     let schedule = ChurnSchedule::from_pattern(
         n,
@@ -661,16 +689,33 @@ fn cmd_groups(inv: &Invocation) -> Result<String, CliError> {
         affected_sum += engine.last_sync().affected_groups;
         affected_max = affected_max.max(engine.last_sync().affected_groups);
     }
+    // Workload publishes plus one final publish per group (so every
+    // group's coverage is measured even when the Zipf tail drew no
+    // publish op).
+    let mut outcomes: Vec<geocast::core::groups::PublishOutcome> = Vec::new();
     for op in workload.ops(seed ^ 0x09) {
-        engine.apply_workload_op(op, &mut state);
+        if let AppliedOp::Published(_, outcome) = engine.apply_workload_op(op, &mut state) {
+            outcomes.push(outcome);
+        }
     }
+    // events/s covers the churn + workload replay only; snapshot the
+    // clock before the out-of-band coverage sweep below.
     let secs = start.elapsed().as_secs_f64();
+    for &g in &ids {
+        outcomes.extend(engine.publish(g));
+    }
+    let publishes = outcomes.len();
+    let publish_stranded: usize = outcomes.iter().map(|o| o.stranded).sum();
+    let publish_messages: usize = outcomes.iter().map(|o| o.messages).sum();
+    let publish_relay_messages: usize = outcomes.iter().map(|o| o.relay_messages).sum();
 
     let mut exact = true;
     let mut coverage_sum = 0.0;
     let mut memberships = 0usize;
+    let mut relays = 0usize;
     for &g in &ids {
         memberships += engine.members(g).len();
+        relays += engine.relays(g).len();
         coverage_sum += engine.coverage(g);
         exact &= engine.matches_reference(g);
     }
@@ -679,7 +724,7 @@ fn cmd_groups(inv: &Invocation) -> Result<String, CliError> {
 
     let mut out = String::new();
     out.push_str(&format!(
-        "multi-group sessions: {num_groups} groups over {n} peers (D={dim}, seed {seed}, zipf {zipf:.1})\n\n"
+        "multi-group sessions: {num_groups} groups over {n} peers (D={dim}, seed {seed}, zipf {zipf:.1}, {placement_name})\n\n"
     ));
     out.push_str(&format!(
         "  events applied      : {} churn + {} group ops\n",
@@ -707,11 +752,22 @@ fn cmd_groups(inv: &Invocation) -> Result<String, CliError> {
         "  mean coverage       : {:.0}%\n",
         coverage_sum * 100.0 / ids.len() as f64
     ));
+    out.push_str(&format!("  relay nodes         : {relays}\n"));
+    out.push_str(&format!(
+        "  publishes           : {publishes} ({publish_messages} data messages, {publish_relay_messages} over relays)\n"
+    ));
+    out.push_str(&format!("  publish stranded    : {publish_stranded}\n"));
     out.push_str(&format!(
         "  live peers after    : {}\n",
         engine.store().live_count()
     ));
     out.push_str(&format!("  all == rebuild      : {exact}\n"));
+    if strict_coverage && publish_stranded > 0 {
+        return Err(CliError::StrandedMembers {
+            stranded: publish_stranded,
+            publishes,
+        });
+    }
     Ok(out)
 }
 
@@ -1013,6 +1069,37 @@ mod tests {
         assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
         let inv = parse_args(&args(&["groups", "--zipf", "-1"])).unwrap();
         assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+        let inv = parse_args(&args(&["groups", "--placement", "teleported"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn groups_scattered_strict_coverage_passes_with_zero_stranded() {
+        // The CI coverage gate: scattered membership, strict mode — the
+        // relay-graft layer must leave nothing stranded, and the output
+        // must say so explicitly.
+        let inv = parse_args(&args(&[
+            "groups",
+            "--n",
+            "150",
+            "--groups",
+            "12",
+            "--subs",
+            "300",
+            "--events",
+            "20",
+            "--group-events",
+            "20",
+            "--placement",
+            "scattered",
+            "--strict-coverage",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("publish stranded    : 0"), "{out}");
+        assert!(out.contains("mean coverage       : 100%"), "{out}");
+        assert!(out.contains("scattered"), "{out}");
+        assert!(out.contains("all == rebuild      : true"), "{out}");
     }
 
     #[test]

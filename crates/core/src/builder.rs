@@ -22,6 +22,12 @@ pub struct BuildResult {
     /// unreached peers). `zones[root]` is the full space. Used by
     /// [`crate::repair`] to rebuild orphaned zones after departures.
     pub zones: Vec<Option<Rect>>,
+    /// **Relay** nodes (sorted): peers grafted into the tree purely to
+    /// forward traffic — they carry payloads but are not part of the
+    /// session audience and receive no responsibility zone. Always empty
+    /// for the plain §2 construction; populated by the group layer's
+    /// routing-based join (`crate::graft`).
+    pub relays: Vec<usize>,
 }
 
 /// Constructs a multicast tree offline, running the §2 algorithm as a
@@ -192,6 +198,7 @@ pub(crate) fn build_in_zone_generic(
         messages,
         stranded,
         zones,
+        relays: Vec::new(),
     }
 }
 

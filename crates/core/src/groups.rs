@@ -8,27 +8,34 @@
 //!
 //! * **One substrate.** A single [`TopologyStore`] carries the peer
 //!   population and the incrementally-maintained equilibrium adjacency.
-//! * **N group trees.** Each group is a subscriber set plus a §2
-//!   space-partitioning tree over the **member-induced subgraph** of the
-//!   shared overlay ([`build_group_tree_on_store`]): a member delegates
-//!   sub-zones only to overlay neighbours that are fellow members.
-//!   Members with no member-to-member overlay path to the root are
-//!   reported stranded, first-class (routing-based group join is the
-//!   roadmap item that will pick them up).
+//! * **N group trees, 100% coverage.** Each group is a subscriber set
+//!   plus a §2 space-partitioning tree over the **member-induced
+//!   subgraph** of the shared overlay ([`build_group_tree_on_store`]):
+//!   a member delegates sub-zones only to overlay neighbours that are
+//!   fellow members. Members the member subgraph cannot reach are then
+//!   **relay-grafted** ([`crate::graft`]): their join request greedy-
+//!   routes over the full overlay to the nearest on-tree node and the
+//!   discovered path joins the tree as non-member relay nodes
+//!   ([`build_group_tree_grafted`]). Only members overlay-disconnected
+//!   from the root remain stranded — provably undeliverable.
 //! * **Delta-driven repair.** The engine is a registered consumer of the
 //!   store's epoch-numbered delta stream ([`geocast_overlay::DeltaLog`]).
-//!   Per churn event it repairs *only* the groups whose members
-//!   intersect the event's dirty region — a group's tree is a pure
-//!   function of its members' adjacency rows, membership and liveness,
-//!   so a group untouched by every delta is provably unchanged.
-//!   Consumers that fall behind the log's retention window resync from
-//!   the full store state.
+//!   Per churn event it repairs *only* the groups whose members **or
+//!   graft-support nodes** (relay paths and every adjacency row the
+//!   discovery consulted) intersect the event's dirty region — a
+//!   group's grafted tree is a pure function of exactly those rows plus
+//!   membership and liveness, so a group untouched by every delta is
+//!   provably unchanged, and a touched one re-grafts, tearing down and
+//!   re-routing relays whose underlying peers churned. Consumers that
+//!   fall behind the log's retention window resync from the full store
+//!   state.
 //!
 //! The multi-tree analogue of PR 3's incremental guarantee, property
 //! tested (`tests/prop_groups.rs`): after any churn interleaving, every
-//! registered group's tree is byte-identical to a from-scratch
-//! [`build_group_tree_on_store`] rebuild on the surviving members, while
-//! the engine pays only for delta-affected groups.
+//! registered group's build — relay grafts included — is byte-identical
+//! to a from-scratch [`build_group_tree_grafted`] rebuild on the
+//! surviving members, while the engine pays only for delta-affected
+//! groups.
 //!
 //! # Example
 //!
@@ -57,14 +64,18 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use geocast_geom::{Point, Rect};
+use geocast_geom::{MetricKind, Point, Rect};
 use geocast_overlay::delta::DeltaKind;
 use geocast_overlay::{PeerId, TopologyDelta, TopologyStore};
-use geocast_sim::workload::GroupOp;
+use geocast_sim::workload::{GroupOp, MembershipPlacement};
 
 use crate::builder::{build_in_zone_generic, BuildResult};
+use crate::graft::{graft_stranded_members, GraftReport};
 use crate::partition::ZonePartitioner;
 use crate::stability::{preferred_links_on_store, PreferredPolicy, StabilityForest};
+
+/// The metric relay grafting routes under — the paper's §2 choice.
+const GRAFT_METRIC: MetricKind = MetricKind::L1;
 
 /// Identifier of a multicast group (dense creation index within one
 /// engine).
@@ -130,6 +141,51 @@ pub fn build_group_tree_on_store(
     result
 }
 
+/// A group's complete delivery structure: the (grafted) tree plus the
+/// graft bookkeeping the incremental engine repairs by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupBuild {
+    /// The member-induced §2 tree **with relay grafts attached**:
+    /// `build.relays` lists the non-member forwarders,
+    /// `build.stranded` only the provably overlay-disconnected members.
+    pub build: BuildResult,
+    /// What the graft pass did (routing hops, fallback tiers, …).
+    pub graft: GraftReport,
+    /// Every peer whose adjacency row the graft discovery consulted —
+    /// relays, flood-expanded nodes, and the stranded members the walks
+    /// started from — sorted. A churn delta dirtying any of these can
+    /// reroute a relay path, so the engine treats support nodes exactly
+    /// like members when deciding which groups to repair — this is what
+    /// tears relays down and re-routes them when their underlying peers
+    /// churn.
+    pub support: Vec<usize>,
+}
+
+/// The full group-build reference: the member-induced §2 construction
+/// ([`build_group_tree_on_store`]) followed by relay grafting
+/// ([`crate::graft`]) of every stranded member over the full overlay.
+/// This is the definitional function the [`GroupEngine`] must match
+/// byte-for-byte after any churn interleaving.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range, departed, or not in `members`.
+#[must_use]
+pub fn build_group_tree_grafted(
+    store: &TopologyStore,
+    root: usize,
+    members: &BTreeSet<usize>,
+    partitioner: &dyn ZonePartitioner,
+) -> GroupBuild {
+    let mut build = build_group_tree_on_store(store, root, members, partitioner);
+    let (graft, support) = graft_stranded_members(store, &mut build, GRAFT_METRIC);
+    GroupBuild {
+        build,
+        graft,
+        support,
+    }
+}
+
 /// One registered group: subscriber set, session root, current tree.
 #[derive(Debug, Clone)]
 struct Group {
@@ -138,8 +194,9 @@ struct Group {
     /// Subscribed live peers (the engine prunes departures), root
     /// included.
     members: BTreeSet<usize>,
-    /// The current tree; `None` while the group has no members.
-    build: Option<BuildResult>,
+    /// The current grafted build; `None` while the group has no
+    /// members.
+    build: Option<GroupBuild>,
     /// Times this group's tree was recomputed (the locality metric the
     /// bench asserts on: untouched groups stay at their old count).
     rebuilds: u64,
@@ -207,10 +264,19 @@ fn splitmix(state: &mut u64) -> u64 {
 pub struct PublishOutcome {
     /// Members the tree delivered to (root included).
     pub delivered: usize,
-    /// Surviving members the member subgraph could not reach.
+    /// Surviving members no overlay path could reach (0 whenever the
+    /// members share the root's overlay component — relay grafting
+    /// covers everything else).
     pub stranded: usize,
-    /// Data messages sent (one per delivered non-root member).
+    /// Data messages actually sent: tree edges traversed on the union
+    /// of root→member delivery paths, **relay hops included** (the old
+    /// `delivered − 1` accounting undercounted every payload that rode
+    /// a relay).
     pub messages: usize,
+    /// The relay share of `messages`: extra edges beyond the one-per-
+    /// delivered-member floor — the per-payload overhead of 100%
+    /// coverage.
+    pub relay_messages: usize,
 }
 
 /// N concurrent multicast trees kept current over one shared
@@ -227,6 +293,15 @@ pub struct GroupEngine {
     groups: Vec<Group>,
     /// Peer index → sorted group ids the peer subscribes to.
     member_of: Vec<Vec<u32>>,
+    /// Peer index → sorted group ids whose graft **support** contains
+    /// the peer (relays and every other consulted row). Dirtying one of
+    /// these peers can reroute a relay path, so support hits trigger
+    /// repair exactly like membership hits — relay teardown rides the
+    /// same delta stream.
+    graft_of: Vec<Vec<u32>>,
+    /// Live peers, ascending — the maintained list workload binding
+    /// draws from (replacing the per-op O(N) departed-scan).
+    live_peers: Vec<usize>,
     /// Last store epoch this engine absorbed.
     seen_epoch: u64,
     /// Optional §3 stability forest, refreshed from the same deltas.
@@ -240,12 +315,18 @@ impl GroupEngine {
     #[must_use]
     pub fn new(store: TopologyStore, partitioner: Arc<dyn ZonePartitioner + Send + Sync>) -> Self {
         let member_of = vec![Vec::new(); store.len()];
+        let graft_of = vec![Vec::new(); store.len()];
+        let live_peers: Vec<usize> = (0..store.len())
+            .filter(|&i| !store.is_departed(PeerId(i as u64)))
+            .collect();
         let seen_epoch = store.epoch();
         GroupEngine {
             store,
             partitioner,
             groups: Vec::new(),
             member_of,
+            graft_of,
+            live_peers,
             seen_epoch,
             stability: None,
             last_sync: SyncReport::default(),
@@ -301,14 +382,40 @@ impl GroupEngine {
         self.groups[g.index()].root
     }
 
-    /// A group's current tree (`None` while it has no members).
+    /// A group's current tree (`None` while it has no members). Relay
+    /// grafts are part of the tree; `BuildResult::relays` names them.
     ///
     /// # Panics
     ///
     /// Panics if `g` is unknown.
     #[must_use]
     pub fn tree(&self, g: GroupId) -> Option<&BuildResult> {
+        self.groups[g.index()].build.as_ref().map(|gb| &gb.build)
+    }
+
+    /// A group's full build — tree plus graft report and support set
+    /// (`None` while it has no members).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown.
+    #[must_use]
+    pub fn group_build(&self, g: GroupId) -> Option<&GroupBuild> {
         self.groups[g.index()].build.as_ref()
+    }
+
+    /// The group's current relay nodes (empty while dormant or when the
+    /// member subgraph alone spans the audience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown.
+    #[must_use]
+    pub fn relays(&self, g: GroupId) -> &[usize] {
+        self.groups[g.index()]
+            .build
+            .as_ref()
+            .map_or(&[], |gb| gb.build.relays.as_slice())
     }
 
     /// How many times a group's tree has been recomputed.
@@ -322,7 +429,8 @@ impl GroupEngine {
     }
 
     /// Fraction of surviving members the group tree reaches (1.0 for
-    /// empty groups — nothing is missing).
+    /// empty groups — nothing is missing). With relay grafting this is
+    /// 1.0 whenever every member shares the root's overlay component.
     ///
     /// # Panics
     ///
@@ -333,7 +441,11 @@ impl GroupEngine {
         if group.members.is_empty() {
             return 1.0;
         }
-        let build = group.build.as_ref().expect("non-empty groups have trees");
+        let build = &group
+            .build
+            .as_ref()
+            .expect("non-empty groups have trees")
+            .build;
         let reached = group
             .members
             .iter()
@@ -349,10 +461,10 @@ impl GroupEngine {
     }
 
     /// Audits one group against the definitional reference: `true` iff
-    /// the incrementally-maintained tree is byte-identical to a
-    /// from-scratch [`build_group_tree_on_store`] rebuild with the
-    /// engine's partitioner (dormant groups must have no tree). The
-    /// single exactness check every harness reports.
+    /// the incrementally-maintained build — relay grafts included — is
+    /// byte-identical to a from-scratch [`build_group_tree_grafted`]
+    /// rebuild with the engine's partitioner (dormant groups must have
+    /// no tree). The single exactness check every harness reports.
     ///
     /// # Panics
     ///
@@ -362,7 +474,7 @@ impl GroupEngine {
         let group = &self.groups[g.index()];
         match group.root {
             Some(root) => {
-                let reference = build_group_tree_on_store(
+                let reference = build_group_tree_grafted(
                     &self.store,
                     root,
                     &group.members,
@@ -484,23 +596,30 @@ impl GroupEngine {
     /// Publishes one payload over a group's tree and reports delivery.
     /// Returns `None` for dormant (member-less) groups.
     ///
+    /// Message cost is the number of tree edges the payload actually
+    /// traverses — the union of root→member paths, relay hops included
+    /// ([`crate::MulticastTree::delivery_messages`]) — not the member
+    /// count.
+    ///
     /// # Panics
     ///
     /// Panics if `g` is unknown.
     pub fn publish(&mut self, g: GroupId) -> Option<PublishOutcome> {
         self.sync();
         let group = &self.groups[g.index()];
-        let build = group.build.as_ref()?;
+        let build = &group.build.as_ref()?.build;
         self.totals.publishes += 1;
         let delivered = group
             .members
             .iter()
             .filter(|&&m| build.tree.is_reached(m))
             .count();
+        let messages = build.tree.delivery_messages(group.members.iter().copied());
         Some(PublishOutcome {
             delivered,
             stranded: group.members.len() - delivered,
-            messages: delivered.saturating_sub(1),
+            messages,
+            relay_messages: messages - delivered.saturating_sub(1),
         })
     }
 
@@ -578,6 +697,25 @@ impl GroupEngine {
         ids
     }
 
+    /// [`GroupEngine::seed_groups`] / [`GroupEngine::seed_groups_clustered`]
+    /// behind a [`MembershipPlacement`] selector — the scenario knob the
+    /// scattered-vs-clustered coverage sweeps turn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store has no live peers or a size is zero.
+    pub fn seed_groups_placed(
+        &mut self,
+        placement: MembershipPlacement,
+        sizes: &[usize],
+        state: &mut u64,
+    ) -> Vec<GroupId> {
+        match placement {
+            MembershipPlacement::Scattered => self.seed_groups(sizes, state),
+            MembershipPlacement::Clustered => self.seed_groups_clustered(sizes, state),
+        }
+    }
+
     /// Binds one abstract workload operation to the population and
     /// applies it: `Subscribe` picks a deterministic live non-member,
     /// `Unsubscribe` a deterministic member, `Publish` publishes.
@@ -595,15 +733,30 @@ impl GroupEngine {
             GroupOp::Subscribe { .. } => {
                 self.sync();
                 let members = &self.groups[gi].members;
-                let candidates = self.store.live_count() - members.len();
+                let candidates = self.live_peers.len() - members.len();
                 if candidates == 0 {
                     return AppliedOp::Skipped(g);
                 }
                 let pick = (splitmix(state) as usize) % candidates;
-                let peer = (0..self.store.len())
-                    .filter(|&i| !self.store.is_departed(PeerId(i as u64)) && !members.contains(&i))
-                    .nth(pick)
-                    .expect("candidate count was just checked");
+                // Order-statistics over the maintained live list: the
+                // pick-th live non-member is live[pick + k] where k
+                // counts the members at or below the answer. Members are
+                // ascending and always live, so one pass with binary
+                // ranks computes it in O(|members| log live) — replacing
+                // the old O(N) full-store departed-scan per op while
+                // binding byte-identically (asserted by a regression
+                // test).
+                let mut idx = pick;
+                for &m in members {
+                    let rank = self.live_peers.partition_point(|&x| x < m);
+                    debug_assert_eq!(self.live_peers.get(rank), Some(&m), "members stay live");
+                    if rank <= idx {
+                        idx += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let peer = self.live_peers[idx];
                 self.subscribe(g, PeerId(peer as u64));
                 AppliedOp::Subscribed(g, PeerId(peer as u64))
             }
@@ -651,16 +804,30 @@ impl GroupEngine {
         let mut affected: BTreeSet<usize> = BTreeSet::new();
         for delta in &deltas {
             self.member_of.resize(self.store.len(), Vec::new());
+            self.graft_of.resize(self.store.len(), Vec::new());
             for &p in &delta.dirty {
                 affected.extend(self.member_of[p].iter().map(|&g| g as usize));
+                // A dirty support node can reroute a relay path: the
+                // group re-grafts, tearing down / re-routing relays
+                // whose underlying peers churned.
+                affected.extend(self.graft_of[p].iter().map(|&g| g as usize));
             }
-            if let DeltaKind::Leave(v) = delta.kind {
-                // Crash-stop implies unsubscription from everything.
-                for gi in std::mem::take(&mut self.member_of[v]) {
-                    let group = &mut self.groups[gi as usize];
-                    group.members.remove(&v);
-                    if group.root == Some(v) {
-                        group.root = group.members.first().copied();
+            match delta.kind {
+                DeltaKind::Join(v) => {
+                    debug_assert!(self.live_peers.last().is_none_or(|&l| l < v));
+                    self.live_peers.push(v);
+                }
+                DeltaKind::Leave(v) => {
+                    if let Ok(pos) = self.live_peers.binary_search(&v) {
+                        self.live_peers.remove(pos);
+                    }
+                    // Crash-stop implies unsubscription from everything.
+                    for gi in std::mem::take(&mut self.member_of[v]) {
+                        let group = &mut self.groups[gi as usize];
+                        group.members.remove(&v);
+                        if group.root == Some(v) {
+                            group.root = group.members.first().copied();
+                        }
                     }
                 }
             }
@@ -678,10 +845,10 @@ impl GroupEngine {
             if affected.contains(&gi) {
                 continue;
             }
-            if let Some(build) = &mut group.build {
-                if build.tree.len() < n {
-                    build.tree.extend_len(n);
-                    build.zones.resize(n, None);
+            if let Some(gb) = &mut group.build {
+                if gb.build.tree.len() < n {
+                    gb.build.tree.extend_len(n);
+                    gb.build.zones.resize(n, None);
                 }
             }
         }
@@ -705,6 +872,10 @@ impl GroupEngine {
     /// state (prune departures, rebuild all trees, re-pick the forest).
     fn full_resync(&mut self, target: u64) {
         self.member_of.resize(self.store.len(), Vec::new());
+        self.graft_of.resize(self.store.len(), Vec::new());
+        self.live_peers = (0..self.store.len())
+            .filter(|&i| !self.store.is_departed(PeerId(i as u64)))
+            .collect();
         let mut rebuilt_members = 0usize;
         for gi in 0..self.groups.len() {
             let departed: Vec<usize> = self.groups[gi]
@@ -737,13 +908,26 @@ impl GroupEngine {
     }
 
     fn rebuild_group(&mut self, gi: usize) {
+        // Retire the group's old graft-support index entries; the
+        // rebuild installs the fresh set (relays torn down here are
+        // re-routed by the graft pass below, or dropped for good).
+        if let Some(gb) = &self.groups[gi].build {
+            for &p in &gb.support {
+                self.graft_of[p].retain(|&x| x as usize != gi);
+            }
+        }
         let group = &mut self.groups[gi];
         let Some(root) = group.root else {
             group.build = None;
             return;
         };
         let build =
-            build_group_tree_on_store(&self.store, root, &group.members, self.partitioner.as_ref());
+            build_group_tree_grafted(&self.store, root, &group.members, self.partitioner.as_ref());
+        for &p in &build.support {
+            let ids = &mut self.graft_of[p];
+            let pos = ids.partition_point(|&x| (x as usize) < gi);
+            ids.insert(pos, gi as u32);
+        }
         group.build = Some(build);
         group.rebuilds += 1;
         self.totals.tree_rebuilds += 1;
@@ -777,20 +961,20 @@ mod tests {
         GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()))
     }
 
-    /// Every group's engine-maintained tree equals the from-scratch
-    /// reference.
+    /// Every group's engine-maintained build — relay grafts included —
+    /// equals the from-scratch reference.
     fn assert_exact(engine: &GroupEngine) {
         for gi in 0..engine.group_count() {
             let g = GroupId(gi as u32);
             match engine.root(g) {
                 Some(root) => {
-                    let reference = build_group_tree_on_store(
+                    let reference = build_group_tree_grafted(
                         engine.store(),
                         root,
                         engine.members(g),
                         &OrthantRectPartitioner::median(),
                     );
-                    assert_eq!(engine.tree(g), Some(&reference), "{g} diverged");
+                    assert_eq!(engine.group_build(g), Some(&reference), "{g} diverged");
                 }
                 None => assert!(engine.tree(g).is_none(), "dormant {g} has a tree"),
             }
@@ -967,30 +1151,142 @@ mod tests {
     }
 
     #[test]
-    fn partial_connectivity_is_reported_not_hidden() {
+    fn scattered_members_are_relay_grafted_to_full_coverage() {
         // A tiny group of far-apart members in a large overlay: their
-        // member subgraph is likely disconnected. Whatever happens, the
-        // engine must agree with the from-scratch reference and report
-        // coverage honestly.
+        // member subgraph is almost surely disconnected, so before the
+        // graft layer these members were stranded. Routing-based join
+        // must now connect every one (empty-rect overlays are
+        // routing-connected) through relay nodes, and the engine must
+        // stay byte-identical to the from-scratch grafted reference.
         let mut eng = engine(200, 23);
         let g = eng.create_group(PeerId(0));
         for p in [57u64, 113, 181] {
             eng.subscribe(g, PeerId(p));
         }
         assert_exact(&eng);
-        let build = eng.tree(g).unwrap();
-        let reached: usize = eng
-            .members(g)
-            .iter()
-            .filter(|&&m| build.tree.is_reached(m))
-            .count();
-        assert_eq!(
-            build.stranded.len(),
-            eng.members(g).len() - reached,
-            "stranded must list exactly the unreached members"
+        let gb = eng.group_build(g).unwrap();
+        assert!(gb.build.stranded.is_empty(), "graft must close coverage");
+        assert!(
+            !gb.build.relays.is_empty(),
+            "far-apart members need relays to connect"
         );
+        assert_eq!(eng.coverage(g), 1.0);
+        for &r in eng.relays(g) {
+            assert!(!eng.members(g).contains(&r), "relays are non-members");
+        }
         let outcome = eng.publish(g).unwrap();
-        assert_eq!(outcome.delivered, reached);
+        assert_eq!(outcome.delivered, 4);
+        assert_eq!(outcome.stranded, 0);
+        assert!(
+            outcome.relay_messages > 0,
+            "relay hops must be accounted in the payload cost"
+        );
+        assert_eq!(
+            outcome.messages,
+            outcome.relay_messages + outcome.delivered - 1
+        );
+    }
+
+    /// The satellite regression: publish cost on a hand-built relay
+    /// tree counts actual edges traversed, not `delivered − 1`.
+    #[test]
+    fn publish_messages_count_relay_edges_on_a_relay_chain() {
+        use geocast_geom::Point;
+        // A diagonal line: consecutive peers are mutual empty-rect
+        // neighbours, the two ends are not. A two-ended group grafts
+        // the three middle peers as a relay chain.
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        for i in 0..5 {
+            store.insert(Point::new(vec![10.0 * i as f64, 10.0 * i as f64]).unwrap());
+        }
+        let mut eng = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+        let g = eng.create_group(PeerId(0));
+        eng.subscribe(g, PeerId(4));
+        assert_eq!(eng.relays(g), &[1, 2, 3]);
+        let outcome = eng.publish(g).unwrap();
+        assert_eq!(outcome.delivered, 2);
+        assert_eq!(outcome.stranded, 0);
+        // Pinned: 4 edges (0-1, 1-2, 2-3, 3-4) carry the payload; the
+        // old accounting would have claimed delivered − 1 = 1.
+        assert_eq!(outcome.messages, 4);
+        assert_eq!(outcome.relay_messages, 3);
+        assert_exact(&eng);
+    }
+
+    /// Relay teardown: churn under a relay's feet must re-route the
+    /// graft (the support index makes the group delta-affected) and
+    /// keep the engine byte-identical to the from-scratch reference.
+    #[test]
+    fn relay_departure_tears_down_and_reroutes_the_graft() {
+        use geocast_geom::Point;
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        for i in 0..6 {
+            store.insert(Point::new(vec![10.0 * i as f64, 10.0 * i as f64]).unwrap());
+        }
+        // An off-diagonal detour peer the reroute can use.
+        store.insert(Point::new(vec![21.0, 19.0]).unwrap());
+        let mut eng = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+        let g = eng.create_group(PeerId(0));
+        eng.subscribe(g, PeerId(5));
+        assert_eq!(eng.coverage(g), 1.0);
+        let relays: Vec<usize> = eng.relays(g).to_vec();
+        assert!(!relays.is_empty());
+        // Kill a relay; the group must be repaired (support hit), the
+        // relay dropped from the tree, and coverage restored.
+        let victim = relays[relays.len() / 2];
+        eng.leave(PeerId(victim as u64));
+        assert!(
+            eng.last_sync().affected_groups >= 1,
+            "relay churn must mark the group affected"
+        );
+        assert!(!eng.relays(g).contains(&victim), "dead relay lingers");
+        assert!(!eng.tree(g).unwrap().tree.is_reached(victim));
+        assert_eq!(eng.coverage(g), 1.0, "reroute must restore coverage");
+        assert_exact(&eng);
+    }
+
+    /// The satellite regression: workload Subscribe binding from the
+    /// maintained live-peer list picks byte-identically to the old
+    /// O(N) full-store departed-scan, for a fixed splitmix seed.
+    #[test]
+    fn subscribe_binding_matches_the_reference_scan() {
+        use geocast_sim::workload::GroupOp;
+        let mut eng = engine(120, 41);
+        let g = eng.create_group(PeerId(3));
+        for p in [10u64, 20, 30, 40, 50] {
+            eng.subscribe(g, PeerId(p));
+        }
+        // Interleave churn so live ≠ 0..N and tombstones exist.
+        for gone in [7u64, 45, 90] {
+            eng.leave(PeerId(gone));
+        }
+        let mut state = 0xfeed_5eedu64;
+        let mut reference_state = state;
+        for step in 0..40 {
+            // Reference: the pre-satellite binding, replicated verbatim
+            // over the store (O(N) scan with departed checks).
+            let members = eng.members(g).clone();
+            let candidates = eng.store().live_count() - members.len();
+            let expected = if candidates == 0 {
+                None
+            } else {
+                let pick = (splitmix(&mut reference_state) as usize) % candidates;
+                (0..eng.store().len())
+                    .filter(|&i| {
+                        !eng.store().is_departed(PeerId(i as u64)) && !members.contains(&i)
+                    })
+                    .nth(pick)
+            };
+            let got = eng.apply_workload_op(GroupOp::Subscribe { group: 0 }, &mut state);
+            match (expected, got) {
+                (Some(peer), AppliedOp::Subscribed(_, bound)) => {
+                    assert_eq!(bound, PeerId(peer as u64), "step {step} diverged");
+                }
+                (None, AppliedOp::Skipped(_)) => {}
+                (want, got) => panic!("step {step}: want {want:?}, got {got:?}"),
+            }
+            assert_eq!(state, reference_state, "step {step}: RNG streams diverged");
+        }
     }
 
     #[test]
@@ -1043,12 +1339,22 @@ mod tests {
         assert_exact(&eng);
         for &g in &ids {
             assert_eq!(eng.members(g).len(), 20);
-            assert!(
-                eng.coverage(g) >= 0.9,
-                "{g}: clustered members should be near-fully reachable, got {:.0}%",
-                eng.coverage(g) * 100.0
+            assert_eq!(
+                eng.coverage(g),
+                1.0,
+                "{g}: relay grafting must close clustered coverage"
             );
         }
+        // Placement dispatch drives the same seeders.
+        use geocast_sim::workload::MembershipPlacement;
+        let mut eng2 = engine(150, 35);
+        let mut state2 = 7u64;
+        let scattered =
+            eng2.seed_groups_placed(MembershipPlacement::Scattered, &[10, 10], &mut state2);
+        for &g in &scattered {
+            assert_eq!(eng2.coverage(g), 1.0, "{g}: scattered coverage must close");
+        }
+        assert_exact(&eng2);
     }
 
     #[test]

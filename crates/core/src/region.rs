@@ -123,8 +123,8 @@ pub fn multicast_region(
         (vec![initiator], Some(initiator))
     } else {
         let walk = greedy_route_to_rect(peers, overlay, initiator, region, metric, peers.len());
-        let entry = walk.delivered.then(|| walk.last());
-        (walk.path, entry)
+        let entry = walk.delivered().then(|| walk.last());
+        (walk.into_path(), entry)
     };
 
     // Phase 2: construct inside the region.
@@ -303,7 +303,7 @@ mod tests {
             let (peers, overlay) = setup(120, 2, seed);
             let walk = greedy_route(&peers, &overlay, 0, &target, MetricKind::L1, peers.len());
             assert!(
-                walk.local_minimum && !walk.delivered,
+                walk.local_minimum() && !walk.delivered(),
                 "seed {seed}: non-peer target must end in a declared local minimum"
             );
             let members: Vec<usize> = (0..peers.len())

@@ -467,6 +467,7 @@ mod tests {
                 zones: repaired.zones,
                 messages: build.messages + repaired.repair_messages,
                 stranded: Vec::new(),
+                relays: Vec::new(),
             };
         }
     }
@@ -547,6 +548,7 @@ mod tests {
                 zones: repaired.zones,
                 messages: build.messages + repaired.repair_messages,
                 stranded: Vec::new(),
+                relays: Vec::new(),
             };
         }
     }

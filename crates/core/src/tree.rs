@@ -106,6 +106,27 @@ impl MulticastTree {
         self.reached.resize(n, false);
     }
 
+    /// Grafts an unreached peer into the tree as a child of `parent` —
+    /// the relay-join primitive behind `crate::graft`: routing-based
+    /// group join attaches each hop of a discovered relay path with one
+    /// `attach` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range, `child` is already
+    /// reached, or `parent` is not.
+    pub(crate) fn attach(&mut self, child: usize, parent: usize) {
+        assert!(child < self.len(), "child out of range");
+        assert!(parent < self.len(), "parent out of range");
+        assert!(!self.reached[child], "child {child} already in the tree");
+        assert!(self.reached[parent], "parent {parent} not in the tree");
+        self.reached[child] = true;
+        self.parent[child] = Some(parent);
+        let list = &mut self.children[parent];
+        let pos = list.partition_point(|&c| c < child);
+        list.insert(pos, child);
+    }
+
     /// The session initiator.
     #[must_use]
     pub fn root(&self) -> usize {
@@ -244,6 +265,39 @@ impl MulticastTree {
             }
         }
         best
+    }
+
+    /// Data messages needed to deliver one payload from the root to
+    /// every peer in `targets`: the number of edges in the union of the
+    /// root-to-target tree paths. Each edge on some delivery path
+    /// carries the payload exactly once, so this counts every node on a
+    /// delivery path except the root — **including non-target interior
+    /// nodes** such as relay grafts, which the old
+    /// `delivered − 1` accounting silently omitted.
+    ///
+    /// Unreached targets (and the root itself) contribute no path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target index is out of range.
+    #[must_use]
+    pub fn delivery_messages<I: IntoIterator<Item = usize>>(&self, targets: I) -> usize {
+        let mut on_path = vec![false; self.len()];
+        let mut messages = 0usize;
+        for t in targets {
+            if !self.reached[t] {
+                continue;
+            }
+            // Walk up until the root or an already-counted node; every
+            // newly marked node is one payload-carrying edge.
+            let mut cur = t;
+            while cur != self.root && !on_path[cur] {
+                on_path[cur] = true;
+                messages += 1;
+                cur = self.parent[cur].expect("reached non-root nodes have parents");
+            }
+        }
+        messages
     }
 
     /// Checks structural consistency: parent/child agreement, no cycles,
@@ -411,6 +465,72 @@ mod tests {
     #[should_panic(expected = "root must be reached")]
     fn unreached_root_rejected() {
         let _ = MulticastTree::from_parents(0, vec![None], vec![false]);
+    }
+
+    #[test]
+    fn attach_grafts_and_keeps_children_sorted() {
+        let mut t = sample();
+        t.attach(5, 1);
+        assert!(t.is_reached(5));
+        assert_eq!(t.parent(5), Some(1));
+        assert_eq!(t.children(1), &[3, 4, 5]);
+        assert_eq!(t.validate(), Ok(()));
+        assert!(t.is_spanning());
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the tree")]
+    fn attach_rejects_reached_children() {
+        sample().attach(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the tree")]
+    fn attach_rejects_unreached_parents() {
+        let mut t =
+            MulticastTree::from_parents(0, vec![None, None, None], vec![true, false, false]);
+        t.attach(2, 1);
+    }
+
+    /// The satellite regression: a hand-built tree with relay interior
+    /// nodes must count every payload-carrying edge, not `targets − 1`.
+    ///
+    /// ```text
+    ///        0 (root, member)
+    ///        |
+    ///        1 (relay)
+    ///        |
+    ///        2 (relay)
+    ///       / \
+    ///      3   4   (members)     5: member reached directly under 0
+    /// ```
+    #[test]
+    fn delivery_messages_count_relay_edges() {
+        let t = MulticastTree::from_parents(
+            0,
+            vec![None, Some(0), Some(1), Some(2), Some(2), Some(0)],
+            vec![true; 6],
+        );
+        // Members are {0, 3, 4, 5}; relays {1, 2} sit on the paths.
+        // Edges traversed: 0-1, 1-2, 2-3, 2-4, 0-5 = 5, while the old
+        // `delivered - 1` accounting would claim 3.
+        assert_eq!(t.delivery_messages([0, 3, 4, 5]), 5);
+        // Shared prefixes are counted once.
+        assert_eq!(t.delivery_messages([3, 4]), 4);
+        assert_eq!(t.delivery_messages([3]), 3);
+        // The root alone needs no messages; so does an empty target set.
+        assert_eq!(t.delivery_messages([0]), 0);
+        assert_eq!(t.delivery_messages([]), 0);
+        // Duplicate targets do not double-count.
+        assert_eq!(t.delivery_messages([5, 5, 5]), 1);
+    }
+
+    #[test]
+    fn delivery_messages_skip_unreached_targets() {
+        let t = sample();
+        assert_eq!(t.delivery_messages([5]), 0, "unreached target");
+        // Full membership on a relay-free tree reduces to reached − 1.
+        assert_eq!(t.delivery_messages(0..6), t.reached_count() - 1);
     }
 
     #[test]

@@ -1,17 +1,25 @@
 //! THE multi-group acceptance property: across random churn
 //! interleavings (overlay joins/leaves mixed with group
-//! subscribe/unsubscribe), every group tree maintained incrementally by
-//! the `GroupEngine` stays byte-identical to a from-scratch
-//! `build_group_tree_on_store` rebuild on the surviving members — for
-//! the empty-rectangle rule and a Hyperplanes instance — while the
+//! subscribe/unsubscribe), every group build maintained incrementally by
+//! the `GroupEngine` — relay grafts included — stays byte-identical to a
+//! from-scratch `build_group_tree_grafted` rebuild on the surviving
+//! members (so relay teardown keeps incremental == from-scratch), for
+//! the empty-rectangle rule and a Hyperplanes instance, while the
 //! engine rebuilds exactly the delta-affected groups, never the rest.
+//!
+//! Plus the coverage theorem routing-based join buys: after every step,
+//! each live member is reached **iff** the full overlay connects it to
+//! the group root — 100% coverage on every connected workload, with the
+//! only permissible exceptions being provably undeliverable members on
+//! the sparse Hyperplanes rules (on the empty-rectangle rule the
+//! overlay stays routing-connected, so coverage is simply 100%).
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use geocast_core::groups::{build_group_tree_on_store, GroupEngine, GroupId};
+use geocast_core::groups::{build_group_tree_grafted, GroupEngine, GroupId};
 use geocast_core::OrthantRectPartitioner;
 use geocast_geom::gen::uniform_points;
 use geocast_geom::MetricKind;
@@ -47,8 +55,8 @@ fn selection_for(rule: u8, dim: usize) -> Arc<dyn NeighborSelection + Send + Syn
     }
 }
 
-/// Asserts every group equals its from-scratch reference and returns
-/// how many groups' rebuild counters moved since `counts`.
+/// Asserts every group equals its from-scratch grafted reference and
+/// returns how many groups' rebuild counters moved since `counts`.
 fn check_exact_and_count_rebuilds(
     engine: &GroupEngine,
     ids: &[GroupId],
@@ -58,16 +66,16 @@ fn check_exact_and_count_rebuilds(
     for (i, &g) in ids.iter().enumerate() {
         match engine.root(g) {
             Some(root) => {
-                let reference = build_group_tree_on_store(
+                let reference = build_group_tree_grafted(
                     engine.store(),
                     root,
                     engine.members(g),
                     &OrthantRectPartitioner::median(),
                 );
                 assert_eq!(
-                    engine.tree(g),
+                    engine.group_build(g),
                     Some(&reference),
-                    "{g} diverged from the from-scratch rebuild"
+                    "{g} diverged from the from-scratch grafted rebuild"
                 );
             }
             None => assert!(engine.tree(g).is_none(), "dormant {g} kept a tree"),
@@ -81,11 +89,50 @@ fn check_exact_and_count_rebuilds(
     moved
 }
 
+/// The coverage theorem: every live member is reached iff the overlay
+/// connects it to the root, and on the empty-rectangle rule (always
+/// routing-connected) that means plain 100% coverage.
+fn check_full_coverage(engine: &GroupEngine, ids: &[GroupId], rule: u8) {
+    let graph = engine.store().graph();
+    for &g in ids {
+        let Some(root) = engine.root(g) else {
+            continue;
+        };
+        let build = engine.tree(g).expect("rooted groups have trees");
+        let dist = graph.bfs_distances(root);
+        for &m in engine.members(g) {
+            assert_eq!(
+                build.tree.is_reached(m),
+                dist[m].is_some(),
+                "{g}: member {m} reached iff overlay-connected to root {root}"
+            );
+            if rule == 0 {
+                assert!(
+                    build.tree.is_reached(m),
+                    "{g}: empty-rect member {m} must always be covered"
+                );
+            }
+        }
+        // Relays are live non-members that really sit on the tree.
+        for &r in &build.relays {
+            assert!(build.tree.is_reached(r), "{g}: relay {r} off-tree");
+            assert!(
+                !engine.members(g).contains(&r),
+                "{g}: member {r} misclassified as relay"
+            );
+            assert!(
+                !engine.store().is_departed(PeerId(r as u64)),
+                "{g}: departed relay {r} still grafted"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
-    fn every_group_tree_equals_from_scratch_rebuild_under_churn(
+    fn every_group_build_equals_from_scratch_grafted_rebuild_under_churn(
         n in 25usize..55,
         dim in 2usize..4,
         seed in 0u64..10_000,
@@ -106,6 +153,7 @@ proptest! {
         prop_assert!(ids.len() >= 8);
         let mut counts: Vec<u64> = ids.iter().map(|&g| engine.rebuild_count(g)).collect();
         check_exact_and_count_rebuilds(&engine, &ids, &mut counts);
+        check_full_coverage(&engine, &ids, rule);
 
         let join_pool = uniform_points(steps.len(), dim, 1000.0, seed ^ 0x101)
             .into_points();
@@ -136,6 +184,10 @@ proptest! {
                             !engine.members(g).contains(&victim),
                             "departed peer lingers in {g}"
                         );
+                        prop_assert!(
+                            !engine.relays(g).contains(&victim),
+                            "departed relay lingers in {g}"
+                        );
                     }
                 }
                 Step::Subscribe(raw) => {
@@ -163,10 +215,13 @@ proptest! {
                     check_exact_and_count_rebuilds(&engine, &ids, &mut counts);
                 }
             }
+            // Post-graft coverage holds after every churn step — the
+            // relay-teardown/re-route path included.
+            check_full_coverage(&engine, &ids, rule);
         }
 
         // End-state structural sanity: every non-dormant tree validates
-        // and strands only unreachable members.
+        // and strands only overlay-disconnected members.
         for &g in &ids {
             if let Some(build) = engine.tree(g) {
                 prop_assert_eq!(build.tree.validate(), Ok(()));
@@ -177,6 +232,14 @@ proptest! {
                         "stranded bookkeeping wrong for member {} of {}", m, g
                     );
                 }
+                // Publish accounting: edges = member floor + relay share.
+                let delivered = engine
+                    .members(g)
+                    .iter()
+                    .filter(|&&m| build.tree.is_reached(m))
+                    .count();
+                let messages = build.tree.delivery_messages(engine.members(g).iter().copied());
+                prop_assert!(messages >= delivered.saturating_sub(1));
             }
         }
     }

@@ -5,26 +5,33 @@
 //! A production deployment of the paper's overlay serves many groups at
 //! once — topics, channels, sensor clusters — each a §2 tree rooted at
 //! its own source. This harness sweeps the number of concurrent groups
-//! at a **fixed population and fixed total subscription count**
-//! (Zipf-distributed across groups), replays identical overlay churn
-//! plus a subscribe/unsubscribe/publish workload, and reports the
-//! engine's locality: the groups actually repaired per churn event
-//! (those whose members intersect the event's dirty region) against the
-//! total a naive engine would rebuild. The final state of every group is
-//! cross-checked against a from-scratch
-//! [`build_group_tree_on_store`] rebuild — the engine is exact, not
-//! approximate.
+//! **and the membership placement** (clustered sensor-field groups vs
+//! uniformly scattered topic subscribers) at a fixed population and
+//! fixed total subscription count (Zipf-distributed across groups),
+//! replays identical overlay churn plus a subscribe/unsubscribe/publish
+//! workload, and reports:
+//!
+//! * the engine's locality — groups actually repaired per churn event
+//!   against the total a naive engine would rebuild;
+//! * the **coverage-vs-scatter** outcome routing-based join buys: with
+//!   relay grafting every publish must deliver to every subscriber
+//!   (`stranded = 0`) even for scattered membership, at a measured
+//!   relay overhead (extra payload-carrying edges per publish).
+//!
+//! The final state of every group is cross-checked against a
+//! from-scratch [`geocast_core::groups::build_group_tree_grafted`]
+//! rebuild — the engine is exact, not approximate.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use geocast_core::groups::GroupEngine;
+use geocast_core::groups::{AppliedOp, GroupEngine};
 use geocast_core::OrthantRectPartitioner;
 use geocast_metrics::{AsciiChart, Table};
 use geocast_overlay::churn::{ChurnEvent, ChurnSchedule};
 use geocast_overlay::select::EmptyRectSelection;
 use geocast_overlay::{PeerInfo, TopologyStore};
-use geocast_sim::workload::{zipf_group_sizes, ChurnPattern, GroupWorkload};
+use geocast_sim::workload::{zipf_group_sizes, ChurnPattern, GroupWorkload, MembershipPlacement};
 
 use crate::figures::FigureReport;
 
@@ -33,8 +40,11 @@ use crate::figures::FigureReport;
 pub struct GroupsConfig {
     /// Base overlay population.
     pub initial: usize,
-    /// Concurrent-group counts to sweep (each a table row).
+    /// Concurrent-group counts to sweep (each a table row per
+    /// placement).
     pub group_counts: Vec<usize>,
+    /// Membership placements to sweep (the coverage-vs-scatter axis).
+    pub placements: Vec<MembershipPlacement>,
     /// Total initial subscriptions, held fixed across the sweep and
     /// split across groups by Zipf popularity.
     pub subscriptions: usize,
@@ -55,11 +65,15 @@ pub struct GroupsConfig {
 
 impl Default for GroupsConfig {
     /// Paper-overreach scale: a 2000-peer overlay carrying up to 128
-    /// concurrent groups.
+    /// concurrent groups, clustered and scattered.
     fn default() -> Self {
         GroupsConfig {
             initial: 2_000,
             group_counts: vec![8, 32, 128],
+            placements: vec![
+                MembershipPlacement::Clustered,
+                MembershipPlacement::Scattered,
+            ],
             subscriptions: 4_000,
             exponent: 1.0,
             churn_events: 300,
@@ -78,6 +92,10 @@ impl GroupsConfig {
         GroupsConfig {
             initial: 220,
             group_counts: vec![4, 8, 16],
+            placements: vec![
+                MembershipPlacement::Clustered,
+                MembershipPlacement::Scattered,
+            ],
             subscriptions: 440,
             exponent: 1.0,
             churn_events: 50,
@@ -92,13 +110,18 @@ impl GroupsConfig {
 /// Per-scenario accounting the table reports.
 struct ScenarioStats {
     groups: usize,
+    placement: MembershipPlacement,
     memberships: usize,
     affected_sum: usize,
-    affected_max: usize,
     repaired_members_sum: usize,
     churn_events: usize,
     group_events: usize,
     coverage_mean: f64,
+    relays: usize,
+    publishes: usize,
+    publish_stranded: usize,
+    publish_messages: usize,
+    publish_relay_messages: usize,
     events_per_s: f64,
     exact: bool,
 }
@@ -109,6 +132,7 @@ struct ScenarioStats {
 fn run_scenario(
     cfg: &GroupsConfig,
     num_groups: usize,
+    placement: MembershipPlacement,
     chart: bool,
     trace: &mut Vec<(f64, f64)>,
 ) -> ScenarioStats {
@@ -120,7 +144,7 @@ fn run_scenario(
     let mut engine = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
     let mut state = cfg.seed ^ 0x6d75_6c74_6963_6173; // "multicas"
     let sizes = zipf_group_sizes(num_groups, cfg.subscriptions.max(num_groups), cfg.exponent);
-    let ids = engine.seed_groups_clustered(&sizes, &mut state);
+    let ids = engine.seed_groups_placed(placement, &sizes, &mut state);
 
     let churn = ChurnSchedule::from_pattern(
         cfg.initial,
@@ -145,15 +169,27 @@ fn run_scenario(
 
     let mut stats = ScenarioStats {
         groups: num_groups,
+        placement,
         memberships: 0,
         affected_sum: 0,
-        affected_max: 0,
         repaired_members_sum: 0,
         churn_events: 0,
         group_events: 0,
         coverage_mean: 0.0,
+        relays: 0,
+        publishes: 0,
+        publish_stranded: 0,
+        publish_messages: 0,
+        publish_relay_messages: 0,
         events_per_s: 0.0,
         exact: true,
+    };
+    let absorb_publish = |stats: &mut ScenarioStats,
+                          outcome: &geocast_core::groups::PublishOutcome| {
+        stats.publishes += 1;
+        stats.publish_stranded += outcome.stranded;
+        stats.publish_messages += outcome.messages;
+        stats.publish_relay_messages += outcome.relay_messages;
     };
 
     // Interleave overlay churn with the group workload, round-robin.
@@ -172,7 +208,6 @@ fn run_scenario(
             let sync = *engine.last_sync();
             stats.churn_events += 1;
             stats.affected_sum += sync.affected_groups;
-            stats.affected_max = stats.affected_max.max(sync.affected_groups);
             stats.repaired_members_sum += sync.rebuilt_members;
             if chart {
                 trace.push((stats.churn_events as f64, sync.affected_groups as f64));
@@ -180,12 +215,21 @@ fn run_scenario(
             progressed = true;
         }
         if let Some(op) = ops_it.next() {
-            engine.apply_workload_op(op, &mut state);
+            if let AppliedOp::Published(_, outcome) = engine.apply_workload_op(op, &mut state) {
+                absorb_publish(&mut stats, &outcome);
+            }
             stats.group_events += 1;
             progressed = true;
         }
         if !progressed {
             break;
+        }
+    }
+    // Final publish sweep: every group delivers once more so rows with
+    // few workload publishes still report coverage at full confidence.
+    for &g in &ids {
+        if let Some(outcome) = engine.publish(g) {
+            absorb_publish(&mut stats, &outcome);
         }
     }
     let seconds = start.elapsed().as_secs_f64();
@@ -196,11 +240,12 @@ fn run_scenario(
         f64::INFINITY
     };
 
-    // Final-state audit: memberships, coverage, and exactness against
-    // the from-scratch reference.
+    // Final-state audit: memberships, coverage, relays, and exactness
+    // against the from-scratch grafted reference.
     let mut coverage_sum = 0.0;
     for &g in &ids {
         stats.memberships += engine.members(g).len();
+        stats.relays += engine.relays(g).len();
         coverage_sum += engine.coverage(g);
         stats.exact &= engine.matches_reference(g);
     }
@@ -209,51 +254,65 @@ fn run_scenario(
 }
 
 /// **Multi-group scenario** — N concurrent group trees over one shared
-/// store, delta-driven repair, Zipf-distributed group sizes.
+/// store, delta-driven repair, Zipf-distributed group sizes, clustered
+/// **and** scattered membership.
 ///
 /// Per-event repair cost must track the *delta-affected* groups (the
 /// `affected μ` column), not the group count (`naive` column); every
-/// row must report `== rebuild: true`.
+/// row must report `== rebuild: true`; and with relay grafting every
+/// publish must report zero stranded members (`pub stranded` column)
+/// at the measured relay overhead (`relay msg/pub`).
 #[must_use]
 pub fn groups_panel(cfg: &GroupsConfig) -> FigureReport {
     let mut table = Table::new(vec![
         "groups".into(),
+        "place".into(),
         "members".into(),
         "events".into(),
         "affected μ".into(),
-        "affected max".into(),
         "naive".into(),
         "repaired members μ".into(),
         "coverage".into(),
+        "relays".into(),
+        "pub stranded".into(),
+        "relay msg/pub".into(),
         "events/s".into(),
         "== rebuild".into(),
     ]);
     let mut trace: Vec<(f64, f64)> = Vec::new();
     let largest = cfg.group_counts.iter().copied().max().unwrap_or(0);
-    for &num_groups in &cfg.group_counts {
-        let chart_this = num_groups == largest;
-        if chart_this {
-            trace.clear();
+    for &placement in &cfg.placements {
+        for &num_groups in &cfg.group_counts {
+            let chart_this = num_groups == largest && placement == MembershipPlacement::Scattered;
+            if chart_this {
+                trace.clear();
+            }
+            let s = run_scenario(cfg, num_groups, placement, chart_this, &mut trace);
+            let churn = s.churn_events.max(1);
+            table.push_row(vec![
+                s.groups.to_string(),
+                s.placement.to_string(),
+                s.memberships.to_string(),
+                format!("{}+{}", s.churn_events, s.group_events),
+                format!("{:.2}", s.affected_sum as f64 / churn as f64),
+                s.groups.to_string(),
+                format!("{:.1}", s.repaired_members_sum as f64 / churn as f64),
+                format!("{:.0}%", s.coverage_mean * 100.0),
+                s.relays.to_string(),
+                s.publish_stranded.to_string(),
+                format!(
+                    "{:.1}",
+                    s.publish_relay_messages as f64 / s.publishes.max(1) as f64
+                ),
+                format!("{:.0}", s.events_per_s),
+                s.exact.to_string(),
+            ]);
         }
-        let s = run_scenario(cfg, num_groups, chart_this, &mut trace);
-        let churn = s.churn_events.max(1);
-        table.push_row(vec![
-            s.groups.to_string(),
-            s.memberships.to_string(),
-            format!("{}+{}", s.churn_events, s.group_events),
-            format!("{:.2}", s.affected_sum as f64 / churn as f64),
-            s.affected_max.to_string(),
-            s.groups.to_string(),
-            format!("{:.1}", s.repaired_members_sum as f64 / churn as f64),
-            format!("{:.0}%", s.coverage_mean * 100.0),
-            format!("{:.0}", s.events_per_s),
-            s.exact.to_string(),
-        ]);
     }
 
     let mut chart = AsciiChart::new(56, 12);
     chart.add_series(
-        format!("groups repaired per churn event (of {largest})"),
+        format!("groups repaired per churn event (of {largest}, scattered)"),
         trace,
     );
     FigureReport::new(
@@ -266,14 +325,19 @@ pub fn groups_panel(cfg: &GroupsConfig) -> FigureReport {
     )
     .with_chart(chart.render())
     .with_note(
-        "affected μ/max = groups whose members intersected a churn \
-         event's dirty region (only these are repaired); naive = groups \
-         a rebuild-everything engine would touch per event; every row \
-         must report '== rebuild: true'",
+        "affected μ = groups whose members or graft-support nodes \
+         intersected a churn event's dirty region (only these are \
+         repaired); naive = groups a rebuild-everything engine would \
+         touch per event; every row must report '== rebuild: true'",
+    )
+    .with_note(
+        "coverage-vs-scatter: relay grafting must hold 'pub stranded' \
+         at 0 for both placements — scattered rows pay for it in \
+         'relay msg/pub' (extra payload-carrying edges per publish)",
     )
     .with_note(format!(
         "seed: {}, churn: {} mixed events, workload: {} ops @ 2:1:2 \
-         subscribe:unsubscribe:publish",
+         subscribe:unsubscribe:publish + one final publish per group",
         cfg.seed, cfg.churn_events, cfg.group_events
     ))
 }
@@ -294,13 +358,33 @@ mod tests {
     }
 
     #[test]
-    fn groups_panel_is_exact_for_every_row() {
+    fn groups_panel_is_exact_with_zero_stranded_for_every_row() {
         let report = groups_panel(&tiny());
-        assert_eq!(report.table.len(), 2);
+        assert_eq!(report.table.len(), 4, "2 placements x 2 group counts");
         for row in report.table.rows() {
-            assert_eq!(row[9], "true", "groups={}: diverged from rebuild", row[0]);
+            assert_eq!(
+                row[12], "true",
+                "groups={} place={}: diverged from rebuild",
+                row[0], row[1]
+            );
+            assert_eq!(
+                row[9], "0",
+                "groups={} place={}: published payloads stranded members",
+                row[0], row[1]
+            );
+            assert_eq!(row[7], "100%", "coverage must close for {}", row[1]);
         }
         assert!(report.chart.is_some());
+        // Scattered rows need relays; the sweep must show a non-zero
+        // relay overhead somewhere.
+        let scattered_relays: usize = report
+            .table
+            .rows()
+            .iter()
+            .filter(|r| r[1] == "scattered")
+            .map(|r| r[8].parse::<usize>().unwrap())
+            .sum();
+        assert!(scattered_relays > 0, "scattered rows should graft relays");
     }
 
     #[test]
@@ -308,10 +392,12 @@ mod tests {
         // Fixed subscriptions, growing group count: the affected-group
         // mean must stay well below the naive all-groups cost. Needs a
         // population large enough that a churn event's dirty region is
-        // a small fraction of the space.
+        // a small fraction of the space. Clustered placement keeps
+        // graft-support sets small, preserving PR 4's locality claim.
         let cfg = GroupsConfig {
             initial: 220,
             group_counts: vec![4, 16],
+            placements: vec![MembershipPlacement::Clustered],
             subscriptions: 440,
             churn_events: 40,
             group_events: 40,
@@ -319,7 +405,7 @@ mod tests {
         };
         let report = groups_panel(&cfg);
         let rows = report.table.rows();
-        let affected: f64 = rows[1][3].parse().unwrap();
+        let affected: f64 = rows[1][4].parse().unwrap();
         let naive: f64 = rows[1][5].parse().unwrap();
         assert!(
             affected < 0.7 * naive,

@@ -60,7 +60,9 @@ pub use geocast_sim as sim;
 
 /// The things almost every user of geocast needs, in one import.
 pub mod prelude {
-    pub use geocast_core::groups::{build_group_tree_on_store, GroupEngine, GroupId};
+    pub use geocast_core::groups::{
+        build_group_tree_grafted, build_group_tree_on_store, GroupBuild, GroupEngine, GroupId,
+    };
     pub use geocast_core::{
         baseline, build_tree, protocol, stability, validate, BuildResult, MulticastTree,
         OrthantRectPartitioner, PickRule, ZonePartitioner,
@@ -77,7 +79,7 @@ pub mod prelude {
     };
     pub use geocast_sim::{
         runner::ParallelRunner,
-        workload::{ChurnPattern, GroupOp, GroupWorkload},
+        workload::{ChurnPattern, GroupOp, GroupWorkload, MembershipPlacement},
         FaultModel, NodeId, SimDuration, SimTime, Simulation,
     };
 }

@@ -120,6 +120,45 @@ impl Metric for MetricKind {
     }
 }
 
+impl MetricKind {
+    /// The metric's norm of a raw offset vector — `dist(0, offsets)`
+    /// without building points. Spatial-index pruning bounds are
+    /// per-dimension gap vectors, not point pairs, so they need the norm
+    /// directly.
+    #[must_use]
+    pub fn norm(&self, offsets: &[f64]) -> f64 {
+        match self {
+            MetricKind::L1 => offsets.iter().map(|x| x.abs()).sum(),
+            MetricKind::L2 => offsets.iter().map(|x| x * x).sum::<f64>().sqrt(),
+            MetricKind::LInf => offsets.iter().map(|x| x.abs()).fold(0.0, f64::max),
+        }
+    }
+
+    /// The norm of the offset vector between two raw coordinate slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on length mismatch.
+    #[must_use]
+    pub fn dist_coords(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            MetricKind::L1 => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            MetricKind::L2 => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            MetricKind::LInf => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+        }
+    }
+}
+
 impl fmt::Display for MetricKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -186,5 +225,26 @@ mod tests {
     #[test]
     fn default_kind_is_l1() {
         assert_eq!(MetricKind::default(), MetricKind::L1);
+    }
+
+    #[test]
+    fn norm_and_dist_coords_agree_with_dist() {
+        let a = pt(&[1.5, -2.5, 3.0]);
+        let b = pt(&[0.0, 4.0, -1.0]);
+        let offsets: Vec<f64> = a
+            .coords()
+            .iter()
+            .zip(b.coords())
+            .map(|(x, y)| x - y)
+            .collect();
+        for kind in [MetricKind::L1, MetricKind::L2, MetricKind::LInf] {
+            assert_eq!(kind.norm(&offsets), kind.dist(&a, &b), "{kind} norm");
+            assert_eq!(
+                kind.dist_coords(a.coords(), b.coords()),
+                kind.dist(&a, &b),
+                "{kind} dist_coords"
+            );
+        }
+        assert_eq!(MetricKind::L1.norm(&[]), 0.0);
     }
 }

@@ -341,6 +341,46 @@ impl TopologyStore {
         OverlayGraph::from_out_neighbors(self.out.clone())
     }
 
+    /// `true` while the store maintains its incremental spatial index
+    /// (built once the population supports one; permanently disabled by
+    /// un-indexable dimensionalities).
+    #[must_use]
+    pub fn has_spatial_index(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// The nearest **live** peer to `q` among those `accept` admits,
+    /// under `metric`, ties broken by the smaller peer index — the
+    /// brute-force `(distance, index)` minimum, answered through the
+    /// incremental [`GridIndex`] when one is maintained and by a linear
+    /// scan otherwise (both paths are exact, so the answer is identical
+    /// either way). `None` when no live peer is accepted.
+    ///
+    /// This is the nearest-tree-member query behind routing-based group
+    /// join (`geocast_core`'s relay grafting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is non-empty and `q`'s dimensionality
+    /// disagrees with the population.
+    #[must_use]
+    pub fn nearest_live_where<F: FnMut(usize) -> bool>(
+        &self,
+        q: &Point,
+        metric: geocast_geom::MetricKind,
+        mut accept: F,
+    ) -> Option<usize> {
+        use geocast_geom::Metric;
+        match &self.index {
+            Some(ix) => ix.nearest_where(q, metric, accept),
+            None => (0..self.peers.len())
+                .filter(|&i| !self.departed[i] && accept(i))
+                .map(|i| (metric.dist(self.peers[i].point(), q), i))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .map(|(_, i)| i),
+        }
+    }
+
     /// Rolling 64-bit fingerprint of the whole topology: XOR of every
     /// peer's [`topology_hash`]. Changes whenever any out-list changes.
     #[must_use]
@@ -829,6 +869,42 @@ mod tests {
         assert_eq!(store.delta_log().deltas_since(10).unwrap().count(), 0);
         store.remove(PeerId(2));
         assert_eq!(store.delta_log().deltas_since(10).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn nearest_live_where_agrees_between_index_and_scan() {
+        use geocast_geom::Metric;
+        let pts = points(60, 2, 53);
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        for p in &pts {
+            store.insert(p.clone());
+        }
+        for gone in [4u64, 19, 33] {
+            store.remove(PeerId(gone));
+        }
+        assert!(store.has_spatial_index());
+        let scan = |q: &Point, accept: &dyn Fn(usize) -> bool| {
+            (0..store.len())
+                .filter(|&i| !store.is_departed(PeerId(i as u64)) && accept(i))
+                .map(|i| (MetricKind::L1.dist(store.peers()[i].point(), q), i))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .map(|(_, i)| i)
+        };
+        let queries = points(10, 2, 54);
+        for q in &queries {
+            assert_eq!(
+                store.nearest_live_where(q, MetricKind::L1, |_| true),
+                scan(q, &|_| true)
+            );
+            // A sparse subset filter (the on-tree shape of graft queries)
+            // and the removed peers must never be answered.
+            let filtered = store.nearest_live_where(q, MetricKind::L1, |i| i % 5 == 0);
+            assert_eq!(filtered, scan(q, &|i| i % 5 == 0));
+            assert_eq!(
+                store.nearest_live_where(q, MetricKind::L1, |i| i == 4),
+                None
+            );
+        }
     }
 
     #[test]

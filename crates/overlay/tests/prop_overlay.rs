@@ -306,11 +306,11 @@ proptest! {
         let src = src_pick % n;
         let dst = dst_pick % n;
         let route = route_to_peer(&population, &graph, src, dst, MetricKind::L1);
-        prop_assert!(route.delivered, "{src} -> {dst} stuck at {}", route.last());
+        prop_assert!(route.delivered(), "{src} -> {dst} stuck at {}", route.last());
         prop_assert_eq!(route.last(), dst);
         let target = population[dst].point();
         let dists: Vec<f64> = route
-            .path
+            .path()
             .iter()
             .map(|&i| MetricKind::L1.dist(population[i].point(), target))
             .collect();
@@ -339,7 +339,7 @@ proptest! {
         ]).unwrap();
         let walk = greedy_route_to_rect(&population, &graph, src, &region, MetricKind::L1, n);
         prop_assert!(
-            walk.delivered,
+            walk.delivered(),
             "stuck at {} outside a region containing peer {member}",
             walk.last()
         );

@@ -153,6 +153,32 @@ impl std::fmt::Display for ChurnPattern {
     }
 }
 
+/// How a scenario places group members over the coordinate space — the
+/// knob that decides whether the member-induced subgraph is connected
+/// (clustered: sensor fields, regional channels) or full of strandings
+/// the relay-graft layer must close (scattered: interest-based topics
+/// with subscribers spread uniformly over the overlay). Coverage-vs-
+/// scatter sweeps run both and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MembershipPlacement {
+    /// Members are drawn uniformly at random from the live population —
+    /// the adversarial shape for member-to-member delegation.
+    #[default]
+    Scattered,
+    /// Each group subscribes a random center peer plus its nearest live
+    /// peers — densely interconnected member subgraphs.
+    Clustered,
+}
+
+impl std::fmt::Display for MembershipPlacement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MembershipPlacement::Scattered => write!(f, "scattered"),
+            MembershipPlacement::Clustered => write!(f, "clustered"),
+        }
+    }
+}
+
 /// One abstract multi-group session operation. Like [`ChurnOp`], group
 /// operations are protocol-agnostic: they name groups by dense index
 /// and leave the choice of *which peer* subscribes/unsubscribes to the

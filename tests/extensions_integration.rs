@@ -101,7 +101,7 @@ fn routing_works_on_gossip_converged_topology() {
     for from in 0..peers.len() {
         for to in 0..peers.len() {
             let route = route_to_peer(&peers, &topo, from, to, MetricKind::L1);
-            assert!(route.delivered, "{from} -> {to} on gossip topology");
+            assert!(route.delivered(), "{from} -> {to} on gossip topology");
         }
     }
 }
@@ -188,6 +188,7 @@ fn repeated_repairs_keep_dissemination_exact() {
             zones: repaired.zones,
             messages: build.messages + repaired.repair_messages,
             stranded: Vec::new(),
+            relays: Vec::new(),
         };
     }
 }
