@@ -1,0 +1,205 @@
+//! Failure-detection plane: detection latency, false-positive rate, and
+//! coverage recovery versus the suspicion timeout, with a
+//! machine-readable summary.
+//!
+//! Three claims under test:
+//!
+//! 1. **Latency/accuracy trade-off.** Sweeping the SWIM suspicion
+//!    timeout under loss, detection latency grows with the timeout
+//!    while refuted suspicions (near-misses) shrink — the knob every
+//!    deployment tunes, now with numbers attached.
+//! 2. **Strict gate.** At zero loss the detector is exact: every
+//!    injected failure (crash-stop and silent-drop) detected, zero
+//!    false positives, payload coverage back to 100%.
+//! 3. **Convergence.** Every run — lossy or not — drives the
+//!    `TopologyStore` byte-identical to an oracle rebuild replaying the
+//!    same verdicts, because detection is the topology's only writer.
+//!
+//! Results land in `crates/bench/BENCH_detection.json` (quick scale by
+//! default; set `GEOCAST_FULL=1` for the paper-scale scenario with the
+//! 0.5–4 s sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geocast::core::detect::{run_detection, DetectionReport, DetectionScenario};
+use geocast::prelude::*;
+use geocast_bench::full_scale;
+
+struct Measurement {
+    suspicion_ms: u64,
+    loss: f64,
+    report: DetectionReport,
+}
+
+fn measure(base: &DetectionScenario, suspicion_ms: u64, loss: f64) -> Measurement {
+    let mut sc = base.clone();
+    sc.detector.suspicion_timeout = SimDuration::from_millis(suspicion_ms);
+    sc.loss = loss;
+    Measurement {
+        suspicion_ms,
+        loss,
+        report: run_detection(&sc),
+    }
+}
+
+fn fmt_recovery(r: &DetectionReport) -> String {
+    r.recovered_after.map_or("null".to_owned(), |d| {
+        format!("{:.0}", d.as_secs_f64() * 1e3)
+    })
+}
+
+fn row_json(m: &Measurement) -> String {
+    let r = &m.report;
+    format!(
+        "    {{\n      \"suspicion_ms\": {},\n      \"loss\": {},\n      \
+         \"injected\": {},\n      \"detected\": {},\n      \
+         \"mean_detection_ms\": {:.0},\n      \"max_detection_ms\": {:.0},\n      \
+         \"false_positives\": {},\n      \"suspect_events\": {},\n      \
+         \"refute_events\": {},\n      \"min_coverage\": {:.4},\n      \
+         \"final_coverage\": {:.4},\n      \"recovery_ms\": {},\n      \
+         \"converged\": {}\n    }}",
+        m.suspicion_ms,
+        m.loss,
+        r.crashed.len() + r.silent.len(),
+        r.detected.len(),
+        r.mean_detection_ms(),
+        r.max_detection_ms(),
+        r.false_positives,
+        r.suspect_events,
+        r.refute_events,
+        r.min_coverage,
+        r.final_coverage,
+        fmt_recovery(r),
+        r.converged,
+    )
+}
+
+fn timeline_json(r: &DetectionReport) -> String {
+    let samples: Vec<String> = r
+        .timeline
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{ \"ms\": {:.0}, \"coverage\": {:.4}, \"degraded_groups\": {}, \"pending\": {} }}",
+                s.at.as_secs_f64() * 1e3,
+                s.coverage,
+                s.degraded_groups,
+                s.pending_failures,
+            )
+        })
+        .collect();
+    samples.join(",\n")
+}
+
+fn write_summary(sc: &DetectionScenario, rows: &[Measurement], strict: &Measurement) {
+    let entries: Vec<String> = rows.iter().map(row_json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"failure_detection\",\n  \"n\": {},\n  \"groups\": {},\n  \
+         \"group_size\": {},\n  \"crash_count\": {},\n  \"silent_count\": {},\n  \
+         \"wave_at_ms\": {:.0},\n  \"sweep\": [\n{}\n  ],\n  \
+         \"strict_zero_loss\": [\n{}\n  ],\n  \"recovery_timeline\": [\n{}\n  ]\n}}\n",
+        sc.peers,
+        sc.groups,
+        sc.group_size,
+        sc.crash_count,
+        sc.silent_count,
+        sc.crash_at.as_secs_f64() * 1e3,
+        entries.join(",\n"),
+        row_json(strict),
+        timeline_json(&strict.report),
+    );
+    // Anchor at this crate's manifest dir — cargo gives bench binaries a
+    // package-relative cwd, which varies by invocation.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_detection.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+fn failure_detection(c: &mut Criterion) {
+    let (base, loss, sweep): (DetectionScenario, f64, Vec<u64>) = if full_scale() {
+        (
+            DetectionScenario::default(),
+            0.05,
+            vec![500, 1000, 2000, 4000],
+        )
+    } else {
+        (DetectionScenario::quick(), 0.05, vec![200, 400, 800])
+    };
+
+    let rows: Vec<Measurement> = sweep
+        .iter()
+        .map(|&ms| {
+            let m = measure(&base, ms, loss);
+            let r = &m.report;
+            println!(
+                "suspicion {} ms (loss {:.0}%): detected {}/{} in mean {:.0} ms (max {:.0}), \
+                 {} false positives, {} refutes, coverage min {:.1}% recovery {} ms, converged={}",
+                m.suspicion_ms,
+                m.loss * 100.0,
+                r.detected.len(),
+                r.crashed.len() + r.silent.len(),
+                r.mean_detection_ms(),
+                r.max_detection_ms(),
+                r.false_positives,
+                r.refute_events,
+                r.min_coverage * 100.0,
+                fmt_recovery(r),
+                r.converged,
+            );
+            assert!(
+                r.converged,
+                "suspicion {} ms: topology diverged from the oracle",
+                m.suspicion_ms
+            );
+            m
+        })
+        .collect();
+
+    // The trade-off claim: longer suspicion detects strictly later.
+    let first = rows.first().expect("non-empty sweep");
+    let last = rows.last().expect("non-empty sweep");
+    assert!(
+        first.report.mean_detection_ms() < last.report.mean_detection_ms(),
+        "detection latency did not grow with the suspicion timeout: {:.0} vs {:.0}",
+        first.report.mean_detection_ms(),
+        last.report.mean_detection_ms(),
+    );
+
+    // The strict gate: zero loss, base suspicion — exact detection and
+    // full recovery (this is what CI's `geocast detect --strict` runs).
+    let strict = measure(
+        &base,
+        base.detector.suspicion_timeout.as_nanos() / 1_000_000,
+        0.0,
+    );
+    println!(
+        "strict zero-loss: detected {}/{}, {} false positives, final coverage {:.1}%, converged={}",
+        strict.report.detected.len(),
+        strict.report.crashed.len() + strict.report.silent.len(),
+        strict.report.false_positives,
+        strict.report.final_coverage * 100.0,
+        strict.report.converged,
+    );
+    assert!(
+        strict.report.strict_ok(),
+        "zero-loss run failed the strict gate: {:?}",
+        strict.report,
+    );
+    write_summary(&base, &rows, &strict);
+
+    // Criterion samples the full detection pipeline (plane + repair +
+    // referee) at quick scale.
+    let quick = DetectionScenario::quick();
+    let mut group = c.benchmark_group("detection/scenario");
+    group.sample_size(10);
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("n{}_g{}", quick.peers, quick.groups)),
+        |b| b.iter(|| run_detection(std::hint::black_box(&quick))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, failure_detection);
+criterion_main!(benches);

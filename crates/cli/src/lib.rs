@@ -56,6 +56,20 @@ pub enum CliError {
         /// Publishes performed.
         publishes: usize,
     },
+    /// `detect --strict` was requested and the detection gate failed:
+    /// a live peer was convicted, an injected failure went undetected,
+    /// coverage did not recover, or the detector-driven topology
+    /// diverged from the oracle rebuild (the CI detection gate).
+    DetectionGate {
+        /// Live peers wrongly convicted as dead.
+        false_positives: usize,
+        /// Injected failures never detected.
+        undetected: usize,
+        /// Whether payload coverage returned to 100% by the end.
+        recovered: bool,
+        /// Whether the topology matched the oracle rebuild.
+        converged: bool,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -73,6 +87,17 @@ impl fmt::Display for CliError {
             } => write!(
                 f,
                 "strict coverage violated: {stranded} stranded deliveries across {publishes} publishes"
+            ),
+            CliError::DetectionGate {
+                false_positives,
+                undetected,
+                recovered,
+                converged,
+            } => write!(
+                f,
+                "strict detection violated: {false_positives} false positives, \
+                 {undetected} undetected failures, recovered {recovered}, \
+                 converged {converged}"
             ),
         }
     }
@@ -98,7 +123,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
         };
         // Boolean flags (no value) are stored as "true".
         match key {
-            "full" | "csv" | "strict-coverage" => {
+            "full" | "csv" | "strict-coverage" | "strict" => {
                 options.insert(key.to_owned(), "true".to_owned());
             }
             _ => {
@@ -172,6 +197,7 @@ pub fn run(inv: &Invocation) -> Result<String, CliError> {
         "route" => cmd_route(inv),
         "churn" => cmd_churn(inv),
         "groups" => cmd_groups(inv),
+        "detect" => cmd_detect(inv),
         "figures" => cmd_figures(inv),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }
@@ -199,8 +225,13 @@ COMMANDS:
              --n 500 --dim 2 --seed 1 --groups 16 --subs 1000 --zipf 1.0
              --events 200 --group-events 200 --placement clustered|scattered
              [--strict-coverage]  (fail if any publish strands a member)
+  detect     run the SWIM failure-detection plane through a crash wave
+             --n 24 --dim 2 --seed 1 --groups 2 --group-size 8 --loss 0.0
+             --crashes 2 --silent 1 --suspicion-ms 400
+             [--strict]  (fail on false positives, missed failures,
+                          unrecovered coverage, or oracle divergence)
   figures    regenerate the paper's artifacts
-             --panel fig1a|fig1b|fig1c|fig1d|fig1e|claims|ablation|baselines|repair|scaling|churn|groups|all [--full]
+             --panel fig1a|fig1b|fig1c|fig1d|fig1e|claims|ablation|baselines|repair|scaling|churn|groups|detection|all [--full]
   help       this text
 ";
 
@@ -771,6 +802,117 @@ fn cmd_groups(inv: &Invocation) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_detect(inv: &Invocation) -> Result<String, CliError> {
+    use geocast::core::detect::{run_detection, DetectionScenario};
+
+    // CLI-scale defaults: the quick scenario (seconds of virtual time,
+    // fast detector) with every knob overridable.
+    let mut sc = DetectionScenario::quick();
+    sc.peers = opt_peers(inv, sc.peers)?;
+    sc.dim = opt(inv, "dim", sc.dim)?;
+    sc.seed = opt(inv, "seed", sc.seed)?;
+    sc.groups = opt(inv, "groups", sc.groups)?;
+    sc.group_size = opt(inv, "group-size", sc.group_size)?;
+    sc.loss = opt(inv, "loss", sc.loss)?;
+    sc.crash_count = opt(inv, "crashes", sc.crash_count)?;
+    sc.silent_count = opt(inv, "silent", sc.silent_count)?;
+    let suspicion_ms: u64 = opt(
+        inv,
+        "suspicion-ms",
+        sc.detector.suspicion_timeout.as_nanos() / 1_000_000,
+    )?;
+    sc.detector.suspicion_timeout = SimDuration::from_millis(suspicion_ms);
+    let strict = inv.options.contains_key("strict");
+
+    if sc.peers < 2 {
+        return Err(CliError::BadValue {
+            key: "n".into(),
+            value: sc.peers.to_string(),
+        });
+    }
+    if !(0.0..=1.0).contains(&sc.loss) {
+        return Err(CliError::BadValue {
+            key: "loss".into(),
+            value: sc.loss.to_string(),
+        });
+    }
+    if sc.groups == 0 || sc.group_size == 0 {
+        return Err(CliError::BadValue {
+            key: "groups".into(),
+            value: "0".into(),
+        });
+    }
+    if sc.crash_count + sc.silent_count >= sc.peers {
+        return Err(CliError::BadValue {
+            key: "crashes".into(),
+            value: format!("{}+{} silent", sc.crash_count, sc.silent_count),
+        });
+    }
+    if suspicion_ms == 0 {
+        return Err(CliError::BadValue {
+            key: "suspicion-ms".into(),
+            value: "0".into(),
+        });
+    }
+
+    let report = run_detection(&sc);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "failure detection: {} peers, {} groups of {}, loss {:.0}%, suspicion {} ms\n\n",
+        sc.peers,
+        sc.groups,
+        sc.group_size,
+        sc.loss * 100.0,
+        suspicion_ms
+    ));
+    out.push_str(&format!(
+        "  wave              : {} crash-stop + {} silent-drop at {:.0} ms\n",
+        report.crashed.len(),
+        report.silent.len(),
+        sc.crash_at.as_secs_f64() * 1e3
+    ));
+    out.push_str(&format!(
+        "  detected          : {}/{}\n",
+        report.detected.len(),
+        report.crashed.len() + report.silent.len()
+    ));
+    out.push_str(&format!(
+        "  detection latency : mean {:.0} ms / max {:.0} ms\n",
+        report.mean_detection_ms(),
+        report.max_detection_ms()
+    ));
+    out.push_str(&format!(
+        "  false positives   : {}\n",
+        report.false_positives
+    ));
+    out.push_str(&format!(
+        "  suspicions        : {} raised, {} refuted\n",
+        report.suspect_events, report.refute_events
+    ));
+    out.push_str(&format!(
+        "  coverage          : min {:.1}% / final {:.1}%\n",
+        report.min_coverage * 100.0,
+        report.final_coverage * 100.0
+    ));
+    out.push_str(&format!(
+        "  recovery          : {}\n",
+        report.recovered_after.map_or("never".to_owned(), |d| {
+            format!("{:.0} ms after the wave", d.as_secs_f64() * 1e3)
+        })
+    ));
+    out.push_str(&format!("  oracle convergence: {}\n", report.converged));
+    if strict && !report.strict_ok() {
+        return Err(CliError::DetectionGate {
+            false_positives: report.false_positives,
+            undetected: report.crashed.len() + report.silent.len() - report.detected.len(),
+            recovered: report.final_coverage == 1.0,
+            converged: report.converged,
+        });
+    }
+    Ok(out)
+}
+
 fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
     let panel: String = opt(inv, "panel", "all".to_owned())?;
     let full = inv.options.contains_key("full");
@@ -825,6 +967,11 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
     } else {
         figures::GroupsConfig::quick()
     };
+    let detection = if full {
+        figures::DetectionConfig::default()
+    } else {
+        figures::DetectionConfig::quick()
+    };
 
     let mut reports = Vec::new();
     match panel.as_str() {
@@ -846,6 +993,7 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
         "scaling" => reports.push(figures::overlay_scaling(&scaling)),
         "churn" => reports.push(figures::churn_panel(&churn)),
         "groups" => reports.push(figures::groups_panel(&groups)),
+        "detection" => reports.push(figures::detection_panel(&detection)),
         "all" => {
             reports.push(figures::fig1a(&fig1));
             reports.push(figures::fig1b(&fig1));
@@ -862,6 +1010,7 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
             reports.push(figures::overlay_scaling(&scaling));
             reports.push(figures::churn_panel(&churn));
             reports.push(figures::groups_panel(&groups));
+            reports.push(figures::detection_panel(&detection));
         }
         other => {
             return Err(CliError::BadValue {
@@ -1100,6 +1249,48 @@ mod tests {
         assert!(out.contains("mean coverage       : 100%"), "{out}");
         assert!(out.contains("scattered"), "{out}");
         assert!(out.contains("all == rebuild      : true"), "{out}");
+    }
+
+    #[test]
+    fn detect_strict_passes_at_zero_loss() {
+        // The CI detection gate: at loss 0 every injected failure must
+        // be detected with zero false positives, coverage must recover
+        // fully, and the topology must converge to the oracle.
+        let inv = parse_args(&args(&[
+            "detect",
+            "--n",
+            "24",
+            "--crashes",
+            "2",
+            "--silent",
+            "1",
+            "--strict",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("detected          : 3/3"), "{out}");
+        assert!(out.contains("false positives   : 0"), "{out}");
+        assert!(out.contains("final 100.0%"), "{out}");
+        assert!(out.contains("oracle convergence: true"), "{out}");
+        assert!(out.contains("ms after the wave"), "{out}");
+    }
+
+    #[test]
+    fn detect_rejects_bad_values() {
+        let inv = parse_args(&args(&["detect", "--loss", "1.5"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+        let inv = parse_args(&args(&["detect", "--n", "4", "--crashes", "4"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+        let inv = parse_args(&args(&["detect", "--suspicion-ms", "0"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn figures_detection_panel_runs_quick() {
+        let inv = parse_args(&args(&["figures", "--panel", "detection"])).unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("## detection"), "{out}");
+        assert!(out.contains("oracle: true"), "{out}");
     }
 
     #[test]

@@ -61,10 +61,10 @@
 //! assert!(engine.tree(g).is_some());
 //! ```
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
-use geocast_geom::{MetricKind, Point, Rect};
+use geocast_geom::{Interval, MetricKind, Point, Rect};
 use geocast_overlay::delta::DeltaKind;
 use geocast_overlay::{PeerId, TopologyDelta, TopologyStore};
 use geocast_sim::workload::{GroupOp, MembershipPlacement};
@@ -306,6 +306,11 @@ pub struct GroupEngine {
     seen_epoch: u64,
     /// Optional §3 stability forest, refreshed from the same deltas.
     stability: Option<(PreferredPolicy, StabilityForest)>,
+    /// Peers currently *suspected* (but not yet declared dead) by the
+    /// failure-detection plane. Groups whose root or relays appear here
+    /// publish in degraded flood-within-region mode until the suspicion
+    /// resolves (refuted, or dead → removed → re-grafted).
+    suspects: BTreeSet<usize>,
     last_sync: SyncReport,
     totals: EngineTotals,
 }
@@ -329,6 +334,7 @@ impl GroupEngine {
             live_peers,
             seen_epoch,
             stability: None,
+            suspects: BTreeSet::new(),
             last_sync: SyncReport::default(),
             totals: EngineTotals::default(),
         }
@@ -615,6 +621,192 @@ impl GroupEngine {
             .filter(|&&m| build.tree.is_reached(m))
             .count();
         let messages = build.tree.delivery_messages(group.members.iter().copied());
+        Some(PublishOutcome {
+            delivered,
+            stranded: group.members.len() - delivered,
+            messages,
+            relay_messages: messages - delivered.saturating_sub(1),
+        })
+    }
+
+    /// Replaces the suspected-peer set supplied by the failure-detection
+    /// plane. Suspicion is *soft* state: it changes how groups publish
+    /// ([`GroupEngine::is_degraded`]) but not the topology — only a dead
+    /// verdict (store removal + [`GroupEngine::sync`]) rewires trees.
+    pub fn set_suspects<I: IntoIterator<Item = usize>>(&mut self, suspects: I) {
+        self.suspects = suspects.into_iter().collect();
+    }
+
+    /// The peers currently flagged suspect by the detection plane.
+    #[must_use]
+    pub fn suspects(&self) -> &BTreeSet<usize> {
+        &self.suspects
+    }
+
+    /// `true` while `g` must publish in degraded mode: its session root
+    /// or one of its relay nodes is currently suspected, so the tree
+    /// cannot be trusted to forward. Cleared when the suspicion resolves
+    /// — refutation drops the suspect flag, a dead verdict removes the
+    /// peer and re-grafts the tree around it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown.
+    #[must_use]
+    pub fn is_degraded(&self, g: GroupId) -> bool {
+        if self.suspects.is_empty() {
+            return false;
+        }
+        let group = &self.groups[g.index()];
+        match group.root {
+            Some(root) => {
+                self.suspects.contains(&root)
+                    || self.relays(g).iter().any(|r| self.suspects.contains(r))
+            }
+            None => false,
+        }
+    }
+
+    /// Publishes like [`GroupEngine::publish`], but measured against
+    /// ground truth the engine has *not* yet absorbed: peers in `failed`
+    /// neither receive nor forward, so payloads die at crashed interior
+    /// nodes exactly as they would on the wire. Groups in degraded mode
+    /// ([`GroupEngine::is_degraded`]) switch to a flood within their
+    /// member region instead of trusting the compromised tree.
+    ///
+    /// `delivered` counts surviving members only; members in `failed`
+    /// count as stranded until the detection plane removes them.
+    /// `messages` counts payload-carrying edges that actually succeed.
+    ///
+    /// With an empty `failed` set and no suspects this is exactly
+    /// [`GroupEngine::publish`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown.
+    pub fn publish_with_failures(
+        &mut self,
+        g: GroupId,
+        failed: &BTreeSet<usize>,
+    ) -> Option<PublishOutcome> {
+        self.sync();
+        if self.is_degraded(g) {
+            return self.publish_degraded(g, failed);
+        }
+        let group = &self.groups[g.index()];
+        let build = &group.build.as_ref()?.build;
+        self.totals.publishes += 1;
+        let root = group.root?;
+        if failed.contains(&root) {
+            // The publisher itself is down: nothing leaves the root.
+            return Some(PublishOutcome {
+                delivered: 0,
+                stranded: group.members.len(),
+                messages: 0,
+                relay_messages: 0,
+            });
+        }
+        // Forwarding stops at failed nodes: walk the tree from the root
+        // through surviving nodes only.
+        let tree = &build.tree;
+        let mut alive_reach = vec![false; tree.len()];
+        alive_reach[root] = true;
+        let mut queue = VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for &c in tree.children(u) {
+                if !failed.contains(&c) {
+                    alive_reach[c] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+        let live_targets: Vec<usize> = group
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| alive_reach[m])
+            .collect();
+        let delivered = live_targets.len();
+        let messages = tree.delivery_messages(live_targets);
+        Some(PublishOutcome {
+            delivered,
+            stranded: group.members.len() - delivered,
+            messages,
+            relay_messages: messages - delivered.saturating_sub(1),
+        })
+    }
+
+    /// Degraded publish: flood within the group's member region. The
+    /// payload starts at the root (or, if the root failed, the smallest
+    /// surviving member) and floods over the undirected overlay edges of
+    /// surviving peers inside the padded bounding box of member
+    /// coordinates (members are always eligible). Coverage no longer
+    /// depends on suspected relays, at a message cost proportional to
+    /// the region's edge count — availability bought with bandwidth.
+    fn publish_degraded(&mut self, g: GroupId, failed: &BTreeSet<usize>) -> Option<PublishOutcome> {
+        let group = &self.groups[g.index()];
+        if group.members.is_empty() {
+            return None;
+        }
+        self.totals.publishes += 1;
+        let seed = match group.root.filter(|r| !failed.contains(r)) {
+            Some(root) => root,
+            None => match group.members.iter().copied().find(|m| !failed.contains(m)) {
+                Some(m) => m,
+                None => {
+                    return Some(PublishOutcome {
+                        delivered: 0,
+                        stranded: group.members.len(),
+                        messages: 0,
+                        relay_messages: 0,
+                    })
+                }
+            },
+        };
+        let peers = self.store.peers();
+        let dim = peers[seed].point().dim();
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for &m in &group.members {
+            for (d, &c) in peers[m].point().coords().iter().enumerate() {
+                lo[d] = lo[d].min(c);
+                hi[d] = hi[d].max(c);
+            }
+        }
+        // Intervals are open: pad so boundary members stay inside.
+        let sides: Vec<Interval> = (0..dim)
+            .map(|d| {
+                let pad = (hi[d] - lo[d]).abs() * 0.01 + 1e-6;
+                Interval::new(lo[d] - pad, hi[d] + pad)
+            })
+            .collect();
+        let region = Rect::new(sides).expect("padded member box is a valid rect");
+        let eligible = |i: usize| -> bool {
+            !failed.contains(&i)
+                && !self.store.is_departed(PeerId(i as u64))
+                && (group.members.contains(&i) || region.contains(peers[i].point()))
+        };
+        let mut visited = vec![false; self.store.len()];
+        visited[seed] = true;
+        let mut queue = VecDeque::from([seed]);
+        let mut messages = 0usize;
+        let mut scratch: Vec<usize> = Vec::new();
+        while let Some(u) = queue.pop_front() {
+            self.store.undirected_neighbors_into(u, &mut scratch);
+            for &v in &scratch {
+                if !eligible(v) {
+                    continue;
+                }
+                // Naive flood: every eligible neighbour gets a copy,
+                // duplicates included — the honest cost of the mode.
+                messages += 1;
+                if !visited[v] {
+                    visited[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        let delivered = group.members.iter().filter(|&&m| visited[m]).count();
         Some(PublishOutcome {
             delivered,
             stranded: group.members.len() - delivered,
@@ -1355,6 +1547,119 @@ mod tests {
             assert_eq!(eng2.coverage(g), 1.0, "{g}: scattered coverage must close");
         }
         assert_exact(&eng2);
+    }
+
+    #[test]
+    fn publish_with_failures_degenerates_to_publish_when_healthy() {
+        let mut eng = engine(50, 37);
+        let g = eng.create_group(PeerId(0));
+        for p in [5u64, 12, 33, 44] {
+            eng.subscribe(g, PeerId(p));
+        }
+        let plain = eng.publish(g).unwrap();
+        let with = eng.publish_with_failures(g, &BTreeSet::new()).unwrap();
+        assert_eq!(plain, with, "empty failure set must change nothing");
+    }
+
+    #[test]
+    fn failed_interior_node_strands_its_downstream_members() {
+        use geocast_geom::Point;
+        // The diagonal relay chain again: 0 —1—2—3— 4 with members
+        // {0, 4}. Failing relay 2 kills every payload before it reaches
+        // member 4, and no message past the break is charged.
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        for i in 0..5 {
+            store.insert(Point::new(vec![10.0 * i as f64, 10.0 * i as f64]).unwrap());
+        }
+        let mut eng = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+        let g = eng.create_group(PeerId(0));
+        eng.subscribe(g, PeerId(4));
+        assert_eq!(eng.relays(g), &[1, 2, 3]);
+        let outcome = eng.publish_with_failures(g, &BTreeSet::from([2])).unwrap();
+        assert_eq!(outcome.delivered, 1, "only the root still hears itself");
+        assert_eq!(outcome.stranded, 1, "the far member is cut off");
+        // A failed *root* delivers nothing at all.
+        let outcome = eng.publish_with_failures(g, &BTreeSet::from([0])).unwrap();
+        assert_eq!((outcome.delivered, outcome.messages), (0, 0));
+        assert_eq!(outcome.stranded, 2);
+    }
+
+    #[test]
+    fn suspected_root_flips_the_group_into_degraded_flood() {
+        let mut eng = engine(40, 39);
+        let g = eng.create_group(PeerId(0));
+        for p in 1..40u64 {
+            eng.subscribe(g, PeerId(p));
+        }
+        assert!(!eng.is_degraded(g));
+        eng.set_suspects([0usize]);
+        assert!(eng.is_degraded(g), "a suspected root degrades the group");
+        // Full membership: the flood region is the whole overlay, so the
+        // flood reaches everyone without trusting the tree — at a higher
+        // message cost than the tree's N−1.
+        let outcome = eng.publish_with_failures(g, &BTreeSet::new()).unwrap();
+        assert_eq!(outcome.delivered, 40);
+        assert_eq!(outcome.stranded, 0);
+        assert!(
+            outcome.messages > 39,
+            "flooding must cost more than the tree: got {}",
+            outcome.messages
+        );
+        // Refutation clears the flag and restores tree publishing.
+        eng.set_suspects(std::iter::empty());
+        assert!(!eng.is_degraded(g));
+        let outcome = eng.publish_with_failures(g, &BTreeSet::new()).unwrap();
+        assert_eq!(outcome.messages, 39);
+    }
+
+    #[test]
+    fn degraded_flood_survives_a_failed_root() {
+        let mut eng = engine(40, 43);
+        let g = eng.create_group(PeerId(0));
+        for p in 1..40u64 {
+            eng.subscribe(g, PeerId(p));
+        }
+        // Ground truth: the root is actually down, and the detector has
+        // it suspected but not yet declared dead.
+        eng.set_suspects([0usize]);
+        let failed = BTreeSet::from([0]);
+        let outcome = eng.publish_with_failures(g, &failed).unwrap();
+        assert_eq!(
+            outcome.delivered, 39,
+            "the flood re-seeds at a surviving member"
+        );
+        assert_eq!(outcome.stranded, 1, "only the dead root is missing");
+        // All members down: nothing can be published.
+        let everyone: BTreeSet<usize> = (0..40).collect();
+        let outcome = eng.publish_with_failures(g, &everyone).unwrap();
+        assert_eq!((outcome.delivered, outcome.messages), (0, 0));
+    }
+
+    #[test]
+    fn suspected_relay_also_degrades_and_dead_verdict_recovers() {
+        use geocast_geom::Point;
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        for i in 0..5 {
+            store.insert(Point::new(vec![10.0 * i as f64, 10.0 * i as f64]).unwrap());
+        }
+        // A detour peer so the re-graft can route around a dead relay.
+        store.insert(Point::new(vec![21.0, 19.0]).unwrap());
+        let mut eng = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+        let g = eng.create_group(PeerId(0));
+        eng.subscribe(g, PeerId(4));
+        let relay = eng.relays(g)[1];
+        eng.set_suspects([relay]);
+        assert!(eng.is_degraded(g), "a suspected relay degrades the group");
+        // The dead verdict lands: the store removes the peer, the group
+        // re-grafts around it, and the suspicion is retired — the group
+        // publishes over the repaired tree again.
+        eng.store_mut().remove_if_present(PeerId(relay as u64));
+        eng.set_suspects(std::iter::empty());
+        eng.sync();
+        assert!(!eng.is_degraded(g));
+        assert!(!eng.relays(g).contains(&relay));
+        assert_eq!(eng.coverage(g), 1.0, "repair must restore coverage");
+        assert_exact(&eng);
     }
 
     #[test]

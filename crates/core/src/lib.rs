@@ -58,6 +58,7 @@ mod tree;
 
 pub mod aggregate;
 pub mod baseline;
+pub mod detect;
 pub mod graft;
 pub mod groups;
 pub mod protocol;

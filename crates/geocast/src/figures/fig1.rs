@@ -35,6 +35,11 @@ pub struct Fig1Config {
     /// For Fig. 1(b): construct a tree from every peer (the paper's
     /// procedure) or from a sample of this many roots.
     pub roots: Option<usize>,
+    /// For Fig. 1(b): how many of the sampled roots also get a
+    /// message-passing build under coordinate-derived latencies, to
+    /// report construction *wall-clock* (virtual ms) alongside hop
+    /// counts. Zero disables the wall-clock columns.
+    pub latency_roots: usize,
 }
 
 impl Default for Fig1Config {
@@ -46,6 +51,7 @@ impl Default for Fig1Config {
             seeds: vec![1, 2, 3],
             vmax: 1000.0,
             roots: None,
+            latency_roots: 5,
         }
     }
 }
@@ -60,6 +66,7 @@ impl Fig1Config {
             seeds: vec![1],
             vmax: 1000.0,
             roots: Some(40),
+            latency_roots: 3,
         }
     }
 }
@@ -120,9 +127,21 @@ pub fn fig1a(cfg: &Fig1Config) -> FigureReport {
 
 /// **Fig. 1(b)** — longest root-to-leaf path of the §2 multicast tree:
 /// the maximum over initiating peers and the average of the per-root
-/// maxima, for each dimensionality.
+/// maxima, for each dimensionality — plus, beyond the paper, the
+/// construction **wall-clock** under coordinate-derived latencies: for
+/// [`Fig1Config::latency_roots`] of the sampled roots the tree is built
+/// by actual message passing ([`geocast_core::protocol::build_distributed`])
+/// over a [`geocast_sim::CoordDistanceLatency`] network, and the virtual time from
+/// injection to quiescence is reported in milliseconds. Hops say how
+/// *deep* the tree is; the ms columns say how long a subscriber actually
+/// waits for the build to reach everyone.
 #[must_use]
 pub fn fig1b(cfg: &Fig1Config) -> FigureReport {
+    use std::sync::Arc;
+
+    use geocast_core::protocol::build_distributed;
+    use geocast_sim::{CoordDistanceLatency, FaultModel, SimDuration};
+
     let jobs: Vec<(usize, u64)> = cfg
         .dims
         .iter()
@@ -130,7 +149,9 @@ pub fn fig1b(cfg: &Fig1Config) -> FigureReport {
         .collect();
     let runner = ParallelRunner::default();
     let measured = runner.map(&jobs, |&(dim, seed)| {
-        let peers = PeerInfo::from_point_set(&uniform_points(cfg.n, dim, cfg.vmax, seed));
+        let point_set = uniform_points(cfg.n, dim, cfg.vmax, seed);
+        let peers = PeerInfo::from_point_set(&point_set);
+        let positions = point_set.into_points();
         let graph = oracle::equilibrium(&peers, &EmptyRectSelection);
         let partitioner = OrthantRectPartitioner::median();
         let roots: Vec<usize> = match cfg.roots {
@@ -150,28 +171,60 @@ pub fn fig1b(cfg: &Fig1Config) -> FigureReport {
             })
             .collect();
         let max = lengths.iter().copied().fold(0.0, f64::max);
-        (max, mean(lengths))
+        // Wall-clock: message-passing builds over the coordinate-derived
+        // network for a sample of roots (virtual ms, deterministic).
+        let shared = Arc::new(OrthantRectPartitioner::median());
+        let clock_ms: Vec<f64> = roots
+            .iter()
+            .take(cfg.latency_roots)
+            .map(|&root| {
+                build_distributed(
+                    &peers,
+                    &graph,
+                    root,
+                    Arc::clone(&shared) as _,
+                    CoordDistanceLatency::new(
+                        positions.clone(),
+                        SimDuration::from_millis(2),
+                        SimDuration::from_nanos(15_000),
+                    ),
+                    FaultModel::default(),
+                    seed,
+                )
+                .elapsed
+                .as_secs_f64()
+                    * 1e3
+            })
+            .collect();
+        let clock_max = clock_ms.iter().copied().fold(0.0, f64::max);
+        (max, mean(lengths), clock_max, mean(clock_ms))
     });
 
     let mut table = Table::new(vec![
         "D".into(),
         "max root-to-leaf length".into(),
         "avg max root-to-leaf length".into(),
+        "max build wall-clock (ms)".into(),
+        "avg build wall-clock (ms)".into(),
     ]);
     let mut max_series = Vec::new();
     let mut avg_series = Vec::new();
     for &dim in &cfg.dims {
-        let rows: Vec<&(f64, f64)> = jobs
+        let rows: Vec<&(f64, f64, f64, f64)> = jobs
             .iter()
             .zip(&measured)
             .filter_map(|((d, _), m)| (*d == dim).then_some(m))
             .collect();
         let max = mean(rows.iter().map(|r| r.0));
         let avg = mean(rows.iter().map(|r| r.1));
+        let clock_max = mean(rows.iter().map(|r| r.2));
+        let clock_avg = mean(rows.iter().map(|r| r.3));
         table.push_row(vec![
             dim.to_string(),
             format!("{max:.1}"),
             format!("{avg:.1}"),
+            format!("{clock_max:.1}"),
+            format!("{clock_avg:.1}"),
         ]);
         max_series.push((dim as f64, max));
         avg_series.push((dim as f64, avg));
@@ -190,6 +243,11 @@ pub fn fig1b(cfg: &Fig1Config) -> FigureReport {
     )
     .with_chart(chart.render())
     .with_note(roots_note)
+    .with_note(format!(
+        "wall-clock: message-passing builds for {} roots over a \
+         coordinate-distance network (2 ms base + 15 µs/unit)",
+        cfg.latency_roots
+    ))
     .with_note(format!("seeds averaged: {:?}", cfg.seeds))
 }
 
@@ -543,6 +601,33 @@ mod tests {
         let avg: f64 = report.table.rows()[0][2].parse().unwrap();
         assert!(max >= avg, "max must dominate the average of maxima");
         assert!((1.0..50.0).contains(&max));
+        // The wall-clock satellite: virtual build time under the
+        // coordinate-distance network, in sane milliseconds.
+        let clock_max: f64 = report.table.rows()[0][3].parse().unwrap();
+        let clock_avg: f64 = report.table.rows()[0][4].parse().unwrap();
+        assert!(clock_max >= clock_avg);
+        assert!(
+            clock_avg > 2.0,
+            "a multi-hop build cannot beat the base delay: {clock_avg}"
+        );
+        assert!(
+            clock_max < 2_000.0,
+            "build must settle quickly: {clock_max}"
+        );
+    }
+
+    #[test]
+    fn fig1b_wall_clock_columns_can_be_disabled() {
+        let cfg = Fig1Config {
+            n: 40,
+            dims: vec![2],
+            seeds: vec![1],
+            roots: Some(8),
+            latency_roots: 0,
+            ..Fig1Config::quick()
+        };
+        let report = fig1b(&cfg);
+        assert_eq!(report.table.rows()[0][3], "0.0", "no sampled builds");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | Beyond the paper: construction scaling to `N = 50_000` | [`overlay_scaling`] |
 //! | Beyond the paper: incremental churn engine (waves, flash crowds, mixed rates) | [`churn_panel`] |
 //! | Beyond the paper: multi-group session engine (N trees, one store, Zipf groups) | [`groups_panel`] |
+//! | Beyond the paper: failure-detection plane (detection latency, coverage recovery) | [`detection_panel`] |
 //!
 //! Every harness takes an explicit config (with a paper-scale
 //! [`Default`] and a reduced [`quick`](Fig1Config::quick) variant for
@@ -27,6 +28,7 @@
 
 mod churn;
 mod claims;
+mod detection;
 mod extra;
 mod fig1;
 mod groups;
@@ -36,6 +38,7 @@ mod scaling;
 
 pub use churn::{churn_panel, ChurnConfig};
 pub use claims::{claims_section2, claims_section3, ClaimsConfig};
+pub use detection::{detection_panel, DetectionConfig};
 pub use extra::{
     ablation_partitioner, baseline_messages, baseline_stability, AblationConfig, BaselineConfig,
 };

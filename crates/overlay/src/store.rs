@@ -513,6 +513,19 @@ impl TopologyStore {
         PeerId(id as u64)
     }
 
+    /// Idempotent [`TopologyStore::remove`]: removes the peer if it is
+    /// still live and returns whether a removal happened. The
+    /// failure-detection plane uses this — many detectors reach the
+    /// same dead verdict independently and only the first may mutate.
+    pub fn remove_if_present(&mut self, id: PeerId) -> bool {
+        let v = id.index();
+        if v >= self.peers.len() || self.departed[v] {
+            return false;
+        }
+        self.remove(id);
+        true
+    }
+
     /// Removes a peer (crash-stop) and incrementally re-converges the
     /// equilibrium: exactly the peers that had the departed peer
     /// selected re-run their selection over the surviving population.
@@ -709,6 +722,24 @@ mod tests {
             store.remove(PeerId(v));
             assert_eq!(store.graph(), reference_graph(&store), "after removing {v}");
         }
+    }
+
+    #[test]
+    fn remove_if_present_is_idempotent() {
+        let pts = points(30, 2, 19);
+        let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
+        for p in &pts {
+            store.insert(p.clone());
+        }
+        let epoch_before = store.epoch();
+        assert!(store.remove_if_present(PeerId(5)), "first verdict removes");
+        let epoch_after = store.epoch();
+        assert!(epoch_after > epoch_before);
+        // Duplicate verdicts from other detectors are no-ops.
+        assert!(!store.remove_if_present(PeerId(5)));
+        assert!(!store.remove_if_present(PeerId(9999)), "unknown peer");
+        assert_eq!(store.epoch(), epoch_after, "no-ops record no deltas");
+        assert_eq!(store.graph(), reference_graph(&store));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::fault::DropCause;
 use crate::node::NodeId;
 use crate::time::SimTime;
 
@@ -22,6 +23,10 @@ pub struct Counters {
     sent: u64,
     delivered: u64,
     dropped_fault: u64,
+    dropped_loss: u64,
+    dropped_burst: u64,
+    dropped_silent: u64,
+    dropped_partition: u64,
     dropped_crashed: u64,
     timers_fired: u64,
     by_tag: HashMap<&'static str, TagCounts>,
@@ -41,10 +46,34 @@ impl Counters {
         self.delivered
     }
 
-    /// Messages dropped by the fault model.
+    /// Messages dropped by the fault model (all causes).
     #[must_use]
     pub fn dropped_by_faults(&self) -> u64 {
         self.dropped_fault
+    }
+
+    /// Messages dropped by independent uniform loss.
+    #[must_use]
+    pub fn dropped_by_loss(&self) -> u64 {
+        self.dropped_loss
+    }
+
+    /// Messages dropped by the Gilbert–Elliott burst chain.
+    #[must_use]
+    pub fn dropped_by_burst(&self) -> u64 {
+        self.dropped_burst
+    }
+
+    /// Messages dropped because an endpoint was a silent-drop peer.
+    #[must_use]
+    pub fn dropped_silent(&self) -> u64 {
+        self.dropped_silent
+    }
+
+    /// Messages dropped on a partitioned region pair.
+    #[must_use]
+    pub fn dropped_partitioned(&self) -> u64 {
+        self.dropped_partition
     }
 
     /// Messages dropped because the destination had crashed.
@@ -89,8 +118,14 @@ impl Counters {
         self.by_tag.entry(tag).or_default().delivered += 1;
     }
 
-    pub(crate) fn record_dropped_fault(&mut self) {
+    pub(crate) fn record_dropped_fault(&mut self, cause: DropCause) {
         self.dropped_fault += 1;
+        match cause {
+            DropCause::Loss => self.dropped_loss += 1,
+            DropCause::Burst => self.dropped_burst += 1,
+            DropCause::Silent => self.dropped_silent += 1,
+            DropCause::Partition => self.dropped_partition += 1,
+        }
     }
 
     pub(crate) fn record_dropped_crashed(&mut self) {
@@ -202,11 +237,26 @@ mod tests {
     #[test]
     fn drop_counters_are_separate() {
         let mut c = Counters::default();
-        c.record_dropped_fault();
+        c.record_dropped_fault(DropCause::Loss);
         c.record_dropped_crashed();
         c.record_dropped_crashed();
         assert_eq!(c.dropped_by_faults(), 1);
         assert_eq!(c.dropped_at_crashed(), 2);
+    }
+
+    #[test]
+    fn fault_drops_are_attributed_by_cause() {
+        let mut c = Counters::default();
+        c.record_dropped_fault(DropCause::Loss);
+        c.record_dropped_fault(DropCause::Burst);
+        c.record_dropped_fault(DropCause::Burst);
+        c.record_dropped_fault(DropCause::Silent);
+        c.record_dropped_fault(DropCause::Partition);
+        assert_eq!(c.dropped_by_faults(), 5);
+        assert_eq!(c.dropped_by_loss(), 1);
+        assert_eq!(c.dropped_by_burst(), 2);
+        assert_eq!(c.dropped_silent(), 1);
+        assert_eq!(c.dropped_partitioned(), 1);
     }
 
     #[test]

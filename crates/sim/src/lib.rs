@@ -60,13 +60,17 @@ mod node;
 mod sim;
 mod time;
 
+pub mod detector;
 pub mod runner;
 pub mod workload;
 
 pub use context::Context;
 pub use counters::{Counters, TraceEntry, TraceLog};
+pub use detector::{
+    DetectorConfig, DetectorEvent, DetectorMsg, DetectorNode, DetectorVerdict, PeerStatus,
+};
 pub use event::TimerId;
-pub use fault::FaultModel;
+pub use fault::{DropCause, FaultModel, GilbertElliott};
 pub use latency::{ConstantLatency, CoordDistanceLatency, LatencyModel, UniformLatency};
 pub use node::{Message, Node, NodeId};
 pub use sim::{RunOutcome, Simulation, SimulationBuilder};

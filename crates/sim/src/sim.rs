@@ -198,6 +198,20 @@ impl<N: Node> Simulation<N> {
         self.crashed[id.index()]
     }
 
+    /// The active fault model.
+    #[must_use]
+    pub fn fault_model(&self) -> &FaultModel {
+        &self.fault
+    }
+
+    /// Mutable access to the fault model, so experiments can inject
+    /// faults mid-run (mark peers silent, cut region links). Mutations
+    /// are part of the experiment script and replay deterministically as
+    /// long as the script itself is deterministic.
+    pub fn fault_mut(&mut self) -> &mut FaultModel {
+        &mut self.fault
+    }
+
     /// Crashes a node: all its pending and future messages and timers are
     /// silently discarded.
     ///
@@ -378,8 +392,8 @@ impl<N: Node> Simulation<N> {
             "message to unknown node {to}"
         );
         self.counters.record_sent(msg.tag());
-        if self.fault.drops(from, to, &mut self.rng) {
-            self.counters.record_dropped_fault();
+        if let Some(cause) = self.fault.drops(from, to, &mut self.rng) {
+            self.counters.record_dropped_fault(cause);
             return;
         }
         let delay = self.latency.latency(from, to, &mut self.rng);

@@ -359,9 +359,44 @@ impl std::fmt::Display for GroupWorkload {
     }
 }
 
+/// Picks `count` distinct victims for a crash wave out of `0..n`,
+/// reproducibly per seed, never picking anything in `exclude` (group
+/// roots, the observer node, ...). Returns the victims sorted; if fewer
+/// than `count` candidates remain after exclusion, all of them are
+/// returned.
+#[must_use]
+pub fn crash_wave_victims(n: usize, count: usize, exclude: &[usize], seed: u64) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).filter(|i| !exclude.contains(i)).collect();
+    let picks = count.min(pool.len());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6372_6173_6821); // "crash!"
+                                                                  // Partial Fisher–Yates: the first `picks` slots end up uniformly drawn.
+    for i in 0..picks {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(picks);
+    pool.sort_unstable();
+    pool
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crash_wave_victims_are_deterministic_and_respect_exclusions() {
+        let a = crash_wave_victims(50, 8, &[0, 3], 42);
+        let b = crash_wave_victims(50, 8, &[0, 3], 42);
+        assert_eq!(a, b, "same seed must pick the same wave");
+        assert_eq!(a.len(), 8);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "victims come sorted");
+        assert!(!a.contains(&0) && !a.contains(&3), "exclusions are honored");
+        let c = crash_wave_victims(50, 8, &[0, 3], 43);
+        assert_ne!(a, c, "a different seed must shuffle the wave");
+        // Capped when the pool is smaller than the request.
+        let small = crash_wave_victims(4, 10, &[1], 7);
+        assert_eq!(small, vec![0, 2, 3]);
+    }
 
     #[test]
     fn waves_are_pure() {

@@ -137,6 +137,7 @@ fn reports_render_to_markdown_and_display() {
         seeds: vec![1],
         vmax: 1000.0,
         roots: Some(5),
+        latency_roots: 2,
     });
     let shown = report.to_string();
     assert!(shown.contains("## fig1a"));
