@@ -1,0 +1,294 @@
+//! Batched data plane: payload throughput and per-payload message cost
+//! versus batch depth × Zipf skew, with a machine-readable summary.
+//!
+//! Three claims under test:
+//!
+//! 1. **Batching.** A flush walks a group's delivery edges once per
+//!    batch, so on the Zipf-head scenario (hot group gets both the most
+//!    payloads and the biggest tree) messages/payload must drop by at
+//!    least 5x at batch depth 64 versus publishing the same payloads
+//!    one at a time.
+//! 2. **Plan cache.** Steady-state flushes are epoch-checked cache hits
+//!    — with no churn the hit rate must exceed 90%, and even with
+//!    periodic churn only the repaired groups recompute.
+//! 3. **Coverage.** Batched delivery rides the same grafted trees as
+//!    sequential publish: zero stranded payload-deliveries, and every
+//!    group stays byte-identical to a from-scratch rebuild.
+//!
+//! Results land in `crates/bench/BENCH_publish.json` (quick scale by
+//! default; set `GEOCAST_FULL=1` for the 2000-peer, 256-group sweep).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geocast::core::dataplane::FlushReport;
+use geocast::core::groups::GroupEngine;
+use geocast::overlay::churn::{ChurnEvent, ChurnSchedule};
+use geocast::prelude::*;
+use geocast::sim::workload::{zipf_group_sizes, PublishWorkload};
+use geocast_bench::full_scale;
+
+struct Scale {
+    n: usize,
+    groups: usize,
+    subscriptions: usize,
+    ticks: usize,
+    churn_every: usize,
+}
+
+struct Measurement {
+    zipf: f64,
+    batch: usize,
+    churn_every: usize,
+    report: FlushReport,
+    payloads_per_s: f64,
+    exact: bool,
+}
+
+fn measure(scale: &Scale, zipf: f64, batch: usize, churn_every: usize) -> Measurement {
+    let points = uniform_points(scale.n, 2, 1000.0, 1);
+    let store = TopologyStore::from_peers(
+        PeerInfo::from_point_set(&points),
+        Arc::new(EmptyRectSelection),
+    );
+    let mut engine = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+    let mut state = 0x6461_7461_706c_616eu64 ^ batch as u64;
+    let sizes = zipf_group_sizes(
+        scale.groups,
+        scale.subscriptions.max(scale.groups),
+        zipf.max(1.0),
+    );
+    let ids = engine.seed_groups_placed(MembershipPlacement::Clustered, &sizes, &mut state);
+
+    let churn_events = scale.ticks.checked_div(churn_every).unwrap_or(0);
+    let schedule = ChurnSchedule::from_pattern(
+        scale.n,
+        &ChurnPattern::Mixed {
+            events: churn_events,
+            join_rate: 1,
+            leave_rate: 1,
+        },
+        2,
+        1000.0,
+        7 ^ batch as u64,
+    );
+    let mut churn_it = schedule.events().iter();
+    let workload = PublishWorkload {
+        groups: scale.groups,
+        exponent: zipf,
+        ticks: scale.ticks,
+        payloads_per_tick: batch,
+    };
+
+    let mut report = FlushReport::default();
+    let mut flush_seconds = 0.0f64;
+    for tick in 0..scale.ticks {
+        if churn_every > 0 && tick % churn_every == churn_every - 1 {
+            match churn_it.next() {
+                Some(ChurnEvent::Join(p)) => {
+                    engine.join(p.clone());
+                }
+                Some(ChurnEvent::Leave(id)) => engine.leave(*id),
+                None => {}
+            }
+        }
+        let counts = workload.tick_payloads(1, tick);
+        let start = Instant::now();
+        for (gi, &payloads) in counts.iter().enumerate() {
+            if payloads > 0 {
+                engine.enqueue(ids[gi], payloads);
+            }
+        }
+        for b in engine.flush_tick() {
+            report.absorb(&b);
+        }
+        flush_seconds += start.elapsed().as_secs_f64();
+    }
+    let exact = ids.iter().all(|&g| engine.matches_reference(g));
+    Measurement {
+        zipf,
+        batch,
+        churn_every,
+        report,
+        payloads_per_s: report.payloads as f64 / flush_seconds.max(1e-9),
+        exact,
+    }
+}
+
+fn row_json(m: &Measurement) -> String {
+    let r = &m.report;
+    format!(
+        "    {{\n      \"zipf\": {:.1},\n      \"batch\": {},\n      \
+         \"churn_every\": {},\n      \"payloads\": {},\n      \
+         \"batches\": {},\n      \"messages\": {},\n      \
+         \"sequential_messages\": {},\n      \"messages_per_payload\": {:.3},\n      \
+         \"reduction\": {:.2},\n      \"cache_hits\": {},\n      \
+         \"cache_misses\": {},\n      \"cache_hit_rate\": {:.4},\n      \
+         \"payload_strandings\": {},\n      \"payloads_per_second\": {:.0},\n      \
+         \"exact\": {}\n    }}",
+        m.zipf,
+        m.batch,
+        m.churn_every,
+        r.payloads,
+        r.batches,
+        r.messages,
+        r.sequential_messages,
+        r.messages_per_payload(),
+        r.reduction(),
+        r.cache_hits,
+        r.cache_misses,
+        r.cache_hit_rate(),
+        r.payload_strandings,
+        m.payloads_per_s,
+        m.exact,
+    )
+}
+
+fn write_summary(scale: &Scale, rows: &[Measurement], steady: &Measurement) {
+    let entries: Vec<String> = rows.iter().map(row_json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"publish_dataplane\",\n  \"dim\": 2,\n  \"n\": {},\n  \
+         \"groups\": {},\n  \"subscriptions\": {},\n  \"ticks\": {},\n  \
+         \"churn_every\": {},\n  \"sweep\": [\n{}\n  ],\n  \
+         \"steady_state\": [\n{}\n  ]\n}}\n",
+        scale.n,
+        scale.groups,
+        scale.subscriptions,
+        scale.ticks,
+        scale.churn_every,
+        entries.join(",\n"),
+        row_json(steady),
+    );
+    // Anchor at this crate's manifest dir — cargo gives bench binaries a
+    // package-relative cwd, which varies by invocation.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_publish.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+fn publish_dataplane(c: &mut Criterion) {
+    let scale = if full_scale() {
+        Scale {
+            n: 2_000,
+            groups: 256,
+            subscriptions: 4_000,
+            ticks: 200,
+            churn_every: 25,
+        }
+    } else {
+        Scale {
+            n: 300,
+            groups: 32,
+            subscriptions: 600,
+            ticks: 60,
+            churn_every: 15,
+        }
+    };
+    let exponents = [0.0, 1.0, 1.5];
+    let batches = [1usize, 8, 64, 256];
+
+    let mut rows: Vec<Measurement> = Vec::new();
+    for &zipf in &exponents {
+        for &batch in &batches {
+            let m = measure(&scale, zipf, batch, scale.churn_every);
+            println!(
+                "zipf={:.1} batch={}: {} payloads in {} frames ({:.3} msg/payload, \
+                 {:.1}x reduction, {:.0}% cache hits, {} stranded, {:.2e} payloads/s, exact={})",
+                m.zipf,
+                m.batch,
+                m.report.payloads,
+                m.report.messages,
+                m.report.messages_per_payload(),
+                m.report.reduction(),
+                m.report.cache_hit_rate() * 100.0,
+                m.report.payload_strandings,
+                m.payloads_per_s,
+                m.exact,
+            );
+            assert!(m.exact, "zipf={zipf} batch={batch}: engine diverged");
+            assert_eq!(
+                m.report.payload_strandings, 0,
+                "zipf={zipf} batch={batch}: batched delivery stranded payloads"
+            );
+            rows.push(m);
+        }
+    }
+
+    // The batching claim: on the Zipf-head scenario, depth 64 must cut
+    // payload-carrying messages at least 5x versus sequential publish.
+    let head = rows
+        .iter()
+        .find(|m| m.zipf == 1.5 && m.batch == 64)
+        .expect("zipf 1.5 / batch 64 row");
+    assert!(
+        head.report.reduction() >= 5.0,
+        "zipf 1.5 @ batch 64: reduction {:.2} < 5x",
+        head.report.reduction(),
+    );
+    // Batch depth 1 must degenerate to exactly the sequential cost.
+    for m in rows.iter().filter(|m| m.batch == 1) {
+        assert_eq!(
+            m.report.messages, m.report.sequential_messages,
+            "zipf={}: batch-of-1 diverged from sequential cost",
+            m.zipf,
+        );
+    }
+
+    // The plan-cache claim: with no churn, every flush after a group's
+    // first is an epoch-checked hit.
+    let steady = measure(&scale, 1.5, 64, 0);
+    println!(
+        "steady state (no churn): {:.1}% cache hits over {} flushes, {:.2e} payloads/s",
+        steady.report.cache_hit_rate() * 100.0,
+        steady.report.batches,
+        steady.payloads_per_s,
+    );
+    assert!(
+        steady.report.cache_hit_rate() > 0.9,
+        "steady-state hit rate {:.3} — plans are being recomputed",
+        steady.report.cache_hit_rate(),
+    );
+    write_summary(&scale, &rows, &steady);
+
+    // Criterion samples one steady-state tick: enqueue a Zipf round and
+    // flush it through the warmed plan cache.
+    let mut group = c.benchmark_group("publish/flush_tick");
+    group.sample_size(20);
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("n{}_g{}_b64", scale.n, scale.groups)),
+        |b| {
+            let points = uniform_points(scale.n, 2, 1000.0, 1);
+            let store = TopologyStore::from_peers(
+                PeerInfo::from_point_set(&points),
+                Arc::new(EmptyRectSelection),
+            );
+            let mut engine = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+            let mut state = 0x0066_6c75_7368_u64; // "flush"
+            let sizes = zipf_group_sizes(scale.groups, scale.subscriptions, 1.5);
+            let ids = engine.seed_groups_placed(MembershipPlacement::Clustered, &sizes, &mut state);
+            let workload = PublishWorkload {
+                groups: scale.groups,
+                exponent: 1.5,
+                ticks: 1,
+                payloads_per_tick: 64,
+            };
+            let counts = workload.tick_payloads(1, 0);
+            b.iter(|| {
+                for (gi, &payloads) in counts.iter().enumerate() {
+                    if payloads > 0 {
+                        engine.enqueue(ids[gi], payloads);
+                    }
+                }
+                std::hint::black_box(engine.flush_tick())
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, publish_dataplane);
+criterion_main!(benches);

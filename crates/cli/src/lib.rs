@@ -56,6 +56,18 @@ pub enum CliError {
         /// Publishes performed.
         publishes: usize,
     },
+    /// `publish --strict` was requested and the data-plane gate failed:
+    /// a flushed payload stranded a subscriber, the delivery-plan cache
+    /// never hit, or the engine diverged from the oracle rebuild (the
+    /// CI data-plane gate).
+    PublishGate {
+        /// Payload-deliveries that failed to reach a subscriber.
+        stranded_payloads: u64,
+        /// Delivery-plan cache hits across the run's flushes.
+        cache_hits: u64,
+        /// Whether every group matched the from-scratch rebuild.
+        converged: bool,
+    },
     /// `detect --strict` was requested and the detection gate failed:
     /// a live peer was convicted, an injected failure went undetected,
     /// coverage did not recover, or the detector-driven topology
@@ -87,6 +99,16 @@ impl fmt::Display for CliError {
             } => write!(
                 f,
                 "strict coverage violated: {stranded} stranded deliveries across {publishes} publishes"
+            ),
+            CliError::PublishGate {
+                stranded_payloads,
+                cache_hits,
+                converged,
+            } => write!(
+                f,
+                "strict publish violated: {stranded_payloads} stranded \
+                 payload-deliveries, {cache_hits} plan-cache hits, \
+                 converged {converged}"
             ),
             CliError::DetectionGate {
                 false_positives,
@@ -197,6 +219,7 @@ pub fn run(inv: &Invocation) -> Result<String, CliError> {
         "route" => cmd_route(inv),
         "churn" => cmd_churn(inv),
         "groups" => cmd_groups(inv),
+        "publish" => cmd_publish(inv),
         "detect" => cmd_detect(inv),
         "figures" => cmd_figures(inv),
         other => Err(CliError::UnknownCommand(other.to_owned())),
@@ -225,13 +248,18 @@ COMMANDS:
              --n 500 --dim 2 --seed 1 --groups 16 --subs 1000 --zipf 1.0
              --events 200 --group-events 200 --placement clustered|scattered
              [--strict-coverage]  (fail if any publish strands a member)
+  publish    drive the batched data plane: enqueue + flush over the plan cache
+             --n 500 --dim 2 --seed 1 --groups 16 --subs 1000 --zipf 1.5
+             --batch 64 --ticks 50 --churn-every 10 --placement clustered|scattered
+             [--strict]  (fail on stranded payloads, a cold plan cache,
+                          or oracle divergence)
   detect     run the SWIM failure-detection plane through a crash wave
              --n 24 --dim 2 --seed 1 --groups 2 --group-size 8 --loss 0.0
              --crashes 2 --silent 1 --suspicion-ms 400
              [--strict]  (fail on false positives, missed failures,
                           unrecovered coverage, or oracle divergence)
   figures    regenerate the paper's artifacts
-             --panel fig1a|fig1b|fig1c|fig1d|fig1e|claims|ablation|baselines|repair|scaling|churn|groups|detection|all [--full]
+             --panel fig1a|fig1b|fig1c|fig1d|fig1e|claims|ablation|baselines|repair|scaling|churn|groups|detection|publish|all [--full]
   help       this text
 ";
 
@@ -802,6 +830,157 @@ fn cmd_groups(inv: &Invocation) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_publish(inv: &Invocation) -> Result<String, CliError> {
+    use geocast::core::dataplane::FlushReport;
+    use geocast::core::groups::GroupEngine;
+    use geocast::overlay::churn::{ChurnEvent, ChurnSchedule};
+    use geocast::sim::workload::{zipf_group_sizes, PublishWorkload};
+    use std::time::Instant;
+
+    let n: usize = opt_peers(inv, 500)?;
+    let dim: usize = opt(inv, "dim", 2)?;
+    let seed: u64 = opt(inv, "seed", 1)?;
+    let num_groups: usize = opt(inv, "groups", 16)?;
+    let subs: usize = opt(inv, "subs", 2 * n)?;
+    let zipf: f64 = opt(inv, "zipf", 1.5)?;
+    let batch: usize = opt(inv, "batch", 64)?;
+    let ticks: usize = opt(inv, "ticks", 50)?;
+    let churn_every: usize = opt(inv, "churn-every", 10)?;
+    let placement_name: String = opt(inv, "placement", "clustered".to_owned())?;
+    let strict = inv.options.contains_key("strict");
+    let placement = match placement_name.as_str() {
+        "clustered" => MembershipPlacement::Clustered,
+        "scattered" => MembershipPlacement::Scattered,
+        other => {
+            return Err(CliError::BadValue {
+                key: "placement".into(),
+                value: other.into(),
+            })
+        }
+    };
+    if num_groups == 0 {
+        return Err(CliError::BadValue {
+            key: "groups".into(),
+            value: "0".into(),
+        });
+    }
+    if batch == 0 {
+        return Err(CliError::BadValue {
+            key: "batch".into(),
+            value: "0".into(),
+        });
+    }
+    if !zipf.is_finite() || zipf < 0.0 {
+        return Err(CliError::BadValue {
+            key: "zipf".into(),
+            value: zipf.to_string(),
+        });
+    }
+
+    let points = uniform_points(n, dim, 1000.0, seed);
+    let store = TopologyStore::from_peers(
+        PeerInfo::from_point_set(&points),
+        Arc::new(EmptyRectSelection),
+    );
+    let mut engine = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+    let mut state = seed ^ 0x0070_7562_6c69_7368; // "publish"
+    let sizes = zipf_group_sizes(num_groups, subs.max(num_groups), zipf.max(1.0));
+    let ids = engine.seed_groups_placed(placement, &sizes, &mut state);
+
+    let churn_events = ticks.checked_div(churn_every).unwrap_or(0);
+    let schedule = ChurnSchedule::from_pattern(
+        n,
+        &ChurnPattern::Mixed {
+            events: churn_events,
+            join_rate: 1,
+            leave_rate: 1,
+        },
+        dim,
+        1000.0,
+        seed ^ 0xda7a,
+    );
+    let mut churn_it = schedule.events().iter();
+    let workload = PublishWorkload {
+        groups: num_groups,
+        exponent: zipf,
+        ticks,
+        payloads_per_tick: batch,
+    };
+
+    let mut report = FlushReport::default();
+    let mut flush_seconds = 0.0f64;
+    for tick in 0..ticks {
+        if churn_every > 0 && tick % churn_every == churn_every - 1 {
+            match churn_it.next() {
+                Some(ChurnEvent::Join(p)) => {
+                    engine.join(p.clone());
+                }
+                Some(ChurnEvent::Leave(id)) => engine.leave(*id),
+                None => {}
+            }
+        }
+        let counts = workload.tick_payloads(seed, tick);
+        let start = Instant::now();
+        for (gi, &payloads) in counts.iter().enumerate() {
+            if payloads > 0 {
+                engine.enqueue(ids[gi], payloads);
+            }
+        }
+        for b in engine.flush_tick() {
+            report.absorb(&b);
+        }
+        flush_seconds += start.elapsed().as_secs_f64();
+    }
+    let converged = ids.iter().all(|&g| engine.matches_reference(g));
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "batched data plane: {workload} over {num_groups} groups, {n} peers \
+         (D={dim}, seed {seed}, {placement_name}, churn every {churn_every} ticks)\n\n"
+    ));
+    out.push_str(&format!("  payloads published  : {}\n", report.payloads));
+    out.push_str(&format!(
+        "  flushes             : {} batches over {} ticks\n",
+        report.batches, ticks
+    ));
+    out.push_str(&format!(
+        "  data frames         : {} ({} over relays)\n",
+        report.messages, report.relay_messages
+    ));
+    out.push_str(&format!(
+        "  messages/payload    : {:.3} (sequential would pay {:.3})\n",
+        report.messages_per_payload(),
+        report.sequential_messages as f64 / report.payloads.max(1) as f64
+    ));
+    out.push_str(&format!(
+        "  batching reduction  : {:.1}x\n",
+        report.reduction()
+    ));
+    out.push_str(&format!(
+        "  plan cache          : {} hits / {} misses ({:.0}% hit rate)\n",
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_hit_rate() * 100.0
+    ));
+    out.push_str(&format!(
+        "  payload deliveries  : {} ({} stranded)\n",
+        report.payload_deliveries, report.payload_strandings
+    ));
+    out.push_str(&format!(
+        "  flush throughput    : {:.2e} payloads/s\n",
+        report.payloads as f64 / flush_seconds.max(1e-9)
+    ));
+    out.push_str(&format!("  all == rebuild      : {converged}\n"));
+    if strict && (report.payload_strandings > 0 || report.cache_hits == 0 || !converged) {
+        return Err(CliError::PublishGate {
+            stranded_payloads: report.payload_strandings,
+            cache_hits: report.cache_hits,
+            converged,
+        });
+    }
+    Ok(out)
+}
+
 fn cmd_detect(inv: &Invocation) -> Result<String, CliError> {
     use geocast::core::detect::{run_detection, DetectionScenario};
 
@@ -972,6 +1151,11 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
     } else {
         figures::DetectionConfig::quick()
     };
+    let publish = if full {
+        figures::PublishConfig::default()
+    } else {
+        figures::PublishConfig::quick()
+    };
 
     let mut reports = Vec::new();
     match panel.as_str() {
@@ -994,6 +1178,7 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
         "churn" => reports.push(figures::churn_panel(&churn)),
         "groups" => reports.push(figures::groups_panel(&groups)),
         "detection" => reports.push(figures::detection_panel(&detection)),
+        "publish" => reports.push(figures::publish_panel(&publish)),
         "all" => {
             reports.push(figures::fig1a(&fig1));
             reports.push(figures::fig1b(&fig1));
@@ -1011,6 +1196,7 @@ fn cmd_figures(inv: &Invocation) -> Result<String, CliError> {
             reports.push(figures::churn_panel(&churn));
             reports.push(figures::groups_panel(&groups));
             reports.push(figures::detection_panel(&detection));
+            reports.push(figures::publish_panel(&publish));
         }
         other => {
             return Err(CliError::BadValue {
@@ -1249,6 +1435,81 @@ mod tests {
         assert!(out.contains("mean coverage       : 100%"), "{out}");
         assert!(out.contains("scattered"), "{out}");
         assert!(out.contains("all == rebuild      : true"), "{out}");
+    }
+
+    #[test]
+    fn publish_strict_gate_passes_on_the_clustered_scenario() {
+        // The CI data-plane gate: clustered membership, strict mode —
+        // batching must strand nothing and the delivery-plan cache must
+        // actually serve hits.
+        let inv = parse_args(&args(&[
+            "publish",
+            "--n",
+            "120",
+            "--groups",
+            "8",
+            "--subs",
+            "200",
+            "--batch",
+            "32",
+            "--ticks",
+            "20",
+            "--churn-every",
+            "7",
+            "--strict",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("payloads published  : 640"), "{out}");
+        assert!(out.contains("(0 stranded)"), "{out}");
+        assert!(out.contains("all == rebuild      : true"), "{out}");
+        assert!(out.contains("batching reduction"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
+    }
+
+    #[test]
+    fn publish_batch_of_one_reports_no_reduction() {
+        let inv = parse_args(&args(&[
+            "publish",
+            "--n",
+            "100",
+            "--groups",
+            "6",
+            "--batch",
+            "1",
+            "--ticks",
+            "10",
+            "--churn-every",
+            "0",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("batching reduction  : 1.0x"), "{out}");
+        assert!(out.contains("(0 stranded)"), "{out}");
+    }
+
+    #[test]
+    fn publish_rejects_bad_values() {
+        let inv = parse_args(&args(&["publish", "--groups", "0"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+        let inv = parse_args(&args(&["publish", "--batch", "0"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+        let inv = parse_args(&args(&["publish", "--zipf", "-0.5"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+        let inv = parse_args(&args(&["publish", "--placement", "orbital"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn figures_publish_panel_runs_quick() {
+        let inv = parse_args(&args(&["figures", "--panel", "publish"])).unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("## publish"), "{out}");
+        assert!(out.contains("suspicion window"), "{out}");
+        assert!(
+            !out.contains("false"),
+            "a group diverged from rebuild: {out}"
+        );
     }
 
     #[test]

@@ -20,10 +20,13 @@
 //!    checks the detector-driven store and every group tree against a
 //!    from-scratch oracle rebuild, byte for byte.
 //! 3. **Suspicion degrades gracefully.** While a group's root or relay
-//!    is merely suspected, the group publishes via a flood within its
-//!    member region ([`GroupEngine::publish_with_failures`]) instead of
-//!    trusting the compromised tree — availability bought with
-//!    bandwidth until the suspicion refutes or the verdict lands.
+//!    is merely suspected, the group publishes via the eager/lazy
+//!    epidemic ([`GroupEngine::publish_with_failures`] over
+//!    [`crate::dataplane::eager_lazy_deliver`]) instead of trusting the
+//!    compromised tree — the tree still eager-pushes where it can, and
+//!    IHAVE/IWANT pulls over the member region recover the rest, so
+//!    availability costs a bounded number of pull round-trips until the
+//!    suspicion refutes or the verdict lands.
 //!
 //! [`run_detection`] scripts one experiment — seed groups, run the
 //! plane, fire a crash/silent-drop wave, sample payload coverage on a
@@ -151,7 +154,7 @@ pub struct CoverageSample {
     /// group, published against ground truth (failed peers neither
     /// receive nor forward).
     pub coverage: f64,
-    /// Groups publishing in degraded flood mode at this instant.
+    /// Groups publishing in degraded epidemic mode at this instant.
     pub degraded_groups: usize,
     /// Ground-truth failures the detection plane has not yet evicted.
     pub pending_failures: usize,

@@ -29,6 +29,17 @@
 //!   re-routing relays whose underlying peers churned. Consumers that
 //!   fall behind the log's retention window resync from the full store
 //!   state.
+//! * **A batched, plan-cached data plane.** Publishing is decoupled
+//!   from tree walking ([`crate::dataplane`]): each group's delivery
+//!   edges are flattened once into a [`DeliveryPlan`] cached against
+//!   the group's rebuild counter, so steady-state [`GroupEngine::publish`]
+//!   is O(1); [`GroupEngine::enqueue`] + [`GroupEngine::flush_tick`]
+//!   batch a tick's payloads so one frame per delivery edge carries the
+//!   whole batch; and while a group's root or relay is merely
+//!   *suspected* ([`GroupEngine::set_suspects`]) delivery degrades to a
+//!   Plumtree-style eager/lazy epidemic — tree pushes plus IHAVE/IWANT
+//!   recovery over the member region — with the same reachable set as
+//!   the tree-plus-grafts at a bounded duplicate cost.
 //!
 //! The multi-tree analogue of PR 3's incremental guarantee, property
 //! tested (`tests/prop_groups.rs`): after any churn interleaving, every
@@ -64,12 +75,15 @@
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
-use geocast_geom::{Interval, MetricKind, Point, Rect};
+use geocast_geom::{MetricKind, Point, Rect};
 use geocast_overlay::delta::DeltaKind;
 use geocast_overlay::{PeerId, TopologyDelta, TopologyStore};
 use geocast_sim::workload::{GroupOp, MembershipPlacement};
 
 use crate::builder::{build_in_zone_generic, BuildResult};
+use crate::dataplane::{
+    eager_lazy_deliver, DeliveryPlan, EpidemicReport, PlanCache, PlanStats, PublishBatch,
+};
 use crate::graft::{graft_stranded_members, GraftReport};
 use crate::partition::ZonePartitioner;
 use crate::stability::{preferred_links_on_store, PreferredPolicy, StabilityForest};
@@ -229,8 +243,14 @@ pub struct EngineTotals {
     pub tree_rebuilds: u64,
     /// Σ member-set sizes over all rebuilds.
     pub rebuilt_members: u64,
-    /// Payloads published.
+    /// Delivery *operations* performed: single publishes and flushed
+    /// batches each count once (a batch walks its delivery edges once,
+    /// however many payloads it carries).
     pub publishes: u64,
+    /// Payload copies delivered end-to-end: a single publish adds 1, a
+    /// flushed batch adds its queue depth — the throughput numerator
+    /// that keeps batched and sequential accounting comparable.
+    pub payloads: u64,
     /// Full resyncs forced by delta-log truncation.
     pub full_resyncs: u64,
 }
@@ -277,6 +297,30 @@ pub struct PublishOutcome {
     /// delivered-member floor — the per-payload overhead of 100%
     /// coverage.
     pub relay_messages: usize,
+    /// Payloads this outcome accounts for. Always 1 on the sequential
+    /// paths ([`GroupEngine::publish`] and friends); batched delivery
+    /// reports through [`crate::dataplane::PublishBatch`] instead, and
+    /// this field is what keeps the two accountings comparable.
+    pub payloads: usize,
+}
+
+impl PublishOutcome {
+    /// Data messages per payload carried — 1:1 on sequential publishes,
+    /// the batching win otherwise.
+    #[must_use]
+    pub fn messages_per_payload(&self) -> f64 {
+        self.messages as f64 / self.payloads.max(1) as f64
+    }
+}
+
+/// Copies of the plan numbers one delivery needs — lets the borrow of
+/// the plan cache end before the totals are bumped.
+#[derive(Debug, Clone, Copy)]
+struct PlanMetrics {
+    delivered: usize,
+    stranded: usize,
+    messages: usize,
+    relay_messages: usize,
 }
 
 /// N concurrent multicast trees kept current over one shared
@@ -299,6 +343,12 @@ pub struct GroupEngine {
     /// repair exactly like membership hits — relay teardown rides the
     /// same delta stream.
     graft_of: Vec<Vec<u32>>,
+    /// Peer index → sorted group ids whose **current tree** uses the
+    /// peer as a relay. A strict subset of `graft_of` kept separately
+    /// so suspicion processing intersects suspects with actual relays
+    /// — not the wider consulted-row support set — in time linear in
+    /// the suspects' own group lists.
+    relay_of: Vec<Vec<u32>>,
     /// Live peers, ascending — the maintained list workload binding
     /// draws from (replacing the per-op O(N) departed-scan).
     live_peers: Vec<usize>,
@@ -308,9 +358,24 @@ pub struct GroupEngine {
     stability: Option<(PreferredPolicy, StabilityForest)>,
     /// Peers currently *suspected* (but not yet declared dead) by the
     /// failure-detection plane. Groups whose root or relays appear here
-    /// publish in degraded flood-within-region mode until the suspicion
+    /// publish in degraded eager/lazy epidemic mode until the suspicion
     /// resolves (refuted, or dead → removed → re-grafted).
     suspects: BTreeSet<usize>,
+    /// Per-group degraded flags, maintained incrementally from
+    /// `relay_of` on [`GroupEngine::set_suspects`] and per-group on
+    /// rebuild — [`GroupEngine::is_degraded`] is an O(1) lookup instead
+    /// of a per-publish relay scan.
+    degraded: Vec<bool>,
+    /// Epoch-keyed delivery plans: steady-state publish is a lookup
+    /// plus counter math, invalidated by the `rebuilds` bump every
+    /// repair already performs.
+    plans: PlanCache,
+    /// Per-group queued payload counts awaiting the next flush tick.
+    pending: Vec<usize>,
+    /// Groups with `pending > 0`, in enqueue order (sorted at flush).
+    queued: Vec<u32>,
+    /// Control-plane accounting of the most recent epidemic delivery.
+    last_epidemic: Option<EpidemicReport>,
     last_sync: SyncReport,
     totals: EngineTotals,
 }
@@ -321,6 +386,7 @@ impl GroupEngine {
     pub fn new(store: TopologyStore, partitioner: Arc<dyn ZonePartitioner + Send + Sync>) -> Self {
         let member_of = vec![Vec::new(); store.len()];
         let graft_of = vec![Vec::new(); store.len()];
+        let relay_of = vec![Vec::new(); store.len()];
         let live_peers: Vec<usize> = (0..store.len())
             .filter(|&i| !store.is_departed(PeerId(i as u64)))
             .collect();
@@ -331,10 +397,16 @@ impl GroupEngine {
             groups: Vec::new(),
             member_of,
             graft_of,
+            relay_of,
             live_peers,
             seen_epoch,
             stability: None,
             suspects: BTreeSet::new(),
+            degraded: Vec::new(),
+            plans: PlanCache::default(),
+            pending: Vec::new(),
+            queued: Vec::new(),
+            last_epidemic: None,
             last_sync: SyncReport::default(),
             totals: EngineTotals::default(),
         }
@@ -604,37 +676,197 @@ impl GroupEngine {
     ///
     /// Message cost is the number of tree edges the payload actually
     /// traverses — the union of root→member paths, relay hops included
-    /// ([`crate::MulticastTree::delivery_messages`]) — not the member
-    /// count.
+    /// — read from the group's epoch-keyed [`DeliveryPlan`]: the tree
+    /// is walked only when the plan is stale (the group was repaired
+    /// since), so steady-state publish is an O(1) lookup plus counter
+    /// math however hot the group is.
     ///
     /// # Panics
     ///
     /// Panics if `g` is unknown.
     pub fn publish(&mut self, g: GroupId) -> Option<PublishOutcome> {
         self.sync();
-        let group = &self.groups[g.index()];
-        let build = &group.build.as_ref()?.build;
+        let (plan, _hit) = self.plan_metrics(g.index())?;
         self.totals.publishes += 1;
-        let delivered = group
-            .members
-            .iter()
-            .filter(|&&m| build.tree.is_reached(m))
-            .count();
-        let messages = build.tree.delivery_messages(group.members.iter().copied());
+        self.totals.payloads += 1;
         Some(PublishOutcome {
-            delivered,
-            stranded: group.members.len() - delivered,
-            messages,
-            relay_messages: messages - delivered.saturating_sub(1),
+            delivered: plan.delivered,
+            stranded: plan.stranded,
+            messages: plan.messages,
+            relay_messages: plan.relay_messages,
+            payloads: 1,
         })
+    }
+
+    /// Queues `payloads` copies on a group's per-tick queue; the next
+    /// [`GroupEngine::flush_tick`] delivers them as one batch. A no-op
+    /// for `payloads == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown.
+    pub fn enqueue(&mut self, g: GroupId, payloads: usize) {
+        let gi = g.index();
+        assert!(gi < self.groups.len(), "unknown {g}");
+        if payloads == 0 {
+            return;
+        }
+        if self.pending.len() <= gi {
+            self.pending.resize(gi + 1, 0);
+        }
+        if self.pending[gi] == 0 {
+            self.queued.push(g.0);
+        }
+        self.pending[gi] += payloads;
+    }
+
+    /// Payloads currently queued on a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown.
+    #[must_use]
+    pub fn pending(&self, g: GroupId) -> usize {
+        assert!(g.index() < self.groups.len(), "unknown {g}");
+        self.pending.get(g.index()).copied().unwrap_or(0)
+    }
+
+    /// Flushes every group with queued payloads: one [`PublishBatch`]
+    /// per group, walking that group's delivery edges **once** — each
+    /// frame carries the whole batch, so messages/payload shrinks by
+    /// the queue depth. Groups flushed in ascending id order; payloads
+    /// queued on groups that went dormant in the meantime are dropped
+    /// (there is no audience left to deliver to).
+    pub fn flush_tick(&mut self) -> Vec<PublishBatch> {
+        self.sync();
+        let mut due = std::mem::take(&mut self.queued);
+        due.sort_unstable();
+        let mut batches = Vec::with_capacity(due.len());
+        for gid in due {
+            let gi = gid as usize;
+            let payloads = std::mem::take(&mut self.pending[gi]);
+            if payloads == 0 {
+                continue;
+            }
+            if let Some(batch) = self.deliver_batch(gi, payloads) {
+                batches.push(batch);
+            }
+        }
+        batches
+    }
+
+    /// Delivers `payloads` copies to a group as one batch, bypassing
+    /// the queue. [`GroupEngine::flush_tick`] of a single enqueued
+    /// group is exactly this; a batch of 1 is exactly
+    /// [`GroupEngine::publish`] (regression-tested). Returns `None`
+    /// for dormant groups or an empty batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is unknown.
+    pub fn publish_batch(&mut self, g: GroupId, payloads: usize) -> Option<PublishBatch> {
+        self.sync();
+        assert!(g.index() < self.groups.len(), "unknown {g}");
+        if payloads == 0 {
+            return None;
+        }
+        self.deliver_batch(g.index(), payloads)
+    }
+
+    /// One batch delivery: plan-driven over the tree, or an eager/lazy
+    /// epidemic while the group is degraded (the frames still carry
+    /// the whole batch either way).
+    fn deliver_batch(&mut self, gi: usize, payloads: usize) -> Option<PublishBatch> {
+        let g = GroupId(gi as u32);
+        if self.is_degraded(g) {
+            let (outcome, report) = self.epidemic_outcome(gi, &BTreeSet::new())?;
+            self.last_epidemic = Some(report);
+            self.totals.publishes += 1;
+            self.totals.payloads += payloads as u64;
+            return Some(PublishBatch {
+                group: g,
+                payloads,
+                delivered: outcome.delivered,
+                stranded: outcome.stranded,
+                messages: outcome.messages,
+                relay_messages: outcome.relay_messages,
+                cache_hit: false,
+            });
+        }
+        let (plan, cache_hit) = self.plan_metrics(gi)?;
+        self.totals.publishes += 1;
+        self.totals.payloads += payloads as u64;
+        Some(PublishBatch {
+            group: g,
+            payloads,
+            delivered: plan.delivered,
+            stranded: plan.stranded,
+            messages: plan.messages,
+            relay_messages: plan.relay_messages,
+            cache_hit,
+        })
+    }
+
+    /// Plan lookup/compute for one group; `None` while dormant. The
+    /// returned metrics are copies (the plan itself stays cached).
+    fn plan_metrics(&mut self, gi: usize) -> Option<(PlanMetrics, bool)> {
+        let group = &self.groups[gi];
+        let gb = group.build.as_ref()?;
+        let epoch = group.rebuilds;
+        let (plan, hit) = self.plans.get_or_compute(gi, epoch, || {
+            DeliveryPlan::compute(&gb.build, &group.members, epoch)
+        });
+        Some((
+            PlanMetrics {
+                delivered: plan.delivered,
+                stranded: plan.stranded(),
+                messages: plan.messages(),
+                relay_messages: plan.relay_messages,
+            },
+            hit,
+        ))
+    }
+
+    /// Delivery-plan cache hit/miss counters.
+    #[must_use]
+    pub fn plan_stats(&self) -> PlanStats {
+        self.plans.stats()
+    }
+
+    /// Control-plane accounting of the most recent epidemic (degraded-
+    /// mode) delivery, if any ran.
+    #[must_use]
+    pub fn last_epidemic(&self) -> Option<&EpidemicReport> {
+        self.last_epidemic.as_ref()
     }
 
     /// Replaces the suspected-peer set supplied by the failure-detection
     /// plane. Suspicion is *soft* state: it changes how groups publish
     /// ([`GroupEngine::is_degraded`]) but not the topology — only a dead
     /// verdict (store removal + [`GroupEngine::sync`]) rewires trees.
+    ///
+    /// Degraded flags are recomputed here by intersecting the suspects
+    /// with the maintained relay index (`relay_of`) and their rooted
+    /// groups — O(Σ suspects' group lists), not O(groups × relays) —
+    /// so the per-publish degradation check stays O(1).
     pub fn set_suspects<I: IntoIterator<Item = usize>>(&mut self, suspects: I) {
         self.suspects = suspects.into_iter().collect();
+        self.degraded.clear();
+        self.degraded.resize(self.groups.len(), false);
+        for &s in &self.suspects {
+            if let Some(ids) = self.relay_of.get(s) {
+                for &gid in ids {
+                    self.degraded[gid as usize] = true;
+                }
+            }
+            if let Some(ids) = self.member_of.get(s) {
+                for &gid in ids {
+                    if self.groups[gid as usize].root == Some(s) {
+                        self.degraded[gid as usize] = true;
+                    }
+                }
+            }
+        }
     }
 
     /// The peers currently flagged suspect by the detection plane.
@@ -654,25 +886,19 @@ impl GroupEngine {
     /// Panics if `g` is unknown.
     #[must_use]
     pub fn is_degraded(&self, g: GroupId) -> bool {
-        if self.suspects.is_empty() {
-            return false;
-        }
-        let group = &self.groups[g.index()];
-        match group.root {
-            Some(root) => {
-                self.suspects.contains(&root)
-                    || self.relays(g).iter().any(|r| self.suspects.contains(r))
-            }
-            None => false,
-        }
+        assert!(g.index() < self.groups.len(), "unknown {g}");
+        self.degraded.get(g.index()).copied().unwrap_or(false)
     }
 
     /// Publishes like [`GroupEngine::publish`], but measured against
     /// ground truth the engine has *not* yet absorbed: peers in `failed`
     /// neither receive nor forward, so payloads die at crashed interior
     /// nodes exactly as they would on the wire. Groups in degraded mode
-    /// ([`GroupEngine::is_degraded`]) switch to a flood within their
-    /// member region instead of trusting the compromised tree.
+    /// ([`GroupEngine::is_degraded`]) switch to the eager/lazy epidemic
+    /// ([`crate::dataplane::eager_lazy_deliver`]) instead of trusting
+    /// the compromised tree: the tree stays the eager path, and members
+    /// it misses recover the payload via IWANT pulls over member-region
+    /// overlay links.
     ///
     /// `delivered` counts surviving members only; members in `failed`
     /// count as stranded until the detection plane removes them.
@@ -691,11 +917,16 @@ impl GroupEngine {
     ) -> Option<PublishOutcome> {
         self.sync();
         if self.is_degraded(g) {
-            return self.publish_degraded(g, failed);
+            let (outcome, report) = self.epidemic_outcome(g.index(), failed)?;
+            self.last_epidemic = Some(report);
+            self.totals.publishes += 1;
+            self.totals.payloads += 1;
+            return Some(outcome);
         }
         let group = &self.groups[g.index()];
         let build = &group.build.as_ref()?.build;
         self.totals.publishes += 1;
+        self.totals.payloads += 1;
         let root = group.root?;
         if failed.contains(&root) {
             // The publisher itself is down: nothing leaves the root.
@@ -704,6 +935,7 @@ impl GroupEngine {
                 stranded: group.members.len(),
                 messages: 0,
                 relay_messages: 0,
+                payloads: 1,
             });
         }
         // Forwarding stops at failed nodes: walk the tree from the root
@@ -733,86 +965,33 @@ impl GroupEngine {
             stranded: group.members.len() - delivered,
             messages,
             relay_messages: messages - delivered.saturating_sub(1),
+            payloads: 1,
         })
     }
 
-    /// Degraded publish: flood within the group's member region. The
-    /// payload starts at the root (or, if the root failed, the smallest
-    /// surviving member) and floods over the undirected overlay edges of
-    /// surviving peers inside the padded bounding box of member
-    /// coordinates (members are always eligible). Coverage no longer
-    /// depends on suspected relays, at a message cost proportional to
-    /// the region's edge count — availability bought with bandwidth.
-    fn publish_degraded(&mut self, g: GroupId, failed: &BTreeSet<usize>) -> Option<PublishOutcome> {
-        let group = &self.groups[g.index()];
+    /// Degraded delivery: the Plumtree-shaped eager/lazy epidemic over
+    /// the member region ([`crate::dataplane::eager_lazy_deliver`]).
+    /// Returns `None` for dormant groups; counters are the caller's
+    /// job (batch vs single accounting differs).
+    fn epidemic_outcome(
+        &self,
+        gi: usize,
+        failed: &BTreeSet<usize>,
+    ) -> Option<(PublishOutcome, EpidemicReport)> {
+        let group = &self.groups[gi];
         if group.members.is_empty() {
             return None;
         }
-        self.totals.publishes += 1;
-        let seed = match group.root.filter(|r| !failed.contains(r)) {
-            Some(root) => root,
-            None => match group.members.iter().copied().find(|m| !failed.contains(m)) {
-                Some(m) => m,
-                None => {
-                    return Some(PublishOutcome {
-                        delivered: 0,
-                        stranded: group.members.len(),
-                        messages: 0,
-                        relay_messages: 0,
-                    })
-                }
-            },
-        };
-        let peers = self.store.peers();
-        let dim = peers[seed].point().dim();
-        let mut lo = vec![f64::INFINITY; dim];
-        let mut hi = vec![f64::NEG_INFINITY; dim];
-        for &m in &group.members {
-            for (d, &c) in peers[m].point().coords().iter().enumerate() {
-                lo[d] = lo[d].min(c);
-                hi[d] = hi[d].max(c);
-            }
-        }
-        // Intervals are open: pad so boundary members stay inside.
-        let sides: Vec<Interval> = (0..dim)
-            .map(|d| {
-                let pad = (hi[d] - lo[d]).abs() * 0.01 + 1e-6;
-                Interval::new(lo[d] - pad, hi[d] + pad)
-            })
-            .collect();
-        let region = Rect::new(sides).expect("padded member box is a valid rect");
-        let eligible = |i: usize| -> bool {
-            !failed.contains(&i)
-                && !self.store.is_departed(PeerId(i as u64))
-                && (group.members.contains(&i) || region.contains(peers[i].point()))
-        };
-        let mut visited = vec![false; self.store.len()];
-        visited[seed] = true;
-        let mut queue = VecDeque::from([seed]);
-        let mut messages = 0usize;
-        let mut scratch: Vec<usize> = Vec::new();
-        while let Some(u) = queue.pop_front() {
-            self.store.undirected_neighbors_into(u, &mut scratch);
-            for &v in &scratch {
-                if !eligible(v) {
-                    continue;
-                }
-                // Naive flood: every eligible neighbour gets a copy,
-                // duplicates included — the honest cost of the mode.
-                messages += 1;
-                if !visited[v] {
-                    visited[v] = true;
-                    queue.push_back(v);
-                }
-            }
-        }
-        let delivered = group.members.iter().filter(|&&m| visited[m]).count();
-        Some(PublishOutcome {
-            delivered,
-            stranded: group.members.len() - delivered,
-            messages,
-            relay_messages: messages - delivered.saturating_sub(1),
-        })
+        let gb = group.build.as_ref()?;
+        let root = group.root?;
+        Some(eager_lazy_deliver(
+            &self.store,
+            &gb.build,
+            &group.members,
+            root,
+            &self.suspects,
+            failed,
+        ))
     }
 
     /// Registers `sizes.len()` groups with Zipf-shaped sizes (see
@@ -997,6 +1176,7 @@ impl GroupEngine {
         for delta in &deltas {
             self.member_of.resize(self.store.len(), Vec::new());
             self.graft_of.resize(self.store.len(), Vec::new());
+            self.relay_of.resize(self.store.len(), Vec::new());
             for &p in &delta.dirty {
                 affected.extend(self.member_of[p].iter().map(|&g| g as usize));
                 // A dirty support node can reroute a relay path: the
@@ -1065,6 +1245,7 @@ impl GroupEngine {
     fn full_resync(&mut self, target: u64) {
         self.member_of.resize(self.store.len(), Vec::new());
         self.graft_of.resize(self.store.len(), Vec::new());
+        self.relay_of.resize(self.store.len(), Vec::new());
         self.live_peers = (0..self.store.len())
             .filter(|&i| !self.store.is_departed(PeerId(i as u64)))
             .collect();
@@ -1100,17 +1281,22 @@ impl GroupEngine {
     }
 
     fn rebuild_group(&mut self, gi: usize) {
-        // Retire the group's old graft-support index entries; the
-        // rebuild installs the fresh set (relays torn down here are
+        // Retire the group's old graft-support and relay index entries;
+        // the rebuild installs the fresh sets (relays torn down here are
         // re-routed by the graft pass below, or dropped for good).
         if let Some(gb) = &self.groups[gi].build {
             for &p in &gb.support {
                 self.graft_of[p].retain(|&x| x as usize != gi);
             }
+            for &r in &gb.build.relays {
+                self.relay_of[r].retain(|&x| x as usize != gi);
+            }
         }
         let group = &mut self.groups[gi];
         let Some(root) = group.root else {
             group.build = None;
+            self.plans.evict(gi);
+            self.refresh_degraded(gi);
             return;
         };
         let build =
@@ -1120,10 +1306,42 @@ impl GroupEngine {
             let pos = ids.partition_point(|&x| (x as usize) < gi);
             ids.insert(pos, gi as u32);
         }
+        for &r in &build.build.relays {
+            let ids = &mut self.relay_of[r];
+            let pos = ids.partition_point(|&x| (x as usize) < gi);
+            ids.insert(pos, gi as u32);
+        }
         group.build = Some(build);
         group.rebuilds += 1;
         self.totals.tree_rebuilds += 1;
         self.totals.rebuilt_members += group.members.len() as u64;
+        // The rebuilds bump above is exactly what invalidates this
+        // group's cached delivery plan; only the degraded flag needs a
+        // refresh (the root or relay set may have changed).
+        self.refresh_degraded(gi);
+    }
+
+    /// Recomputes one group's degraded flag against the current suspect
+    /// set — O(relays) for this group only, called on rebuild.
+    fn refresh_degraded(&mut self, gi: usize) {
+        if self.degraded.len() <= gi {
+            self.degraded.resize(gi + 1, false);
+        }
+        if self.suspects.is_empty() {
+            self.degraded[gi] = false;
+            return;
+        }
+        let group = &self.groups[gi];
+        self.degraded[gi] = match group.root {
+            Some(root) => {
+                self.suspects.contains(&root)
+                    || group
+                        .build
+                        .as_ref()
+                        .is_some_and(|gb| gb.build.relays.iter().any(|r| self.suspects.contains(r)))
+            }
+            None => false,
+        };
     }
 }
 
@@ -1585,7 +1803,7 @@ mod tests {
     }
 
     #[test]
-    fn suspected_root_flips_the_group_into_degraded_flood() {
+    fn suspected_root_flips_the_group_into_degraded_epidemic() {
         let mut eng = engine(40, 39);
         let g = eng.create_group(PeerId(0));
         for p in 1..40u64 {
@@ -1594,16 +1812,27 @@ mod tests {
         assert!(!eng.is_degraded(g));
         eng.set_suspects([0usize]);
         assert!(eng.is_degraded(g), "a suspected root degrades the group");
-        // Full membership: the flood region is the whole overlay, so the
-        // flood reaches everyone without trusting the tree — at a higher
-        // message cost than the tree's N−1.
+        // The suspected root is not trusted to forward: the eager phase
+        // parks immediately and lazy IWANT pulls must carry everyone —
+        // full coverage at one payload copy per member, far below the
+        // old region flood's every-eligible-edge cost.
         let outcome = eng.publish_with_failures(g, &BTreeSet::new()).unwrap();
         assert_eq!(outcome.delivered, 40);
         assert_eq!(outcome.stranded, 0);
+        let report = *eng
+            .last_epidemic()
+            .expect("degraded publish ran the epidemic");
+        assert_eq!(report.eager_messages, 0, "a suspect root pushes nothing");
+        assert_eq!(report.iwant_pulls, 39, "every other member pulls once");
+        assert!(report.ihave_digests > 0, "digests are the control cost");
+        let flood =
+            crate::dataplane::flood_deliver(eng.store(), eng.members(g), Some(0), &BTreeSet::new());
+        assert_eq!(flood.delivered, 40, "same reachable set as the old flood");
         assert!(
-            outcome.messages > 39,
-            "flooding must cost more than the tree: got {}",
-            outcome.messages
+            outcome.messages < flood.messages,
+            "epidemic payload copies ({}) must undercut the flood ({})",
+            outcome.messages,
+            flood.messages
         );
         // Refutation clears the flag and restores tree publishing.
         eng.set_suspects(std::iter::empty());
@@ -1613,7 +1842,7 @@ mod tests {
     }
 
     #[test]
-    fn degraded_flood_survives_a_failed_root() {
+    fn degraded_epidemic_survives_a_failed_root() {
         let mut eng = engine(40, 43);
         let g = eng.create_group(PeerId(0));
         for p in 1..40u64 {
@@ -1626,13 +1855,119 @@ mod tests {
         let outcome = eng.publish_with_failures(g, &failed).unwrap();
         assert_eq!(
             outcome.delivered, 39,
-            "the flood re-seeds at a surviving member"
+            "the epidemic re-seeds at a surviving member"
         );
         assert_eq!(outcome.stranded, 1, "only the dead root is missing");
         // All members down: nothing can be published.
         let everyone: BTreeSet<usize> = (0..40).collect();
         let outcome = eng.publish_with_failures(g, &everyone).unwrap();
         assert_eq!((outcome.delivered, outcome.messages), (0, 0));
+    }
+
+    /// The satellite regression: a batch of one is byte-identical to a
+    /// plain publish, and the plan cache serves steady-state repeats.
+    #[test]
+    fn batch_of_one_equals_publish_and_the_plan_cache_serves_repeats() {
+        let mut eng = engine(60, 45);
+        let g = eng.create_group(PeerId(0));
+        for p in (1..60u64).step_by(2) {
+            eng.subscribe(g, PeerId(p));
+        }
+        let single = eng.publish(g).unwrap();
+        let batch = eng.publish_batch(g, 1).unwrap();
+        assert_eq!(batch.delivered, single.delivered);
+        assert_eq!(batch.stranded, single.stranded);
+        assert_eq!(batch.messages, single.messages);
+        assert_eq!(batch.relay_messages, single.relay_messages);
+        assert_eq!(batch.payloads, single.payloads);
+        assert!((batch.messages_per_payload() - single.messages_per_payload()).abs() < 1e-12);
+        assert!(batch.cache_hit, "the publish above warmed the plan");
+        // Steady state: no churn between publishes → only the first
+        // lookup computes.
+        let stats = eng.plan_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        for _ in 0..10 {
+            eng.publish(g).unwrap();
+        }
+        assert_eq!(eng.plan_stats().hits, 11);
+        // A repair invalidates: the next publish recomputes, and its
+        // numbers match the definitional tree walk.
+        eng.subscribe(g, PeerId(2));
+        let fresh = eng.publish(g).unwrap();
+        assert_eq!(eng.plan_stats().misses, 2);
+        let build = eng.tree(g).unwrap();
+        assert_eq!(
+            fresh.messages,
+            build.tree.delivery_messages(eng.members(g).iter().copied())
+        );
+        // Accounting: publishes counts operations, payloads counts copies.
+        assert_eq!(eng.totals().publishes, 13);
+        assert_eq!(eng.totals().payloads, 13);
+    }
+
+    #[test]
+    fn flush_tick_batches_queued_payloads_per_group() {
+        let mut eng = engine(80, 47);
+        let mut state = 5u64;
+        let ids = eng.seed_groups_clustered(&[30, 12, 6], &mut state);
+        eng.enqueue(ids[0], 64);
+        eng.enqueue(ids[2], 3);
+        eng.enqueue(ids[0], 6); // coalesces with the earlier 64
+        assert_eq!(eng.pending(ids[0]), 70);
+        let singles: Vec<PublishOutcome> = ids.iter().map(|&g| eng.publish(g).unwrap()).collect();
+        let batches = eng.flush_tick();
+        assert_eq!(batches.len(), 2, "only queued groups flush");
+        assert_eq!(eng.pending(ids[0]), 0, "flushing drains the queue");
+        let b0 = batches.iter().find(|b| b.group == ids[0]).unwrap();
+        assert_eq!(b0.payloads, 70);
+        assert_eq!(b0.delivered, singles[0].delivered, "same member set");
+        assert_eq!(b0.messages, singles[0].messages, "edges walked once");
+        assert!(
+            b0.messages_per_payload() < singles[0].messages_per_payload() / 50.0,
+            "a 70-deep batch must collapse messages/payload"
+        );
+        let b2 = batches.iter().find(|b| b.group == ids[2]).unwrap();
+        assert_eq!(b2.payloads, 3);
+        assert_eq!(b2.messages, singles[2].messages);
+        assert!(eng.flush_tick().is_empty(), "nothing left queued");
+        use crate::dataplane::FlushReport;
+        let report = FlushReport::from_batches(&batches);
+        assert_eq!(report.payloads, 73);
+        assert_eq!(report.batches, 2);
+        assert!(report.reduction() > 10.0);
+        assert!(
+            report.cache_hit_rate() > 0.99,
+            "publishes warmed both plans"
+        );
+    }
+
+    /// Lazy recovery during a suspicion window: payloads published while
+    /// a relay is suspected reach 100% of the members via IWANT pulls,
+    /// batched flushes included.
+    #[test]
+    fn flush_during_suspicion_recovers_full_coverage_via_pulls() {
+        let mut eng = engine(200, 23);
+        let g = eng.create_group(PeerId(0));
+        for p in [57u64, 113, 181] {
+            eng.subscribe(g, PeerId(p));
+        }
+        let relay = eng.relays(g)[0];
+        eng.set_suspects([relay]);
+        assert!(eng.is_degraded(g), "a suspected relay degrades the group");
+        eng.enqueue(g, 16);
+        let batches = eng.flush_tick();
+        assert_eq!(batches.len(), 1);
+        let batch = batches[0];
+        assert_eq!(batch.payloads, 16);
+        assert_eq!(batch.delivered, 4, "coverage stays 100% while degraded");
+        assert_eq!(batch.stranded, 0);
+        assert!(!batch.cache_hit, "epidemic delivery bypasses the plan");
+        let report = eng.last_epidemic().unwrap();
+        assert!(
+            report.iwant_pulls > 0,
+            "members past the suspect recover via pulls"
+        );
     }
 
     #[test]

@@ -243,4 +243,169 @@ proptest! {
             }
         }
     }
+
+    /// The data-plane acceptance property: after every churn step, a
+    /// flushed batch of K payloads delivers to the exact member set of
+    /// K sequential `publish` calls — byte-identical delivered/stranded
+    /// — while its message cost is the single-publish edge count, i.e.
+    /// ≤ the K-fold sequential total. Plans are also re-checked against
+    /// the definitional tree walk, so a stale cache cannot hide behind
+    /// the comparison.
+    #[test]
+    fn flushed_batches_match_sequential_publish_under_churn(
+        n in 30usize..60,
+        dim in 2usize..4,
+        seed in 0u64..10_000,
+        k in 2usize..12,
+        rule in 0u8..2,
+        steps in proptest::collection::vec(step_strategy(), 4..9),
+    ) {
+        let points = uniform_points(n, dim, 1000.0, seed);
+        let store = TopologyStore::from_peers(
+            PeerInfo::from_point_set(&points),
+            selection_for(rule, dim),
+        );
+        let mut engine = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+        let mut state = seed ^ 0xda7a;
+        let sizes = zipf_group_sizes(6, (2 * n).max(6), 1.0);
+        let ids = engine.seed_groups(&sizes, &mut state);
+
+        let join_pool = uniform_points(steps.len(), dim, 1000.0, seed ^ 0x202).into_points();
+        let mut joins = join_pool.into_iter();
+
+        for step in steps {
+            match step {
+                Step::Join => {
+                    engine.join(joins.next().expect("pool sized to steps"));
+                }
+                Step::Leave(raw) => {
+                    let live: Vec<usize> = (0..engine.store().len())
+                        .filter(|&i| !engine.store().is_departed(PeerId(i as u64)))
+                        .collect();
+                    if live.len() <= 1 {
+                        continue;
+                    }
+                    engine.leave(PeerId(live[raw % live.len()] as u64));
+                }
+                Step::Subscribe(raw) => {
+                    let g = ids[raw % ids.len()];
+                    let members: BTreeSet<usize> = engine.members(g).clone();
+                    let candidate = (0..engine.store().len())
+                        .filter(|&i| {
+                            !engine.store().is_departed(PeerId(i as u64))
+                                && !members.contains(&i)
+                        })
+                        .nth(raw % engine.store().len().max(1));
+                    if let Some(p) = candidate {
+                        engine.subscribe(g, PeerId(p as u64));
+                    }
+                }
+                Step::Unsubscribe(raw) => {
+                    let g = ids[raw % ids.len()];
+                    let members: Vec<usize> = engine.members(g).iter().copied().collect();
+                    if members.is_empty() {
+                        continue;
+                    }
+                    engine.unsubscribe(g, PeerId(members[raw % members.len()] as u64));
+                }
+            }
+
+            // Sequential reference: K identical publishes per group.
+            for &g in &ids {
+                let seq: Vec<_> = (0..k).filter_map(|_| engine.publish(g)).collect();
+                if seq.is_empty() {
+                    // Dormant: batching must refuse identically.
+                    prop_assert!(engine.publish_batch(g, k).is_none());
+                    continue;
+                }
+                prop_assert_eq!(seq.len(), k);
+                prop_assert!(
+                    seq.windows(2).all(|w| w[0] == w[1]),
+                    "sequential publishes must be identical with no churn between them"
+                );
+                engine.enqueue(g, k);
+            }
+
+            let batches = engine.flush_tick();
+            for batch in batches {
+                let single = engine
+                    .publish(batch.group)
+                    .expect("flushed groups are live");
+                prop_assert_eq!(batch.payloads, k);
+                prop_assert_eq!(
+                    batch.delivered, single.delivered,
+                    "batched delivery must hit the exact sequential member set"
+                );
+                prop_assert_eq!(batch.stranded, single.stranded);
+                prop_assert_eq!(
+                    batch.messages, single.messages,
+                    "a batch walks the delivery edges exactly once"
+                );
+                prop_assert_eq!(batch.relay_messages, single.relay_messages);
+                prop_assert!(
+                    batch.messages <= k * single.messages,
+                    "batch cost must not exceed the sequential total"
+                );
+                // The plan behind both must match the definitional walk.
+                let build = engine.tree(batch.group).expect("live group has a tree");
+                let definitional = build
+                    .tree
+                    .delivery_messages(engine.members(batch.group).iter().copied());
+                prop_assert_eq!(batch.messages, definitional, "plan diverged from tree");
+            }
+            prop_assert!(engine.flush_tick().is_empty(), "flush must drain the queues");
+        }
+    }
+
+    /// Lazy recovery: while a group's root or a relay is suspected (but
+    /// everything is actually alive), eager/lazy epidemic delivery must
+    /// close coverage to 100% of the members — the payloads parked at
+    /// the suspect are recovered via IWANT pulls, never lost.
+    #[test]
+    fn iwant_pulls_close_coverage_during_a_suspicion_window(
+        n in 60usize..140,
+        seed in 0u64..10_000,
+        group_size in 8usize..20,
+    ) {
+        let points = uniform_points(n, 2, 1000.0, seed);
+        let store = TopologyStore::from_peers(
+            PeerInfo::from_point_set(&points),
+            Arc::new(EmptyRectSelection),
+        );
+        let mut engine = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+        let mut state = seed ^ 0x1a27;
+        let ids = engine.seed_groups_clustered(&[group_size], &mut state);
+        let g = ids[0];
+        prop_assert_eq!(engine.coverage(g), 1.0);
+
+        // Suspect a relay when the graft produced one, the root
+        // otherwise — either way the group degrades.
+        let suspect = engine
+            .relays(g)
+            .first()
+            .copied()
+            .unwrap_or_else(|| engine.root(g).expect("seeded group is rooted"));
+        engine.set_suspects([suspect]);
+        prop_assert!(engine.is_degraded(g));
+
+        let outcome = engine
+            .publish_with_failures(g, &BTreeSet::new())
+            .expect("live group publishes");
+        prop_assert_eq!(
+            outcome.delivered,
+            engine.members(g).len(),
+            "suspicion must not cost coverage: the epidemic recovers everyone"
+        );
+        prop_assert_eq!(outcome.stranded, 0);
+        let report = *engine.last_epidemic().expect("degraded publish is epidemic");
+        prop_assert!(
+            report.iwant_pulls > 0,
+            "nodes past the suspect must recover via IWANT pulls"
+        );
+        // Refutation restores plan-driven tree publishing untouched.
+        engine.set_suspects(std::iter::empty());
+        let healthy = engine.publish_with_failures(g, &BTreeSet::new()).unwrap();
+        let plain = engine.publish(g).unwrap();
+        prop_assert_eq!(healthy, plain);
+    }
 }

@@ -9,7 +9,7 @@
 //!   innocents; the table reports mean/max detection latency, false
 //!   positives, refuted suspicions, and recovery wall-clock per setting;
 //! * the **coverage-over-wall-clock curve** of the base scenario — the
-//!   dip when the wave hits, the degraded-flood floor while suspicions
+//!   dip when the wave hits, the degraded-epidemic floor while suspicions
 //!   are pending, and the climb back to 1.0 as verdicts land and trees
 //!   re-graft (x-axis: virtual milliseconds).
 

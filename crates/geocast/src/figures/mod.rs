@@ -20,6 +20,7 @@
 //! | Beyond the paper: incremental churn engine (waves, flash crowds, mixed rates) | [`churn_panel`] |
 //! | Beyond the paper: multi-group session engine (N trees, one store, Zipf groups) | [`groups_panel`] |
 //! | Beyond the paper: failure-detection plane (detection latency, coverage recovery) | [`detection_panel`] |
+//! | Beyond the paper: batched data plane (payload batching, plan cache, eager/lazy) | [`publish_panel`] |
 //!
 //! Every harness takes an explicit config (with a paper-scale
 //! [`Default`] and a reduced [`quick`](Fig1Config::quick) variant for
@@ -32,6 +33,7 @@ mod detection;
 mod extra;
 mod fig1;
 mod groups;
+mod publish;
 mod repair;
 mod report;
 mod scaling;
@@ -47,6 +49,7 @@ pub use fig1::{
     StabilityRow, StabilitySweep,
 };
 pub use groups::{groups_panel, GroupsConfig};
+pub use publish::{publish_panel, PublishConfig};
 pub use repair::{repair_cost, RepairConfig};
 pub use report::FigureReport;
 pub use scaling::{overlay_scaling, ScalingConfig};

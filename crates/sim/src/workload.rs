@@ -359,6 +359,75 @@ impl std::fmt::Display for GroupWorkload {
     }
 }
 
+/// A publish-rate workload: `ticks` rounds of `payloads_per_tick`
+/// payloads, each payload landing on a group drawn from the Zipf
+/// popularity distribution — the data-plane companion of
+/// [`GroupWorkload`]'s membership stream. `exponent` is the hot-group
+/// skew knob: `0.0` spreads payloads uniformly (batches stay shallow),
+/// higher exponents pile them onto the head groups (deep batches, the
+/// regime the flush engine collapses).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublishWorkload {
+    /// Number of concurrent groups payloads can target.
+    pub groups: usize,
+    /// Zipf popularity exponent — the hot-group skew knob.
+    pub exponent: f64,
+    /// Flush rounds to generate.
+    pub ticks: usize,
+    /// Payloads drawn per round.
+    pub payloads_per_tick: usize,
+}
+
+impl PublishWorkload {
+    /// Per-group payload counts for one tick, reproducible per
+    /// `(seed, tick)`: `payloads_per_tick` draws from the Zipf
+    /// distribution, returned as a `groups`-long histogram ready to
+    /// feed a batch queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Zipf preconditions fail (`groups == 0`, bad
+    /// exponent).
+    #[must_use]
+    pub fn tick_payloads(&self, seed: u64, tick: usize) -> Vec<usize> {
+        let weights = zipf_weights(self.groups, self.exponent);
+        let cdf: Vec<f64> = weights
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w;
+                Some(*acc)
+            })
+            .collect();
+        let tick_seed = seed
+            ^ 0x7075_626c_6973_6821 // "publish!"
+            ^ (tick as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = StdRng::seed_from_u64(tick_seed);
+        let mut counts = vec![0usize; self.groups];
+        for _ in 0..self.payloads_per_tick {
+            let u: f64 = rng.random_range(0.0..1.0);
+            let group = cdf.partition_point(|&c| c < u).min(self.groups - 1);
+            counts[group] += 1;
+        }
+        counts
+    }
+
+    /// Total payloads over the whole workload.
+    #[must_use]
+    pub fn total_payloads(&self) -> usize {
+        self.ticks * self.payloads_per_tick
+    }
+}
+
+impl std::fmt::Display for PublishWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "publish({} groups @ zipf {:.2}, {} ticks × {} payloads)",
+            self.groups, self.exponent, self.ticks, self.payloads_per_tick
+        )
+    }
+}
+
 /// Picks `count` distinct victims for a crash wave out of `0..n`,
 /// reproducibly per seed, never picking anything in `exclude` (group
 /// roots, the observer node, ...). Returns the victims sorted; if fewer
@@ -553,6 +622,48 @@ mod tests {
             publish_weight: 0,
         }
         .ops(0);
+    }
+
+    #[test]
+    fn publish_workload_is_deterministic_and_skews_to_the_head() {
+        let wl = PublishWorkload {
+            groups: 16,
+            exponent: 1.5,
+            ticks: 10,
+            payloads_per_tick: 64,
+        };
+        assert_eq!(wl.total_payloads(), 640);
+        // Reproducible per (seed, tick); different ticks draw fresh.
+        assert_eq!(wl.tick_payloads(7, 3), wl.tick_payloads(7, 3));
+        assert_ne!(wl.tick_payloads(7, 3), wl.tick_payloads(8, 3));
+        assert_ne!(wl.tick_payloads(7, 3), wl.tick_payloads(7, 4));
+        // Every tick conserves its payload budget.
+        let mut head = 0usize;
+        let mut tail = 0usize;
+        for tick in 0..wl.ticks {
+            let counts = wl.tick_payloads(42, tick);
+            assert_eq!(counts.len(), 16);
+            assert_eq!(counts.iter().sum::<usize>(), 64);
+            head += counts[0];
+            tail += counts[15];
+        }
+        assert!(
+            head > 8 * tail.max(1),
+            "zipf 1.5 must pile payloads on the head: head {head}, tail {tail}"
+        );
+        // Exponent 0 spreads them out: no group dominates.
+        let flat = PublishWorkload {
+            groups: 16,
+            exponent: 0.0,
+            ticks: 1,
+            payloads_per_tick: 1600,
+        };
+        let counts = flat.tick_payloads(42, 0);
+        assert!(counts.iter().all(|&c| c > 50 && c < 150), "{counts:?}");
+        assert_eq!(
+            wl.to_string(),
+            "publish(16 groups @ zipf 1.50, 10 ticks × 64 payloads)"
+        );
     }
 
     #[test]
