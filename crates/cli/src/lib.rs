@@ -82,6 +82,17 @@ pub enum CliError {
         /// Whether the topology matched the oracle rebuild.
         converged: bool,
     },
+    /// `churn --shards K --strict` was requested and the sharded replay
+    /// diverged from the single-shard replay of the same schedule (the
+    /// CI sharding gate).
+    ShardGate {
+        /// Shards the replay ran with.
+        shards: usize,
+        /// Whether the adjacency graphs matched.
+        graphs_equal: bool,
+        /// Whether the topology fingerprints matched.
+        fingerprints_equal: bool,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -120,6 +131,15 @@ impl fmt::Display for CliError {
                 "strict detection violated: {false_positives} false positives, \
                  {undetected} undetected failures, recovered {recovered}, \
                  converged {converged}"
+            ),
+            CliError::ShardGate {
+                shards,
+                graphs_equal,
+                fingerprints_equal,
+            } => write!(
+                f,
+                "strict sharding violated at {shards} shards: graphs equal \
+                 {graphs_equal}, fingerprints equal {fingerprints_equal}"
             ),
         }
     }
@@ -244,6 +264,9 @@ COMMANDS:
   churn      replay a churn pattern through the incremental engine
              --n 500 --dim 2 --seed 1 --pattern join-wave|leave-wave|flash-crowd|mixed
              --events 200 --join-rate 1 --leave-rate 1 --mode store|live
+             --shards 0  (store mode: replay on the region-sharded engine)
+             [--strict]  (with --shards: fail unless the sharded replay is
+                          byte-identical to the single-shard replay)
   groups     drive N concurrent multicast groups over one shared store
              --n 500 --dim 2 --seed 1 --groups 16 --subs 1000 --zipf 1.0
              --events 200 --group-events 200 --placement clustered|scattered
@@ -539,6 +562,20 @@ fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
     let leave_rate: u32 = opt(inv, "leave-rate", 1)?;
     let pattern_name: String = opt(inv, "pattern", "mixed".to_owned())?;
     let mode: String = opt(inv, "mode", "store".to_owned())?;
+    let shards: usize = opt(inv, "shards", 0)?;
+    let strict = inv.options.contains_key("strict");
+    if shards > 0 && mode != "store" {
+        return Err(CliError::BadValue {
+            key: "shards".into(),
+            value: format!("{shards} (only --mode store replays shard)"),
+        });
+    }
+    if strict && shards == 0 {
+        return Err(CliError::BadValue {
+            key: "strict".into(),
+            value: "requires --shards > 0 (the gate compares shard engines)".into(),
+        });
+    }
     let pattern = match pattern_name.as_str() {
         "join-wave" => ChurnPattern::JoinWave { count: events },
         "leave-wave" => ChurnPattern::LeaveWave { count: events },
@@ -586,13 +623,34 @@ fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
     ));
     match mode.as_str() {
         "store" => {
-            let mut store = TopologyStore::from_peers(
-                PeerInfo::from_point_set(&points),
-                Arc::new(EmptyRectSelection),
-            );
+            let mut store = if shards > 0 {
+                TopologyStore::from_peers_sharded(
+                    PeerInfo::from_point_set(&points),
+                    Arc::new(EmptyRectSelection),
+                    &geocast::overlay::ShardConfig::new(shards),
+                )
+            } else {
+                TopologyStore::from_peers(
+                    PeerInfo::from_point_set(&points),
+                    Arc::new(EmptyRectSelection),
+                )
+            };
             let start = Instant::now();
             let report = run_schedule_on_store(&mut store, &schedule);
             let secs = start.elapsed().as_secs_f64();
+            if let Some(engine) = store.sharding() {
+                out.push_str(&format!(
+                    "  shard engine      : {} shards ({} per dim), halo {:.1}\n",
+                    engine.shard_count(),
+                    engine
+                        .tiles_per_dim()
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("x"),
+                    engine.halo_width(),
+                ));
+            }
             out.push_str(&format!(
                 "  events applied    : {} ({} joins, {} leaves)\n",
                 report.joins + report.leaves,
@@ -617,6 +675,27 @@ fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
                 "  connected         : {}\n",
                 live_connected(&store.graph(), live)
             ));
+            if strict {
+                // The CI gate: replay the identical schedule on a plain
+                // single-shard store and demand byte-identical state.
+                let mut reference = TopologyStore::from_peers(
+                    PeerInfo::from_point_set(&points),
+                    Arc::new(EmptyRectSelection),
+                );
+                run_schedule_on_store(&mut reference, &schedule);
+                let graphs_equal = store.graph() == reference.graph();
+                let fingerprints_equal = store.fingerprint() == reference.fingerprint();
+                if !(graphs_equal && fingerprints_equal) {
+                    return Err(CliError::ShardGate {
+                        shards,
+                        graphs_equal,
+                        fingerprints_equal,
+                    });
+                }
+                out.push_str(
+                    "  strict gate       : sharded replay byte-identical to single-shard\n",
+                );
+            }
         }
         "live" => {
             let mut net =

@@ -1,0 +1,334 @@
+//! A spatial index over group bounding boxes: which groups could a
+//! churn event at a given coordinate affect?
+//!
+//! The [`crate::groups::GroupEngine`] repairs a group when a delta's
+//! dirty region intersects the group's graft **support set** (the peers
+//! whose adjacency rows its relay discovery consulted). The engine used
+//! to maintain that relation as a peer→groups reverse map — a
+//! length-`N` table of vectors, resized on every delta and rewritten on
+//! every rebuild, which at million-peer scale costs memory and rebuild
+//! time proportional to the *population*, not the *session load*. The
+//! [`GroupBoundsIndex`] replaces it with state proportional to the
+//! group count: one axis-aligned bounding box per group, covering the
+//! coordinates of every support peer, hashed into a uniform grid over
+//! the first (up to) two coordinate dimensions.
+//!
+//! Per dirty peer the engine asks [`GroupBoundsIndex::candidates`] for
+//! the groups whose box contains the peer's point — a clamped cell
+//! lookup plus an oversize *escape list* — and then confirms each
+//! candidate with an exact binary search in the group's sorted support
+//! set. Containment is exact because grid clamping is monotone: a point
+//! inside a box in real space lands in a cell the box was inserted
+//! into. The candidate set is therefore a superset of the true support
+//! hits and the confirmation step makes the affected-group set
+//! **identical** to the old reverse-map scan (regression-tested in
+//! `groups.rs`: `bbox_affected_groups_match_the_reference_scan`).
+//!
+//! Boxes spanning more than `ESCAPE_CELLS` grid cells are not
+//! scattered across the grid at all; they go to the escape list and are
+//! candidates for every query. Groups whose grafts reach across the
+//! whole domain would otherwise occupy every cell, degrading both
+//! updates and queries to O(groups) with extra constant factors.
+
+/// A group's box is spread over at most this many grid cells; wider
+/// boxes land on the always-checked escape list instead.
+const ESCAPE_CELLS: usize = 64;
+
+/// Grid resolution per indexed dimension.
+const GRID_RES: usize = 16;
+
+/// How many leading coordinate dimensions the grid discriminates on
+/// (the rest only participate in the exact containment check).
+const GRID_DIMS: usize = 2;
+
+/// One group's registered bounding box.
+#[derive(Debug, Clone)]
+struct GroupBox {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    escaped: bool,
+}
+
+/// A uniform-grid index over per-group axis-aligned bounding boxes.
+/// See the module docs for the role it plays in delta-driven repair.
+#[derive(Debug, Clone)]
+pub struct GroupBoundsIndex {
+    /// Dimensions the grid discriminates on: `min(dim, GRID_DIMS)`.
+    gdims: usize,
+    /// Domain minimum per gridded dimension (queries clamp to it).
+    lo: Vec<f64>,
+    /// Cell extent per gridded dimension (0 on degenerate axes).
+    cell: Vec<f64>,
+    /// Group ids per cell, ascending; `GRID_RES^gdims` cells.
+    cells: Vec<Vec<u32>>,
+    /// Groups whose box spans more than [`ESCAPE_CELLS`] cells —
+    /// checked on every query instead of being scattered over the grid.
+    escape: Vec<u32>,
+    /// Registered box per group id (`None` = dormant / no support).
+    boxes: Vec<Option<GroupBox>>,
+}
+
+impl GroupBoundsIndex {
+    /// An empty index over the domain `[domain_lo, domain_hi]` (the
+    /// population bounding box at construction time). Later points
+    /// outside the domain clamp onto the border cells; exactness never
+    /// depends on the domain, only cell occupancy balance does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain bounds have mismatched dimensions or are
+    /// empty.
+    #[must_use]
+    pub fn new(domain_lo: &[f64], domain_hi: &[f64]) -> Self {
+        assert_eq!(domain_lo.len(), domain_hi.len(), "domain dims differ");
+        assert!(!domain_lo.is_empty(), "domain must have a dimension");
+        let gdims = domain_lo.len().min(GRID_DIMS);
+        let cell: Vec<f64> = (0..gdims)
+            .map(|d| (domain_hi[d] - domain_lo[d]).max(0.0) / GRID_RES as f64)
+            .collect();
+        GroupBoundsIndex {
+            gdims,
+            lo: domain_lo[..gdims].to_vec(),
+            cell,
+            cells: vec![Vec::new(); GRID_RES.pow(gdims as u32)],
+            escape: Vec::new(),
+            boxes: Vec::new(),
+        }
+    }
+
+    /// The grid cell coordinate of `x` along gridded dimension `d`
+    /// (clamped — monotone, which is what keeps containment queries
+    /// exact for out-of-domain points).
+    fn cell_of(&self, d: usize, x: f64) -> usize {
+        if self.cell[d] > 0.0 {
+            // NaN and negative quotients saturate to cell 0.
+            (((x - self.lo[d]) / self.cell[d]).floor() as usize).min(GRID_RES - 1)
+        } else {
+            0
+        }
+    }
+
+    /// Registers (or replaces) group `gi`'s bounding box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo`/`hi` have fewer dimensions than the grid or if
+    /// any bound is NaN-ordered (`lo > hi`).
+    pub fn set(&mut self, gi: usize, lo: Vec<f64>, hi: Vec<f64>) {
+        assert!(lo.len() >= self.gdims && hi.len() >= self.gdims);
+        assert!(
+            lo.iter().zip(&hi).all(|(&a, &b)| a <= b),
+            "box bounds must be ordered"
+        );
+        self.clear(gi);
+        if self.boxes.len() <= gi {
+            self.boxes.resize_with(gi + 1, || None);
+        }
+        let id = u32::try_from(gi).expect("group id fits u32");
+        // The cell range the box overlaps, per gridded dimension.
+        let ranges: Vec<(usize, usize)> = (0..self.gdims)
+            .map(|d| (self.cell_of(d, lo[d]), self.cell_of(d, hi[d])))
+            .collect();
+        let span: usize = ranges.iter().map(|&(a, b)| b - a + 1).product();
+        let escaped = span > ESCAPE_CELLS;
+        if escaped {
+            let pos = self.escape.partition_point(|&x| x < id);
+            self.escape.insert(pos, id);
+        } else {
+            self.for_each_cell(&ranges, |cells, c| {
+                let pos = cells[c].partition_point(|&x| x < id);
+                cells[c].insert(pos, id);
+            });
+        }
+        self.boxes[gi] = Some(GroupBox { lo, hi, escaped });
+    }
+
+    /// Unregisters group `gi` (no-op if it has no box).
+    pub fn clear(&mut self, gi: usize) {
+        let Some(Some(gb)) = self.boxes.get_mut(gi).map(Option::take) else {
+            return;
+        };
+        let id = gi as u32;
+        if gb.escaped {
+            self.escape.retain(|&x| x != id);
+        } else {
+            let ranges: Vec<(usize, usize)> = (0..self.gdims)
+                .map(|d| (self.cell_of(d, gb.lo[d]), self.cell_of(d, gb.hi[d])))
+                .collect();
+            self.for_each_cell(&ranges, |cells, c| {
+                if let Ok(pos) = cells[c].binary_search(&id) {
+                    cells[c].remove(pos);
+                }
+            });
+        }
+    }
+
+    /// Applies `f` to every cell index in the cartesian product of the
+    /// per-dimension ranges.
+    fn for_each_cell(
+        &mut self,
+        ranges: &[(usize, usize)],
+        mut f: impl FnMut(&mut [Vec<u32>], usize),
+    ) {
+        let mut cursor: Vec<usize> = ranges.iter().map(|&(a, _)| a).collect();
+        loop {
+            let mut idx = 0;
+            let mut stride = 1;
+            for &t in &cursor {
+                idx += t * stride;
+                stride *= GRID_RES;
+            }
+            f(&mut self.cells, idx);
+            let mut d = 0;
+            loop {
+                if d == ranges.len() {
+                    return;
+                }
+                cursor[d] += 1;
+                if cursor[d] <= ranges[d].1 {
+                    break;
+                }
+                cursor[d] = ranges[d].0;
+                d += 1;
+            }
+        }
+    }
+
+    /// Collects into `out` every group whose box contains `point`
+    /// (ascending, duplicate-free). A superset prefilter comes from the
+    /// point's grid cell plus the escape list; the exact per-dimension
+    /// containment check runs here, so callers only need to confirm
+    /// *semantic* membership (e.g. support-set lookup).
+    pub fn candidates(&self, point: &[f64], out: &mut Vec<u32>) {
+        out.clear();
+        let mut idx = 0;
+        let mut stride = 1;
+        for (d, &x) in point.iter().enumerate().take(self.gdims) {
+            idx += self.cell_of(d, x) * stride;
+            stride *= GRID_RES;
+        }
+        let contains = |&id: &u32| {
+            self.boxes[id as usize].as_ref().is_some_and(|gb| {
+                gb.lo
+                    .iter()
+                    .zip(&gb.hi)
+                    .zip(point)
+                    .all(|((&lo, &hi), &x)| lo <= x && x <= hi)
+            })
+        };
+        out.extend(self.cells[idx].iter().filter(|id| contains(id)));
+        // Escape ids merge in ascending order (both lists are sorted
+        // and disjoint: a box is gridded xor escaped).
+        for &id in self.escape.iter().filter(|id| contains(id)) {
+            let pos = out.partition_point(|&x| x < id);
+            out.insert(pos, id);
+        }
+    }
+
+    /// Number of groups currently on the oversize escape list.
+    #[must_use]
+    pub fn escaped_count(&self) -> usize {
+        self.escape.len()
+    }
+
+    /// `true` when group `gi` has a registered box.
+    #[must_use]
+    pub fn contains_group(&self, gi: usize) -> bool {
+        self.boxes.get(gi).is_some_and(Option::is_some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> GroupBoundsIndex {
+        GroupBoundsIndex::new(&[0.0, 0.0], &[1000.0, 1000.0])
+    }
+
+    /// Brute reference: every registered box containing the point.
+    fn brute(ix: &GroupBoundsIndex, p: &[f64]) -> Vec<u32> {
+        (0..ix.boxes.len())
+            .filter(|&gi| {
+                ix.boxes[gi].as_ref().is_some_and(|gb| {
+                    gb.lo
+                        .iter()
+                        .zip(&gb.hi)
+                        .zip(p)
+                        .all(|((&lo, &hi), &x)| lo <= x && x <= hi)
+                })
+            })
+            .map(|gi| gi as u32)
+            .collect()
+    }
+
+    #[test]
+    fn candidates_equal_brute_containment_scan() {
+        let mut ix = index();
+        // A mix of small boxes, an oversize (escaped) box, and a point
+        // box; group 2 is later replaced, group 4 cleared.
+        ix.set(0, vec![100.0, 100.0], vec![220.0, 180.0]);
+        ix.set(1, vec![0.0, 0.0], vec![1000.0, 1000.0]); // escapes
+        ix.set(2, vec![500.0, 500.0], vec![520.0, 520.0]);
+        ix.set(3, vec![515.0, 490.0], vec![515.0, 510.0]); // degenerate
+        ix.set(4, vec![800.0, 800.0], vec![900.0, 900.0]);
+        ix.set(2, vec![480.0, 480.0], vec![530.0, 560.0]); // replace
+        ix.clear(4);
+        assert_eq!(ix.escaped_count(), 1);
+        assert!(!ix.contains_group(4));
+        let mut out = Vec::new();
+        for p in [
+            [150.0, 150.0],
+            [515.0, 500.0],
+            [850.0, 850.0],
+            [0.0, 0.0],
+            [-50.0, 1200.0],  // clamps outside the domain
+            [515.0, 490.0],   // on a degenerate box corner
+            [1000.0, 1000.0], // domain corner
+        ] {
+            ix.candidates(&p, &mut out);
+            assert_eq!(out, brute(&ix, &p), "point {p:?}");
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+        }
+    }
+
+    #[test]
+    fn boxes_straddling_many_cells_escape_but_stay_exact() {
+        let mut ix = index();
+        // 9x9 cells > ESCAPE_CELLS = 64: escapes.
+        ix.set(0, vec![10.0, 10.0], vec![540.0, 540.0]);
+        assert_eq!(ix.escaped_count(), 1);
+        // 8x8 = 64 cells: stays on the grid.
+        ix.set(1, vec![10.0, 10.0], vec![490.0, 490.0]);
+        assert_eq!(ix.escaped_count(), 1);
+        let mut out = Vec::new();
+        ix.candidates(&[300.0, 300.0], &mut out);
+        assert_eq!(out, vec![0, 1]);
+        ix.candidates(&[520.0, 520.0], &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn degenerate_domain_still_answers_exactly() {
+        // All mass on one axis: the other axis has cell size 0.
+        let mut ix = GroupBoundsIndex::new(&[0.0, 5.0], &[100.0, 5.0]);
+        ix.set(0, vec![20.0, 5.0], vec![40.0, 5.0]);
+        let mut out = Vec::new();
+        ix.candidates(&[30.0, 5.0], &mut out);
+        assert_eq!(out, vec![0]);
+        ix.candidates(&[30.0, 6.0], &mut out);
+        assert!(out.is_empty(), "containment checks every dimension");
+    }
+
+    #[test]
+    fn one_dimensional_domains_grid_on_the_single_axis() {
+        let mut ix = GroupBoundsIndex::new(&[0.0], &[100.0]);
+        ix.set(0, vec![10.0], vec![20.0]);
+        ix.set(1, vec![15.0], vec![95.0]);
+        let mut out = Vec::new();
+        ix.candidates(&[18.0], &mut out);
+        assert_eq!(out, vec![0, 1]);
+        ix.candidates(&[50.0], &mut out);
+        assert_eq!(out, vec![1]);
+    }
+}

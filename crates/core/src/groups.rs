@@ -337,17 +337,23 @@ pub struct GroupEngine {
     groups: Vec<Group>,
     /// Peer index → sorted group ids the peer subscribes to.
     member_of: Vec<Vec<u32>>,
-    /// Peer index → sorted group ids whose graft **support** contains
-    /// the peer (relays and every other consulted row). Dirtying one of
-    /// these peers can reroute a relay path, so support hits trigger
-    /// repair exactly like membership hits — relay teardown rides the
-    /// same delta stream.
-    graft_of: Vec<Vec<u32>>,
+    /// Spatial index over per-group graft-**support** bounding boxes
+    /// (relays and every other consulted row). Dirtying a support peer
+    /// can reroute a relay path, so support hits trigger repair exactly
+    /// like membership hits — relay teardown rides the same delta
+    /// stream. Per dirty peer the lookup is a grid-cell probe over the
+    /// group boxes containing the peer's point, each candidate
+    /// confirmed by binary search in the group's sorted support set —
+    /// replacing the old peer→groups reverse map whose length-`N`
+    /// tables were resized on every delta and rewritten on every
+    /// rebuild. Lazily created at the first rebuild (the store may be
+    /// empty at engine construction).
+    bounds: Option<crate::bounds::GroupBoundsIndex>,
     /// Peer index → sorted group ids whose **current tree** uses the
-    /// peer as a relay. A strict subset of `graft_of` kept separately
-    /// so suspicion processing intersects suspects with actual relays
-    /// — not the wider consulted-row support set — in time linear in
-    /// the suspects' own group lists.
+    /// peer as a relay. Kept as a reverse map (relay sets are small —
+    /// unlike support sets) so suspicion processing intersects suspects
+    /// with actual relays in time linear in the suspects' own group
+    /// lists.
     relay_of: Vec<Vec<u32>>,
     /// Live peers, ascending — the maintained list workload binding
     /// draws from (replacing the per-op O(N) departed-scan).
@@ -385,7 +391,6 @@ impl GroupEngine {
     #[must_use]
     pub fn new(store: TopologyStore, partitioner: Arc<dyn ZonePartitioner + Send + Sync>) -> Self {
         let member_of = vec![Vec::new(); store.len()];
-        let graft_of = vec![Vec::new(); store.len()];
         let relay_of = vec![Vec::new(); store.len()];
         let live_peers: Vec<usize> = (0..store.len())
             .filter(|&i| !store.is_departed(PeerId(i as u64)))
@@ -396,7 +401,7 @@ impl GroupEngine {
             partitioner,
             groups: Vec::new(),
             member_of,
-            graft_of,
+            bounds: None,
             relay_of,
             live_peers,
             seen_epoch,
@@ -1173,16 +1178,33 @@ impl GroupEngine {
         };
 
         let mut affected: BTreeSet<usize> = BTreeSet::new();
+        let mut candidates: Vec<u32> = Vec::new();
         for delta in &deltas {
             self.member_of.resize(self.store.len(), Vec::new());
-            self.graft_of.resize(self.store.len(), Vec::new());
             self.relay_of.resize(self.store.len(), Vec::new());
             for &p in &delta.dirty {
                 affected.extend(self.member_of[p].iter().map(|&g| g as usize));
                 // A dirty support node can reroute a relay path: the
                 // group re-grafts, tearing down / re-routing relays
-                // whose underlying peers churned.
-                affected.extend(self.graft_of[p].iter().map(|&g| g as usize));
+                // whose underlying peers churned. Candidate groups come
+                // from the bbox index (every group whose support box
+                // contains the dirty peer's point); each is confirmed
+                // against the group's sorted support set, which makes
+                // the affected set identical to a full reverse-map scan
+                // at O(log G + hits) per dirty peer.
+                if let Some(bounds) = &self.bounds {
+                    bounds.candidates(self.store.peers()[p].point().coords(), &mut candidates);
+                    for &gc in &candidates {
+                        let gi = gc as usize;
+                        let hit = self.groups[gi]
+                            .build
+                            .as_ref()
+                            .is_some_and(|gb| gb.support.binary_search(&p).is_ok());
+                        if hit {
+                            affected.insert(gi);
+                        }
+                    }
+                }
             }
             match delta.kind {
                 DeltaKind::Join(v) => {
@@ -1244,7 +1266,6 @@ impl GroupEngine {
     /// state (prune departures, rebuild all trees, re-pick the forest).
     fn full_resync(&mut self, target: u64) {
         self.member_of.resize(self.store.len(), Vec::new());
-        self.graft_of.resize(self.store.len(), Vec::new());
         self.relay_of.resize(self.store.len(), Vec::new());
         self.live_peers = (0..self.store.len())
             .filter(|&i| !self.store.is_departed(PeerId(i as u64)))
@@ -1281,13 +1302,11 @@ impl GroupEngine {
     }
 
     fn rebuild_group(&mut self, gi: usize) {
-        // Retire the group's old graft-support and relay index entries;
-        // the rebuild installs the fresh sets (relays torn down here are
-        // re-routed by the graft pass below, or dropped for good).
+        // Retire the group's old relay index entries; the rebuild
+        // installs the fresh set (relays torn down here are re-routed
+        // by the graft pass below, or dropped for good). The support
+        // bbox below replaces itself wholesale.
         if let Some(gb) = &self.groups[gi].build {
-            for &p in &gb.support {
-                self.graft_of[p].retain(|&x| x as usize != gi);
-            }
             for &r in &gb.build.relays {
                 self.relay_of[r].retain(|&x| x as usize != gi);
             }
@@ -1295,17 +1314,17 @@ impl GroupEngine {
         let group = &mut self.groups[gi];
         let Some(root) = group.root else {
             group.build = None;
+            if let Some(bounds) = &mut self.bounds {
+                bounds.clear(gi);
+            }
             self.plans.evict(gi);
             self.refresh_degraded(gi);
             return;
         };
         let build =
             build_group_tree_grafted(&self.store, root, &group.members, self.partitioner.as_ref());
-        for &p in &build.support {
-            let ids = &mut self.graft_of[p];
-            let pos = ids.partition_point(|&x| (x as usize) < gi);
-            ids.insert(pos, gi as u32);
-        }
+        self.index_support_bounds(gi, &build.support);
+        let group = &mut self.groups[gi];
         for &r in &build.build.relays {
             let ids = &mut self.relay_of[r];
             let pos = ids.partition_point(|&x| (x as usize) < gi);
@@ -1319,6 +1338,45 @@ impl GroupEngine {
         // group's cached delivery plan; only the degraded flag needs a
         // refresh (the root or relay set may have changed).
         self.refresh_degraded(gi);
+    }
+
+    /// Registers group `gi`'s support bounding box — covering every
+    /// peer whose adjacency row the graft discovery consulted — in the
+    /// lazily-created [`crate::bounds::GroupBoundsIndex`]. An empty
+    /// support set unregisters the group: no support peer can be dirtied.
+    fn index_support_bounds(&mut self, gi: usize, support: &[usize]) {
+        if support.is_empty() {
+            if let Some(bounds) = &mut self.bounds {
+                bounds.clear(gi);
+            }
+            return;
+        }
+        let peers = self.store.peers();
+        let dim = peers[support[0]].point().dim();
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for &p in support {
+            for (d, &x) in peers[p].point().coords().iter().enumerate() {
+                lo[d] = lo[d].min(x);
+                hi[d] = hi[d].max(x);
+            }
+        }
+        self.bounds
+            .get_or_insert_with(|| {
+                // The grid domain is the population bounding box at
+                // first-index time; later out-of-domain points clamp
+                // onto border cells without affecting exactness.
+                let mut dlo = vec![f64::INFINITY; dim];
+                let mut dhi = vec![f64::NEG_INFINITY; dim];
+                for info in self.store.peers() {
+                    for (d, &x) in info.point().coords().iter().enumerate() {
+                        dlo[d] = dlo[d].min(x);
+                        dhi[d] = dhi[d].max(x);
+                    }
+                }
+                crate::bounds::GroupBoundsIndex::new(&dlo, &dhi)
+            })
+            .set(gi, lo, hi);
     }
 
     /// Recomputes one group's degraded flag against the current suspect
@@ -1652,6 +1710,70 @@ mod tests {
         assert!(!eng.relays(g).contains(&victim), "dead relay lingers");
         assert!(!eng.tree(g).unwrap().tree.is_reached(victim));
         assert_eq!(eng.coverage(g), 1.0, "reroute must restore coverage");
+        assert_exact(&eng);
+    }
+
+    /// The satellite regression: the bbox-index affected-group lookup
+    /// ([`crate::bounds::GroupBoundsIndex`] + support confirmation)
+    /// produces exactly the same affected sets as the definitional
+    /// scan over every group's members ∪ support, across join and
+    /// leave churn.
+    #[test]
+    fn bbox_affected_groups_match_the_reference_scan() {
+        let mut eng = engine(200, 49);
+        // Clustered groups (tight support boxes) plus a scattered group
+        // whose relay grafts spread support across the whole domain —
+        // the shape that exercises the oversize escape list.
+        let mut state = 11u64;
+        eng.seed_groups_clustered(&[15, 10, 8], &mut state);
+        let wide = eng.create_group(PeerId(2));
+        for p in [61u64, 119, 190] {
+            eng.subscribe(wide, PeerId(p));
+        }
+        for step in 0..30u64 {
+            // One store event per sync keeps the engine's replay state
+            // equal to the pre-sync snapshot the reference scan reads.
+            let before: Vec<u64> = (0..eng.group_count())
+                .map(|gi| eng.rebuild_count(GroupId(gi as u32)))
+                .collect();
+            let snapshot: Vec<(BTreeSet<usize>, Vec<usize>)> = (0..eng.group_count())
+                .map(|gi| {
+                    let g = GroupId(gi as u32);
+                    (
+                        eng.members(g).clone(),
+                        eng.group_build(g)
+                            .map_or(Vec::new(), |gb| gb.support.clone()),
+                    )
+                })
+                .collect();
+            if step % 3 == 2 {
+                let victim = PeerId((step * 13) % 200);
+                if eng.store().is_departed(victim) {
+                    continue;
+                }
+                eng.store_mut().remove(victim);
+            } else {
+                let p = uniform_points(1, 2, 1000.0, 4000 + step).into_points();
+                eng.store_mut().insert(p.into_iter().next().unwrap());
+            }
+            let dirty: Vec<usize> = eng.store().last_delta().to_vec();
+            let expected: BTreeSet<usize> = snapshot
+                .iter()
+                .enumerate()
+                .filter(|(_, (members, support))| {
+                    dirty
+                        .iter()
+                        .any(|p| members.contains(p) || support.binary_search(p).is_ok())
+                })
+                .map(|(gi, _)| gi)
+                .collect();
+            eng.sync();
+            let rebuilt: BTreeSet<usize> = (0..eng.group_count())
+                .filter(|&gi| eng.rebuild_count(GroupId(gi as u32)) > before[gi])
+                .collect();
+            assert_eq!(rebuilt, expected, "step {step}: affected sets diverged");
+            assert_eq!(eng.last_sync().affected_groups, expected.len());
+        }
         assert_exact(&eng);
     }
 

@@ -58,6 +58,7 @@ mod tree;
 
 pub mod aggregate;
 pub mod baseline;
+pub mod bounds;
 pub mod dataplane;
 pub mod detect;
 pub mod graft;

@@ -1,0 +1,124 @@
+//! Property tests for the region-sharded topology engine.
+//!
+//! THE sharding guarantee: a [`TopologyStore`] built through
+//! [`TopologyStore::from_peers_sharded`] — parallel per-shard builds,
+//! halo mirroring, cross-shard shortlist folds, profile-specialised
+//! churn — holds **byte-identical** state to the plain single-shard
+//! store: same adjacency, same fingerprint, same per-event dirty
+//! regions, and identical group-tree builds over it. Across the §2
+//! empty-rectangle rule and every Hyperplanes instance, random shard
+//! counts, random halo widths, and arbitrary join/leave interleavings.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use geocast_geom::gen::uniform_points;
+use geocast_geom::MetricKind;
+use geocast_overlay::select::{EmptyRectSelection, HyperplanesSelection, NeighborSelection};
+use geocast_overlay::{PeerId, PeerInfo, ShardConfig, TopologyStore};
+
+fn selection_for(variant: usize, dim: usize, k: usize) -> Arc<dyn NeighborSelection + Send + Sync> {
+    match variant {
+        0 => Arc::new(EmptyRectSelection),
+        1 => Arc::new(HyperplanesSelection::orthogonal(dim, k, MetricKind::L1)),
+        2 => Arc::new(HyperplanesSelection::signed(dim, k, MetricKind::L1)),
+        _ => Arc::new(HyperplanesSelection::k_closest(dim, k, MetricKind::L2)),
+    }
+}
+
+/// Both stores must agree on everything an external consumer can see.
+fn assert_identical(single: &TopologyStore, sharded: &TopologyStore, what: &str) {
+    assert_eq!(single.graph(), sharded.graph(), "{what}: adjacency");
+    assert_eq!(
+        single.fingerprint(),
+        sharded.fingerprint(),
+        "{what}: fingerprint"
+    );
+    assert_eq!(
+        single.last_delta(),
+        sharded.last_delta(),
+        "{what}: dirty region"
+    );
+    assert_eq!(single.epoch(), sharded.epoch(), "{what}: epoch");
+    assert_eq!(single.live_count(), sharded.live_count(), "{what}: live");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sharded bulk build + arbitrary churn == the single-shard store,
+    /// event for event, for every rule family and shard geometry.
+    #[test]
+    fn sharded_store_is_byte_identical_to_single_shard(
+        initial in 2usize..60,
+        ops in 1usize..20,
+        dim in 1usize..4,
+        k in 1usize..4,
+        variant in 0usize..4,
+        shards in 1usize..24,
+        halo in 0.0f64..250.0,
+        use_halo in 0usize..2,
+        seed in 0u64..10_000,
+    ) {
+        let selection = selection_for(variant, dim, k);
+        let peers = PeerInfo::from_point_set(&uniform_points(initial, dim, 1000.0, seed));
+        let mut config = ShardConfig::new(shards);
+        if use_halo == 1 {
+            config = config.with_halo_width(halo);
+        }
+        let mut single = TopologyStore::from_peers(peers.clone(), selection.clone());
+        let mut sharded = TopologyStore::from_peers_sharded(peers, selection, &config);
+        assert_identical(&single, &sharded, "bulk build");
+
+        let points = uniform_points(ops, dim, 1000.0, seed ^ 0x6a6f_696e).into_points();
+        let mut joins = points.into_iter();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for op in 0..ops {
+            let live: Vec<usize> = (0..single.len())
+                .filter(|&i| !single.is_departed(PeerId(i as u64)))
+                .collect();
+            if live.len() > 1 && rng.random_range(0..3) == 0 {
+                let gone = PeerId(live[rng.random_range(0..live.len())] as u64);
+                single.remove(gone);
+                sharded.remove(gone);
+            } else {
+                let p = joins.next().expect("one point per op suffices");
+                prop_assert_eq!(single.insert(p.clone()), sharded.insert(p));
+            }
+            assert_identical(&single, &sharded, &format!("op {op}"));
+        }
+    }
+
+    /// Every group tree built over the sharded store equals the same
+    /// build over the single-shard store — the downstream consumers'
+    /// view of the adjacency is interchangeable.
+    #[test]
+    fn group_builds_agree_across_store_engines(
+        n in 8usize..50,
+        shards in 1usize..17,
+        members in 2usize..8,
+        variant in 0usize..2,
+        seed in 0u64..10_000,
+    ) {
+        use geocast_core::groups::build_group_tree_grafted;
+        use geocast_core::OrthantRectPartitioner;
+
+        let selection = selection_for(variant, 2, 2);
+        let peers = PeerInfo::from_point_set(&uniform_points(n, 2, 1000.0, seed));
+        let single = TopologyStore::from_peers(peers.clone(), selection.clone());
+        let sharded = TopologyStore::from_peers_sharded(peers, selection, &ShardConfig::new(shards));
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let member_set: BTreeSet<usize> =
+            (0..members).map(|_| rng.random_range(0..n)).collect();
+        let root = *member_set.iter().next().expect("at least one member");
+        let partitioner = OrthantRectPartitioner::median();
+        let a = build_group_tree_grafted(&single, root, &member_set, &partitioner);
+        let b = build_group_tree_grafted(&sharded, root, &member_set, &partitioner);
+        prop_assert_eq!(a, b, "group build diverged between store engines");
+    }
+}

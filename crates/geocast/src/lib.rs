@@ -75,7 +75,7 @@ pub mod prelude {
     };
     pub use geocast_overlay::{
         churn, oracle, ConvergenceReport, NetworkConfig, OverlayGraph, OverlayNetwork, PeerId,
-        PeerInfo, TopologyStore,
+        PeerInfo, ShardConfig, ShardedTopologyStore, TopologyStore,
     };
     pub use geocast_sim::{
         runner::ParallelRunner,

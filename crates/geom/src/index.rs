@@ -393,9 +393,23 @@ impl GridIndex {
     /// `i` in any dimension — the exact condition under which queries
     /// must decline. `O(D)` against the multiplicity tables.
     fn collides(&self, i: usize) -> bool {
+        self.collides_at(self.point_coords(i), Some(i))
+    }
+
+    /// `true` if some live point other than `skip` shares a coordinate
+    /// with the external query position `q` in any dimension. The
+    /// decline oracle of the `*_at` query variants, `O(D)` against the
+    /// multiplicity tables.
+    fn collides_at(&self, q: &[f64], skip: Option<usize>) -> bool {
         (0..self.dim).any(|d| {
-            let bits = coord_bits(self.coords[i * self.dim + d]);
-            self.coord_counts[d].get(&bits).copied().unwrap_or(0) >= 2
+            let bits = coord_bits(q[d]);
+            let mut count = self.coord_counts[d].get(&bits).copied().unwrap_or(0);
+            if let Some(s) = skip {
+                if !self.removed[s] && coord_bits(self.coords[s * self.dim + d]) == bits {
+                    count -= 1;
+                }
+            }
+            count >= 1
         })
     }
 
@@ -417,8 +431,47 @@ impl GridIndex {
         if self.dim > MAX_INDEX_DIM || self.collides(i) {
             return None;
         }
-        let dim = self.dim;
         let p = self.point_coords(i).to_vec();
+        Some(self.empty_rect_walk(&p, i))
+    }
+
+    /// [`GridIndex::empty_rect_neighbors`] for an **external** query
+    /// position: the exact empty-rectangle neighbours of `q` among all
+    /// live indexed points except `skip`, sorted ascending. The
+    /// cross-shard query of the sharded topology store — a peer resident
+    /// in one shard interrogates another shard's index without being a
+    /// member of it (passing `skip` when it *is* mirrored there).
+    ///
+    /// Returns `None` when some live point other than `skip` shares a
+    /// coordinate with `q` (orthant membership would be ambiguous) or
+    /// the dimensionality exceeds [`MAX_INDEX_DIM`]; callers fall back
+    /// to their brute-force paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is non-empty and `q`'s dimensionality
+    /// disagrees, or `skip` is out of range.
+    #[must_use]
+    pub fn empty_rect_neighbors_at(&self, q: &Point, skip: Option<usize>) -> Option<Vec<usize>> {
+        if self.live == 0 {
+            return Some(Vec::new());
+        }
+        assert_eq!(q.dim(), self.dim, "query dimensionality mismatch");
+        if let Some(s) = skip {
+            assert!(s < self.len(), "skip id out of range");
+        }
+        if self.dim > MAX_INDEX_DIM || self.collides_at(q.coords(), skip) {
+            return None;
+        }
+        Some(self.empty_rect_walk(q.coords(), skip.unwrap_or(usize::MAX)))
+    }
+
+    /// The shared walk behind both empty-rectangle entry points: exact
+    /// frontier of the position `p` over live points, excluding `skip`
+    /// (`usize::MAX` excludes nobody). Collision gating is the caller's
+    /// job.
+    fn empty_rect_walk(&self, p: &[f64], skip: usize) -> Vec<usize> {
+        let dim = self.dim;
         let orthants = 1usize << dim;
 
         // Per orthant: collected candidate (offset vector, id) pairs and
@@ -434,11 +487,11 @@ impl GridIndex {
             self.walk_empty_rect(
                 o,
                 0,
-                &p,
+                p,
                 &p_layer,
                 &mut prefix_cells,
                 &mut prefix_offs,
-                i,
+                skip,
                 &mut collected,
                 &mut frontier,
             );
@@ -466,7 +519,7 @@ impl GridIndex {
             }
         }
         kept.sort_unstable();
-        Some(kept)
+        kept
     }
 
     /// Walks the cells of orthant `o` (bit `d` set = positive side in
@@ -644,8 +697,51 @@ impl GridIndex {
         if self.dim > MAX_INDEX_DIM || self.collides(i) {
             return None;
         }
-        let dim = self.dim;
         let p = self.point_coords(i).to_vec();
+        Some(self.knn_walk(&p, k, metric, i))
+    }
+
+    /// [`GridIndex::k_nearest_per_orthant`] for an **external** query
+    /// position: the `k` nearest live points to `q` within each orthant
+    /// around `q`, excluding `skip` — the cross-shard query of the
+    /// sharded topology store.
+    ///
+    /// Returns `None` on a per-dimension coordinate collision between
+    /// `q` and any live point other than `skip`, or when the
+    /// dimensionality exceeds [`MAX_INDEX_DIM`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is non-empty and `q`'s dimensionality
+    /// disagrees, `skip` is out of range, or `k == 0`.
+    #[must_use]
+    pub fn k_nearest_per_orthant_at(
+        &self,
+        q: &Point,
+        k: usize,
+        metric: MetricKind,
+        skip: Option<usize>,
+    ) -> Option<Vec<Vec<usize>>> {
+        assert!(k > 0, "K must be at least 1");
+        if self.live == 0 {
+            let orthants = 1usize << self.dim.min(MAX_INDEX_DIM);
+            return Some(vec![Vec::new(); orthants]);
+        }
+        assert_eq!(q.dim(), self.dim, "query dimensionality mismatch");
+        if let Some(s) = skip {
+            assert!(s < self.len(), "skip id out of range");
+        }
+        if self.dim > MAX_INDEX_DIM || self.collides_at(q.coords(), skip) {
+            return None;
+        }
+        Some(self.knn_walk(q.coords(), k, metric, skip.unwrap_or(usize::MAX)))
+    }
+
+    /// The shared walk behind both per-orthant KNN entry points,
+    /// excluding `skip` (`usize::MAX` excludes nobody). Collision gating
+    /// is the caller's job.
+    fn knn_walk(&self, p: &[f64], k: usize, metric: MetricKind, skip: usize) -> Vec<Vec<usize>> {
+        let dim = self.dim;
         let orthants = 1usize << dim;
         let p_layer: Vec<usize> = (0..dim).map(|d| self.layer_of(d, p[d])).collect();
 
@@ -656,21 +752,19 @@ impl GridIndex {
             self.walk_knn(
                 o,
                 0,
-                &p,
+                p,
                 &p_layer,
                 &mut prefix_cells,
                 &mut prefix_offs,
-                i,
+                skip,
                 k,
                 metric,
                 &mut best,
             );
         }
-        Some(
-            best.into_iter()
-                .map(|group| group.into_iter().map(|(_, id)| id).collect())
-                .collect(),
-        )
+        best.into_iter()
+            .map(|group| group.into_iter().map(|(_, id)| id).collect())
+            .collect()
     }
 
     fn corner_dist(&self, metric: MetricKind, offs: &[f64], upto: usize) -> f64 {
@@ -1159,6 +1253,91 @@ mod tests {
                 "query {i}"
             );
         }
+    }
+
+    #[test]
+    fn at_queries_match_brute_force_for_external_points() {
+        for &(n, dim, seed) in &[(80usize, 2usize, 71u64), (50, 3, 72), (40, 1, 73)] {
+            let points = uniform_points(n, dim, 1000.0, seed).into_points();
+            let mut index = GridIndex::build(&points);
+            for &gone in &[5usize, 9] {
+                index.remove(gone);
+            }
+            let live: Vec<usize> = (0..n).filter(|i| ![5, 9].contains(i)).collect();
+            // External query positions, some outside the built box.
+            let queries = uniform_points(10, dim, 1700.0, seed ^ 0xb2).into_points();
+            for q in &queries {
+                let got = index
+                    .empty_rect_neighbors_at(q, None)
+                    .expect("distinct workload");
+                let candidates: Vec<&Point> = live.iter().map(|&j| &points[j]).collect();
+                let want: Vec<usize> = empty_rect_neighbors(q, &candidates)
+                    .into_iter()
+                    .map(|ci| live[ci])
+                    .collect();
+                assert_eq!(got, want, "n={n} dim={dim} q={q:?}");
+
+                for metric in [MetricKind::L1, MetricKind::L2, MetricKind::LInf] {
+                    for k in [1usize, 3] {
+                        let got = index.k_nearest_per_orthant_at(q, k, metric, None).unwrap();
+                        let mut want: Vec<Vec<(f64, usize)>> =
+                            vec![Vec::new(); Orthant::count(dim)];
+                        for &j in &live {
+                            let o = Orthant::classify(q, &points[j]).unwrap();
+                            want[o.index()].push((metric.dist(q, &points[j]), j));
+                        }
+                        for group in &mut want {
+                            group.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                            group.truncate(k);
+                        }
+                        let want: Vec<Vec<usize>> = want
+                            .into_iter()
+                            .map(|g| g.into_iter().map(|(_, j)| j).collect())
+                            .collect();
+                        assert_eq!(got, want, "n={n} dim={dim} k={k} {metric}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_queries_with_skip_match_id_based_queries() {
+        let points = uniform_points(60, 2, 1000.0, 77).into_points();
+        let index = GridIndex::build(&points);
+        for (i, p) in points.iter().enumerate().take(10) {
+            assert_eq!(
+                index.empty_rect_neighbors_at(p, Some(i)),
+                index.empty_rect_neighbors(i),
+                "query {i}"
+            );
+            assert_eq!(
+                index.k_nearest_per_orthant_at(p, 2, MetricKind::L1, Some(i)),
+                index.k_nearest_per_orthant(i, 2, MetricKind::L1),
+                "query {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn at_queries_decline_on_external_collision_unless_skipped() {
+        let points = vec![
+            Point::new(vec![0.0, 5.0]).unwrap(),
+            Point::new(vec![3.0, 8.0]).unwrap(),
+        ];
+        let index = GridIndex::build(&points);
+        // Shares y with live point 0: ambiguous, decline…
+        let q = Point::new(vec![7.0, 5.0]).unwrap();
+        assert_eq!(index.empty_rect_neighbors_at(&q, None), None);
+        assert_eq!(
+            index.k_nearest_per_orthant_at(&q, 1, MetricKind::L1, None),
+            None
+        );
+        // …unless point 0 is the one being excluded (a mirrored self).
+        assert_eq!(index.empty_rect_neighbors_at(&q, Some(0)), Some(vec![1]));
+        // A clean external point answers.
+        let q = Point::new(vec![7.0, 6.0]).unwrap();
+        assert_eq!(index.empty_rect_neighbors_at(&q, None), Some(vec![0, 1]));
     }
 
     #[test]

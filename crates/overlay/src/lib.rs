@@ -55,9 +55,11 @@ pub mod gossip;
 pub mod oracle;
 pub mod routing;
 pub mod select;
+pub mod shard;
 
 pub use delta::{DeltaKind, DeltaLog, TopologyDelta};
 pub use graph::OverlayGraph;
 pub use network::{ConvergenceReport, NetworkConfig, OverlayNetwork};
 pub use peer::{PeerAddr, PeerId, PeerInfo};
+pub use shard::{ShardConfig, ShardedTopologyStore};
 pub use store::{topology_hash, TopologyStore};

@@ -1,7 +1,7 @@
 use geocast_geom::dominance;
 
 use crate::peer::PeerInfo;
-use crate::select::{select_in_brute, NeighborSelection, SelectContext};
+use crate::select::{select_in_brute, NeighborSelection, SelectContext, ShardProfile};
 
 /// The §2 neighbour-selection rule: `Q ∈ I(P)` becomes a neighbour iff
 /// the axis-aligned hyper-rectangle having `P` and `Q` as corners
@@ -56,6 +56,10 @@ impl NeighborSelection for EmptyRectSelection {
 
     fn name(&self) -> String {
         "empty-rect".to_owned()
+    }
+
+    fn shard_profile(&self) -> ShardProfile {
+        ShardProfile::EmptyRect
     }
 }
 

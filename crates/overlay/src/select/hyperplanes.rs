@@ -3,7 +3,7 @@ use std::collections::HashMap;
 use geocast_geom::{Arrangement, Metric, MetricKind, RegionKey};
 
 use crate::peer::PeerInfo;
-use crate::select::{select_in_brute, NeighborSelection, SelectContext};
+use crate::select::{select_in_brute, NeighborSelection, SelectContext, ShardProfile};
 
 /// The paper's generic *Hyperplanes* neighbour-selection method.
 ///
@@ -149,6 +149,20 @@ impl NeighborSelection for HyperplanesSelection {
             self.k,
             self.metric
         )
+    }
+
+    fn shard_profile(&self) -> ShardProfile {
+        // Only the orthogonal arrangement maps regions onto orthants,
+        // which is what the per-shard KNN shortlist query answers;
+        // other arrangements fall back to the brute (but exact) path.
+        if self.arrangement.is_orthogonal() {
+            ShardProfile::OrthantTopK {
+                k: self.k,
+                metric: self.metric,
+            }
+        } else {
+            ShardProfile::Generic
+        }
     }
 }
 

@@ -26,9 +26,38 @@ mod hyperplanes;
 pub use empty_rect::EmptyRectSelection;
 pub use hyperplanes::HyperplanesSelection;
 
-use geocast_geom::GridIndex;
+use geocast_geom::{GridIndex, MetricKind};
 
 use crate::peer::PeerInfo;
+
+/// How a selection rule's geometry can be exploited by the sharded
+/// topology store ([`crate::shard`]): which per-shard shortlist query
+/// answers it and which cross-shard skip test is sound for it.
+///
+/// The profile never affects *what* is selected — only how many shard
+/// indexes a cross-shard selection has to interrogate. Rules that fit
+/// neither shape run under [`ShardProfile::Generic`], which queries
+/// every shard brute-force (still exact, no pruning).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardProfile {
+    /// The §2 empty-rectangle rule: shard shortlists are per-orthant
+    /// Pareto frontiers, and a whole shard is skippable when one
+    /// already-collected candidate rect-dominates its entire uncovered
+    /// bounding box.
+    EmptyRect,
+    /// Per-orthant `K`-closest under `metric` (the *Orthogonal
+    /// Hyperplanes* method): shard shortlists are per-orthant KNN, and
+    /// a shard is skippable when its uncovered box lies in a single
+    /// saturated orthant strictly beyond the `K`-th collected distance.
+    OrthantTopK {
+        /// Per-region selection budget.
+        k: usize,
+        /// Ranking metric.
+        metric: MetricKind,
+    },
+    /// No exploitable shape: every shard is queried by brute force.
+    Generic,
+}
 
 /// Shared acceleration state for batch selection over a fixed peer
 /// population ([`NeighborSelection::select_in`]).
@@ -177,6 +206,13 @@ pub trait NeighborSelection {
 
     /// Human-readable method name for reports.
     fn name(&self) -> String;
+
+    /// How the sharded store may prune cross-shard queries for this
+    /// rule (see [`ShardProfile`]). The default claims no exploitable
+    /// shape, which is always sound.
+    fn shard_profile(&self) -> ShardProfile {
+        ShardProfile::Generic
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,1449 @@
+//! Region-sharded topology state: the million-peer scale-out path.
+//!
+//! [`ShardedTopologyStore`] partitions the coordinate space into
+//! grid-aligned tiles and gives every tile its own incremental
+//! [`GridIndex`], membership tables, and epoch-numbered delta log
+//! ([`ShardDeltaLog`]). A [`crate::TopologyStore`] built through
+//! [`crate::TopologyStore::from_peers_sharded`] carries this state next
+//! to its usual global tables, so every existing consumer (group trees,
+//! detect/repair, the data plane) keeps reading the same adjacency,
+//! fingerprint and merged delta stream — only the *engine* that
+//! computes selections changes.
+//!
+//! # Halo exchange
+//!
+//! Each shard mirrors into its index every peer within `halo` (L∞) of
+//! its tile — the **halo band**. The band width is a pure performance
+//! knob: the guarantee it buys is that every live peer inside
+//! `expand(tile_s, halo)` is present in shard `s`'s index, so a peer's
+//! **home query** already sees everything near its own tile.
+//!
+//! # Why the cross-shard fold is exact
+//!
+//! A peer's selection over the full live population is recovered from
+//! per-shard *shortlists* by one final merge-select:
+//!
+//! 1. **Shortlists keep every winner.** Both shipped rule families are
+//!    monotone under candidate restriction: a globally selected
+//!    neighbour restricted to any candidate subset containing it is
+//!    still selected (an empty rectangle stays empty over a subset; a
+//!    per-region top-`K` member stays top-`K` when candidates are
+//!    removed). So `shortlist(s) ⊇ winners ∩ members(s)`, and every
+//!    live peer is resident in exactly one shard.
+//! 2. **Skip tests are sound.** A foreign shard is only skipped when
+//!    its *uncovered box* — its conservative bounding box minus the
+//!    home halo band — provably contains no winner: for the
+//!    empty-rectangle rule, a single home candidate lying strictly
+//!    between the peer and the entire box blocks every point in it
+//!    (rectangle nesting); for per-orthant top-`K`, the box must fall
+//!    in a single saturated orthant strictly beyond the current `K`-th
+//!    distance. Any geometry the tests cannot decide — including
+//!    coordinate collisions, which make a dimension's sign indefinite —
+//!    falls through to querying the shard.
+//! 3. **The final merge is a selection over a superset of winners**,
+//!    and selections are stable between their own output and the full
+//!    candidate set (same monotonicity both ways), so the merged result
+//!    equals the single-store selection — byte for byte, tie-breaks
+//!    included, because shard-local ids are assigned in ascending
+//!    global order.
+//!
+//! # Churn
+//!
+//! Joins exploit rule structure instead of the single-store full
+//! recheck: under the empty-rectangle rule the affected set of a join
+//! is exactly the newcomer's own selection (equilibrium links are
+//! mutual, and an eviction witness is always a mutual edge), dropping
+//! the per-join cost from `O(N)` selection re-runs to `O(degree)`;
+//! per-orthant top-`K` rules prune the recheck scan with a saturation
+//! test per peer (`O(degree)` arithmetic, no selection call); other
+//! rules keep the exact full recheck. Leaves re-select exactly the
+//! departed peer's selectors, as in the single store.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use geocast_geom::{Metric, MetricKind, Point};
+
+use crate::delta::DeltaKind;
+use crate::par;
+use crate::peer::{PeerId, PeerInfo};
+use crate::select::{NeighborSelection, ShardProfile};
+use crate::store::{topology_hash, TopologyStore};
+
+use geocast_geom::GridIndex;
+
+/// How a [`ShardedTopologyStore`] is laid out: shard count, halo band
+/// width, and per-shard delta retention.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    shards: usize,
+    halo_width: Option<f64>,
+    shard_log_capacity: usize,
+}
+
+impl ShardConfig {
+    /// A configuration with `shards` tiles, an automatic halo width
+    /// (a few expected nearest-neighbour spacings, derived from the
+    /// bulk population), and default per-shard delta retention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        ShardConfig {
+            shards,
+            halo_width: None,
+            shard_log_capacity: crate::delta::DEFAULT_DELTA_CAPACITY,
+        }
+    }
+
+    /// Overrides the halo band width (absolute coordinate units).
+    /// Width only affects how many shards a query can prune, never
+    /// what is selected.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` is finite and non-negative.
+    #[must_use]
+    pub fn with_halo_width(mut self, width: f64) -> Self {
+        assert!(
+            width.is_finite() && width >= 0.0,
+            "halo width must be finite and non-negative"
+        );
+        self.halo_width = Some(width);
+        self
+    }
+
+    /// Overrides the per-shard delta log retention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_shard_log_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "shard log capacity must be positive");
+        self.shard_log_capacity = capacity;
+        self
+    }
+
+    /// The configured shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+/// The grid tiling of the coordinate domain: per-dimension tile counts
+/// whose product is the shard count, over the bulk population's
+/// bounding box. Peers outside the domain (late joins) clamp to the
+/// nearest tile; exactness never depends on where a peer is assigned.
+#[derive(Debug, Clone)]
+struct Tiling {
+    dim: usize,
+    lo: Vec<f64>,
+    tile_size: Vec<f64>,
+    tiles: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl Tiling {
+    fn build(peers: &[PeerInfo], shards: usize) -> Tiling {
+        let dim = peers[0].point().dim();
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for p in peers {
+            for (d, &x) in p.point().coords().iter().enumerate() {
+                lo[d] = lo[d].min(x);
+                hi[d] = hi[d].max(x);
+            }
+        }
+        let extents: Vec<f64> = (0..dim).map(|d| (hi[d] - lo[d]).max(0.0)).collect();
+        let tiles = factor_tiles(shards, &extents);
+        let tile_size: Vec<f64> = (0..dim).map(|d| extents[d] / tiles[d] as f64).collect();
+        let mut strides = vec![1usize; dim];
+        for d in 1..dim {
+            strides[d] = strides[d - 1] * tiles[d - 1];
+        }
+        Tiling {
+            dim,
+            lo,
+            tile_size,
+            tiles,
+            strides,
+        }
+    }
+
+    /// The home shard of a point (clamped to the nearest tile).
+    fn shard_of(&self, coords: &[f64]) -> usize {
+        let mut idx = 0;
+        for (d, &x) in coords.iter().enumerate().take(self.dim) {
+            let t = if self.tile_size[d] > 0.0 {
+                // Negative and NaN quotients saturate to tile 0.
+                (((x - self.lo[d]) / self.tile_size[d]).floor() as usize).min(self.tiles[d] - 1)
+            } else {
+                0
+            };
+            idx += t * self.strides[d];
+        }
+        idx
+    }
+
+    /// The geometric box of tile `s` (per-dim closed intervals).
+    fn tile_box(&self, s: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = Vec::with_capacity(self.dim);
+        let mut hi = Vec::with_capacity(self.dim);
+        for d in 0..self.dim {
+            let t = (s / self.strides[d]) % self.tiles[d];
+            lo.push(self.lo[d] + t as f64 * self.tile_size[d]);
+            hi.push(self.lo[d] + (t + 1) as f64 * self.tile_size[d]);
+        }
+        (lo, hi)
+    }
+
+    /// Every shard whose halo-expanded tile contains the point — the
+    /// home tile plus the mirror targets. Tiles within `halo` form a
+    /// contiguous per-dimension index range, so this is a small
+    /// cartesian product, never a scan over all shards.
+    fn shards_near(&self, coords: &[f64], halo: f64) -> Vec<usize> {
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(self.dim);
+        for (d, &c) in coords.iter().enumerate().take(self.dim) {
+            let (a, b) = if self.tile_size[d] > 0.0 {
+                let x = c - self.lo[d];
+                let a = ((x - halo) / self.tile_size[d]).floor() as usize; // saturates at 0
+                let b = (((x + halo) / self.tile_size[d]).floor() as usize).min(self.tiles[d] - 1);
+                (a.min(self.tiles[d] - 1), b)
+            } else {
+                (0, 0)
+            };
+            ranges.push((a, b));
+        }
+        let mut out = vec![0usize];
+        for (d, &(a, b)) in ranges.iter().enumerate() {
+            let mut next = Vec::with_capacity(out.len() * (b - a + 1));
+            for base in &out {
+                for t in a..=b {
+                    next.push(base + t * self.strides[d]);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+/// Splits `shards` into per-dimension tile counts: prime factors are
+/// assigned, largest first, to the dimension with the widest current
+/// tile, so tiles stay as square as the factorization allows.
+fn factor_tiles(shards: usize, extents: &[f64]) -> Vec<usize> {
+    let dim = extents.len();
+    let mut tiles = vec![1usize; dim];
+    let mut factors = Vec::new();
+    let mut n = shards;
+    let mut f = 2usize;
+    while f * f <= n {
+        while n.is_multiple_of(f) {
+            factors.push(f);
+            n /= f;
+        }
+        f += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors.reverse(); // largest first
+    for f in factors {
+        let mut best = 0usize;
+        for d in 1..dim {
+            let wd = extents[d] / tiles[d] as f64;
+            let wb = extents[best] / tiles[best] as f64;
+            if wd > wb {
+                best = d;
+            }
+        }
+        tiles[best] *= f;
+    }
+    tiles
+}
+
+/// One tile's worth of state: geometric box, conservative resident
+/// bounding box (grow-only), membership tables, spatial index, and the
+/// shard-scoped delta log.
+#[derive(Debug)]
+struct Shard {
+    tile_lo: Vec<f64>,
+    tile_hi: Vec<f64>,
+    /// Grow-only bounding box of every resident ever assigned, unioned
+    /// with the tile box — the conservative "where this shard's
+    /// residents can be" region the skip tests subtract from.
+    cover_lo: Vec<f64>,
+    cover_hi: Vec<f64>,
+    /// Local id → global id, ascending (insertion order is global id
+    /// order, which keeps shard-local distance tie-breaks identical to
+    /// global ones).
+    members: Vec<usize>,
+    /// Global id → local id for every member (residents and mirrors).
+    local_of: HashMap<usize, usize>,
+    /// Global ids of residents ever assigned, ascending (departures
+    /// stay listed; the index tombstones them).
+    resident_ids: Vec<usize>,
+    index: GridIndex,
+    log: ShardDeltaLog,
+}
+
+impl Shard {
+    fn add_member(&mut self, global: usize, point: &Point, resident: bool) {
+        let local = self.index.insert(point);
+        debug_assert_eq!(local, self.members.len(), "index ids track member ids");
+        self.members.push(global);
+        self.local_of.insert(global, local);
+        if resident {
+            self.resident_ids.push(global);
+            for (d, &x) in point.coords().iter().enumerate() {
+                self.cover_lo[d] = self.cover_lo[d].min(x);
+                self.cover_hi[d] = self.cover_hi[d].max(x);
+            }
+        }
+    }
+}
+
+/// One entry of a shard's delta stream: the shard-local epoch (gap-free
+/// per shard), the global store epoch it corresponds to, and the dirty
+/// region restricted to the shard's residents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardDelta {
+    /// Shard-local epoch (the `n`-th mutation that touched this shard).
+    pub local_epoch: u64,
+    /// The global [`crate::TopologyStore::epoch`] of the mutation.
+    pub global_epoch: u64,
+    /// The membership event.
+    pub kind: DeltaKind,
+    /// Dirty peers that are residents of this shard, sorted ascending.
+    pub dirty: Vec<usize>,
+}
+
+/// A shard-scoped delta log: the subsequence of global mutations that
+/// touched a shard's residents, with bounded retention.
+///
+/// Shard-local epochs are gap-free *per shard*, but consumers track
+/// progress in **global** epochs (one cursor works across shards).
+/// Because a shard only records the mutations that touched it, a
+/// truncated retained suffix is indistinguishable from a sparse stream
+/// — the naive "return whatever is retained after the cursor" answer
+/// silently drops evicted deltas. This log therefore remembers the
+/// highest global epoch it ever evicted and answers `None` whenever a
+/// consumer's cursor predates it: the deterministic full-resync signal
+/// (regression-tested in `laggards_get_a_resync_signal_not_a_gap`).
+#[derive(Debug, Clone)]
+pub struct ShardDeltaLog {
+    deltas: VecDeque<ShardDelta>,
+    capacity: usize,
+    local_head: u64,
+    global_head: u64,
+    /// Highest global epoch among evicted deltas (`None` = nothing
+    /// evicted yet).
+    evicted_global: Option<u64>,
+}
+
+impl ShardDeltaLog {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "shard delta log capacity must be positive");
+        ShardDeltaLog {
+            deltas: VecDeque::with_capacity(capacity.min(64)),
+            capacity,
+            local_head: 0,
+            global_head: 0,
+            evicted_global: None,
+        }
+    }
+
+    fn record(&mut self, kind: DeltaKind, dirty: Vec<usize>, global_epoch: u64) {
+        assert!(global_epoch > self.global_head, "global epochs ascend");
+        self.local_head += 1;
+        self.global_head = global_epoch;
+        if self.deltas.len() == self.capacity {
+            let evicted = self.deltas.pop_front().expect("at capacity");
+            self.evicted_global = Some(evicted.global_epoch);
+        }
+        self.deltas.push_back(ShardDelta {
+            local_epoch: self.local_head,
+            global_epoch,
+            kind,
+            dirty,
+        });
+    }
+
+    /// Number of retained deltas.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// `true` if nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Shard-local epoch of the newest recorded delta (0 before any).
+    #[must_use]
+    pub fn local_head(&self) -> u64 {
+        self.local_head
+    }
+
+    /// Global epoch of the newest mutation that touched this shard
+    /// (0 before any).
+    #[must_use]
+    pub fn global_head(&self) -> u64 {
+        self.global_head
+    }
+
+    /// The shard deltas with global epoch strictly after
+    /// `global_epoch`, oldest first — everything a consumer whose
+    /// global cursor is `global_epoch` has missed *in this shard*.
+    ///
+    /// Returns `None` when the answer cannot be complete: the log has
+    /// evicted a delta newer than the cursor, or the cursor claims a
+    /// global epoch this shard has never seen pass (a future claim).
+    /// `None` always means "resynchronise from full store state".
+    #[must_use]
+    pub fn deltas_since_global(&self, global_epoch: u64) -> Option<Vec<&ShardDelta>> {
+        if let Some(evicted) = self.evicted_global {
+            if global_epoch < evicted {
+                return None;
+            }
+        }
+        if global_epoch > self.global_head {
+            return None;
+        }
+        Some(
+            self.deltas
+                .iter()
+                .filter(|d| d.global_epoch > global_epoch)
+                .collect(),
+        )
+    }
+}
+
+/// Sizes and per-phase wall times of a sharded bulk build. Per-shard
+/// vectors are indexed by shard id; on a single-core host the
+/// per-shard times still measure each shard's isolated work, which is
+/// what the critical-path speedup model in `bench_shard` consumes.
+#[derive(Debug, Clone, Default)]
+pub struct ShardBuildStats {
+    /// Domain scan + membership/halo assignment (sequential prologue).
+    pub assign: Duration,
+    /// Per-shard index construction time.
+    pub shard_index: Vec<Duration>,
+    /// Per-shard selection (fold) time over the shard's residents.
+    pub shard_select: Vec<Duration>,
+    /// Reverse lists, hashes and fingerprint (sequential epilogue).
+    pub finalize: Duration,
+    /// Residents per shard.
+    pub residents: Vec<usize>,
+    /// Halo mirrors per shard.
+    pub mirrors: Vec<usize>,
+}
+
+/// The sharded engine a [`TopologyStore`] runs on when built with
+/// [`TopologyStore::from_peers_sharded`]: the tiling, the halo width,
+/// and one [`GridIndex`]-backed shard per tile. See the module docs
+/// for the exactness argument.
+#[derive(Debug)]
+pub struct ShardedTopologyStore {
+    tiling: Tiling,
+    halo: f64,
+    profile: ShardProfile,
+    shards: Vec<Shard>,
+    /// Global peer id → home shard.
+    home: Vec<u32>,
+    stats: ShardBuildStats,
+}
+
+impl ShardedTopologyStore {
+    /// Bulk-builds the sharded engine and every peer's selection:
+    /// membership + halo assignment, shard-parallel index builds, then
+    /// shard-parallel selection folds. Returns the engine and the
+    /// per-peer out-lists (indexed by global id).
+    pub(crate) fn build(
+        peers: &[PeerInfo],
+        selection: &(dyn NeighborSelection + Send + Sync),
+        config: &ShardConfig,
+    ) -> (Self, Vec<Vec<usize>>) {
+        let t0 = Instant::now();
+        let tiling = Tiling::build(peers, config.shards);
+        let halo = config
+            .halo_width
+            .unwrap_or_else(|| auto_halo(&tiling, peers.len()));
+        let k = config.shards;
+        let mut home: Vec<u32> = Vec::with_capacity(peers.len());
+        // Per-shard membership, ascending global order: (global, resident).
+        let mut assignment: Vec<Vec<(usize, bool)>> = vec![Vec::new(); k];
+        for (g, p) in peers.iter().enumerate() {
+            let coords = p.point().coords();
+            let h = tiling.shard_of(coords);
+            home.push(h as u32);
+            assignment[h].push((g, true));
+            for s in tiling.shards_near(coords, halo) {
+                if s != h {
+                    assignment[s].push((g, false));
+                }
+            }
+        }
+        let assign = t0.elapsed();
+
+        let built: Vec<(Shard, Duration)> = par::map_shards(k, |s| {
+            let t = Instant::now();
+            let member_refs: Vec<&PeerInfo> =
+                assignment[s].iter().map(|&(g, _)| &peers[g]).collect();
+            let index = GridIndex::build(&member_refs);
+            let (tile_lo, tile_hi) = tiling.tile_box(s);
+            let mut shard = Shard {
+                cover_lo: tile_lo.clone(),
+                cover_hi: tile_hi.clone(),
+                tile_lo,
+                tile_hi,
+                members: Vec::with_capacity(assignment[s].len()),
+                local_of: HashMap::with_capacity(assignment[s].len()),
+                resident_ids: Vec::new(),
+                index,
+                log: ShardDeltaLog::new(config.shard_log_capacity),
+            };
+            for (local, &(g, resident)) in assignment[s].iter().enumerate() {
+                shard.members.push(g);
+                shard.local_of.insert(g, local);
+                if resident {
+                    shard.resident_ids.push(g);
+                    for (d, &x) in peers[g].point().coords().iter().enumerate() {
+                        shard.cover_lo[d] = shard.cover_lo[d].min(x);
+                        shard.cover_hi[d] = shard.cover_hi[d].max(x);
+                    }
+                }
+            }
+            (shard, t.elapsed())
+        });
+        let mut shards = Vec::with_capacity(k);
+        let mut shard_index = Vec::with_capacity(k);
+        for (shard, dur) in built {
+            shards.push(shard);
+            shard_index.push(dur);
+        }
+
+        let mut engine = ShardedTopologyStore {
+            tiling,
+            halo,
+            profile: selection.shard_profile(),
+            shards,
+            home,
+            stats: ShardBuildStats::default(),
+        };
+        let departed = vec![false; peers.len()];
+        // Per shard: each resident's (global id, folded selection), plus
+        // the shard's select-phase duration.
+        #[allow(clippy::type_complexity)]
+        let folded: Vec<(Vec<(usize, Vec<usize>)>, Duration)> = {
+            let engine = &engine;
+            let departed = &departed;
+            par::map_shards(k, |s| {
+                let t = Instant::now();
+                let outs: Vec<(usize, Vec<usize>)> = engine.shards[s]
+                    .resident_ids
+                    .iter()
+                    .map(|&g| (g, engine.fold_select(peers, departed, selection, g)))
+                    .collect();
+                (outs, t.elapsed())
+            })
+        };
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); peers.len()];
+        let mut shard_select = Vec::with_capacity(k);
+        for (pairs, dur) in folded {
+            shard_select.push(dur);
+            for (g, o) in pairs {
+                out[g] = o;
+            }
+        }
+        engine.stats = ShardBuildStats {
+            assign,
+            shard_index,
+            shard_select,
+            finalize: Duration::ZERO,
+            residents: engine.shards.iter().map(|s| s.resident_ids.len()).collect(),
+            mirrors: engine
+                .shards
+                .iter()
+                .map(|s| s.members.len() - s.resident_ids.len())
+                .collect(),
+        };
+        (engine, out)
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The halo band width in coordinate units.
+    #[must_use]
+    pub fn halo_width(&self) -> f64 {
+        self.halo
+    }
+
+    /// Per-dimension tile counts (product = shard count).
+    #[must_use]
+    pub fn tiles_per_dim(&self) -> &[usize] {
+        &self.tiling.tiles
+    }
+
+    /// The home shard of a peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is out of range.
+    #[must_use]
+    pub fn home_shard(&self, peer: usize) -> usize {
+        self.home[peer] as usize
+    }
+
+    /// Residents ever assigned to shard `s` (departures not deducted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn resident_count(&self, s: usize) -> usize {
+        self.shards[s].resident_ids.len()
+    }
+
+    /// Halo mirrors ever assigned to shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn mirror_count(&self, s: usize) -> usize {
+        self.shards[s].members.len() - self.shards[s].resident_ids.len()
+    }
+
+    /// Shard `s`'s scoped delta stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn shard_log(&self, s: usize) -> &ShardDeltaLog {
+        &self.shards[s].log
+    }
+
+    /// Sizes and phase timings of the bulk build.
+    #[must_use]
+    pub fn build_stats(&self) -> &ShardBuildStats {
+        &self.stats
+    }
+
+    pub(crate) fn note_finalize(&mut self, elapsed: Duration) {
+        self.stats.finalize = elapsed;
+    }
+
+    /// The nearest live accepted peer to `q` across every shard index,
+    /// ties broken by the smaller global id. Every live peer is in its
+    /// home shard's index, so the union of per-shard answers is
+    /// complete; local ids ascend with global ids, so per-shard
+    /// tie-breaking agrees with the global rule.
+    pub(crate) fn nearest_live_where(
+        &self,
+        peers: &[PeerInfo],
+        q: &Point,
+        metric: MetricKind,
+        accept: &mut dyn FnMut(usize) -> bool,
+    ) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for shard in &self.shards {
+            if shard.index.live_len() == 0 {
+                continue;
+            }
+            let got = shard
+                .index
+                .nearest_where(q, metric, |local| accept(shard.members[local]));
+            if let Some(local) = got {
+                let g = shard.members[local];
+                let d = metric.dist(peers[g].point(), q);
+                if best.is_none_or(|(bd, bg)| (d, g) < (bd, bg)) {
+                    best = Some((d, g));
+                }
+            }
+        }
+        best.map(|(_, g)| g)
+    }
+
+    /// Peer `i`'s exact selection over the full live population,
+    /// assembled from per-shard shortlists (see module docs).
+    pub(crate) fn fold_select(
+        &self,
+        peers: &[PeerInfo],
+        departed: &[bool],
+        selection: &dyn NeighborSelection,
+        i: usize,
+    ) -> Vec<usize> {
+        let home = self.home[i] as usize;
+        let base = self.shard_shortlist(peers, departed, selection, home, i);
+        let mut pool = base.clone();
+        let knn = match self.profile {
+            ShardProfile::OrthantTopK { k, metric } => {
+                Some(orthant_stats(peers, i, &base, k, metric))
+            }
+            _ => None,
+        };
+        for s in 0..self.shards.len() {
+            if s == home || self.shards[s].index.live_len() == 0 {
+                continue;
+            }
+            match self.uncovered_box(s, home) {
+                // Every resident of `s` lies inside the home halo band,
+                // so the home shortlist already considered them all.
+                None => continue,
+                Some((ulo, uhi)) => {
+                    if self.skippable(peers, i, &base, knn.as_ref(), &ulo, &uhi) {
+                        continue;
+                    }
+                }
+            }
+            pool.extend(self.shard_shortlist(peers, departed, selection, s, i));
+        }
+        pool.sort_unstable();
+        pool.dedup();
+        pool.retain(|&j| j != i && !departed[j]);
+        let refs: Vec<&PeerInfo> = pool.iter().map(|&j| &peers[j]).collect();
+        selection
+            .select(&peers[i], &refs)
+            .into_iter()
+            .map(|ci| pool[ci])
+            .collect()
+    }
+
+    /// Shard `s`'s shortlist for peer `i`: a candidate set guaranteed
+    /// to contain every globally selected neighbour among the shard's
+    /// members. Index-answered per profile; any decline (coordinate
+    /// collisions, unprofiled rules) falls back to a per-shard brute
+    /// selection, which is always a sound shortlist.
+    fn shard_shortlist(
+        &self,
+        peers: &[PeerInfo],
+        departed: &[bool],
+        selection: &dyn NeighborSelection,
+        s: usize,
+        i: usize,
+    ) -> Vec<usize> {
+        let shard = &self.shards[s];
+        if shard.index.live_len() == 0 {
+            return Vec::new();
+        }
+        let local_skip = shard.local_of.get(&i).copied();
+        match self.profile {
+            ShardProfile::EmptyRect => {
+                let got = match local_skip {
+                    Some(li) => shard.index.empty_rect_neighbors(li),
+                    None => shard.index.empty_rect_neighbors_at(peers[i].point(), None),
+                };
+                if let Some(locals) = got {
+                    return locals.into_iter().map(|l| shard.members[l]).collect();
+                }
+            }
+            ShardProfile::OrthantTopK { k, metric } => {
+                let got = match local_skip {
+                    Some(li) => shard.index.k_nearest_per_orthant(li, k, metric),
+                    None => shard
+                        .index
+                        .k_nearest_per_orthant_at(peers[i].point(), k, metric, None),
+                };
+                if let Some(groups) = got {
+                    return groups
+                        .into_iter()
+                        .flatten()
+                        .map(|l| shard.members[l])
+                        .collect();
+                }
+            }
+            ShardProfile::Generic => {}
+        }
+        let cand_ids: Vec<usize> = shard
+            .members
+            .iter()
+            .copied()
+            .filter(|&g| g != i && !departed[g])
+            .collect();
+        let refs: Vec<&PeerInfo> = cand_ids.iter().map(|&g| &peers[g]).collect();
+        selection
+            .select(&peers[i], &refs)
+            .into_iter()
+            .map(|ci| cand_ids[ci])
+            .collect()
+    }
+
+    /// The conservative box of shard `s`'s residents minus the home
+    /// halo band. `None` means `s` is entirely inside the band — every
+    /// one of its residents is mirrored into the home shard.
+    fn uncovered_box(&self, s: usize, home: usize) -> Option<(Vec<f64>, Vec<f64>)> {
+        let cover_lo = &self.shards[s].cover_lo;
+        let cover_hi = &self.shards[s].cover_hi;
+        let g_lo: Vec<f64> = self.shards[home]
+            .tile_lo
+            .iter()
+            .map(|x| x - self.halo)
+            .collect();
+        let g_hi: Vec<f64> = self.shards[home]
+            .tile_hi
+            .iter()
+            .map(|x| x + self.halo)
+            .collect();
+        let uncovered: Vec<usize> = (0..self.tiling.dim)
+            .filter(|&d| !(g_lo[d] <= cover_lo[d] && cover_hi[d] <= g_hi[d]))
+            .collect();
+        if uncovered.is_empty() {
+            return None;
+        }
+        let mut ulo = cover_lo.clone();
+        let mut uhi = cover_hi.clone();
+        // With exactly one uncovered dimension the band removes a
+        // full-width slab, so that dimension can be clipped; with more,
+        // the difference is not a box and the full cover stays.
+        if let [d] = uncovered[..] {
+            if g_lo[d] <= ulo[d] && g_hi[d] < uhi[d] {
+                ulo[d] = g_hi[d];
+            } else if ulo[d] < g_lo[d] && uhi[d] <= g_hi[d] {
+                uhi[d] = g_lo[d];
+            }
+        }
+        Some((ulo, uhi))
+    }
+
+    /// `true` when no point of the box `[ulo, uhi]` can enter peer
+    /// `i`'s selection, certified from the home shortlist alone.
+    fn skippable(
+        &self,
+        peers: &[PeerInfo],
+        i: usize,
+        base: &[usize],
+        knn: Option<&HashMap<u32, (usize, f64)>>,
+        ulo: &[f64],
+        uhi: &[f64],
+    ) -> bool {
+        let pc = peers[i].point().coords();
+        match self.profile {
+            // One candidate strictly between `i` and the entire box (in
+            // every dimension) sits inside the open rectangle spanned
+            // by `i` and any box point, so nothing there survives the
+            // emptiness test. Frontier reduction preserves blockers:
+            // a candidate dominated out of the shortlist is dominated
+            // by a strictly-closer one that blocks at least as much.
+            ShardProfile::EmptyRect => base.iter().any(|&c| {
+                let cc = peers[c].point().coords();
+                (0..pc.len()).all(|d| {
+                    (ulo[d] > pc[d] && pc[d] < cc[d] && cc[d] < ulo[d])
+                        || (uhi[d] < pc[d] && uhi[d] < cc[d] && cc[d] < pc[d])
+                })
+            }),
+            // The box must fall in one definite orthant (any dimension
+            // straddling `i` — including a potential coordinate
+            // collision — makes region membership ambiguous and vetoes
+            // the skip), that orthant must already hold K candidates,
+            // and the box's closest point must be strictly beyond the
+            // K-th distance: a later tie loses to incumbents because
+            // the candidate id is larger.
+            ShardProfile::OrthantTopK { k, metric } => {
+                let Some(stats) = knn else { return false };
+                let mut bits = 0u32;
+                for d in 0..pc.len() {
+                    if ulo[d] > pc[d] {
+                        bits |= 1 << d;
+                    } else if uhi[d] < pc[d] {
+                        // negative side: bit stays 0
+                    } else {
+                        return false;
+                    }
+                }
+                let Some(&(count, kth)) = stats.get(&bits) else {
+                    return false;
+                };
+                if count < k {
+                    return false;
+                }
+                let clamped: Vec<f64> =
+                    (0..pc.len()).map(|d| pc[d].clamp(ulo[d], uhi[d])).collect();
+                let nearest = Point::new(clamped).expect("clamped coordinates are finite");
+                metric.dist(peers[i].point(), &nearest) > kth
+            }
+            ShardProfile::Generic => false,
+        }
+    }
+
+    /// Registers a freshly inserted peer: home assignment, resident
+    /// bookkeeping, and halo mirrors into every shard whose band
+    /// contains it.
+    fn add_peer(&mut self, g: usize, peers: &[PeerInfo]) {
+        let point = peers[g].point();
+        let coords = point.coords();
+        let h = self.tiling.shard_of(coords);
+        self.home.push(h as u32);
+        debug_assert_eq!(self.home.len(), g + 1, "peers register in id order");
+        self.shards[h].add_member(g, point, true);
+        for s in self.tiling.shards_near(coords, self.halo) {
+            if s != h {
+                self.shards[s].add_member(g, point, false);
+            }
+        }
+    }
+
+    /// Tombstones a departed peer in its home index and every mirror.
+    fn remove_peer(&mut self, g: usize) {
+        for shard in &mut self.shards {
+            if let Some(&local) = shard.local_of.get(&g) {
+                shard.index.remove(local);
+            }
+        }
+    }
+
+    /// Fans the global dirty region out into the scoped shard logs:
+    /// each shard records the event iff the dirty region touches one
+    /// of its residents, with the dirty list restricted accordingly.
+    fn record_shard_deltas(&mut self, global_epoch: u64, kind: DeltaKind, dirty: &[usize]) {
+        let mut by_shard: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &p in dirty {
+            by_shard.entry(self.home[p] as usize).or_default().push(p);
+        }
+        for (s, shard_dirty) in by_shard {
+            self.shards[s].log.record(kind, shard_dirty, global_epoch);
+        }
+    }
+}
+
+/// The default halo band: three expected nearest-neighbour spacings of
+/// a uniform population over the domain (geometric-mean extent over
+/// non-degenerate dimensions, divided by `n^(1/D)`). Thin enough that
+/// mirrors stay a few percent of membership, wide enough that most
+/// selections finish inside the home shard.
+fn auto_halo(tiling: &Tiling, n: usize) -> f64 {
+    let mut log_sum = 0.0;
+    let mut live_dims = 0usize;
+    for d in 0..tiling.dim {
+        let extent = tiling.tile_size[d] * tiling.tiles[d] as f64;
+        if extent > 0.0 {
+            log_sum += extent.ln();
+            live_dims += 1;
+        }
+    }
+    if live_dims == 0 || n == 0 {
+        return 0.0;
+    }
+    let mean_extent = (log_sum / live_dims as f64).exp();
+    let spacing = mean_extent / (n as f64).powf(1.0 / live_dims as f64);
+    if spacing.is_finite() {
+        3.0 * spacing
+    } else {
+        0.0
+    }
+}
+
+/// Per-orthant `(count, K-th distance)` of a candidate shortlist
+/// around peer `i`. Candidates sharing a coordinate with `i` belong to
+/// on-hyperplane regions, not orthants, and are excluded — the skip
+/// test independently refuses any box that could reach such a region.
+fn orthant_stats(
+    peers: &[PeerInfo],
+    i: usize,
+    base: &[usize],
+    k: usize,
+    metric: MetricKind,
+) -> HashMap<u32, (usize, f64)> {
+    let pc = peers[i].point().coords();
+    let mut dists: HashMap<u32, Vec<f64>> = HashMap::new();
+    'cand: for &c in base {
+        let cc = peers[c].point().coords();
+        let mut bits = 0u32;
+        for d in 0..pc.len() {
+            if cc[d] > pc[d] {
+                bits |= 1 << d;
+            } else if cc[d] == pc[d] {
+                continue 'cand;
+            }
+        }
+        dists
+            .entry(bits)
+            .or_default()
+            .push(metric.dist(peers[i].point(), peers[c].point()));
+    }
+    dists
+        .into_iter()
+        .map(|(bits, mut v)| {
+            v.sort_unstable_by(f64::total_cmp);
+            let count = v.len();
+            let kth = if count >= k { v[k - 1] } else { f64::INFINITY };
+            (bits, (count, kth))
+        })
+        .collect()
+}
+
+/// Join recheck prune for per-orthant top-`K` rules: peer `i`'s
+/// selection can only change if the newcomer `q` enters it, which
+/// requires `q`'s region (w.r.t. `i`) to be unsaturated or `q` to be
+/// strictly closer than the region's current `K`-th member — `q` has
+/// the largest id, so it loses every distance tie. `out[i]` restricted
+/// to an orthant *is* that region's full top-`K` (at equilibrium), so
+/// the `K`-th distance is just the max over those members: `O(degree)`
+/// arithmetic, no selection call.
+fn topk_join_recheck(
+    peers: &[PeerInfo],
+    out: &[Vec<usize>],
+    i: usize,
+    q: usize,
+    k: usize,
+    metric: MetricKind,
+) -> bool {
+    let pc = peers[i].point().coords();
+    let qc = peers[q].point().coords();
+    let mut bits = 0u32;
+    for d in 0..pc.len() {
+        if qc[d] > pc[d] {
+            bits |= 1 << d;
+        } else if qc[d] == pc[d] {
+            // On-hyperplane region: no saturation info, recheck.
+            return true;
+        }
+    }
+    let mut count = 0usize;
+    let mut kth = f64::NEG_INFINITY;
+    'nbr: for &j in &out[i] {
+        let jc = peers[j].point().coords();
+        let mut jb = 0u32;
+        for d in 0..pc.len() {
+            if jc[d] > pc[d] {
+                jb |= 1 << d;
+            } else if jc[d] == pc[d] {
+                continue 'nbr; // different region
+            }
+        }
+        if jb == bits {
+            count += 1;
+            kth = kth.max(metric.dist(peers[i].point(), peers[j].point()));
+        }
+    }
+    count < k || metric.dist(peers[i].point(), peers[q].point()) < kth
+}
+
+/// The sharded [`TopologyStore::insert`] path. Global tables update
+/// exactly as on the single-store path; the affected-set computation
+/// and every selection go through the sharded engine.
+pub(crate) fn sharded_insert(store: &mut TopologyStore, point: Point) -> PeerId {
+    if let Some(first) = store.peers.first() {
+        assert_eq!(
+            point.dim(),
+            first.point().dim(),
+            "population dimensionality is fixed per overlay"
+        );
+    }
+    let mut engine = store.sharding.take().expect("sharded backend present");
+    let id = store.peers.len();
+    store.peers.push(PeerInfo::new(PeerId(id as u64), point));
+    store.departed.push(false);
+    store.live += 1;
+    store.out.push(Vec::new());
+    store.rev.push(Vec::new());
+    store.peer_hash.push(topology_hash(id, &[]));
+    store.fingerprint ^= store.peer_hash[id];
+    engine.add_peer(id, &store.peers);
+
+    let selection = store.selection.clone();
+    let own = engine.fold_select(&store.peers, &store.departed, selection.as_ref(), id);
+
+    // The affected set, by rule structure (module docs): the newcomer's
+    // own selection for the empty-rectangle rule; the saturation-pruned
+    // scan for per-orthant top-K; everyone for unprofiled rules.
+    let affected: Vec<usize> = match engine.profile {
+        ShardProfile::EmptyRect => own.clone(),
+        ShardProfile::OrthantTopK { k, metric } => {
+            let peers = &store.peers;
+            let departed = &store.departed;
+            let out = &store.out;
+            par::map_indexed(id, |i| {
+                (!departed[i] && topk_join_recheck(peers, out, i, id, k, metric)).then_some(i)
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        }
+        ShardProfile::Generic => (0..id).filter(|&i| !store.departed[i]).collect(),
+    };
+    let updates: Vec<Option<Vec<usize>>> = {
+        let peers = &store.peers;
+        let out = &store.out;
+        let sel = selection.as_ref();
+        par::map_indexed(affected.len(), |a| {
+            let i = affected[a];
+            // `id` is the largest index, so appending keeps the
+            // candidate id list sorted.
+            let mut cand_ids: Vec<usize> = Vec::with_capacity(out[i].len() + 1);
+            cand_ids.extend_from_slice(&out[i]);
+            cand_ids.push(id);
+            let refs: Vec<&PeerInfo> = cand_ids.iter().map(|&j| &peers[j]).collect();
+            let picked = sel.select(&peers[i], &refs);
+            let new_out: Vec<usize> = picked.into_iter().map(|ci| cand_ids[ci]).collect();
+            (new_out != out[i]).then_some(new_out)
+        })
+    };
+
+    let mut delta = BTreeSet::new();
+    delta.insert(id);
+    store.apply_out(id, own, &mut delta);
+    for (a, update) in updates.into_iter().enumerate() {
+        if let Some(new_out) = update {
+            store.apply_out(affected[a], new_out, &mut delta);
+        }
+    }
+    store.last_delta = delta.into_iter().collect();
+    store.record_delta(DeltaKind::Join(id));
+    engine.record_shard_deltas(store.epoch, DeltaKind::Join(id), &store.last_delta);
+    store.sharding = Some(engine);
+    PeerId(id as u64)
+}
+
+/// The sharded [`TopologyStore::remove`] path: identical affected set
+/// to the single store (the departed peer's selectors), with every
+/// re-selection answered by the sharded fold.
+pub(crate) fn sharded_remove(store: &mut TopologyStore, id: PeerId) {
+    let v = id.index();
+    assert!(v < store.peers.len(), "peer id out of range");
+    assert!(!store.departed[v], "{id} already departed");
+    let mut engine = store.sharding.take().expect("sharded backend present");
+    store.departed[v] = true;
+    store.live -= 1;
+    engine.remove_peer(v);
+
+    let mut delta = BTreeSet::new();
+    delta.insert(v);
+    store.apply_out(v, Vec::new(), &mut delta);
+    let affected = store.rev[v].clone();
+    let selection = store.selection.clone();
+    for i in affected {
+        let new_out = engine.fold_select(&store.peers, &store.departed, selection.as_ref(), i);
+        store.apply_out(i, new_out, &mut delta);
+    }
+    debug_assert!(store.rev[v].is_empty(), "survivors must drop the departed");
+    store.last_delta = delta.into_iter().collect();
+    store.record_delta(DeltaKind::Leave(v));
+    engine.record_shard_deltas(store.epoch, DeltaKind::Leave(v), &store.last_delta);
+    store.sharding = Some(engine);
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::select::{EmptyRectSelection, HyperplanesSelection};
+    use crate::TopologyDelta;
+    use geocast_geom::gen::uniform_points;
+
+    fn peers(n: usize, dim: usize, seed: u64) -> Vec<PeerInfo> {
+        PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, seed))
+    }
+
+    fn selections() -> Vec<Arc<dyn NeighborSelection + Send + Sync>> {
+        vec![
+            Arc::new(EmptyRectSelection),
+            Arc::new(HyperplanesSelection::orthogonal(2, 2, MetricKind::L1)),
+            Arc::new(HyperplanesSelection::signed(2, 1, MetricKind::L2)),
+            Arc::new(HyperplanesSelection::k_closest(2, 4, MetricKind::L2)),
+        ]
+    }
+
+    #[test]
+    fn sharded_bulk_build_matches_single_store() {
+        for selection in selections() {
+            for shards in [1usize, 3, 4, 16] {
+                let single = TopologyStore::from_peers(peers(90, 2, 5), selection.clone());
+                let sharded = TopologyStore::from_peers_sharded(
+                    peers(90, 2, 5),
+                    selection.clone(),
+                    &ShardConfig::new(shards),
+                );
+                assert_eq!(
+                    single.graph(),
+                    sharded.graph(),
+                    "{} @ {shards} shards",
+                    selection.name()
+                );
+                assert_eq!(single.fingerprint(), sharded.fingerprint());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_churn_matches_single_store() {
+        for selection in selections() {
+            let mut single = TopologyStore::from_peers(peers(60, 2, 9), selection.clone());
+            let mut sharded = TopologyStore::from_peers_sharded(
+                peers(60, 2, 9),
+                selection.clone(),
+                &ShardConfig::new(4),
+            );
+            let joins = uniform_points(25, 2, 1000.0, 10).into_points();
+            for (step, p) in joins.iter().enumerate() {
+                single.insert(p.clone());
+                sharded.insert(p.clone());
+                if step % 3 == 1 {
+                    let gone = PeerId((step * 7 % 60) as u64);
+                    if !single.is_departed(gone) {
+                        single.remove(gone);
+                        sharded.remove(gone);
+                    }
+                }
+                assert_eq!(
+                    single.graph(),
+                    sharded.graph(),
+                    "{} step {step}",
+                    selection.name()
+                );
+                assert_eq!(single.fingerprint(), sharded.fingerprint());
+                assert_eq!(single.last_delta(), sharded.last_delta());
+            }
+        }
+    }
+
+    #[test]
+    fn colliding_coordinates_stay_exact_under_sharding() {
+        // Shared coordinates force the per-shard index queries to
+        // decline and veto every skip test along the collision axes.
+        let pts = [
+            Point::new(vec![0.0, 0.0]).unwrap(),
+            Point::new(vec![500.0, 0.0]).unwrap(),
+            Point::new(vec![200.0, 300.0]).unwrap(),
+            Point::new(vec![500.0, 700.0]).unwrap(),
+            Point::new(vec![900.0, 400.0]).unwrap(),
+            Point::new(vec![900.0, 900.0]).unwrap(),
+        ];
+        let infos: Vec<PeerInfo> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PeerInfo::new(PeerId(i as u64), p.clone()))
+            .collect();
+        for selection in selections() {
+            let mut single = TopologyStore::from_peers(infos.clone(), selection.clone());
+            let mut sharded = TopologyStore::from_peers_sharded(
+                infos.clone(),
+                selection.clone(),
+                &ShardConfig::new(4),
+            );
+            assert_eq!(single.graph(), sharded.graph(), "{}", selection.name());
+            single.insert(Point::new(vec![200.0, 900.0]).unwrap());
+            sharded.insert(Point::new(vec![200.0, 900.0]).unwrap());
+            single.remove(PeerId(1));
+            sharded.remove(PeerId(1));
+            assert_eq!(single.graph(), sharded.graph(), "{}", selection.name());
+            assert_eq!(single.fingerprint(), sharded.fingerprint());
+        }
+    }
+
+    #[test]
+    fn identical_points_degenerate_to_one_tile_exactly() {
+        let p = Point::new(vec![5.0, 5.0]).unwrap();
+        let infos: Vec<PeerInfo> = (0..5)
+            .map(|i| PeerInfo::new(PeerId(i as u64), p.clone()))
+            .collect();
+        let selection: Arc<dyn NeighborSelection + Send + Sync> = Arc::new(EmptyRectSelection);
+        let single = TopologyStore::from_peers(infos.clone(), selection.clone());
+        let sharded = TopologyStore::from_peers_sharded(infos, selection, &ShardConfig::new(4));
+        assert_eq!(single.graph(), sharded.graph());
+    }
+
+    #[test]
+    fn halo_mirror_invariant_holds_through_churn() {
+        let mut store = TopologyStore::from_peers_sharded(
+            peers(80, 2, 21),
+            Arc::new(EmptyRectSelection),
+            &ShardConfig::new(9).with_halo_width(60.0),
+        );
+        let joins = uniform_points(20, 2, 1000.0, 22).into_points();
+        for (step, p) in joins.iter().enumerate() {
+            store.insert(p.clone());
+            if step % 4 == 2 {
+                store.remove(PeerId((step * 11 % 80) as u64));
+            }
+        }
+        let engine = store.sharding().expect("sharded");
+        for s in 0..engine.shard_count() {
+            let shard = &engine.shards[s];
+            for (g, info) in store.peers().iter().enumerate() {
+                if store.is_departed(PeerId(g as u64)) {
+                    continue;
+                }
+                let inside = info
+                    .point()
+                    .coords()
+                    .iter()
+                    .zip(shard.tile_lo.iter().zip(&shard.tile_hi))
+                    .all(|(&x, (&lo, &hi))| x >= lo - 60.0 && x <= hi + 60.0);
+                if inside {
+                    assert!(
+                        shard.local_of.contains_key(&g),
+                        "live peer {g} inside shard {s}'s halo band must be a member"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_logs_record_resident_scoped_dirty_regions() {
+        let mut store = TopologyStore::from_peers_sharded(
+            peers(50, 2, 31),
+            Arc::new(EmptyRectSelection),
+            &ShardConfig::new(4),
+        );
+        let joins = uniform_points(12, 2, 1000.0, 32).into_points();
+        for p in &joins {
+            store.insert(p.clone());
+        }
+        let engine = store.sharding().expect("sharded");
+        let mut recorded = 0usize;
+        for s in 0..engine.shard_count() {
+            let log = engine.shard_log(s);
+            recorded += log.len();
+            let mut last_global = 0;
+            for d in log.deltas_since_global(0).expect("no eviction yet") {
+                assert!(d.global_epoch > last_global, "global epochs ascend");
+                last_global = d.global_epoch;
+                assert!(!d.dirty.is_empty());
+                for &p in &d.dirty {
+                    assert_eq!(engine.home_shard(p), s, "dirty lists are resident-scoped");
+                }
+            }
+        }
+        assert!(recorded >= 12, "every join lands in at least one shard log");
+        // Cross-check: the union of shard streams at each global epoch
+        // partitions that epoch's global dirty region by home shard.
+        let global: Vec<&TopologyDelta> = store.delta_log().deltas_since(0).unwrap().collect();
+        for gd in global {
+            let mut reassembled: Vec<usize> = (0..engine.shard_count())
+                .filter_map(|s| {
+                    engine
+                        .shard_log(s)
+                        .deltas_since_global(gd.epoch - 1)
+                        .unwrap()
+                        .into_iter()
+                        .find(|d| d.global_epoch == gd.epoch)
+                        .map(|d| d.dirty.clone())
+                })
+                .flatten()
+                .collect();
+            reassembled.sort_unstable();
+            assert_eq!(reassembled, gd.dirty, "epoch {}", gd.epoch);
+        }
+    }
+
+    #[test]
+    fn laggards_get_a_resync_signal_not_a_gap() {
+        // Regression: a truncated shard log must answer `None` for any
+        // cursor that predates an evicted delta, never a silent suffix.
+        let mut store = TopologyStore::from_peers_sharded(
+            peers(40, 2, 41),
+            Arc::new(EmptyRectSelection),
+            &ShardConfig::new(1).with_shard_log_capacity(3),
+        );
+        let joins = uniform_points(10, 2, 1000.0, 42).into_points();
+        for p in &joins {
+            store.insert(p.clone());
+        }
+        let log = store.sharding().unwrap().shard_log(0);
+        assert_eq!(log.local_head(), 10);
+        assert_eq!(log.len(), 3, "capacity bounds retention");
+        // Epochs 1..=7 were evicted. A consumer at global epoch 5 is
+        // missing evicted deltas 6 and 7: deterministic resync.
+        assert!(log.deltas_since_global(5).is_none());
+        // A consumer exactly at the eviction horizon proceeds.
+        let ok = log.deltas_since_global(7).expect("retained suffix");
+        assert_eq!(ok.len(), 3);
+        assert_eq!(
+            ok.iter().map(|d| d.global_epoch).collect::<Vec<_>>(),
+            vec![8, 9, 10]
+        );
+        // Future claims are rejected too.
+        assert!(log.deltas_since_global(11).is_none());
+        // An untouched-but-truncated log in a multi-shard store: the
+        // sparse stream still reports eviction, not an empty answer.
+        let mut sparse = TopologyStore::from_peers_sharded(
+            peers(40, 2, 43),
+            Arc::new(EmptyRectSelection),
+            &ShardConfig::new(4).with_shard_log_capacity(1),
+        );
+        for p in &joins {
+            sparse.insert(p.clone());
+        }
+        let engine = sparse.sharding().unwrap();
+        for s in 0..engine.shard_count() {
+            let log = engine.shard_log(s);
+            if log.local_head() > 1 {
+                assert!(
+                    log.deltas_since_global(0).is_none(),
+                    "shard {s} evicted history and must demand a resync"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_stats_expose_phase_timings_and_population() {
+        let store = TopologyStore::from_peers_sharded(
+            peers(100, 2, 51),
+            Arc::new(EmptyRectSelection),
+            &ShardConfig::new(4),
+        );
+        let engine = store.sharding().unwrap();
+        let stats = engine.build_stats();
+        assert_eq!(stats.shard_index.len(), 4);
+        assert_eq!(stats.shard_select.len(), 4);
+        assert_eq!(stats.residents.iter().sum::<usize>(), 100);
+        assert_eq!(
+            stats.residents,
+            (0..4).map(|s| engine.resident_count(s)).collect::<Vec<_>>()
+        );
+        assert!(engine.halo_width() > 0.0);
+        assert_eq!(engine.tiles_per_dim(), &[2, 2]);
+        assert_eq!(engine.shard_count(), 4);
+        let mirrors: usize = (0..4).map(|s| engine.mirror_count(s)).sum();
+        assert!(mirrors > 0, "a 2x2 tiling of 100 peers mirrors someone");
+    }
+
+    #[test]
+    fn nearest_live_query_matches_linear_scan() {
+        let mut store = TopologyStore::from_peers_sharded(
+            peers(70, 2, 61),
+            Arc::new(EmptyRectSelection),
+            &ShardConfig::new(9),
+        );
+        for gone in [3u64, 22, 47] {
+            store.remove(PeerId(gone));
+        }
+        let queries = uniform_points(15, 2, 1200.0, 62).into_points();
+        for q in &queries {
+            for accept in [None, Some(5usize)] {
+                let f = |i: usize| accept.is_none_or(|m| i.is_multiple_of(m));
+                let scan = (0..store.len())
+                    .filter(|&i| !store.is_departed(PeerId(i as u64)) && f(i))
+                    .map(|i| (MetricKind::L1.dist(store.peers()[i].point(), q), i))
+                    .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                    .map(|(_, i)| i);
+                assert_eq!(store.nearest_live_where(q, MetricKind::L1, f), scan);
+            }
+        }
+    }
+
+    #[test]
+    fn factorization_splits_along_wide_dimensions() {
+        assert_eq!(factor_tiles(16, &[1000.0, 1000.0]), vec![4, 4]);
+        assert_eq!(factor_tiles(8, &[1000.0, 10.0]), vec![8, 1]);
+        assert_eq!(factor_tiles(6, &[1000.0, 900.0]), vec![3, 2]);
+        assert_eq!(factor_tiles(1, &[1000.0, 1000.0]), vec![1, 1]);
+        assert_eq!(factor_tiles(7, &[100.0, 100.0, 100.0]), vec![7, 1, 1]);
+    }
+}

@@ -138,20 +138,25 @@ where
 /// assert_eq!(store.graph(), oracle::equilibrium(&peers, &EmptyRectSelection));
 /// ```
 pub struct TopologyStore {
-    peers: Vec<PeerInfo>,
-    departed: Vec<bool>,
-    live: usize,
+    pub(crate) peers: Vec<PeerInfo>,
+    pub(crate) departed: Vec<bool>,
+    pub(crate) live: usize,
     index: Option<GridIndex>,
     /// `true` once a dimensionality mix disabled indexing for good.
     index_disabled: bool,
-    out: Vec<Vec<usize>>,
-    rev: Vec<Vec<usize>>,
-    peer_hash: Vec<u64>,
-    fingerprint: u64,
-    last_delta: Vec<usize>,
-    epoch: u64,
+    pub(crate) out: Vec<Vec<usize>>,
+    pub(crate) rev: Vec<Vec<usize>>,
+    pub(crate) peer_hash: Vec<u64>,
+    pub(crate) fingerprint: u64,
+    pub(crate) last_delta: Vec<usize>,
+    pub(crate) epoch: u64,
     log: DeltaLog,
-    selection: Arc<dyn NeighborSelection + Send + Sync>,
+    pub(crate) selection: Arc<dyn NeighborSelection + Send + Sync>,
+    /// The region-sharded engine, when built through
+    /// [`TopologyStore::from_peers_sharded`]; `None` runs the classic
+    /// single-index paths. Every public accessor reads the same global
+    /// tables either way.
+    pub(crate) sharding: Option<Box<crate::shard::ShardedTopologyStore>>,
 }
 
 impl TopologyStore {
@@ -172,6 +177,7 @@ impl TopologyStore {
             epoch: 0,
             log: DeltaLog::default(),
             selection,
+            sharding: None,
         }
     }
 
@@ -221,7 +227,84 @@ impl TopologyStore {
             log: DeltaLog::default(),
             peers,
             selection,
+            sharding: None,
         }
+    }
+
+    /// Builds a store over an existing dense-id population on the
+    /// region-sharded engine ([`crate::shard`]): the coordinate domain
+    /// is tiled into `config.shards()` shards, each with its own
+    /// incremental spatial index and scoped delta log, and both this
+    /// bulk build and subsequent churn run shard-parallel. The
+    /// resulting topology, fingerprint and delta stream are
+    /// byte-identical to [`TopologyStore::from_peers`]
+    /// (property-tested in `tests/prop_shard.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `peers` is non-empty with dense insertion-order
+    /// ids and an indexable uniform dimensionality
+    /// (≤ [`geocast_geom::index::MAX_INDEX_DIM`]).
+    #[must_use]
+    pub fn from_peers_sharded(
+        peers: Vec<PeerInfo>,
+        selection: Arc<dyn NeighborSelection + Send + Sync>,
+        config: &crate::shard::ShardConfig,
+    ) -> Self {
+        assert!(
+            ids_in_slice_order(&peers),
+            "TopologyStore requires dense insertion-order peer ids"
+        );
+        assert!(!peers.is_empty(), "sharded builds need a seed population");
+        let dim = peers[0].point().dim();
+        assert!(
+            dim <= geocast_geom::index::MAX_INDEX_DIM,
+            "sharded stores require an indexable dimensionality"
+        );
+        assert!(
+            peers.iter().all(|p| p.point().dim() == dim),
+            "population dimensionality is fixed per overlay"
+        );
+        let (mut engine, out) =
+            crate::shard::ShardedTopologyStore::build(&peers, selection.as_ref(), config);
+        let t = std::time::Instant::now();
+        let n = peers.len();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, nbrs) in out.iter().enumerate() {
+            for &j in nbrs {
+                rev[j].push(i);
+            }
+        }
+        let peer_hash: Vec<u64> = out
+            .iter()
+            .enumerate()
+            .map(|(i, nbrs)| topology_hash(i, nbrs))
+            .collect();
+        let fingerprint = peer_hash.iter().fold(0, |acc, h| acc ^ h);
+        engine.note_finalize(t.elapsed());
+        TopologyStore {
+            departed: vec![false; n],
+            live: n,
+            index: None,
+            index_disabled: true, // the shards own the spatial indexes
+            out,
+            rev,
+            peer_hash,
+            fingerprint,
+            last_delta: (0..n).collect(),
+            epoch: 0,
+            log: DeltaLog::default(),
+            peers,
+            selection,
+            sharding: Some(Box::new(engine)),
+        }
+    }
+
+    /// The region-sharded engine, when this store was built with
+    /// [`TopologyStore::from_peers_sharded`].
+    #[must_use]
+    pub fn sharding(&self) -> Option<&crate::shard::ShardedTopologyStore> {
+        self.sharding.as_deref()
     }
 
     /// Number of peers ever inserted (departed ones included).
@@ -346,7 +429,7 @@ impl TopologyStore {
     /// un-indexable dimensionalities).
     #[must_use]
     pub fn has_spatial_index(&self) -> bool {
-        self.index.is_some()
+        self.index.is_some() || self.sharding.is_some()
     }
 
     /// The nearest **live** peer to `q` among those `accept` admits,
@@ -371,6 +454,9 @@ impl TopologyStore {
         mut accept: F,
     ) -> Option<usize> {
         use geocast_geom::Metric;
+        if let Some(engine) = &self.sharding {
+            return engine.nearest_live_where(&self.peers, q, metric, &mut accept);
+        }
         match &self.index {
             Some(ix) => ix.nearest_where(q, metric, accept),
             None => (0..self.peers.len())
@@ -433,7 +519,7 @@ impl TopologyStore {
 
     /// Records the mutation that produced the current `last_delta` in
     /// the delta log.
-    fn record_delta(&mut self, kind: DeltaKind) {
+    pub(crate) fn record_delta(&mut self, kind: DeltaKind) {
         self.epoch += 1;
         self.log.record(TopologyDelta {
             epoch: self.epoch,
@@ -455,6 +541,9 @@ impl TopologyStore {
     /// Panics if `point`'s dimensionality disagrees with the population
     /// (the paper fixes `D` per system).
     pub fn insert(&mut self, point: Point) -> PeerId {
+        if self.sharding.is_some() {
+            return crate::shard::sharded_insert(self, point);
+        }
         if let Some(first) = self.peers.first() {
             assert_eq!(
                 point.dim(),
@@ -534,6 +623,10 @@ impl TopologyStore {
     ///
     /// Panics if `id` is out of range or already departed.
     pub fn remove(&mut self, id: PeerId) {
+        if self.sharding.is_some() {
+            crate::shard::sharded_remove(self, id);
+            return;
+        }
         let v = id.index();
         assert!(v < self.peers.len(), "peer id out of range");
         assert!(!self.departed[v], "{id} already departed");
@@ -562,6 +655,9 @@ impl TopologyStore {
     /// One peer's selection over the full live candidate set, through
     /// the index when it applies.
     fn select_full(&self, i: usize) -> Vec<usize> {
+        if let Some(engine) = &self.sharding {
+            return engine.fold_select(&self.peers, &self.departed, self.selection.as_ref(), i);
+        }
         let ctx = match &self.index {
             Some(ix) => SelectContext::with_index(ix, true),
             None => SelectContext::without_index(),
@@ -572,7 +668,7 @@ impl TopologyStore {
 
     /// Replaces `i`'s out-list, maintaining reverse lists, hashes, the
     /// rolling fingerprint, and the delta set.
-    fn apply_out(&mut self, i: usize, new_out: Vec<usize>, delta: &mut BTreeSet<usize>) {
+    pub(crate) fn apply_out(&mut self, i: usize, new_out: Vec<usize>, delta: &mut BTreeSet<usize>) {
         if self.out[i] == new_out {
             return;
         }
