@@ -210,10 +210,25 @@ impl Tiling {
         let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(self.dim);
         for (d, &c) in coords.iter().enumerate().take(self.dim) {
             let (a, b) = if self.tile_size[d] > 0.0 {
+                let ts = self.tile_size[d];
                 let x = c - self.lo[d];
-                let a = ((x - halo) / self.tile_size[d]).floor() as usize; // saturates at 0
-                let b = (((x + halo) / self.tile_size[d]).floor() as usize).min(self.tiles[d] - 1);
-                (a.min(self.tiles[d] - 1), b)
+                // Saturating casts clamp negative quotients to tile 0.
+                let mut a = (((x - halo) / ts).floor() as usize).min(self.tiles[d] - 1);
+                let mut b = (((x + halo) / ts).floor() as usize).min(self.tiles[d] - 1);
+                // The band is CLOSED on both edges — `uncovered_box`
+                // skips a shard on `cover_hi <= g_hi` — but the floor
+                // divisions above land one tile short of an exact
+                // band-edge tie (e.g. a peer at exactly tile_hi +
+                // halo). Re-check the adjacent tiles with the same
+                // tile-box arithmetic the skip test uses, so the two
+                // boundary semantics always agree.
+                while a > 0 && c <= self.lo[d] + a as f64 * ts + halo {
+                    a -= 1;
+                }
+                while b + 1 < self.tiles[d] && c >= self.lo[d] + (b + 1) as f64 * ts - halo {
+                    b += 1;
+                }
+                (a, b)
             } else {
                 (0, 0)
             };
@@ -403,19 +418,21 @@ impl ShardDeltaLog {
     /// `global_epoch`, oldest first — everything a consumer whose
     /// global cursor is `global_epoch` has missed *in this shard*.
     ///
-    /// Returns `None` when the answer cannot be complete: the log has
-    /// evicted a delta newer than the cursor, or the cursor claims a
-    /// global epoch this shard has never seen pass (a future claim).
-    /// `None` always means "resynchronise from full store state".
+    /// Returns `None` only when the answer cannot be complete: the log
+    /// has evicted a delta newer than the cursor. `None` always means
+    /// "resynchronise from full store state". A cursor beyond this
+    /// shard's [`global_head`](Self::global_head) is routine under the
+    /// one-global-cursor consumption model — an idle shard's head lags
+    /// the store epoch — and answers the empty suffix: the shard has
+    /// recorded nothing after it, so the consumer is caught up here.
+    /// Cursors that outrun the *store's* epoch are the caller's to
+    /// validate, against [`crate::TopologyStore::epoch`].
     #[must_use]
     pub fn deltas_since_global(&self, global_epoch: u64) -> Option<Vec<&ShardDelta>> {
         if let Some(evicted) = self.evicted_global {
             if global_epoch < evicted {
                 return None;
             }
-        }
-        if global_epoch > self.global_head {
-            return None;
         }
         Some(
             self.deltas
@@ -649,8 +666,14 @@ impl ShardedTopologyStore {
     /// The nearest live accepted peer to `q` across every shard index,
     /// ties broken by the smaller global id. Every live peer is in its
     /// home shard's index, so the union of per-shard answers is
-    /// complete; local ids ascend with global ids, so per-shard
-    /// tie-breaking agrees with the global rule.
+    /// complete even though each shard's query considers only the
+    /// shard's *residents*; local ids ascend with global ids, so
+    /// per-shard tie-breaking agrees with the global rule.
+    ///
+    /// Halo mirrors are filtered out before `accept` runs, so — like
+    /// the single-store path, whose index scans each cell exactly once
+    /// — the (possibly stateful) predicate is consulted at most once
+    /// per live peer.
     pub(crate) fn nearest_live_where(
         &self,
         peers: &[PeerInfo],
@@ -659,13 +682,14 @@ impl ShardedTopologyStore {
         accept: &mut dyn FnMut(usize) -> bool,
     ) -> Option<usize> {
         let mut best: Option<(f64, usize)> = None;
-        for shard in &self.shards {
+        for (s, shard) in self.shards.iter().enumerate() {
             if shard.index.live_len() == 0 {
                 continue;
             }
-            let got = shard
-                .index
-                .nearest_where(q, metric, |local| accept(shard.members[local]));
+            let got = shard.index.nearest_where(q, metric, |local| {
+                let g = shard.members[local];
+                self.home[g] as usize == s && accept(g)
+            });
             if let Some(local) = got {
                 let g = shard.members[local];
                 let d = metric.dist(peers[g].point(), q);
@@ -1367,8 +1391,10 @@ mod tests {
             ok.iter().map(|d| d.global_epoch).collect::<Vec<_>>(),
             vec![8, 9, 10]
         );
-        // Future claims are rejected too.
-        assert!(log.deltas_since_global(11).is_none());
+        // A cursor past everything this shard recorded is caught up
+        // *here* — the empty suffix, not a spurious resync (one global
+        // cursor polls idle shards whose heads lag the store epoch).
+        assert!(log.deltas_since_global(11).expect("caught up").is_empty());
         // An untouched-but-truncated log in a multi-shard store: the
         // sparse stream still reports eviction, not an empty answer.
         let mut sparse = TopologyStore::from_peers_sharded(
@@ -1389,6 +1415,110 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn idle_shards_answer_caught_up_cursors_with_an_empty_suffix() {
+        // The documented consumption model is ONE global cursor across
+        // all shard logs: after catching up with the merged stream, the
+        // cursor exceeds the global head of every shard the recent
+        // mutations did not touch. Those shards must answer the empty
+        // suffix, not demand a full resync.
+        let mut store = TopologyStore::from_peers_sharded(
+            peers(40, 2, 44),
+            Arc::new(EmptyRectSelection),
+            &ShardConfig::new(4),
+        );
+        let joins = uniform_points(3, 2, 1000.0, 45).into_points();
+        for p in &joins {
+            store.insert(p.clone());
+        }
+        let cursor = store.epoch();
+        let engine = store.sharding().unwrap();
+        let mut idle = 0usize;
+        for s in 0..engine.shard_count() {
+            let log = engine.shard_log(s);
+            if log.global_head() < cursor {
+                idle += 1;
+            }
+            let got = log
+                .deltas_since_global(cursor)
+                .expect("nothing evicted: a caught-up cursor never resyncs");
+            assert!(got.is_empty(), "shard {s} has nothing after the cursor");
+        }
+        assert!(idle > 0, "some shard's head lags the store epoch");
+    }
+
+    #[test]
+    fn band_edge_peers_mirror_into_the_closed_halo_band() {
+        // Regression: the halo band is closed — `uncovered_box` skips a
+        // foreign shard once its resident cover fits `cover_hi <= g_hi`
+        // — so a peer lying *exactly* on a tile's band edge must be
+        // mirrored into that tile, or the skip hides it from the fold.
+        // Integer coordinates with the halo a multiple of the tile
+        // width make the tie exact: in a 2x1 tiling of [0,1000]^2 with
+        // halo 500, peer (1000,1000) sits at tile 0's band edge
+        // tile_hi + halo = 500 + 500.
+        let pts = [
+            Point::new(vec![0.0, 0.0]).unwrap(),
+            Point::new(vec![200.0, 300.0]).unwrap(),
+            Point::new(vec![1000.0, 1000.0]).unwrap(),
+        ];
+        let infos: Vec<PeerInfo> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PeerInfo::new(PeerId(i as u64), p.clone()))
+            .collect();
+        let config = ShardConfig::new(2).with_halo_width(500.0);
+        for selection in selections() {
+            let single = TopologyStore::from_peers(infos.clone(), selection.clone());
+            let sharded =
+                TopologyStore::from_peers_sharded(infos.clone(), selection.clone(), &config);
+            assert_eq!(single.graph(), sharded.graph(), "{}", selection.name());
+            assert_eq!(
+                single.fingerprint(),
+                sharded.fingerprint(),
+                "{}",
+                selection.name()
+            );
+        }
+        // A band-edge join takes the same mirror path incrementally.
+        let selection: Arc<dyn NeighborSelection + Send + Sync> = Arc::new(EmptyRectSelection);
+        let mut single = TopologyStore::from_peers(infos.clone(), selection.clone());
+        let mut sharded = TopologyStore::from_peers_sharded(infos, selection, &config);
+        single.insert(Point::new(vec![1000.0, 500.0]).unwrap());
+        sharded.insert(Point::new(vec![1000.0, 500.0]).unwrap());
+        assert_eq!(single.graph(), sharded.graph());
+        assert_eq!(single.fingerprint(), sharded.fingerprint());
+    }
+
+    #[test]
+    fn shards_near_is_closed_on_both_band_edges() {
+        let infos: Vec<PeerInfo> = [
+            Point::new(vec![0.0, 0.0]).unwrap(),
+            Point::new(vec![1000.0, 1000.0]).unwrap(),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, p)| PeerInfo::new(PeerId(i as u64), p.clone()))
+        .collect();
+        let tiling = Tiling::build(&infos, 2);
+        assert_eq!(tiling.tiles, vec![2, 1], "2x1 tiling of [0,1000]^2");
+        // High edge: 1000 == tile 0's hi (500) + halo (500), a closed tie.
+        let mut near = tiling.shards_near(&[1000.0, 1000.0], 500.0);
+        near.sort_unstable();
+        assert_eq!(near, vec![0, 1]);
+        // Low edge: 0 == tile 1's lo (500) - halo (500), a closed tie.
+        let mut near = tiling.shards_near(&[0.0, 0.0], 500.0);
+        near.sort_unstable();
+        assert_eq!(near, vec![0, 1]);
+        // Strictly inside one band stays one shard.
+        assert_eq!(tiling.shards_near(&[200.0, 300.0], 250.0), vec![0]);
+        // Zero halo on the shared tile boundary: the boundary point
+        // belongs to both closed tiles.
+        let mut near = tiling.shards_near(&[500.0, 0.0], 0.0);
+        near.sort_unstable();
+        assert_eq!(near, vec![0, 1]);
     }
 
     #[test]

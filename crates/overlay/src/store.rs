@@ -437,7 +437,10 @@ impl TopologyStore {
     /// brute-force `(distance, index)` minimum, answered through the
     /// incremental [`GridIndex`] when one is maintained and by a linear
     /// scan otherwise (both paths are exact, so the answer is identical
-    /// either way). `None` when no live peer is accepted.
+    /// either way). `None` when no live peer is accepted. On every
+    /// engine — linear scan, indexed, sharded — `accept` is consulted
+    /// at most once per live peer, so stateful predicates behave
+    /// identically across them.
     ///
     /// This is the nearest-tree-member query behind routing-based group
     /// join (`geocast_core`'s relay grafting).
