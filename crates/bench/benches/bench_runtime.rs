@@ -1,0 +1,323 @@
+//! Thread-per-shard runtime scaling: channel-fed shard workers versus
+//! the serial shard dispatcher, with a machine-readable summary.
+//!
+//! Two axes, recorded in `crates/bench/BENCH_runtime.json`:
+//!
+//! 1. **Sustained churn throughput.** Mixed join/leave replay through a
+//!    [`ShardRuntime`] at worker counts {1, 4, 16} against the serial
+//!    dispatcher on the same sharded store. The coordinator applies
+//!    global-table updates in event order while workers answer shortlist
+//!    batches, so on a multi-core host the wall-clock gain tracks the
+//!    *critical path*: `coordinator_busy + max(worker_busy)` versus the
+//!    serial model `coordinator_busy + Σ worker_busy`, both read from
+//!    [`RuntimeStats`]. The JSON records wall events/s, model events/s,
+//!    and the model speedup along with the core count — on a
+//!    single-core runner wall time cannot drop, and the critical path
+//!    is the honest measure of what the decomposition buys.
+//! 2. **Cross-shard escape ratio.** The fraction of shortlist requests
+//!    that escape a peer's home shard — the runtime's communication
+//!    cost — swept over placement (uniform vs clustered), halo width
+//!    (auto vs none), and tile aspect (square vs 8:1-stretched domain,
+//!    which skews the tiling the same way).
+//!
+//! Quick scale (default) sweeps N = 20k; `GEOCAST_FULL=1` raises it to
+//! 50k with a longer schedule.
+
+use std::time::Instant;
+use std::{collections::HashSet, sync::Arc};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geocast::geom::gen::clustered_points;
+use geocast::geom::Point;
+use geocast::overlay::{RuntimeConfig, ShardRuntime};
+use geocast::prelude::*;
+use geocast_bench::full_scale;
+
+const WORKER_COUNTS: [usize; 3] = [1, 4, 16];
+
+fn mixed_schedule(
+    n: usize,
+    events: usize,
+    dim: usize,
+    vmax: f64,
+    seed: u64,
+) -> churn::ChurnSchedule {
+    let pattern = ChurnPattern::Mixed {
+        events,
+        join_rate: 1,
+        leave_rate: 1,
+    };
+    churn::ChurnSchedule::from_pattern(n, &pattern, dim, vmax, seed)
+}
+
+/// Byte-identical cross-check at a size where the serial replay is
+/// cheap: the bench gate refuses to report speedups for a divergent
+/// runtime (the exhaustive version lives in `prop_runtime.rs`).
+fn exactness_check(shards: usize) -> bool {
+    let peers = PeerInfo::from_point_set(&uniform_points(1_500, 2, 1000.0, 3));
+    let schedule = mixed_schedule(1_500, 80, 2, 1000.0, 11);
+    let config = ShardConfig::new(shards);
+    let mut serial =
+        TopologyStore::from_peers_sharded(peers.clone(), Arc::new(EmptyRectSelection), &config);
+    churn::run_schedule_on_store(&mut serial, &schedule);
+    let mut driven =
+        TopologyStore::from_peers_sharded(peers, Arc::new(EmptyRectSelection), &config);
+    let mut rt = ShardRuntime::launch(&mut driven, &RuntimeConfig::default());
+    rt.run_schedule(&mut driven, &schedule);
+    rt.shutdown(&mut driven);
+    serial.graph() == driven.graph() && serial.fingerprint() == driven.fingerprint()
+}
+
+struct ThroughputPoint {
+    n: usize,
+    shards: usize,
+    serial_events_per_s: f64,
+    workers_wall_events_per_s: f64,
+    workers_model_events_per_s: f64,
+    model_speedup: f64,
+    escape_ratio: f64,
+    backpressure_stalls: u64,
+}
+
+fn throughput_sweep(n: usize, events: usize, peers: &[PeerInfo]) -> Vec<ThroughputPoint> {
+    WORKER_COUNTS
+        .iter()
+        .map(|&shards| {
+            let config = ShardConfig::new(shards);
+            let schedule = mixed_schedule(n, events, 2, 1000.0, 77);
+
+            let mut serial = TopologyStore::from_peers_sharded(
+                peers.to_vec(),
+                Arc::new(EmptyRectSelection),
+                &config,
+            );
+            let start = Instant::now();
+            let report = churn::run_schedule_on_store(&mut serial, &schedule);
+            let serial_events_per_s =
+                (report.joins + report.leaves) as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+            let mut driven = TopologyStore::from_peers_sharded(
+                peers.to_vec(),
+                Arc::new(EmptyRectSelection),
+                &config,
+            );
+            let mut rt = ShardRuntime::launch(&mut driven, &RuntimeConfig::default());
+            let start = Instant::now();
+            rt.run_schedule(&mut driven, &schedule);
+            let wall_s = start.elapsed().as_secs_f64();
+            let stats = rt.shutdown(&mut driven);
+
+            let critical_s = stats.critical_path().as_secs_f64();
+            let serial_model_s = stats.serial_path().as_secs_f64();
+            let point = ThroughputPoint {
+                n,
+                shards,
+                serial_events_per_s,
+                workers_wall_events_per_s: stats.events() as f64 / wall_s.max(1e-9),
+                workers_model_events_per_s: stats.events() as f64 / critical_s.max(1e-9),
+                model_speedup: serial_model_s / critical_s.max(1e-12),
+                escape_ratio: stats.escape_ratio(),
+                backpressure_stalls: stats.backpressure_stalls,
+            };
+            println!(
+                "churn N={n} workers={shards}: serial {:.0} events/s, workers wall \
+                 {:.0} events/s, model {:.0} events/s => {:.2}x model speedup \
+                 ({:.3} escape ratio, {} stalls)",
+                point.serial_events_per_s,
+                point.workers_wall_events_per_s,
+                point.workers_model_events_per_s,
+                point.model_speedup,
+                point.escape_ratio,
+                point.backpressure_stalls,
+            );
+            point
+        })
+        .collect()
+}
+
+struct EscapePoint {
+    placement: &'static str,
+    halo: &'static str,
+    aspect: usize,
+    escape_ratio: f64,
+    cross_shard_requests: u64,
+    shortlist_requests: u64,
+}
+
+/// Stretches dim 0 by `aspect`, skewing the derived tiling's tile
+/// shapes exactly like a wide deployment region would.
+fn stretched(points: Vec<Point>, aspect: usize) -> Vec<Point> {
+    points
+        .into_iter()
+        .map(|p| {
+            let mut coords = p.coords().to_vec();
+            coords[0] *= aspect as f64;
+            Point::new(coords).expect("stretched coordinates stay finite")
+        })
+        .collect()
+}
+
+fn escape_sweep(n: usize, events: usize) -> Vec<EscapePoint> {
+    let mut out = Vec::new();
+    for placement in ["uniform", "clustered"] {
+        for halo in ["auto", "none"] {
+            for aspect in [1usize, 8] {
+                let vmax = 1000.0;
+                let base = match placement {
+                    "uniform" => uniform_points(n, 2, vmax, 21).into_points(),
+                    _ => clustered_points(n, 2, vmax, 12, 40.0, 21).into_points(),
+                };
+                let points = stretched(base, aspect);
+                // Deduplicate any collisions the stretch may create.
+                let mut seen: HashSet<(u64, u64)> = HashSet::with_capacity(n);
+                let points: Vec<Point> = points
+                    .into_iter()
+                    .filter(|p| {
+                        let c = p.coords();
+                        seen.insert((c[0].to_bits(), c[1].to_bits()))
+                    })
+                    .collect();
+                let peers: Vec<PeerInfo> = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| PeerInfo::new(PeerId(i as u64), p.clone()))
+                    .collect();
+                let count = peers.len();
+                let mut config = ShardConfig::new(16);
+                if halo == "none" {
+                    config = config.with_halo_width(0.0);
+                }
+                let mut store =
+                    TopologyStore::from_peers_sharded(peers, Arc::new(EmptyRectSelection), &config);
+                let schedule = mixed_schedule(count, events, 2, vmax, 33);
+                let mut rt = ShardRuntime::launch(&mut store, &RuntimeConfig::default());
+                rt.run_schedule(&mut store, &schedule);
+                let stats = rt.shutdown(&mut store);
+                let point = EscapePoint {
+                    placement,
+                    halo,
+                    aspect,
+                    escape_ratio: stats.escape_ratio(),
+                    cross_shard_requests: stats.cross_shard_requests,
+                    shortlist_requests: stats.shortlist_requests,
+                };
+                println!(
+                    "escape {placement}/halo-{halo}/aspect-{aspect}: {:.3} \
+                     ({} cross-shard of {} shortlist requests)",
+                    point.escape_ratio, point.cross_shard_requests, point.shortlist_requests,
+                );
+                out.push(point);
+            }
+        }
+    }
+    out
+}
+
+fn write_summary(
+    cores: usize,
+    exact: bool,
+    throughput: &[ThroughputPoint],
+    escapes: &[EscapePoint],
+) {
+    let mut json = String::from("{\n  \"bench\": \"runtime_workers\",\n  \"dim\": 2,\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(
+        "  \"speedup_model\": \"critical_path: coordinator_busy + slowest worker, vs \
+         serial model coordinator_busy + sum of workers\",\n",
+    );
+    json.push_str(&format!("  \"exact_vs_serial_dispatcher\": {exact},\n"));
+    json.push_str("  \"churn_throughput\": [\n");
+    for (i, t) in throughput.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"shards\": {}, \"serial_events_per_second\": {:.0}, \
+             \"workers_wall_events_per_second\": {:.0}, \
+             \"workers_model_events_per_second\": {:.0}, \"model_speedup\": {:.2}, \
+             \"escape_ratio\": {:.4}, \"backpressure_stalls\": {}}}{}\n",
+            t.n,
+            t.shards,
+            t.serial_events_per_s,
+            t.workers_wall_events_per_s,
+            t.workers_model_events_per_s,
+            t.model_speedup,
+            t.escape_ratio,
+            t.backpressure_stalls,
+            if i + 1 < throughput.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n  \"escape_ratio_sweep\": [\n");
+    for (i, e) in escapes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"placement\": \"{}\", \"halo\": \"{}\", \"tile_aspect\": {}, \
+             \"escape_ratio\": {:.4}, \"cross_shard_requests\": {}, \
+             \"shortlist_requests\": {}}}{}\n",
+            e.placement,
+            e.halo,
+            e.aspect,
+            e.escape_ratio,
+            e.cross_shard_requests,
+            e.shortlist_requests,
+            if i + 1 < escapes.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_runtime.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+fn runtime_scaling(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let exact = exactness_check(16);
+    assert!(exact, "worker runtime diverged from the serial dispatcher");
+
+    let (n, events) = if full_scale() {
+        (50_000, 800)
+    } else {
+        (20_000, 400)
+    };
+    let peers = PeerInfo::from_point_set(&uniform_points(n, 2, 1000.0, 1));
+    let throughput = throughput_sweep(n, events, &peers);
+    let escapes = escape_sweep(4_000, 200);
+
+    // The headline assert: the decomposition must beat the serial
+    // dispatcher on the critical-path model at 16 shards (wall clock is
+    // core-count-bound and recorded, not gated).
+    let t16 = throughput
+        .iter()
+        .find(|t| t.shards == 16)
+        .expect("16-worker throughput point");
+    assert!(
+        t16.model_speedup > 1.0,
+        "critical-path model speedup at 16 workers fell to {:.2}x",
+        t16.model_speedup
+    );
+    write_summary(cores, exact, &throughput, &escapes);
+
+    // Criterion samples the runtime insert path at a modest population.
+    let mut group = c.benchmark_group("runtime/insert");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("n20000_s16_d2"), |b| {
+        let base = PeerInfo::from_point_set(&uniform_points(20_000, 2, 1000.0, 9));
+        let mut store = TopologyStore::from_peers_sharded(
+            base,
+            Arc::new(EmptyRectSelection),
+            &ShardConfig::new(16),
+        );
+        let mut rt = ShardRuntime::launch(&mut store, &RuntimeConfig::default());
+        let mut extra = uniform_points(4_096, 2, 1000.0, 10)
+            .into_points()
+            .into_iter();
+        b.iter(|| {
+            let p = extra.next().expect("enough pre-drawn points");
+            rt.insert(&mut store, std::hint::black_box(p))
+        });
+        rt.shutdown(&mut store);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, runtime_scaling);
+criterion_main!(benches);

@@ -93,6 +93,17 @@ pub enum CliError {
         /// Whether the topology fingerprints matched.
         fingerprints_equal: bool,
     },
+    /// `churn --runtime workers --strict` was requested and the
+    /// worker-thread replay diverged from the serial replay of the same
+    /// schedule (the CI runtime gate).
+    RuntimeGate {
+        /// Shards (= worker threads) the replay ran with.
+        shards: usize,
+        /// Whether the adjacency graphs matched.
+        graphs_equal: bool,
+        /// Whether the topology fingerprints matched.
+        fingerprints_equal: bool,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -139,6 +150,15 @@ impl fmt::Display for CliError {
             } => write!(
                 f,
                 "strict sharding violated at {shards} shards: graphs equal \
+                 {graphs_equal}, fingerprints equal {fingerprints_equal}"
+            ),
+            CliError::RuntimeGate {
+                shards,
+                graphs_equal,
+                fingerprints_equal,
+            } => write!(
+                f,
+                "strict runtime violated at {shards} workers: graphs equal \
                  {graphs_equal}, fingerprints equal {fingerprints_equal}"
             ),
         }
@@ -265,8 +285,12 @@ COMMANDS:
              --n 500 --dim 2 --seed 1 --pattern join-wave|leave-wave|flash-crowd|mixed
              --events 200 --join-rate 1 --leave-rate 1 --mode store|live
              --shards 0  (store mode: replay on the region-sharded engine)
+             --runtime serial|workers  (workers: one thread per shard, fed by
+                          bounded command channels; requires --shards > 0)
+             --queue 64  (workers: per-shard command channel capacity)
              [--strict]  (with --shards: fail unless the sharded replay is
-                          byte-identical to the single-shard replay)
+                          byte-identical to the single-shard replay; with
+                          --runtime workers the gate covers the worker replay)
   groups     drive N concurrent multicast groups over one shared store
              --n 500 --dim 2 --seed 1 --groups 16 --subs 1000 --zipf 1.0
              --events 200 --group-events 200 --placement clustered|scattered
@@ -563,6 +587,8 @@ fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
     let pattern_name: String = opt(inv, "pattern", "mixed".to_owned())?;
     let mode: String = opt(inv, "mode", "store".to_owned())?;
     let shards: usize = opt(inv, "shards", 0)?;
+    let runtime: String = opt(inv, "runtime", "serial".to_owned())?;
+    let queue: usize = opt(inv, "queue", 64)?;
     let strict = inv.options.contains_key("strict");
     if shards > 0 && mode != "store" {
         return Err(CliError::BadValue {
@@ -575,6 +601,29 @@ fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
             key: "strict".into(),
             value: "requires --shards > 0 (the gate compares shard engines)".into(),
         });
+    }
+    match runtime.as_str() {
+        "serial" => {}
+        "workers" => {
+            if shards == 0 || mode != "store" {
+                return Err(CliError::BadValue {
+                    key: "runtime".into(),
+                    value: "workers (requires --mode store and --shards > 0)".into(),
+                });
+            }
+            if queue == 0 {
+                return Err(CliError::BadValue {
+                    key: "queue".into(),
+                    value: "0 (worker channels need capacity)".into(),
+                });
+            }
+        }
+        other => {
+            return Err(CliError::BadValue {
+                key: "runtime".into(),
+                value: other.into(),
+            })
+        }
     }
     let pattern = match pattern_name.as_str() {
         "join-wave" => ChurnPattern::JoinWave { count: events },
@@ -636,7 +685,17 @@ fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
                 )
             };
             let start = Instant::now();
-            let report = run_schedule_on_store(&mut store, &schedule);
+            let (report, runtime_stats) = if runtime == "workers" {
+                let config = geocast::overlay::RuntimeConfig {
+                    queue_capacity: queue,
+                    barrier: false,
+                };
+                let mut rt = geocast::overlay::ShardRuntime::launch(&mut store, &config);
+                let report = rt.run_schedule(&mut store, &schedule);
+                (report, Some(rt.shutdown(&mut store)))
+            } else {
+                (run_schedule_on_store(&mut store, &schedule), None)
+            };
             let secs = start.elapsed().as_secs_f64();
             if let Some(engine) = store.sharding() {
                 out.push_str(&format!(
@@ -668,6 +727,33 @@ fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
                 report.touched_max
             ));
             out.push_str(&format!("  live peers after  : {}\n", store.live_count()));
+            if let Some(stats) = &runtime_stats {
+                let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+                out.push_str(&format!(
+                    "  runtime           : {shards} shard workers (queue {queue}, {cores} cores)\n"
+                ));
+                out.push_str(&format!(
+                    "  cross-shard       : {} escape events, {} shortlist requests \
+                     ({:.3} escape ratio)\n",
+                    stats.escape_events,
+                    stats.cross_shard_requests,
+                    stats.escape_ratio()
+                ));
+                out.push_str(&format!(
+                    "  backpressure      : {} stalls\n",
+                    stats.backpressure_stalls
+                ));
+                let critical = stats.critical_path().as_secs_f64();
+                let serial_model = stats.serial_path().as_secs_f64();
+                out.push_str(&format!(
+                    "  critical path     : {:.3}s vs {:.3}s serial model \
+                     ({:.2}x, {:.0} events/s on the model)\n",
+                    critical,
+                    serial_model,
+                    serial_model / critical.max(1e-9),
+                    stats.events() as f64 / critical.max(1e-9)
+                ));
+            }
             let live: Vec<usize> = (0..store.len())
                 .filter(|&i| !store.is_departed(PeerId(i as u64)))
                 .collect();
@@ -686,15 +772,25 @@ fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
                 let graphs_equal = store.graph() == reference.graph();
                 let fingerprints_equal = store.fingerprint() == reference.fingerprint();
                 if !(graphs_equal && fingerprints_equal) {
-                    return Err(CliError::ShardGate {
-                        shards,
-                        graphs_equal,
-                        fingerprints_equal,
+                    return Err(if runtime == "workers" {
+                        CliError::RuntimeGate {
+                            shards,
+                            graphs_equal,
+                            fingerprints_equal,
+                        }
+                    } else {
+                        CliError::ShardGate {
+                            shards,
+                            graphs_equal,
+                            fingerprints_equal,
+                        }
                     });
                 }
-                out.push_str(
-                    "  strict gate       : sharded replay byte-identical to single-shard\n",
-                );
+                out.push_str(if runtime == "workers" {
+                    "  strict gate       : worker replay byte-identical to single-shard serial\n"
+                } else {
+                    "  strict gate       : sharded replay byte-identical to single-shard\n"
+                });
             }
         }
         "live" => {
@@ -727,6 +823,18 @@ fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
                 "  topology == store : {}\n",
                 net.topology() == net.reference_topology()
             ));
+            let cursor = net.gossip_cursor();
+            let mut ledger = geocast::metrics::ConsumerLedger::new();
+            ledger.push(geocast::metrics::ConsumerRow::new(
+                cursor.name(),
+                cursor.epoch(),
+                cursor.absorbed(),
+                cursor.resyncs(),
+            ));
+            out.push_str("  delta consumers   :\n");
+            for line in ledger.to_table().to_markdown().lines() {
+                out.push_str(&format!("    {line}\n"));
+            }
             let live: Vec<usize> = (0..net.len())
                 .filter(|&i| !net.has_departed(PeerId(i as u64)))
                 .collect();
@@ -1450,6 +1558,60 @@ mod tests {
         assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
         let inv = parse_args(&args(&["churn", "--mode", "dream"])).unwrap();
         assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn churn_worker_runtime_passes_the_strict_gate() {
+        let inv = parse_args(&args(&[
+            "churn",
+            "--n",
+            "80",
+            "--events",
+            "30",
+            "--shards",
+            "4",
+            "--runtime",
+            "workers",
+            "--strict",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("runtime           : 4 shard workers"), "{out}");
+        assert!(out.contains("critical path     :"), "{out}");
+        assert!(
+            out.contains("worker replay byte-identical to single-shard serial"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn churn_worker_runtime_requires_shards_and_store_mode() {
+        let inv = parse_args(&args(&["churn", "--runtime", "workers"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+        let inv = parse_args(&args(&[
+            "churn",
+            "--runtime",
+            "workers",
+            "--shards",
+            "4",
+            "--mode",
+            "live",
+        ]))
+        .unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+        let inv = parse_args(&args(&["churn", "--runtime", "threads"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn churn_live_mode_prints_the_gossip_consumer_ledger() {
+        let inv = parse_args(&args(&[
+            "churn", "--n", "25", "--events", "8", "--mode", "live",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("delta consumers   :"), "{out}");
+        assert!(out.contains("| gossip |"), "{out}");
     }
 
     #[test]

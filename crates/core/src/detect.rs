@@ -195,6 +195,10 @@ pub struct DetectionReport {
     /// evictions, and every group build matches its from-scratch
     /// reference — the byte-identical convergence property.
     pub converged: bool,
+    /// Eviction-horizon resyncs the repair consumer's delta cursor was
+    /// forced into during the run (0 when every verdict was absorbed
+    /// incrementally from the log).
+    pub repair_resyncs: u64,
 }
 
 impl DetectionReport {
@@ -440,6 +444,7 @@ pub fn run_detection(sc: &DetectionScenario) -> DetectionReport {
         min_coverage,
         recovered_after,
         converged,
+        repair_resyncs: engine.repair_cursor().resyncs(),
     }
 }
 

@@ -77,7 +77,7 @@ use std::sync::Arc;
 
 use geocast_geom::{MetricKind, Point, Rect};
 use geocast_overlay::delta::DeltaKind;
-use geocast_overlay::{PeerId, TopologyDelta, TopologyStore};
+use geocast_overlay::{CursorCatchUp, DeltaCursor, PeerId, TopologyStore};
 use geocast_sim::workload::{GroupOp, MembershipPlacement};
 
 use crate::builder::{build_in_zone_generic, BuildResult};
@@ -358,8 +358,13 @@ pub struct GroupEngine {
     /// Live peers, ascending — the maintained list workload binding
     /// draws from (replacing the per-op O(N) departed-scan).
     live_peers: Vec<usize>,
-    /// Last store epoch this engine absorbed.
-    seen_epoch: u64,
+    /// Repair consumer: cursor over the store's delta log tracking the
+    /// last epoch this engine's group/tree state absorbed.
+    repair: DeltaCursor,
+    /// Flush consumer: cursor advanced by [`GroupEngine::flush_tick`],
+    /// letting the data plane observe its own lag behind the store
+    /// independently of repair cadence.
+    flush: DeltaCursor,
     /// Optional §3 stability forest, refreshed from the same deltas.
     stability: Option<(PreferredPolicy, StabilityForest)>,
     /// Peers currently *suspected* (but not yet declared dead) by the
@@ -395,7 +400,8 @@ impl GroupEngine {
         let live_peers: Vec<usize> = (0..store.len())
             .filter(|&i| !store.is_departed(PeerId(i as u64)))
             .collect();
-        let seen_epoch = store.epoch();
+        let repair = DeltaCursor::at("group-repair", store.epoch());
+        let flush = DeltaCursor::at("dataplane-flush", store.epoch());
         GroupEngine {
             store,
             partitioner,
@@ -404,7 +410,8 @@ impl GroupEngine {
             bounds: None,
             relay_of,
             live_peers,
-            seen_epoch,
+            repair,
+            flush,
             stability: None,
             suspects: BTreeSet::new(),
             degraded: Vec::new(),
@@ -581,6 +588,20 @@ impl GroupEngine {
         &self.totals
     }
 
+    /// The repair consumer's cursor over the store's delta log
+    /// (absorbed deltas and eviction-horizon resync count).
+    #[must_use]
+    pub fn repair_cursor(&self) -> &DeltaCursor {
+        &self.repair
+    }
+
+    /// The flush consumer's cursor, advanced once per
+    /// [`GroupEngine::flush_tick`].
+    #[must_use]
+    pub fn flush_cursor(&self) -> &DeltaCursor {
+        &self.flush
+    }
+
     /// Registers a new group rooted at (and subscribed by) `root`.
     ///
     /// # Panics
@@ -743,6 +764,11 @@ impl GroupEngine {
     /// queued on groups that went dormant in the meantime are dropped
     /// (there is no audience left to deliver to).
     pub fn flush_tick(&mut self) -> Vec<PublishBatch> {
+        // The flush consumer runs at its own cadence: advance its
+        // cursor first so `flush_cursor()` reports how many deltas (or
+        // resyncs) each data-plane tick absorbed, independently of how
+        // often repair ran in between.
+        let _ = self.flush.catch_up(self.store.delta_log());
         self.sync();
         let mut due = std::mem::take(&mut self.queued);
         due.sort_unstable();
@@ -1163,18 +1189,13 @@ impl GroupEngine {
     /// Idempotent; called automatically by every mutating engine entry
     /// point.
     pub fn sync(&mut self) {
-        let target = self.store.epoch();
-        if target == self.seen_epoch {
-            return;
-        }
-        let missed: Option<Vec<TopologyDelta>> = self
-            .store
-            .delta_log()
-            .deltas_since(self.seen_epoch)
-            .map(|it| it.cloned().collect());
-        let Some(deltas) = missed else {
-            self.full_resync(target);
-            return;
+        let deltas = match self.repair.catch_up(self.store.delta_log()) {
+            CursorCatchUp::UpToDate => return,
+            CursorCatchUp::Resync => {
+                self.full_resync();
+                return;
+            }
+            CursorCatchUp::Deltas(deltas) => deltas,
         };
 
         let mut affected: BTreeSet<usize> = BTreeSet::new();
@@ -1259,12 +1280,13 @@ impl GroupEngine {
             rebuilt_members,
             resynced: false,
         };
-        self.seen_epoch = target;
     }
 
     /// The laggard path: reconcile every group against the full store
     /// state (prune departures, rebuild all trees, re-pick the forest).
-    fn full_resync(&mut self, target: u64) {
+    /// The repair cursor has already been advanced (and its resync
+    /// counted) by [`DeltaCursor::catch_up`].
+    fn full_resync(&mut self) {
         self.member_of.resize(self.store.len(), Vec::new());
         self.relay_of.resize(self.store.len(), Vec::new());
         self.live_peers = (0..self.store.len())
@@ -1298,7 +1320,6 @@ impl GroupEngine {
             rebuilt_members,
             resynced: true,
         };
-        self.seen_epoch = target;
     }
 
     fn rebuild_group(&mut self, gi: usize) {
@@ -1409,7 +1430,7 @@ impl std::fmt::Debug for GroupEngine {
             .field("groups", &self.groups.len())
             .field("peers", &self.store.len())
             .field("live", &self.store.live_count())
-            .field("seen_epoch", &self.seen_epoch)
+            .field("repair_epoch", &self.repair.epoch())
             .finish()
     }
 }

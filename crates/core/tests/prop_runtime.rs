@@ -1,0 +1,254 @@
+//! Property tests for the thread-per-shard runtime and its cursor
+//! consumers.
+//!
+//! THE runtime guarantee: a [`TopologyStore`] driven through a
+//! [`ShardRuntime`] — long-lived per-shard worker threads fed by
+//! bounded command channels, cross-shard escapes folded from per-shard
+//! shortlist replies — holds **byte-identical** state to the serial
+//! shard dispatcher: same adjacency, same fingerprint, same per-event
+//! dirty regions, identical group-tree builds over it. Across the §2
+//! empty-rectangle rule and every Hyperplanes instance, random shard
+//! counts, random bounded-queue capacities (randomising how commands
+//! interleave in flight), and barrier mode on or off. Backpressure
+//! (queue full at capacity 1) must stall, never drop or reorder.
+//!
+//! Downstream, the [`DeltaCursor`] consumers must absorb the same
+//! stream at any cadence: a [`GroupEngine`] syncing every K events
+//! lands on the same trees as one syncing lock-step, and when a small
+//! delta-log capacity evicts the laggard's history, the forced full
+//! resyncs are *counted* on the repair cursor.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use geocast_core::groups::{build_group_tree_grafted, GroupEngine};
+use geocast_core::OrthantRectPartitioner;
+use geocast_geom::gen::uniform_points;
+use geocast_geom::MetricKind;
+use geocast_overlay::churn::{run_schedule_on_store, ChurnSchedule};
+use geocast_overlay::select::{EmptyRectSelection, HyperplanesSelection, NeighborSelection};
+use geocast_overlay::{PeerId, PeerInfo, RuntimeConfig, ShardConfig, ShardRuntime, TopologyStore};
+use geocast_sim::workload::ConsumerCadence;
+
+fn selection_for(variant: usize, dim: usize, k: usize) -> Arc<dyn NeighborSelection + Send + Sync> {
+    match variant {
+        0 => Arc::new(EmptyRectSelection),
+        1 => Arc::new(HyperplanesSelection::orthogonal(dim, k, MetricKind::L1)),
+        2 => Arc::new(HyperplanesSelection::signed(dim, k, MetricKind::L1)),
+        _ => Arc::new(HyperplanesSelection::k_closest(dim, k, MetricKind::L2)),
+    }
+}
+
+/// Both stores must agree on everything an external consumer can see.
+fn assert_identical(serial: &TopologyStore, driven: &TopologyStore, what: &str) {
+    assert_eq!(serial.graph(), driven.graph(), "{what}: adjacency");
+    assert_eq!(
+        serial.fingerprint(),
+        driven.fingerprint(),
+        "{what}: fingerprint"
+    );
+    assert_eq!(
+        serial.last_delta(),
+        driven.last_delta(),
+        "{what}: dirty region"
+    );
+    assert_eq!(serial.epoch(), driven.epoch(), "{what}: epoch");
+    assert_eq!(serial.live_count(), driven.live_count(), "{what}: live");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Worker replay == the serial dispatcher, for every rule family,
+    /// shard count, queue capacity (the channel-interleaving knob),
+    /// and barrier mode.
+    #[test]
+    fn runtime_replay_is_byte_identical_to_serial_dispatcher(
+        initial in 4usize..50,
+        joins in 0usize..16,
+        leaves in 0usize..12,
+        dim in 1usize..4,
+        k in 1usize..4,
+        variant in 0usize..4,
+        shards in 1usize..10,
+        queue_capacity in 1usize..8,
+        barrier in 0usize..2,
+        seed in 0u64..10_000,
+    ) {
+        let selection = selection_for(variant, dim, k);
+        let peers = PeerInfo::from_point_set(&uniform_points(initial, dim, 1000.0, seed));
+        let schedule = ChurnSchedule::random(initial, joins, leaves, dim, 1000.0, seed ^ 0x72_74);
+        let config = ShardConfig::new(shards);
+
+        let mut serial =
+            TopologyStore::from_peers_sharded(peers.clone(), selection.clone(), &config);
+        let serial_report = run_schedule_on_store(&mut serial, &schedule);
+
+        let mut driven = TopologyStore::from_peers_sharded(peers, selection, &config);
+        let mut rt = ShardRuntime::launch(
+            &mut driven,
+            &RuntimeConfig {
+                queue_capacity,
+                barrier: barrier == 1,
+            },
+        );
+        let driven_report = rt.run_schedule(&mut driven, &schedule);
+        let stats = rt.shutdown(&mut driven);
+
+        assert_identical(&serial, &driven, "after schedule");
+        prop_assert_eq!(serial_report, driven_report, "churn reports diverged");
+        prop_assert_eq!(stats.events(), schedule.len() as u64, "events dropped");
+    }
+
+    /// Group trees built over the runtime-driven store equal the same
+    /// builds over the serially-churned store — downstream consumers
+    /// cannot tell which dispatcher ran.
+    #[test]
+    fn group_builds_agree_after_runtime_churn(
+        n in 8usize..40,
+        joins in 1usize..10,
+        leaves in 1usize..8,
+        shards in 1usize..9,
+        members in 2usize..8,
+        variant in 0usize..2,
+        queue_capacity in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let selection = selection_for(variant, 2, 2);
+        let peers = PeerInfo::from_point_set(&uniform_points(n, 2, 1000.0, seed));
+        let schedule = ChurnSchedule::random(n, joins, leaves, 2, 1000.0, seed ^ 0x67_72);
+        let config = ShardConfig::new(shards);
+
+        let mut serial =
+            TopologyStore::from_peers_sharded(peers.clone(), selection.clone(), &config);
+        run_schedule_on_store(&mut serial, &schedule);
+
+        let mut driven = TopologyStore::from_peers_sharded(peers, selection, &config);
+        let mut rt = ShardRuntime::launch(
+            &mut driven,
+            &RuntimeConfig {
+                queue_capacity,
+                barrier: false,
+            },
+        );
+        rt.run_schedule(&mut driven, &schedule);
+        rt.shutdown(&mut driven);
+
+        let live: Vec<usize> = (0..serial.len())
+            .filter(|&i| !serial.is_departed(PeerId(i as u64)))
+            .collect();
+        prop_assert!(live.len() >= 2, "schedule cannot drain an {n}-peer store");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let member_set: BTreeSet<usize> = (0..members)
+            .map(|_| live[rng.random_range(0..live.len())])
+            .collect();
+        let root = *member_set.iter().next().expect("at least one member");
+        let partitioner = OrthantRectPartitioner::median();
+        let a = build_group_tree_grafted(&serial, root, &member_set, &partitioner);
+        let b = build_group_tree_grafted(&driven, root, &member_set, &partitioner);
+        prop_assert_eq!(a, b, "group build diverged between dispatchers");
+    }
+
+    /// A cursor consumer syncing every K-th event (with arbitrary
+    /// phase) lands on the same group state as a lock-step engine, and
+    /// when a small delta log evicts its history the full resyncs are
+    /// counted on the repair cursor — never silently absorbed.
+    #[test]
+    fn cadence_driven_engine_sync_counts_eviction_resyncs(
+        n in 10usize..40,
+        ops in 4usize..20,
+        every in 1usize..7,
+        offset in 0usize..7,
+        capacity in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let selection: Arc<dyn NeighborSelection + Send + Sync> = Arc::new(EmptyRectSelection);
+        let peers = PeerInfo::from_point_set(&uniform_points(n, 2, 1000.0, seed));
+        let store = TopologyStore::from_peers(peers, selection);
+        let mut engine = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
+        engine.store_mut().set_delta_capacity(capacity);
+        let mut state = seed ^ 0x6361_6465;
+        let ids = engine.seed_groups(&[5, 3], &mut state);
+
+        let cadence = ConsumerCadence { every, offset };
+        let joins = uniform_points(ops, 2, 1000.0, seed ^ 0x6a6f_696e).into_points();
+        let mut joins = joins.into_iter();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for op in 0..ops {
+            let live: Vec<usize> = (0..engine.store().len())
+                .filter(|&i| !engine.store().is_departed(PeerId(i as u64)))
+                .collect();
+            if live.len() > 3 && rng.random_range(0..3) == 0 {
+                let gone = PeerId(live[rng.random_range(0..live.len())] as u64);
+                engine.store_mut().remove(gone);
+            } else {
+                let p = joins.next().expect("one point per op suffices");
+                engine.store_mut().insert(p);
+            }
+            if cadence.fires_at(op) {
+                engine.sync();
+            }
+        }
+        engine.sync();
+
+        // The laggard consumer converged to the exact store state: every
+        // group tree equals its from-scratch reference build.
+        for &g in &ids {
+            prop_assert!(
+                engine.matches_reference(g),
+                "cadence-synced group diverged from reference"
+            );
+        }
+        prop_assert_eq!(engine.repair_cursor().epoch(), engine.store().epoch());
+        // Every eviction-horizon fallback is a counted event on the
+        // repair cursor, and nothing else increments it.
+        prop_assert_eq!(
+            engine.repair_cursor().resyncs(),
+            engine.totals().full_resyncs,
+            "cursor resync count must equal the engine's full resyncs"
+        );
+        // Lock-step consumption (cadence 1, capacity ample) never
+        // resyncs; gaps wider than the log capacity must.
+        if every == 1 && offset == 0 {
+            prop_assert_eq!(engine.repair_cursor().resyncs(), 0);
+        }
+    }
+}
+
+/// Backpressure regression: with the bounded queue at capacity 1 every
+/// send beyond the first blocks until the worker drains — the run must
+/// preserve ordering (byte-identity) and lose nothing (event counts),
+/// only *stall*.
+#[test]
+fn backpressure_at_unit_capacity_stalls_without_drops() {
+    let selection: Arc<dyn NeighborSelection + Send + Sync> = Arc::new(EmptyRectSelection);
+    let peers = PeerInfo::from_point_set(&uniform_points(80, 2, 1000.0, 5));
+    let schedule = ChurnSchedule::random(80, 40, 30, 2, 1000.0, 17);
+    let config = ShardConfig::new(4);
+
+    let mut serial = TopologyStore::from_peers_sharded(peers.clone(), selection.clone(), &config);
+    let serial_report = run_schedule_on_store(&mut serial, &schedule);
+
+    let mut driven = TopologyStore::from_peers_sharded(peers, selection, &config);
+    let mut rt = ShardRuntime::launch(
+        &mut driven,
+        &RuntimeConfig {
+            queue_capacity: 1,
+            barrier: false,
+        },
+    );
+    let driven_report = rt.run_schedule(&mut driven, &schedule);
+    let stats = rt.shutdown(&mut driven);
+
+    assert_identical(&serial, &driven, "unit-capacity run");
+    assert_eq!(serial_report, driven_report);
+    assert_eq!(
+        stats.events(),
+        schedule.len() as u64,
+        "a full queue must stall the coordinator, never drop a command"
+    );
+}

@@ -1,0 +1,133 @@
+use crate::Table;
+
+/// One log consumer's progress snapshot: how far it has read, how many
+/// entries it absorbed incrementally, and how often it fell off the
+/// log's eviction horizon and had to resynchronise from full state.
+///
+/// The crate knows nothing about *what* is being consumed — callers
+/// snapshot their cursors (delta logs, event streams) into rows and
+/// render them with a [`ConsumerLedger`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConsumerRow {
+    /// Consumer name (e.g. `"gossip"`, `"group-repair"`).
+    pub name: String,
+    /// Last log position the consumer has absorbed through.
+    pub position: u64,
+    /// Entries replayed incrementally over the consumer's lifetime.
+    pub absorbed: u64,
+    /// Times the log had evicted entries the consumer still needed,
+    /// forcing a full resynchronisation instead of incremental replay.
+    pub resyncs: u64,
+}
+
+impl ConsumerRow {
+    /// Builds a row from plain counters.
+    #[must_use]
+    pub fn new(name: impl Into<String>, position: u64, absorbed: u64, resyncs: u64) -> Self {
+        ConsumerRow {
+            name: name.into(),
+            position,
+            absorbed,
+            resyncs,
+        }
+    }
+
+    /// Fraction of catch-ups that degraded to a resync, out of all
+    /// observed progress events (`absorbed` entries + `resyncs`).
+    /// `0.0` when the consumer has seen nothing.
+    #[must_use]
+    pub fn resync_rate(&self) -> f64 {
+        let events = self.absorbed + self.resyncs;
+        if events == 0 {
+            0.0
+        } else {
+            self.resyncs as f64 / events as f64
+        }
+    }
+}
+
+/// A set of [`ConsumerRow`]s over the same log, rendered as a table —
+/// the per-consumer resync accounting surfaced by churn runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConsumerLedger {
+    rows: Vec<ConsumerRow>,
+}
+
+impl ConsumerLedger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        ConsumerLedger::default()
+    }
+
+    /// Appends a consumer snapshot.
+    pub fn push(&mut self, row: ConsumerRow) {
+        self.rows.push(row);
+    }
+
+    /// The rows added so far.
+    #[must_use]
+    pub fn rows(&self) -> &[ConsumerRow] {
+        &self.rows
+    }
+
+    /// `true` if no consumer was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total resyncs across all consumers.
+    #[must_use]
+    pub fn total_resyncs(&self) -> u64 {
+        self.rows.iter().map(|r| r.resyncs).sum()
+    }
+
+    /// Renders the ledger as a [`Table`] (consumer, position, absorbed,
+    /// resyncs, resync rate).
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "consumer".into(),
+            "position".into(),
+            "absorbed".into(),
+            "resyncs".into(),
+            "resync rate".into(),
+        ]);
+        for r in &self.rows {
+            t.push_row(vec![
+                r.name.clone(),
+                r.position.to_string(),
+                r.absorbed.to_string(),
+                r.resyncs.to_string(),
+                format!("{:.4}", r.resync_rate()),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resync_rate_is_share_of_progress_events() {
+        let r = ConsumerRow::new("gossip", 10, 8, 2);
+        assert!((r.resync_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(ConsumerRow::new("idle", 0, 0, 0).resync_rate(), 0.0);
+    }
+
+    #[test]
+    fn ledger_totals_and_table() {
+        let mut ledger = ConsumerLedger::new();
+        assert!(ledger.is_empty());
+        ledger.push(ConsumerRow::new("gossip", 12, 10, 1));
+        ledger.push(ConsumerRow::new("group-repair", 12, 12, 0));
+        assert_eq!(ledger.rows().len(), 2);
+        assert_eq!(ledger.total_resyncs(), 1);
+        let md = ledger.to_table().to_markdown();
+        assert!(md.contains("| gossip | 12 | 10 | 1 |"));
+        assert!(md.contains("| group-repair | 12 | 12 | 0 | 0.0000 |"));
+    }
+}

@@ -22,11 +22,13 @@
 #![warn(missing_docs)]
 
 mod chart;
+mod consumer;
 mod histogram;
 mod summary;
 mod table;
 
 pub use chart::AsciiChart;
+pub use consumer::{ConsumerLedger, ConsumerRow};
 pub use histogram::Histogram;
 pub use summary::Summary;
 pub use table::Table;

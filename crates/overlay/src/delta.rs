@@ -165,6 +165,118 @@ impl Default for DeltaLog {
     }
 }
 
+/// What one [`DeltaCursor::catch_up`] found in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CursorCatchUp {
+    /// The cursor already sat at the log head: nothing to absorb.
+    UpToDate,
+    /// The deltas recorded since the cursor's epoch, oldest first. The
+    /// cursor has advanced past them.
+    Deltas(Vec<TopologyDelta>),
+    /// The log evicted a delta the cursor needed: the consumer must
+    /// resynchronise from full store state. The cursor has jumped to
+    /// the log head and the resync was counted.
+    Resync,
+}
+
+/// One consumer's position in a [`DeltaLog`], with its own absorption
+/// and resync ledger.
+///
+/// PR 8 left every consumer tracking a bare `u64` epoch, which made the
+/// eviction-horizon fallback *silent*: a laggard rebuilt from full
+/// store state without anything counting how often. A `DeltaCursor`
+/// owns both the position and the accounting — each consumer (gossip
+/// sync, group repair, data-plane flush) advances at its own cadence
+/// and reports `absorbed` / `resyncs` per consumer.
+///
+/// ```
+/// use geocast_overlay::delta::{CursorCatchUp, DeltaCursor, DeltaLog};
+///
+/// let log = DeltaLog::default();
+/// let mut cursor = DeltaCursor::new("gossip");
+/// assert_eq!(cursor.catch_up(&log), CursorCatchUp::UpToDate);
+/// assert_eq!(cursor.resyncs(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaCursor {
+    name: &'static str,
+    epoch: u64,
+    absorbed: u64,
+    resyncs: u64,
+}
+
+impl DeltaCursor {
+    /// A cursor named for its consumer, starting at epoch 0 (a store
+    /// fresh from construction).
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        DeltaCursor::at(name, 0)
+    }
+
+    /// A cursor starting at a given epoch — how a consumer adopts a
+    /// store that already has history it considers absorbed.
+    #[must_use]
+    pub fn at(name: &'static str, epoch: u64) -> Self {
+        DeltaCursor {
+            name,
+            epoch,
+            absorbed: 0,
+            resyncs: 0,
+        }
+    }
+
+    /// The consumer this cursor belongs to.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The last epoch this consumer absorbed.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total deltas absorbed through [`DeltaCursor::catch_up`].
+    #[must_use]
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// Times the consumer fell past the log's eviction horizon and was
+    /// told to resynchronise from full store state.
+    #[must_use]
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Advances the cursor to the log head and reports what the
+    /// consumer must do to get there: nothing, replay the returned
+    /// deltas, or — when the log evicted a needed delta — resync from
+    /// full store state (counted in [`DeltaCursor::resyncs`]).
+    ///
+    /// The cursor always lands on the head, so consecutive calls
+    /// without intervening mutations are no-ops.
+    pub fn catch_up(&mut self, log: &DeltaLog) -> CursorCatchUp {
+        if self.epoch == log.head_epoch() {
+            return CursorCatchUp::UpToDate;
+        }
+        match log.deltas_since(self.epoch) {
+            Some(it) => {
+                let deltas: Vec<TopologyDelta> = it.cloned().collect();
+                self.absorbed += deltas.len() as u64;
+                self.epoch = log.head_epoch();
+                CursorCatchUp::Deltas(deltas)
+            }
+            None => {
+                self.resyncs += 1;
+                self.epoch = log.head_epoch();
+                CursorCatchUp::Resync
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +350,64 @@ mod tests {
     fn kind_exposes_the_peer() {
         assert_eq!(DeltaKind::Join(7).peer(), 7);
         assert_eq!(DeltaKind::Leave(9).peer(), 9);
+    }
+
+    #[test]
+    fn cursor_absorbs_in_order_and_idempotently() {
+        let mut log = DeltaLog::new(8);
+        let mut cursor = DeltaCursor::new("repair");
+        assert_eq!(cursor.catch_up(&log), CursorCatchUp::UpToDate);
+        for e in 1..=3 {
+            log.record(delta(e));
+        }
+        match cursor.catch_up(&log) {
+            CursorCatchUp::Deltas(ds) => {
+                assert_eq!(
+                    ds.iter().map(|d| d.epoch).collect::<Vec<_>>(),
+                    vec![1, 2, 3]
+                );
+            }
+            other => panic!("expected deltas, got {other:?}"),
+        }
+        assert_eq!(cursor.epoch(), 3);
+        assert_eq!(cursor.absorbed(), 3);
+        // Caught up: a second call is a no-op.
+        assert_eq!(cursor.catch_up(&log), CursorCatchUp::UpToDate);
+        assert_eq!(cursor.absorbed(), 3);
+    }
+
+    #[test]
+    fn cursor_counts_eviction_horizon_resyncs() {
+        let mut log = DeltaLog::new(2);
+        let mut cursor = DeltaCursor::new("flush");
+        for e in 1..=5 {
+            log.record(delta(e));
+        }
+        // Needs epoch 1, retained tail is 4: forced resync, counted.
+        assert_eq!(cursor.catch_up(&log), CursorCatchUp::Resync);
+        assert_eq!(cursor.resyncs(), 1);
+        assert_eq!(cursor.epoch(), 5);
+        // After the resync the cursor rides the log again.
+        log.record(delta(6));
+        match cursor.catch_up(&log) {
+            CursorCatchUp::Deltas(ds) => assert_eq!(ds.len(), 1),
+            other => panic!("expected deltas, got {other:?}"),
+        }
+        assert_eq!(cursor.resyncs(), 1);
+    }
+
+    #[test]
+    fn cursor_can_adopt_existing_history() {
+        let mut log = DeltaLog::new(8);
+        for e in 1..=4 {
+            log.record(delta(e));
+        }
+        let mut cursor = DeltaCursor::at("gossip", 3);
+        match cursor.catch_up(&log) {
+            CursorCatchUp::Deltas(ds) => {
+                assert_eq!(ds.iter().map(|d| d.epoch).collect::<Vec<_>>(), vec![4]);
+            }
+            other => panic!("expected deltas, got {other:?}"),
+        }
     }
 }

@@ -54,12 +54,14 @@ pub mod delta;
 pub mod gossip;
 pub mod oracle;
 pub mod routing;
+pub mod runtime;
 pub mod select;
 pub mod shard;
 
-pub use delta::{DeltaKind, DeltaLog, TopologyDelta};
+pub use delta::{CursorCatchUp, DeltaCursor, DeltaKind, DeltaLog, TopologyDelta};
 pub use graph::OverlayGraph;
-pub use network::{ConvergenceReport, NetworkConfig, OverlayNetwork};
+pub use network::{ConvergenceReport, GossipSyncReport, NetworkConfig, OverlayNetwork};
 pub use peer::{PeerAddr, PeerId, PeerInfo};
+pub use runtime::{RuntimeConfig, RuntimeStats, ShardRuntime};
 pub use shard::{ShardConfig, ShardedTopologyStore};
 pub use store::{topology_hash, TopologyStore};

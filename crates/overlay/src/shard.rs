@@ -140,11 +140,11 @@ impl ShardConfig {
 /// bounding box. Peers outside the domain (late joins) clamp to the
 /// nearest tile; exactness never depends on where a peer is assigned.
 #[derive(Debug, Clone)]
-struct Tiling {
-    dim: usize,
+pub(crate) struct Tiling {
+    pub(crate) dim: usize,
     lo: Vec<f64>,
     tile_size: Vec<f64>,
-    tiles: Vec<usize>,
+    pub(crate) tiles: Vec<usize>,
     strides: Vec<usize>,
 }
 
@@ -176,7 +176,7 @@ impl Tiling {
     }
 
     /// The home shard of a point (clamped to the nearest tile).
-    fn shard_of(&self, coords: &[f64]) -> usize {
+    pub(crate) fn shard_of(&self, coords: &[f64]) -> usize {
         let mut idx = 0;
         for (d, &x) in coords.iter().enumerate().take(self.dim) {
             let t = if self.tile_size[d] > 0.0 {
@@ -206,7 +206,7 @@ impl Tiling {
     /// home tile plus the mirror targets. Tiles within `halo` form a
     /// contiguous per-dimension index range, so this is a small
     /// cartesian product, never a scan over all shards.
-    fn shards_near(&self, coords: &[f64], halo: f64) -> Vec<usize> {
+    pub(crate) fn shards_near(&self, coords: &[f64], halo: f64) -> Vec<usize> {
         let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(self.dim);
         for (d, &c) in coords.iter().enumerate().take(self.dim) {
             let (a, b) = if self.tile_size[d] > 0.0 {
@@ -286,29 +286,29 @@ fn factor_tiles(shards: usize, extents: &[f64]) -> Vec<usize> {
 /// bounding box (grow-only), membership tables, spatial index, and the
 /// shard-scoped delta log.
 #[derive(Debug)]
-struct Shard {
-    tile_lo: Vec<f64>,
-    tile_hi: Vec<f64>,
+pub(crate) struct Shard {
+    pub(crate) tile_lo: Vec<f64>,
+    pub(crate) tile_hi: Vec<f64>,
     /// Grow-only bounding box of every resident ever assigned, unioned
     /// with the tile box — the conservative "where this shard's
     /// residents can be" region the skip tests subtract from.
-    cover_lo: Vec<f64>,
-    cover_hi: Vec<f64>,
+    pub(crate) cover_lo: Vec<f64>,
+    pub(crate) cover_hi: Vec<f64>,
     /// Local id → global id, ascending (insertion order is global id
     /// order, which keeps shard-local distance tie-breaks identical to
     /// global ones).
-    members: Vec<usize>,
+    pub(crate) members: Vec<usize>,
     /// Global id → local id for every member (residents and mirrors).
-    local_of: HashMap<usize, usize>,
+    pub(crate) local_of: HashMap<usize, usize>,
     /// Global ids of residents ever assigned, ascending (departures
     /// stay listed; the index tombstones them).
-    resident_ids: Vec<usize>,
-    index: GridIndex,
-    log: ShardDeltaLog,
+    pub(crate) resident_ids: Vec<usize>,
+    pub(crate) index: GridIndex,
+    pub(crate) log: ShardDeltaLog,
 }
 
 impl Shard {
-    fn add_member(&mut self, global: usize, point: &Point, resident: bool) {
+    pub(crate) fn add_member(&mut self, global: usize, point: &Point, resident: bool) {
         let local = self.index.insert(point);
         debug_assert_eq!(local, self.members.len(), "index ids track member ids");
         self.members.push(global);
@@ -320,6 +320,68 @@ impl Shard {
                 self.cover_hi[d] = self.cover_hi[d].max(x);
             }
         }
+    }
+
+    /// This shard's shortlist for peer `i` at `query`: a candidate set
+    /// guaranteed to contain every globally selected neighbour among
+    /// the shard's members. Index-answered per profile; any decline
+    /// (coordinate collisions, unprofiled rules) falls back to a
+    /// per-shard brute selection, which is always a sound shortlist.
+    ///
+    /// Member infos and departure flags are supplied through accessors
+    /// over *local* ids, so the caller can back them with the global
+    /// peer tables (the serial engine) or a worker-local replica (the
+    /// thread-per-shard runtime) — one implementation for both, which
+    /// is what makes the runtime byte-identical by construction.
+    pub(crate) fn shortlist<'a>(
+        &self,
+        profile: ShardProfile,
+        selection: &dyn NeighborSelection,
+        i: usize,
+        query: &PeerInfo,
+        info_of: impl Fn(usize) -> &'a PeerInfo,
+        departed_local: impl Fn(usize) -> bool,
+    ) -> Vec<usize> {
+        if self.index.live_len() == 0 {
+            return Vec::new();
+        }
+        let local_skip = self.local_of.get(&i).copied();
+        match profile {
+            ShardProfile::EmptyRect => {
+                let got = match local_skip {
+                    Some(li) => self.index.empty_rect_neighbors(li),
+                    None => self.index.empty_rect_neighbors_at(query.point(), None),
+                };
+                if let Some(locals) = got {
+                    return locals.into_iter().map(|l| self.members[l]).collect();
+                }
+            }
+            ShardProfile::OrthantTopK { k, metric } => {
+                let got = match local_skip {
+                    Some(li) => self.index.k_nearest_per_orthant(li, k, metric),
+                    None => self
+                        .index
+                        .k_nearest_per_orthant_at(query.point(), k, metric, None),
+                };
+                if let Some(groups) = got {
+                    return groups
+                        .into_iter()
+                        .flatten()
+                        .map(|l| self.members[l])
+                        .collect();
+                }
+            }
+            ShardProfile::Generic => {}
+        }
+        let cand_locals: Vec<usize> = (0..self.members.len())
+            .filter(|&l| self.members[l] != i && !departed_local(l))
+            .collect();
+        let refs: Vec<&PeerInfo> = cand_locals.iter().map(|&l| info_of(l)).collect();
+        selection
+            .select(query, &refs)
+            .into_iter()
+            .map(|ci| self.members[cand_locals[ci]])
+            .collect()
     }
 }
 
@@ -373,7 +435,7 @@ impl ShardDeltaLog {
         }
     }
 
-    fn record(&mut self, kind: DeltaKind, dirty: Vec<usize>, global_epoch: u64) {
+    pub(crate) fn record(&mut self, kind: DeltaKind, dirty: Vec<usize>, global_epoch: u64) {
         assert!(global_epoch > self.global_head, "global epochs ascend");
         self.local_head += 1;
         self.global_head = global_epoch;
@@ -746,11 +808,8 @@ impl ShardedTopologyStore {
             .collect()
     }
 
-    /// Shard `s`'s shortlist for peer `i`: a candidate set guaranteed
-    /// to contain every globally selected neighbour among the shard's
-    /// members. Index-answered per profile; any decline (coordinate
-    /// collisions, unprofiled rules) falls back to a per-shard brute
-    /// selection, which is always a sound shortlist.
+    /// Shard `s`'s shortlist for peer `i`: [`Shard::shortlist`] backed
+    /// by the global peer tables.
     fn shard_shortlist(
         &self,
         peers: &[PeerInfo],
@@ -760,86 +819,27 @@ impl ShardedTopologyStore {
         i: usize,
     ) -> Vec<usize> {
         let shard = &self.shards[s];
-        if shard.index.live_len() == 0 {
-            return Vec::new();
-        }
-        let local_skip = shard.local_of.get(&i).copied();
-        match self.profile {
-            ShardProfile::EmptyRect => {
-                let got = match local_skip {
-                    Some(li) => shard.index.empty_rect_neighbors(li),
-                    None => shard.index.empty_rect_neighbors_at(peers[i].point(), None),
-                };
-                if let Some(locals) = got {
-                    return locals.into_iter().map(|l| shard.members[l]).collect();
-                }
-            }
-            ShardProfile::OrthantTopK { k, metric } => {
-                let got = match local_skip {
-                    Some(li) => shard.index.k_nearest_per_orthant(li, k, metric),
-                    None => shard
-                        .index
-                        .k_nearest_per_orthant_at(peers[i].point(), k, metric, None),
-                };
-                if let Some(groups) = got {
-                    return groups
-                        .into_iter()
-                        .flatten()
-                        .map(|l| shard.members[l])
-                        .collect();
-                }
-            }
-            ShardProfile::Generic => {}
-        }
-        let cand_ids: Vec<usize> = shard
-            .members
-            .iter()
-            .copied()
-            .filter(|&g| g != i && !departed[g])
-            .collect();
-        let refs: Vec<&PeerInfo> = cand_ids.iter().map(|&g| &peers[g]).collect();
-        selection
-            .select(&peers[i], &refs)
-            .into_iter()
-            .map(|ci| cand_ids[ci])
-            .collect()
+        shard.shortlist(
+            self.profile,
+            selection,
+            i,
+            &peers[i],
+            |l| &peers[shard.members[l]],
+            |l| departed[shard.members[l]],
+        )
     }
 
     /// The conservative box of shard `s`'s residents minus the home
     /// halo band. `None` means `s` is entirely inside the band — every
     /// one of its residents is mirrored into the home shard.
     fn uncovered_box(&self, s: usize, home: usize) -> Option<(Vec<f64>, Vec<f64>)> {
-        let cover_lo = &self.shards[s].cover_lo;
-        let cover_hi = &self.shards[s].cover_hi;
-        let g_lo: Vec<f64> = self.shards[home]
-            .tile_lo
-            .iter()
-            .map(|x| x - self.halo)
-            .collect();
-        let g_hi: Vec<f64> = self.shards[home]
-            .tile_hi
-            .iter()
-            .map(|x| x + self.halo)
-            .collect();
-        let uncovered: Vec<usize> = (0..self.tiling.dim)
-            .filter(|&d| !(g_lo[d] <= cover_lo[d] && cover_hi[d] <= g_hi[d]))
-            .collect();
-        if uncovered.is_empty() {
-            return None;
-        }
-        let mut ulo = cover_lo.clone();
-        let mut uhi = cover_hi.clone();
-        // With exactly one uncovered dimension the band removes a
-        // full-width slab, so that dimension can be clipped; with more,
-        // the difference is not a box and the full cover stays.
-        if let [d] = uncovered[..] {
-            if g_lo[d] <= ulo[d] && g_hi[d] < uhi[d] {
-                ulo[d] = g_hi[d];
-            } else if ulo[d] < g_lo[d] && uhi[d] <= g_hi[d] {
-                uhi[d] = g_lo[d];
-            }
-        }
-        Some((ulo, uhi))
+        uncovered_box_of(
+            &self.shards[s].cover_lo,
+            &self.shards[s].cover_hi,
+            &self.shards[home].tile_lo,
+            &self.shards[home].tile_hi,
+            self.halo,
+        )
     }
 
     /// `true` when no point of the box `[ulo, uhi]` can enter peer
@@ -853,53 +853,7 @@ impl ShardedTopologyStore {
         ulo: &[f64],
         uhi: &[f64],
     ) -> bool {
-        let pc = peers[i].point().coords();
-        match self.profile {
-            // One candidate strictly between `i` and the entire box (in
-            // every dimension) sits inside the open rectangle spanned
-            // by `i` and any box point, so nothing there survives the
-            // emptiness test. Frontier reduction preserves blockers:
-            // a candidate dominated out of the shortlist is dominated
-            // by a strictly-closer one that blocks at least as much.
-            ShardProfile::EmptyRect => base.iter().any(|&c| {
-                let cc = peers[c].point().coords();
-                (0..pc.len()).all(|d| {
-                    (ulo[d] > pc[d] && pc[d] < cc[d] && cc[d] < ulo[d])
-                        || (uhi[d] < pc[d] && uhi[d] < cc[d] && cc[d] < pc[d])
-                })
-            }),
-            // The box must fall in one definite orthant (any dimension
-            // straddling `i` — including a potential coordinate
-            // collision — makes region membership ambiguous and vetoes
-            // the skip), that orthant must already hold K candidates,
-            // and the box's closest point must be strictly beyond the
-            // K-th distance: a later tie loses to incumbents because
-            // the candidate id is larger.
-            ShardProfile::OrthantTopK { k, metric } => {
-                let Some(stats) = knn else { return false };
-                let mut bits = 0u32;
-                for d in 0..pc.len() {
-                    if ulo[d] > pc[d] {
-                        bits |= 1 << d;
-                    } else if uhi[d] < pc[d] {
-                        // negative side: bit stays 0
-                    } else {
-                        return false;
-                    }
-                }
-                let Some(&(count, kth)) = stats.get(&bits) else {
-                    return false;
-                };
-                if count < k {
-                    return false;
-                }
-                let clamped: Vec<f64> =
-                    (0..pc.len()).map(|d| pc[d].clamp(ulo[d], uhi[d])).collect();
-                let nearest = Point::new(clamped).expect("clamped coordinates are finite");
-                metric.dist(peers[i].point(), &nearest) > kth
-            }
-            ShardProfile::Generic => false,
-        }
+        skip_certified(self.profile, peers, i, base, knn, ulo, uhi)
     }
 
     /// Registers a freshly inserted peer: home assignment, resident
@@ -940,6 +894,162 @@ impl ShardedTopologyStore {
             self.shards[s].log.record(kind, shard_dirty, global_epoch);
         }
     }
+
+    /// The grid tiling (for the runtime's coordinator replica).
+    pub(crate) fn tiling(&self) -> &Tiling {
+        &self.tiling
+    }
+
+    /// The selection's shard profile.
+    pub(crate) fn profile(&self) -> ShardProfile {
+        self.profile
+    }
+
+    /// Moves every [`Shard`] out of the engine — how a
+    /// [`crate::runtime::ShardRuntime`] hands each shard to its worker
+    /// thread. While detached the engine keeps the tiling and home
+    /// table (the runtime updates `home` through
+    /// [`ShardedTopologyStore::register_home`]) but cannot answer
+    /// queries; the serial mutation paths panic until
+    /// [`ShardedTopologyStore::attach_shards`] puts the shards back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is already detached.
+    pub(crate) fn detach_shards(&mut self) -> Vec<Shard> {
+        assert!(
+            !self.is_detached(),
+            "shards already detached (another runtime owns them)"
+        );
+        std::mem::take(&mut self.shards)
+    }
+
+    /// Restores shards detached by
+    /// [`ShardedTopologyStore::detach_shards`], in shard-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is not detached or the shard count differs
+    /// from the tiling.
+    pub(crate) fn attach_shards(&mut self, shards: Vec<Shard>) {
+        assert!(self.is_detached(), "engine already holds its shards");
+        assert_eq!(
+            shards.len(),
+            self.tiling.tiles.iter().product::<usize>(),
+            "shard count must match the tiling"
+        );
+        self.shards = shards;
+    }
+
+    /// `true` while the shards live in runtime worker threads.
+    pub(crate) fn is_detached(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Registers the home shard of a freshly inserted peer without
+    /// touching shard state — the runtime's counterpart of the
+    /// assignment half of `add_peer` (membership itself travels to the
+    /// workers as commands).
+    pub(crate) fn register_home(&mut self, g: usize, h: usize) {
+        self.home.push(h as u32);
+        debug_assert_eq!(self.home.len(), g + 1, "peers register in id order");
+    }
+}
+
+/// The conservative resident box of a foreign shard minus the home
+/// halo band (free-function form shared by the serial engine and the
+/// runtime coordinator's shard replicas). `None` means the shard is
+/// entirely inside the band — every one of its residents is mirrored
+/// into the home shard.
+pub(crate) fn uncovered_box_of(
+    cover_lo: &[f64],
+    cover_hi: &[f64],
+    home_tile_lo: &[f64],
+    home_tile_hi: &[f64],
+    halo: f64,
+) -> Option<(Vec<f64>, Vec<f64>)> {
+    let dim = cover_lo.len();
+    let g_lo: Vec<f64> = home_tile_lo.iter().map(|x| x - halo).collect();
+    let g_hi: Vec<f64> = home_tile_hi.iter().map(|x| x + halo).collect();
+    let uncovered: Vec<usize> = (0..dim)
+        .filter(|&d| !(g_lo[d] <= cover_lo[d] && cover_hi[d] <= g_hi[d]))
+        .collect();
+    if uncovered.is_empty() {
+        return None;
+    }
+    let mut ulo = cover_lo.to_vec();
+    let mut uhi = cover_hi.to_vec();
+    // With exactly one uncovered dimension the band removes a
+    // full-width slab, so that dimension can be clipped; with more,
+    // the difference is not a box and the full cover stays.
+    if let [d] = uncovered[..] {
+        if g_lo[d] <= ulo[d] && g_hi[d] < uhi[d] {
+            ulo[d] = g_hi[d];
+        } else if ulo[d] < g_lo[d] && uhi[d] <= g_hi[d] {
+            uhi[d] = g_lo[d];
+        }
+    }
+    Some((ulo, uhi))
+}
+
+/// `true` when no point of the box `[ulo, uhi]` can enter peer `i`'s
+/// selection, certified from the home shortlist alone (free-function
+/// form shared by the serial engine and the runtime coordinator).
+pub(crate) fn skip_certified(
+    profile: ShardProfile,
+    peers: &[PeerInfo],
+    i: usize,
+    base: &[usize],
+    knn: Option<&HashMap<u32, (usize, f64)>>,
+    ulo: &[f64],
+    uhi: &[f64],
+) -> bool {
+    let pc = peers[i].point().coords();
+    match profile {
+        // One candidate strictly between `i` and the entire box (in
+        // every dimension) sits inside the open rectangle spanned
+        // by `i` and any box point, so nothing there survives the
+        // emptiness test. Frontier reduction preserves blockers:
+        // a candidate dominated out of the shortlist is dominated
+        // by a strictly-closer one that blocks at least as much.
+        ShardProfile::EmptyRect => base.iter().any(|&c| {
+            let cc = peers[c].point().coords();
+            (0..pc.len()).all(|d| {
+                (ulo[d] > pc[d] && pc[d] < cc[d] && cc[d] < ulo[d])
+                    || (uhi[d] < pc[d] && uhi[d] < cc[d] && cc[d] < pc[d])
+            })
+        }),
+        // The box must fall in one definite orthant (any dimension
+        // straddling `i` — including a potential coordinate
+        // collision — makes region membership ambiguous and vetoes
+        // the skip), that orthant must already hold K candidates,
+        // and the box's closest point must be strictly beyond the
+        // K-th distance: a later tie loses to incumbents because
+        // the candidate id is larger.
+        ShardProfile::OrthantTopK { k, metric } => {
+            let Some(stats) = knn else { return false };
+            let mut bits = 0u32;
+            for d in 0..pc.len() {
+                if ulo[d] > pc[d] {
+                    bits |= 1 << d;
+                } else if uhi[d] < pc[d] {
+                    // negative side: bit stays 0
+                } else {
+                    return false;
+                }
+            }
+            let Some(&(count, kth)) = stats.get(&bits) else {
+                return false;
+            };
+            if count < k {
+                return false;
+            }
+            let clamped: Vec<f64> = (0..pc.len()).map(|d| pc[d].clamp(ulo[d], uhi[d])).collect();
+            let nearest = Point::new(clamped).expect("clamped coordinates are finite");
+            metric.dist(peers[i].point(), &nearest) > kth
+        }
+        ShardProfile::Generic => false,
+    }
 }
 
 /// The default halo band: three expected nearest-neighbour spacings of
@@ -973,7 +1083,7 @@ fn auto_halo(tiling: &Tiling, n: usize) -> f64 {
 /// around peer `i`. Candidates sharing a coordinate with `i` belong to
 /// on-hyperplane regions, not orthants, and are excluded — the skip
 /// test independently refuses any box that could reach such a region.
-fn orthant_stats(
+pub(crate) fn orthant_stats(
     peers: &[PeerInfo],
     i: usize,
     base: &[usize],
@@ -1016,7 +1126,7 @@ fn orthant_stats(
 /// to an orthant *is* that region's full top-`K` (at equilibrium), so
 /// the `K`-th distance is just the max over those members: `O(degree)`
 /// arithmetic, no selection call.
-fn topk_join_recheck(
+pub(crate) fn topk_join_recheck(
     peers: &[PeerInfo],
     out: &[Vec<usize>],
     i: usize,
@@ -1067,6 +1177,10 @@ pub(crate) fn sharded_insert(store: &mut TopologyStore, point: Point) -> PeerId 
         );
     }
     let mut engine = store.sharding.take().expect("sharded backend present");
+    assert!(
+        !engine.is_detached(),
+        "store is driven by a ShardRuntime; route mutations through it"
+    );
     let id = store.peers.len();
     store.peers.push(PeerInfo::new(PeerId(id as u64), point));
     store.departed.push(false);
@@ -1139,6 +1253,10 @@ pub(crate) fn sharded_remove(store: &mut TopologyStore, id: PeerId) {
     assert!(v < store.peers.len(), "peer id out of range");
     assert!(!store.departed[v], "{id} already departed");
     let mut engine = store.sharding.take().expect("sharded backend present");
+    assert!(
+        !engine.is_detached(),
+        "store is driven by a ShardRuntime; route mutations through it"
+    );
     store.departed[v] = true;
     store.live -= 1;
     engine.remove_peer(v);

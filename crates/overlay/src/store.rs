@@ -429,7 +429,7 @@ impl TopologyStore {
     /// un-indexable dimensionalities).
     #[must_use]
     pub fn has_spatial_index(&self) -> bool {
-        self.index.is_some() || self.sharding.is_some()
+        self.index.is_some() || self.sharding.as_ref().is_some_and(|e| !e.is_detached())
     }
 
     /// The nearest **live** peer to `q` among those `accept` admits,
@@ -458,7 +458,11 @@ impl TopologyStore {
     ) -> Option<usize> {
         use geocast_geom::Metric;
         if let Some(engine) = &self.sharding {
-            return engine.nearest_live_where(&self.peers, q, metric, &mut accept);
+            if !engine.is_detached() {
+                return engine.nearest_live_where(&self.peers, q, metric, &mut accept);
+            }
+            // The shard indexes live in runtime worker threads: fall
+            // through to the exact linear scan (index is None here).
         }
         match &self.index {
             Some(ix) => ix.nearest_where(q, metric, accept),

@@ -448,6 +448,57 @@ pub fn crash_wave_victims(n: usize, count: usize, exclude: &[usize], seed: u64) 
     pool
 }
 
+/// A log consumer's catch-up cadence over an event stream: fire every
+/// `every`-th event, phase-shifted by `offset`.
+///
+/// Churn harnesses drive several independent consumers (gossip sync,
+/// group repair, data-plane flush) from one event sequence; giving each
+/// a `ConsumerCadence` with a different period/phase exercises the
+/// laggard paths (batched replay, eviction-horizon resync) without any
+/// consumer-specific scheduling code in the harness loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsumerCadence {
+    /// Fire on every `every`-th event (must be ≥ 1).
+    pub every: usize,
+    /// Phase shift: the first firing lands on event `offset % every`.
+    pub offset: usize,
+}
+
+impl ConsumerCadence {
+    /// A cadence firing on every event — lock-step consumption.
+    #[must_use]
+    pub fn every_event() -> Self {
+        ConsumerCadence {
+            every: 1,
+            offset: 0,
+        }
+    }
+
+    /// A cadence firing every `every`-th event, in phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    #[must_use]
+    pub fn every_nth(every: usize) -> Self {
+        assert!(every >= 1, "cadence period must be at least 1");
+        ConsumerCadence { every, offset: 0 }
+    }
+
+    /// `true` when the consumer catches up after event `event_idx`
+    /// (0-based).
+    #[must_use]
+    pub fn fires_at(&self, event_idx: usize) -> bool {
+        event_idx % self.every == self.offset % self.every
+    }
+
+    /// How many times the cadence fires over `events` events.
+    #[must_use]
+    pub fn firings_in(&self, events: usize) -> usize {
+        (0..events).filter(|&i| self.fires_at(i)).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,6 +516,33 @@ mod tests {
         // Capped when the pool is smaller than the request.
         let small = crash_wave_victims(4, 10, &[1], 7);
         assert_eq!(small, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn consumer_cadence_fires_periodically_with_phase() {
+        let lockstep = ConsumerCadence::every_event();
+        assert!((0..10).all(|i| lockstep.fires_at(i)));
+        let third = ConsumerCadence::every_nth(3);
+        assert_eq!(
+            (0..9).filter(|&i| third.fires_at(i)).collect::<Vec<_>>(),
+            vec![0, 3, 6]
+        );
+        let shifted = ConsumerCadence {
+            every: 3,
+            offset: 2,
+        };
+        assert_eq!(
+            (0..9).filter(|&i| shifted.fires_at(i)).collect::<Vec<_>>(),
+            vec![2, 5, 8]
+        );
+        assert_eq!(third.firings_in(10), 4);
+        assert_eq!(shifted.firings_in(10), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence period must be at least 1")]
+    fn zero_period_cadence_is_rejected() {
+        let _ = ConsumerCadence::every_nth(0);
     }
 
     #[test]
