@@ -24,7 +24,7 @@ fn regenerate_and_time(c: &mut Criterion) {
         ("farthest", OrthantRectPartitioner::farthest()),
     ] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| build_tree(std::hint::black_box(&peers), &overlay, 0, &partitioner))
+            b.iter(|| build_tree(std::hint::black_box(&peers), &overlay, 0, &partitioner));
         });
     }
     group.finish();

@@ -28,11 +28,11 @@ fn regenerate_and_time(c: &mut Criterion) {
                     0,
                     &OrthantRectPartitioner::median(),
                 )
-            })
+            });
         },
     );
     group.bench_function(BenchmarkId::from_parameter("flooding_n500"), |b| {
-        b.iter(|| baseline::flood(std::hint::black_box(&overlay), 0))
+        b.iter(|| baseline::flood(std::hint::black_box(&overlay), 0));
     });
     group.finish();
 }

@@ -25,12 +25,15 @@ fn regenerate_and_time(c: &mut Criterion) {
     let tree = preferred_links(&peers, &overlay, PreferredPolicy::MaxT)
         .to_multicast_tree()
         .expect("tree");
-    let t: Vec<f64> = peers.iter().map(|p| p.departure_time()).collect();
+    let t: Vec<f64> = peers
+        .iter()
+        .map(geocast::prelude::PeerInfo::departure_time)
+        .collect();
 
     let mut group = c.benchmark_group("baseline/departure_replay");
     group.sample_size(20);
     group.bench_function(BenchmarkId::from_parameter("replay_n500"), |b| {
-        b.iter(|| non_leaf_departures(std::hint::black_box(&tree), std::hint::black_box(&t)))
+        b.iter(|| non_leaf_departures(std::hint::black_box(&tree), std::hint::black_box(&t)));
     });
     group.bench_function(BenchmarkId::from_parameter("preferred_links_n500"), |b| {
         b.iter(|| {
@@ -39,7 +42,7 @@ fn regenerate_and_time(c: &mut Criterion) {
                 &overlay,
                 PreferredPolicy::MaxT,
             )
-        })
+        });
     });
     group.finish();
 }

@@ -102,12 +102,12 @@ fn overlay_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("overlay_scaling/equilibrium");
     group.sample_size(10);
     group.bench_function(BenchmarkId::from_parameter("engine_n2000_d2"), |b| {
-        b.iter(|| oracle::equilibrium(std::hint::black_box(&peers), &EmptyRectSelection))
+        b.iter(|| oracle::equilibrium(std::hint::black_box(&peers), &EmptyRectSelection));
     });
     group.bench_function(BenchmarkId::from_parameter("brute_n2000_d2"), |b| {
         b.iter(|| {
             oracle::equilibrium_brute_force(std::hint::black_box(&peers), &EmptyRectSelection)
-        })
+        });
     });
     group.finish();
 }

@@ -269,7 +269,7 @@ fn write_summary(
 }
 
 fn runtime_scaling(c: &mut Criterion) {
-    let cores = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let exact = exactness_check(16);
     assert!(exact, "worker runtime diverged from the serial dispatcher");
 

@@ -295,7 +295,7 @@ fn write_summary(
 }
 
 fn shard_scaling(c: &mut Criterion) {
-    let cores = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let exact = exactness_check(16);
     assert!(exact, "sharded engine diverged from the single store");
 

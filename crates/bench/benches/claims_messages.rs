@@ -35,7 +35,7 @@ fn regenerate_and_time(c: &mut Criterion) {
                 );
                 assert_eq!(result.duplicates, 0);
                 result.messages
-            })
+            });
         });
     }
     group.finish();

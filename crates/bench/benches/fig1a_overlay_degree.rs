@@ -20,7 +20,7 @@ fn regenerate_and_time(c: &mut Criterion) {
     for (n, dim) in [(200usize, 2usize), (200, 4), (500, 2)] {
         let peers = PeerInfo::from_point_set(&uniform_points(n, dim, 1000.0, 1));
         group.bench_function(BenchmarkId::from_parameter(format!("n{n}_d{dim}")), |b| {
-            b.iter(|| oracle::equilibrium(std::hint::black_box(&peers), &EmptyRectSelection))
+            b.iter(|| oracle::equilibrium(std::hint::black_box(&peers), &EmptyRectSelection));
         });
     }
     group.finish();

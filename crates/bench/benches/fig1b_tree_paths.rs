@@ -28,7 +28,7 @@ fn regenerate_and_time(c: &mut Criterion) {
                     0,
                     &partitioner,
                 )
-            })
+            });
         });
     }
     group.finish();

@@ -19,7 +19,7 @@ fn regenerate_and_time(c: &mut Criterion) {
     for n in [100usize, 250, 500, 1000] {
         let peers = PeerInfo::from_point_set(&uniform_points(n, 2, 1000.0, 1));
         group.bench_function(BenchmarkId::from_parameter(n), |b| {
-            b.iter(|| oracle::equilibrium(std::hint::black_box(&peers), &EmptyRectSelection))
+            b.iter(|| oracle::equilibrium(std::hint::black_box(&peers), &EmptyRectSelection));
         });
     }
     group.finish();

@@ -39,7 +39,7 @@ fn regenerate_and_time(c: &mut Criterion) {
                         },
                     );
                     diameters
-                })
+                });
             },
         );
     }

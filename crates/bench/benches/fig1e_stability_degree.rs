@@ -32,7 +32,7 @@ fn regenerate_and_time(c: &mut Criterion) {
                     std::hint::black_box(&overlay),
                     PreferredPolicy::MaxT,
                 )
-            })
+            });
         });
     }
     group.finish();

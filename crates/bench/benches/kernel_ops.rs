@@ -17,7 +17,7 @@ fn bench_kernels(c: &mut Criterion) {
                 .iter()
                 .map(|q| Orthant::classify(p, q).unwrap().index())
                 .sum::<usize>()
-        })
+        });
     });
 
     // Empty-rectangle neighbours: frontier algorithm vs definitional.
@@ -26,10 +26,10 @@ fn bench_kernels(c: &mut Criterion) {
         let pts = uniform_points(n, 2, 1000.0, 2).into_points();
         let (p, cands) = pts.split_first().unwrap();
         group.bench_function(BenchmarkId::new("frontier", n), |b| {
-            b.iter(|| empty_rect_neighbors(std::hint::black_box(p), cands))
+            b.iter(|| empty_rect_neighbors(std::hint::black_box(p), cands));
         });
         group.bench_function(BenchmarkId::new("naive", n), |b| {
-            b.iter(|| empty_rect_neighbors_naive(std::hint::black_box(p), cands))
+            b.iter(|| empty_rect_neighbors_naive(std::hint::black_box(p), cands));
         });
     }
     group.finish();
@@ -39,19 +39,19 @@ fn bench_kernels(c: &mut Criterion) {
     let cands: Vec<&PeerInfo> = peers[1..].iter().collect();
     let mut group = c.benchmark_group("kernel/selection_n500_d3");
     group.bench_function("empty_rect", |b| {
-        b.iter(|| EmptyRectSelection.select(std::hint::black_box(&peers[0]), &cands))
+        b.iter(|| EmptyRectSelection.select(std::hint::black_box(&peers[0]), &cands));
     });
     group.bench_function("orthogonal_k2", |b| {
         let sel = HyperplanesSelection::orthogonal(3, 2, MetricKind::L1);
-        b.iter(|| sel.select(std::hint::black_box(&peers[0]), &cands))
+        b.iter(|| sel.select(std::hint::black_box(&peers[0]), &cands));
     });
     group.bench_function("signed_k2", |b| {
         let sel = HyperplanesSelection::signed(3, 2, MetricKind::L1);
-        b.iter(|| sel.select(std::hint::black_box(&peers[0]), &cands))
+        b.iter(|| sel.select(std::hint::black_box(&peers[0]), &cands));
     });
     group.bench_function("k_closest_10", |b| {
         let sel = HyperplanesSelection::k_closest(3, 10, MetricKind::L1);
-        b.iter(|| sel.select(std::hint::black_box(&peers[0]), &cands))
+        b.iter(|| sel.select(std::hint::black_box(&peers[0]), &cands));
     });
     group.finish();
 
@@ -61,7 +61,7 @@ fn bench_kernels(c: &mut Criterion) {
     c.bench_function("kernel/zone_intersect_d3", |b| {
         let zone = Rect::full(3);
         let orthant = Orthant::classify(&p, &q).unwrap();
-        b.iter(|| zone.intersect(&Rect::orthant_of(std::hint::black_box(&p), orthant)))
+        b.iter(|| zone.intersect(&Rect::orthant_of(std::hint::black_box(&p), orthant)));
     });
 }
 

@@ -47,7 +47,7 @@ fn regenerate_and_time(c: &mut Criterion) {
                 &OrthantRectPartitioner::median(),
             )
             .expect("repair succeeds")
-        })
+        });
     });
     group.bench_function(BenchmarkId::from_parameter("full_rebuild_n400"), |b| {
         b.iter(|| {
@@ -57,7 +57,7 @@ fn regenerate_and_time(c: &mut Criterion) {
                 0,
                 &OrthantRectPartitioner::median(),
             )
-        })
+        });
     });
     group.finish();
 }

@@ -28,7 +28,7 @@ fn bench_sessions(c: &mut Criterion) {
                     assert_eq!(outcome.duplicates, 0);
                     assert_eq!(outcome.data_messages, payloads * (n as u64 - 1));
                     outcome.data_messages
-                })
+                });
             },
         );
     }

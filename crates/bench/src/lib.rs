@@ -7,6 +7,8 @@
 //! set `GEOCAST_FULL=1` for the paper-scale sweeps recorded in
 //! EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use geocast::figures::FigureReport;
 
 /// `true` when `GEOCAST_FULL` is set: run paper-scale regenerations.

@@ -13,6 +13,8 @@
 //! Argument parsing is hand-rolled (`--key value` pairs after a
 //! subcommand) to keep the dependency set identical to the library's.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -460,7 +462,10 @@ fn cmd_stability(inv: &Invocation) -> Result<String, CliError> {
         forest.heap_property_holds(&peers)
     ));
     if let Some(tree) = forest.to_multicast_tree() {
-        let t: Vec<f64> = peers.iter().map(|p| p.departure_time()).collect();
+        let t: Vec<f64> = peers
+            .iter()
+            .map(geocast::prelude::PeerInfo::departure_time)
+            .collect();
         out.push_str(&format!(
             "  height            : {}\n",
             tree.longest_root_to_leaf()
@@ -684,6 +689,7 @@ fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
                     Arc::new(EmptyRectSelection),
                 )
             };
+            // lint:allow(D002, reason = "wall-clock lines in the CLI report only; no control flow reads the clock")
             let start = Instant::now();
             let (report, runtime_stats) = if runtime == "workers" {
                 let config = geocast::overlay::RuntimeConfig {
@@ -728,7 +734,7 @@ fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
             ));
             out.push_str(&format!("  live peers after  : {}\n", store.live_count()));
             if let Some(stats) = &runtime_stats {
-                let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+                let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
                 out.push_str(&format!(
                     "  runtime           : {shards} shard workers (queue {queue}, {cores} cores)\n"
                 ));
@@ -796,9 +802,10 @@ fn cmd_churn(inv: &Invocation) -> Result<String, CliError> {
         "live" => {
             let mut net =
                 OverlayNetwork::new(Arc::new(EmptyRectSelection), NetworkConfig::default());
-            for p in points.iter() {
+            for p in &points {
                 net.add_peer_localized(p.clone());
             }
+            // lint:allow(D002, reason = "wall-clock lines in the CLI report only; no control flow reads the clock")
             let start = Instant::now();
             let report = run_schedule_localized(&mut net, &schedule);
             let secs = start.elapsed().as_secs_f64();
@@ -922,6 +929,7 @@ fn cmd_groups(inv: &Invocation) -> Result<String, CliError> {
         publish_weight: 2,
     };
 
+    // lint:allow(D002, reason = "wall-clock lines in the CLI report only; no control flow reads the clock")
     let start = Instant::now();
     let mut affected_sum = 0usize;
     let mut affected_max = 0usize;
@@ -1107,6 +1115,7 @@ fn cmd_publish(inv: &Invocation) -> Result<String, CliError> {
             }
         }
         let counts = workload.tick_payloads(seed, tick);
+        // lint:allow(D002, reason = "wall-clock lines in the CLI report only; no control flow reads the clock")
         let start = Instant::now();
         for (gi, &payloads) in counts.iter().enumerate() {
             if payloads > 0 {

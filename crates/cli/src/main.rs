@@ -1,5 +1,7 @@
 //! The `geocast` binary: thin shell around [`geocast_cli`].
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -228,7 +228,7 @@ mod tests {
     #[test]
     fn negative_values_aggregate_correctly() {
         let tree = spanning_tree(20, 11);
-        let values: Vec<f64> = (0..20).map(|i| -(i as f64)).collect();
+        let values: Vec<f64> = (0..20).map(|i| -f64::from(i)).collect();
         assert_eq!(convergecast(&tree, &values, AggregateOp::Max).value, 0.0);
         assert_eq!(convergecast(&tree, &values, AggregateOp::Min).value, -19.0);
     }

@@ -450,11 +450,11 @@ mod tests {
         // flood's consulted component must land in the support set so
         // a bridging join later triggers a re-graft.
         let mut points: Vec<Point> = (0..4)
-            .map(|i| Point::new(vec![10.0 + i as f64, 10.0 + 2.0 * i as f64]).unwrap())
+            .map(|i| Point::new(vec![10.0 + f64::from(i), 10.0 + 2.0 * f64::from(i)]).unwrap())
             .collect();
-        points.extend(
-            (0..3).map(|i| Point::new(vec![5000.0 + i as f64, 5000.0 + 2.0 * i as f64]).unwrap()),
-        );
+        points.extend((0..3).map(|i| {
+            Point::new(vec![5000.0 + f64::from(i), 5000.0 + 2.0 * f64::from(i)]).unwrap()
+        }));
         let peers = PeerInfo::from_point_set(&geocast_geom::PointSet::new(points).unwrap());
         let store = TopologyStore::from_peers(
             peers,

@@ -1686,7 +1686,7 @@ mod tests {
         // the three middle peers as a relay chain.
         let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
         for i in 0..5 {
-            store.insert(Point::new(vec![10.0 * i as f64, 10.0 * i as f64]).unwrap());
+            store.insert(Point::new(vec![10.0 * f64::from(i), 10.0 * f64::from(i)]).unwrap());
         }
         let mut eng = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
         let g = eng.create_group(PeerId(0));
@@ -1710,7 +1710,7 @@ mod tests {
         use geocast_geom::Point;
         let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
         for i in 0..6 {
-            store.insert(Point::new(vec![10.0 * i as f64, 10.0 * i as f64]).unwrap());
+            store.insert(Point::new(vec![10.0 * f64::from(i), 10.0 * f64::from(i)]).unwrap());
         }
         // An off-diagonal detour peer the reroute can use.
         store.insert(Point::new(vec![21.0, 19.0]).unwrap());
@@ -1930,7 +1930,7 @@ mod tests {
         // member 4, and no message past the break is charged.
         let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
         for i in 0..5 {
-            store.insert(Point::new(vec![10.0 * i as f64, 10.0 * i as f64]).unwrap());
+            store.insert(Point::new(vec![10.0 * f64::from(i), 10.0 * f64::from(i)]).unwrap());
         }
         let mut eng = GroupEngine::new(store, Arc::new(OrthantRectPartitioner::median()));
         let g = eng.create_group(PeerId(0));
@@ -2118,7 +2118,7 @@ mod tests {
         use geocast_geom::Point;
         let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
         for i in 0..5 {
-            store.insert(Point::new(vec![10.0 * i as f64, 10.0 * i as f64]).unwrap());
+            store.insert(Point::new(vec![10.0 * f64::from(i), 10.0 * f64::from(i)]).unwrap());
         }
         // A detour peer so the re-graft can route around a dead relay.
         store.insert(Point::new(vec![21.0, 19.0]).unwrap());

@@ -187,7 +187,7 @@ mod tests {
         let partitioner = OrthantRectPartitioner::new(pick, MetricKind::L1);
         let parts = partitioner.partition(p, zone, in_zone);
         // Children are distinct.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for (c, _) in &parts {
             assert!(seen.insert(*c), "child selected twice");
         }

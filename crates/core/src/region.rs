@@ -306,12 +306,10 @@ mod tests {
                 walk.local_minimum() && !walk.delivered(),
                 "seed {seed}: non-peer target must end in a declared local minimum"
             );
-            let members: Vec<usize> = (0..peers.len())
-                .filter(|&i| region.contains(peers[i].point()))
-                .collect();
+            let any_member = (0..peers.len()).any(|i| region.contains(peers[i].point()));
             // The interesting instance: the point-greedy stall peer is
             // NOT a region member, yet the region holds peers.
-            if members.is_empty() || region.contains(peers[walk.last()].point()) {
+            if !any_member || region.contains(peers[walk.last()].point()) {
                 continue;
             }
             let result = multicast_region(

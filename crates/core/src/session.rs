@@ -9,7 +9,7 @@
 //! dissemination, payload rounds) and reports per-payload delivery — the
 //! measurement behind the churn/loss experiments.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use geocast_geom::Rect;
@@ -51,7 +51,7 @@ impl Message for SessionMsg {
 /// on top.
 pub struct SessionNode {
     build: crate::protocol::BuildState,
-    delivered: HashSet<u64>,
+    delivered: BTreeSet<u64>,
     duplicate_data: u32,
 }
 
@@ -67,7 +67,7 @@ impl SessionNode {
     ) -> Self {
         SessionNode {
             build: crate::protocol::BuildState::new(info, neighbors, partitioner, peers),
-            delivered: HashSet::new(),
+            delivered: BTreeSet::new(),
             duplicate_data: 0,
         }
     }
@@ -92,7 +92,7 @@ impl SessionNode {
 
     /// Payload ids this peer received.
     #[must_use]
-    pub fn delivered(&self) -> &HashSet<u64> {
+    pub fn delivered(&self) -> &BTreeSet<u64> {
         &self.delivered
     }
 
@@ -323,7 +323,7 @@ mod tests {
         let victim = (1..peers.len())
             .find(|&i| !reference.tree.children(i).is_empty())
             .expect("internal node");
-        let mut subtree = HashSet::new();
+        let mut subtree = BTreeSet::new();
         let mut stack = vec![victim];
         while let Some(v) = stack.pop() {
             subtree.insert(v);

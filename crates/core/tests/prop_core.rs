@@ -107,7 +107,7 @@ proptest! {
         prop_assert!(forest.is_tree());
         prop_assert!(forest.heap_property_holds(&population));
         let tree = forest.to_multicast_tree().unwrap();
-        let t: Vec<f64> = population.iter().map(|p| p.departure_time()).collect();
+        let t: Vec<f64> = population.iter().map(geocast_overlay::PeerInfo::departure_time).collect();
         prop_assert_eq!(non_leaf_departures(&tree, &t), 0);
     }
 

@@ -146,6 +146,7 @@ pub fn churn_panel(cfg: &ChurnConfig) -> FigureReport {
             cfg.vmax,
             cfg.seed ^ (si as u64 + 1),
         );
+        // lint:allow(D002, reason = "feeds the wall-clock column of the churn panel only; no control flow reads the clock")
         let start = Instant::now();
         // One shared replay implementation; the observer captures the
         // mixed scenario's per-event dirty-region trace for the chart.

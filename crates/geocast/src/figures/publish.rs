@@ -170,6 +170,7 @@ pub(crate) fn run_scenario(cfg: &PublishConfig, exponent: f64, batch: usize) -> 
             }
         }
         let counts = workload.tick_payloads(cfg.seed, tick);
+        // lint:allow(D002, reason = "feeds the wall-clock column of the publish panel only; no control flow reads the clock")
         let start = Instant::now();
         for (gi, &payloads) in counts.iter().enumerate() {
             if payloads > 0 {

@@ -76,6 +76,7 @@ pub fn overlay_scaling(cfg: &ScalingConfig) -> FigureReport {
         let peers = PeerInfo::from_point_set(&geocast_geom::gen::uniform_points(
             n, cfg.dim, cfg.vmax, cfg.seed,
         ));
+        // lint:allow(D002, reason = "feeds the build_ms column of the scaling panel only; no control flow reads the clock")
         let start = Instant::now();
         let graph = oracle::equilibrium(&peers, &EmptyRectSelection);
         let seconds = start.elapsed().as_secs_f64();

@@ -402,7 +402,7 @@ mod tests {
             [1.0, -2.0],
             [2.0, -1.0],
         ];
-        let keys: std::collections::HashSet<RegionKey> =
+        let keys: std::collections::BTreeSet<RegionKey> =
             probes.iter().map(|c| arr.classify(&p, &pt(c))).collect();
         assert_eq!(
             keys.len(),

@@ -127,6 +127,7 @@ pub struct GridIndex {
     built_live: usize,
     /// Per-dimension multiplicity of each live coordinate value — the
     /// `O(D)` collision oracle behind the decline contract.
+    // lint:allow(D001, reason = "per-dimension coordinate multiset on the hot incremental insert path; accessed by key only, never iterated")
     coord_counts: Vec<HashMap<u64, u32>>,
 }
 
@@ -153,6 +154,7 @@ impl GridIndex {
             coords.extend_from_slice(p.coords());
         }
 
+        // lint:allow(D001, reason = "per-dimension coordinate multiset on the hot incremental insert path; accessed by key only, never iterated")
         let mut coord_counts = vec![HashMap::new(); dim];
         for id in 0..n {
             for (d, counts) in coord_counts.iter_mut().enumerate() {
@@ -249,6 +251,7 @@ impl GridIndex {
         let adopting = self.coords.is_empty();
         if adopting {
             self.dim = point.dim();
+            // lint:allow(D001, reason = "per-dimension coordinate multiset on the hot incremental insert path; accessed by key only, never iterated")
             self.coord_counts = vec![HashMap::new(); self.dim];
         }
         assert_eq!(

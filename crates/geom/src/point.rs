@@ -415,8 +415,7 @@ mod tests {
         let set = PointSet::new(vec![pt(&[1.0]), pt(&[2.0])]).unwrap();
         let dims: Vec<f64> = set.iter().map(|p| p[0]).collect();
         assert_eq!(dims, vec![1.0, 2.0]);
-        let owned: Vec<Point> = set.clone().into_iter().collect();
-        assert_eq!(owned.len(), 2);
+        assert_eq!(set.clone().into_iter().count(), 2);
         assert_eq!(set[1][0], 2.0);
     }
 }

@@ -329,7 +329,7 @@ mod tests {
     #[test]
     fn random_schedule_never_leaves_absent_peer() {
         let s = ChurnSchedule::random(5, 20, 20, 2, 1000.0, 9);
-        let mut present: std::collections::HashSet<u64> = (0..5).collect();
+        let mut present: std::collections::BTreeSet<u64> = (0..5).collect();
         let mut next = 5u64;
         for event in s.events() {
             match event {
@@ -383,7 +383,7 @@ mod tests {
         let wave = ChurnPattern::LeaveWave { count: 10 };
         let s = ChurnSchedule::from_pattern(4, &wave, 2, 1000.0, 7);
         assert_eq!(s.len(), 3, "only initial-1 leaves are possible");
-        let mut present: std::collections::HashSet<u64> = (0..4).collect();
+        let mut present: std::collections::BTreeSet<u64> = (0..4).collect();
         for event in s.events() {
             if let ChurnEvent::Leave(id) = event {
                 assert!(present.remove(&id.0));

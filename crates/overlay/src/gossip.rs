@@ -13,7 +13,7 @@
 //! exact agreement on small networks when `BR` covers the overlay
 //! diameter.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use geocast_sim::{Context, Message, Node, NodeId, SimDuration, SimTime, TimerId};
@@ -100,11 +100,11 @@ pub struct GossipNode {
     /// overlay connections). Selection is asymmetric, but links are
     /// *connections*: gossip flows both ways, so a peer nobody selects
     /// still receives existence announcements. Pruned with `Tmax`.
-    in_links: HashMap<usize, SimTime>,
+    in_links: BTreeMap<usize, SimTime>,
     /// `I(P)`: candidate peers and when each was last heard.
-    known: HashMap<usize, (PeerInfo, SimTime)>,
+    known: BTreeMap<usize, (PeerInfo, SimTime)>,
     /// Highest announcement sequence number seen per origin (flood dedup).
-    seen_seq: HashMap<u64, u64>,
+    seen_seq: BTreeMap<u64, u64>,
     /// Every peer ever heard of (host cache). Not part of the paper's
     /// protocol: used only as a **re-bootstrap fallback** when all
     /// overlay neighbours have departed, so that a peer whose entire
@@ -146,9 +146,9 @@ impl GossipNode {
             selection,
             address_book: neighbors.clone(),
             neighbors,
-            in_links: HashMap::new(),
+            in_links: BTreeMap::new(),
             known,
-            seen_seq: HashMap::new(),
+            seen_seq: BTreeMap::new(),
             fallback_cursor: 0,
             neighbors_hash,
             next_seq: 0,

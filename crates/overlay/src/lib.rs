@@ -62,6 +62,9 @@ pub use delta::{CursorCatchUp, DeltaCursor, DeltaKind, DeltaLog, TopologyDelta};
 pub use graph::OverlayGraph;
 pub use network::{ConvergenceReport, GossipSyncReport, NetworkConfig, OverlayNetwork};
 pub use peer::{PeerAddr, PeerId, PeerInfo};
-pub use runtime::{RuntimeConfig, RuntimeStats, ShardRuntime};
+pub use runtime::{
+    RuntimeConfig, RuntimeStats, SendOutcome, ShardCommand, ShardRuntime, ShardTransport,
+    ShardWorker, ThreadTransport, WorkerPulse, WorkerReply,
+};
 pub use shard::{ShardConfig, ShardedTopologyStore};
 pub use store::{topology_hash, TopologyStore};

@@ -782,7 +782,7 @@ mod tests {
     fn peers_are_stored_in_insertion_order() {
         let mut net = network(1);
         let points = uniform_points(4, 3, 500.0, 77);
-        for p in points.iter() {
+        for p in &points {
             net.add_peer(p.clone());
         }
         for (i, peer) in net.peers().iter().enumerate() {

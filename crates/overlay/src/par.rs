@@ -26,7 +26,7 @@ where
 {
     #[cfg(feature = "parallel")]
     {
-        let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         if n >= PARALLEL_MIN_ITEMS && threads > 1 && !geocast_sim::runner::in_parallel_worker() {
             return map_parallel(n, threads.min(n), 32, &f);
         }
@@ -45,7 +45,7 @@ where
 {
     #[cfg(feature = "parallel")]
     {
-        let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         if n > 1 && threads > 1 && !geocast_sim::runner::in_parallel_worker() {
             // Block size 1: a shard is already a coarse work unit, and
             // uneven shard populations are the common case.

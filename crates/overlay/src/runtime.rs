@@ -58,7 +58,7 @@
 //! the workers and re-attaches the shards, returning the store to the
 //! serial dispatcher byte-for-byte.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -103,22 +103,39 @@ impl Default for RuntimeConfig {
 /// One instruction to a shard worker. Channel order is the only order:
 /// workers apply commands FIFO, which is what keeps the concurrent
 /// runtime deterministic.
-enum ShardCommand {
+///
+/// Public so alternative [`ShardTransport`] implementations (the
+/// threaded default here, the bounded-interleaving model checker in
+/// `xtask interleave`) can carry and replay the same protocol.
+#[derive(Debug, Clone)]
+pub enum ShardCommand {
     /// Register a member (resident or halo mirror) in the shard.
     AddMember {
+        /// Global peer id of the new member.
         global: usize,
+        /// The member's peer record.
         info: PeerInfo,
+        /// `true` for the home shard, `false` for a halo mirror.
         resident: bool,
     },
     /// Tombstone a departed member, if this shard holds it.
-    Remove { global: usize },
+    Remove {
+        /// Global peer id of the departed member.
+        global: usize,
+    },
     /// Answer a batch of shortlist queries, one reply list per query,
     /// in query order.
-    Shortlist { queries: Vec<(usize, PeerInfo)> },
+    Shortlist {
+        /// `(global id, peer record)` per query.
+        queries: Vec<(usize, PeerInfo)>,
+    },
     /// Record a scoped delta in the shard's log.
     RecordDelta {
+        /// The churn event being recorded.
         kind: DeltaKind,
+        /// Dirty peers homed in this shard.
         dirty: Vec<usize>,
+        /// The store's global epoch for this event.
         global_epoch: u64,
     },
     /// Flush: reply with a pulse once everything before this command
@@ -128,21 +145,33 @@ enum ShardCommand {
 
 /// A worker's progress snapshot, returned by `Drain`.
 #[derive(Debug, Clone, Copy)]
-struct WorkerPulse {
-    busy: Duration,
-    commands: u64,
+pub struct WorkerPulse {
+    /// Cumulative busy time of the worker.
+    pub busy: Duration,
+    /// Commands applied so far.
+    pub commands: u64,
 }
 
-enum WorkerReply {
+/// What a worker sends back over its reply channel. Only `Shortlist`
+/// and `Drain` commands produce a reply.
+#[derive(Debug, Clone)]
+pub enum WorkerReply {
+    /// One shortlist per query, in query order.
     Shortlists(Vec<Vec<usize>>),
+    /// Progress snapshot answering a `Drain`.
     Pulse(WorkerPulse),
 }
 
-/// The thread-side state of one shard: the [`Shard`] moved out of the
+/// The worker-side state of one shard: the internal `Shard` moved out of the
 /// engine plus worker-local replicas of the member infos and departure
 /// flags (indexed by *local* id), which is all `Shard::shortlist`
 /// needs — workers never touch the global peer tables.
-struct Worker {
+///
+/// [`ShardWorker::step`] applies exactly one command; the threaded
+/// transport loops it on a dedicated thread, while the model checker
+/// in `xtask interleave` steps workers inline under a controlled
+/// schedule. Both paths run the identical state machine.
+pub struct ShardWorker {
     shard: Shard,
     profile: ShardProfile,
     selection: Arc<dyn NeighborSelection + Send + Sync>,
@@ -152,74 +181,214 @@ struct Worker {
     commands: u64,
 }
 
-impl Worker {
-    fn run(
-        mut self,
-        rx: &Receiver<ShardCommand>,
-        reply: &Sender<WorkerReply>,
-    ) -> (Shard, Duration) {
-        while let Ok(cmd) = rx.recv() {
-            let t = Instant::now();
-            self.commands += 1;
-            match cmd {
-                ShardCommand::AddMember {
-                    global,
-                    info,
-                    resident,
-                } => {
-                    self.shard.add_member(global, info.point(), resident);
-                    self.infos.push(info);
-                    self.gone.push(false);
-                }
-                ShardCommand::Remove { global } => {
-                    if let Some(&local) = self.shard.local_of.get(&global) {
-                        self.shard.index.remove(local);
-                        self.gone[local] = true;
-                    }
-                }
-                ShardCommand::Shortlist { queries } => {
-                    let shard = &self.shard;
-                    let infos = &self.infos;
-                    let gone = &self.gone;
-                    let lists: Vec<Vec<usize>> = queries
-                        .iter()
-                        .map(|(i, q)| {
-                            shard.shortlist(
-                                self.profile,
-                                self.selection.as_ref(),
-                                *i,
-                                q,
-                                |l| &infos[l],
-                                |l| gone[l],
-                            )
-                        })
-                        .collect();
-                    let _ = reply.send(WorkerReply::Shortlists(lists));
-                }
-                ShardCommand::RecordDelta {
-                    kind,
-                    dirty,
-                    global_epoch,
-                } => self.shard.log.record(kind, dirty, global_epoch),
-                ShardCommand::Drain => {
-                    self.busy += t.elapsed();
-                    let _ = reply.send(WorkerReply::Pulse(WorkerPulse {
-                        busy: self.busy,
-                        commands: self.commands,
-                    }));
-                    continue;
-                }
+impl ShardWorker {
+    /// Applies one command to the shard state, returning the reply it
+    /// produces (if any). FIFO application of the command stream is
+    /// the caller's contract — it is what makes every transport replay
+    /// byte-identical.
+    pub fn step(&mut self, cmd: ShardCommand) -> Option<WorkerReply> {
+        // lint:allow(D002, reason = "feeds RuntimeStats::worker_busy telemetry only; no control flow reads the clock")
+        let t = Instant::now();
+        self.commands += 1;
+        let reply = match cmd {
+            ShardCommand::AddMember {
+                global,
+                info,
+                resident,
+            } => {
+                self.shard.add_member(global, info.point(), resident);
+                self.infos.push(info);
+                self.gone.push(false);
+                None
             }
-            self.busy += t.elapsed();
-        }
+            ShardCommand::Remove { global } => {
+                if let Some(&local) = self.shard.local_of.get(&global) {
+                    self.shard.index.remove(local);
+                    self.gone[local] = true;
+                }
+                None
+            }
+            ShardCommand::Shortlist { queries } => {
+                let shard = &self.shard;
+                let infos = &self.infos;
+                let gone = &self.gone;
+                let lists: Vec<Vec<usize>> = queries
+                    .iter()
+                    .map(|(i, q)| {
+                        shard.shortlist(
+                            self.profile,
+                            self.selection.as_ref(),
+                            *i,
+                            q,
+                            |l| &infos[l],
+                            |l| gone[l],
+                        )
+                    })
+                    .collect();
+                Some(WorkerReply::Shortlists(lists))
+            }
+            ShardCommand::RecordDelta {
+                kind,
+                dirty,
+                global_epoch,
+            } => {
+                self.shard.log.record(kind, dirty, global_epoch);
+                None
+            }
+            ShardCommand::Drain => {
+                self.busy += t.elapsed();
+                return Some(WorkerReply::Pulse(WorkerPulse {
+                    busy: self.busy,
+                    commands: self.commands,
+                }));
+            }
+        };
+        self.busy += t.elapsed();
+        reply
+    }
+
+    /// Dismantles the worker back into its shard and busy time (for
+    /// re-attachment at shutdown).
+    pub(crate) fn into_parts(self) -> (Shard, Duration) {
         (self.shard, self.busy)
     }
+
+    fn run(mut self, rx: &Receiver<ShardCommand>, reply: &Sender<WorkerReply>) -> ShardWorker {
+        while let Ok(cmd) = rx.recv() {
+            if let Some(r) = self.step(cmd) {
+                let _ = reply.send(r);
+            }
+        }
+        self
+    }
+}
+
+/// Outcome of a [`ShardTransport::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The command was accepted without blocking.
+    Sent,
+    /// The worker's bounded queue was full: the transport blocked (or
+    /// simulated a stall) before the command was accepted. Commands
+    /// are never dropped or reordered.
+    SentAfterStall,
+}
+
+/// The coordinator/worker channel seam.
+///
+/// [`ShardRuntime`] performs every worker interaction through this
+/// trait: FIFO command delivery per shard ([`ShardTransport::send`]),
+/// and blocking receipt of that shard's next reply
+/// ([`ShardTransport::recv`]). The production implementation is
+/// [`ThreadTransport`] (one OS thread and one bounded MPSC channel per
+/// shard); `xtask interleave` substitutes a deterministic in-process
+/// transport whose scheduler enumerates worker interleavings and
+/// queue-full stalls, proving the fold result independent of both.
+pub trait ShardTransport {
+    /// Number of shard workers behind this transport.
+    fn shard_count(&self) -> usize;
+    /// Delivers `cmd` to shard `shard`'s FIFO queue, blocking if the
+    /// bounded queue is full.
+    fn send(&mut self, shard: usize, cmd: ShardCommand) -> SendOutcome;
+    /// Receives the next reply from shard `shard`, blocking until the
+    /// worker produces it.
+    fn recv(&mut self, shard: usize) -> WorkerReply;
+    /// Stops all workers after applying every command sent so far and
+    /// returns them (their shards carry the final state).
+    fn shutdown(&mut self) -> Vec<ShardWorker>;
 }
 
 struct WorkerHandle {
     tx: Option<SyncSender<ShardCommand>>,
     rx: Receiver<WorkerReply>,
-    join: Option<JoinHandle<(Shard, Duration)>>,
+    join: Option<JoinHandle<ShardWorker>>,
+}
+
+/// The production [`ShardTransport`]: each worker runs on a dedicated
+/// OS thread fed by a bounded `sync_channel`.
+pub struct ThreadTransport {
+    workers: Vec<WorkerHandle>,
+}
+
+impl ThreadTransport {
+    /// Spawns one thread per worker with the given command-queue bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_capacity` is zero or a thread cannot spawn.
+    #[must_use]
+    pub fn launch(workers: Vec<ShardWorker>, queue_capacity: usize) -> ThreadTransport {
+        assert!(queue_capacity > 0, "queue capacity must be positive");
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(s, worker)| {
+                let (tx, cmd_rx) = sync_channel::<ShardCommand>(queue_capacity);
+                let (reply_tx, rx) = std::sync::mpsc::channel::<WorkerReply>();
+                let join = std::thread::Builder::new()
+                    .name(format!("geocast-shard-{s}"))
+                    .spawn(move || worker.run(&cmd_rx, &reply_tx))
+                    .expect("spawn shard worker");
+                WorkerHandle {
+                    tx: Some(tx),
+                    rx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        ThreadTransport { workers: handles }
+    }
+}
+
+impl ShardTransport for ThreadTransport {
+    fn shard_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn send(&mut self, shard: usize, cmd: ShardCommand) -> SendOutcome {
+        let tx = self.workers[shard]
+            .tx
+            .as_ref()
+            .expect("transport not shut down");
+        match tx.try_send(cmd) {
+            Ok(()) => SendOutcome::Sent,
+            Err(TrySendError::Full(cmd)) => {
+                tx.send(cmd).expect("shard worker hung up");
+                SendOutcome::SentAfterStall
+            }
+            Err(TrySendError::Disconnected(_)) => panic!("shard worker hung up"),
+        }
+    }
+
+    fn recv(&mut self, shard: usize) -> WorkerReply {
+        self.workers[shard].rx.recv().expect("shard worker hung up")
+    }
+
+    fn shutdown(&mut self) -> Vec<ShardWorker> {
+        let mut workers = Vec::with_capacity(self.workers.len());
+        for handle in &mut self.workers {
+            drop(handle.tx.take());
+            let join = handle.join.take().expect("worker not yet joined");
+            workers.push(join.join().expect("shard worker panicked"));
+        }
+        self.workers.clear();
+        workers
+    }
+}
+
+impl Drop for ThreadTransport {
+    /// Dropping without [`ShardTransport::shutdown`] stops the worker
+    /// threads but abandons their shards.
+    fn drop(&mut self) {
+        for handle in &mut self.workers {
+            drop(handle.tx.take());
+        }
+        for handle in &mut self.workers {
+            if let Some(join) = handle.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
 }
 
 /// Throughput accounting of a [`ShardRuntime`]: event counts, the
@@ -303,8 +472,12 @@ impl RuntimeStats {
 
 /// The coordinator of the thread-per-shard runtime. See the module
 /// docs for the command/reply protocol and the determinism argument.
-pub struct ShardRuntime {
-    workers: Vec<WorkerHandle>,
+///
+/// Generic over the [`ShardTransport`] carrying the command/reply
+/// protocol; defaults to the production [`ThreadTransport`].
+pub struct ShardRuntime<T: ShardTransport = ThreadTransport> {
+    transport: T,
+    shard_count: usize,
     tiling: Tiling,
     halo: f64,
     profile: ShardProfile,
@@ -321,7 +494,7 @@ pub struct ShardRuntime {
     stats: RuntimeStats,
 }
 
-impl ShardRuntime {
+impl ShardRuntime<ThreadTransport> {
     /// Detaches the shards of a store built with
     /// [`TopologyStore::from_peers_sharded`] into one worker thread
     /// each. Until [`ShardRuntime::shutdown`] re-attaches them, the
@@ -334,6 +507,30 @@ impl ShardRuntime {
     /// detached, or `config.queue_capacity` is zero.
     #[must_use]
     pub fn launch(store: &mut TopologyStore, config: &RuntimeConfig) -> ShardRuntime {
+        let capacity = config.queue_capacity;
+        Self::launch_with(store, config, |workers| {
+            ThreadTransport::launch(workers, capacity)
+        })
+    }
+}
+
+impl<T: ShardTransport> ShardRuntime<T> {
+    /// [`ShardRuntime::launch`] with a caller-chosen transport: the
+    /// store's shards are packaged into [`ShardWorker`]s and handed to
+    /// `make`, which decides how (threads, an inline scheduler, …)
+    /// commands reach them. The model checker behind
+    /// `xtask interleave` enters here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is not sharded, the shards are already
+    /// detached, or `config.queue_capacity` is zero.
+    #[must_use]
+    pub fn launch_with(
+        store: &mut TopologyStore,
+        config: &RuntimeConfig,
+        make: impl FnOnce(Vec<ShardWorker>) -> T,
+    ) -> ShardRuntime<T> {
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         let engine = store
             .sharding
@@ -352,7 +549,7 @@ impl ShardRuntime {
         let mut tile_lo = Vec::with_capacity(k);
         let mut tile_hi = Vec::with_capacity(k);
         let mut live_members = Vec::with_capacity(k);
-        for (s, shard) in shards.into_iter().enumerate() {
+        for shard in shards {
             cover_lo.push(shard.cover_lo.clone());
             cover_hi.push(shard.cover_hi.clone());
             tile_lo.push(shard.tile_lo.clone());
@@ -364,7 +561,7 @@ impl ShardRuntime {
                 .map(|&g| store.peers[g].clone())
                 .collect();
             let gone: Vec<bool> = shard.members.iter().map(|&g| store.departed[g]).collect();
-            let worker = Worker {
+            workers.push(ShardWorker {
                 shard,
                 profile,
                 selection: selection.clone(),
@@ -372,21 +569,17 @@ impl ShardRuntime {
                 gone,
                 busy: Duration::ZERO,
                 commands: 0,
-            };
-            let (tx, cmd_rx) = sync_channel::<ShardCommand>(config.queue_capacity);
-            let (reply_tx, rx) = std::sync::mpsc::channel::<WorkerReply>();
-            let join = std::thread::Builder::new()
-                .name(format!("geocast-shard-{s}"))
-                .spawn(move || worker.run(&cmd_rx, &reply_tx))
-                .expect("spawn shard worker");
-            workers.push(WorkerHandle {
-                tx: Some(tx),
-                rx,
-                join: Some(join),
             });
         }
+        let transport = make(workers);
+        assert_eq!(
+            transport.shard_count(),
+            k,
+            "transport must carry every shard worker"
+        );
         ShardRuntime {
-            workers,
+            transport,
+            shard_count: k,
             tiling,
             halo,
             profile,
@@ -408,7 +601,7 @@ impl ShardRuntime {
     /// Number of shard workers.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.workers.len()
+        self.shard_count
     }
 
     /// The accounting so far. `worker_busy` is only current as of the
@@ -429,6 +622,7 @@ impl ShardRuntime {
     /// Panics if the store's dimensionality disagrees with the new
     /// point, or if the store was mutated behind the runtime's back.
     pub fn insert(&mut self, store: &mut TopologyStore, point: Point) -> PeerId {
+        // lint:allow(D002, reason = "feeds RuntimeStats::coordinator_busy telemetry only; no control flow reads the clock")
         let t0 = Instant::now();
         let wait0 = self.stats.recv_wait;
         if let Some(first) = store.peers.first() {
@@ -556,6 +750,7 @@ impl ShardRuntime {
     /// Panics if `id` is out of range or already departed, or if the
     /// store was mutated behind the runtime's back.
     pub fn remove(&mut self, store: &mut TopologyStore, id: PeerId) {
+        // lint:allow(D002, reason = "feeds RuntimeStats::coordinator_busy telemetry only; no control flow reads the clock")
         let t0 = Instant::now();
         let wait0 = self.stats.recv_wait;
         let v = id.index();
@@ -629,10 +824,10 @@ impl ShardRuntime {
     /// Drains every worker: returns once all commands sent so far are
     /// applied, refreshing the per-worker busy snapshot.
     pub fn barrier(&mut self) {
-        for s in 0..self.workers.len() {
+        for s in 0..self.shard_count {
             self.send(s, ShardCommand::Drain);
         }
-        for s in 0..self.workers.len() {
+        for s in 0..self.shard_count {
             match self.recv_reply(s) {
                 WorkerReply::Pulse(pulse) => {
                     self.stats.worker_busy[s] = pulse.busy;
@@ -660,15 +855,12 @@ impl ShardRuntime {
             self.peer_count,
             "store mutated behind the runtime"
         );
-        let mut shards = Vec::with_capacity(self.workers.len());
-        for (s, handle) in self.workers.iter_mut().enumerate() {
-            drop(handle.tx.take());
-            let join = handle.join.take().expect("worker not yet joined");
-            let (shard, busy) = join.join().expect("shard worker panicked");
+        let mut shards = Vec::with_capacity(self.shard_count);
+        for (s, worker) in self.transport.shutdown().into_iter().enumerate() {
+            let (shard, busy) = worker.into_parts();
             self.stats.worker_busy[s] = busy;
             shards.push(shard);
         }
-        self.workers.clear();
         store
             .sharding
             .as_mut()
@@ -677,23 +869,18 @@ impl ShardRuntime {
         self.stats.clone()
     }
 
-    /// Sends a command, preferring the non-blocking path; a full queue
-    /// blocks (counted) rather than dropping or reordering.
+    /// Sends a command through the transport; a full queue blocks
+    /// (counted) rather than dropping or reordering.
     fn send(&mut self, s: usize, cmd: ShardCommand) {
-        let tx = self.workers[s].tx.as_ref().expect("runtime not shut down");
-        match tx.try_send(cmd) {
-            Ok(()) => {}
-            Err(TrySendError::Full(cmd)) => {
-                self.stats.backpressure_stalls += 1;
-                tx.send(cmd).expect("shard worker hung up");
-            }
-            Err(TrySendError::Disconnected(_)) => panic!("shard worker hung up"),
+        if self.transport.send(s, cmd) == SendOutcome::SentAfterStall {
+            self.stats.backpressure_stalls += 1;
         }
     }
 
     fn recv_reply(&mut self, s: usize) -> WorkerReply {
+        // lint:allow(D002, reason = "feeds RuntimeStats::recv_wait telemetry only; no control flow reads the clock")
         let t = Instant::now();
-        let reply = self.workers[s].rx.recv().expect("shard worker hung up");
+        let reply = self.transport.recv(s);
         self.stats.recv_wait += t.elapsed();
         reply
     }
@@ -718,7 +905,7 @@ impl ShardRuntime {
     /// reads peers/departed/shard indexes, none of which change while
     /// an event's folds run).
     fn fold_batch(&mut self, store: &TopologyStore, items: &[usize]) -> Vec<Vec<usize>> {
-        let k = self.workers.len();
+        let k = self.shard_count;
         let engine = store.sharding.as_ref().expect("sharded store");
         let homes: Vec<usize> = items.iter().map(|&i| engine.home_shard(i)).collect();
 
@@ -846,7 +1033,7 @@ impl ShardRuntime {
     /// engine's `record_shard_deltas`.
     fn record_shard_deltas(&mut self, store: &TopologyStore, kind: DeltaKind) {
         let engine = store.sharding.as_ref().expect("sharded store");
-        let mut by_shard: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut by_shard: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for &p in &store.last_delta {
             by_shard.entry(engine.home_shard(p)).or_default().push(p);
         }
@@ -860,22 +1047,6 @@ impl ShardRuntime {
                     global_epoch: epoch,
                 },
             );
-        }
-    }
-}
-
-impl Drop for ShardRuntime {
-    /// Dropping without [`ShardRuntime::shutdown`] stops the workers
-    /// but abandons the shards: the store stays detached and its serial
-    /// mutation paths keep panicking. Always prefer `shutdown`.
-    fn drop(&mut self) {
-        for handle in &mut self.workers {
-            drop(handle.tx.take());
-        }
-        for handle in &mut self.workers {
-            if let Some(join) = handle.join.take() {
-                let _ = join.join();
-            }
         }
     }
 }

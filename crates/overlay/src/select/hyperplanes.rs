@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use geocast_geom::{Arrangement, Metric, MetricKind, RegionKey};
 
@@ -104,7 +104,7 @@ impl HyperplanesSelection {
 
 impl NeighborSelection for HyperplanesSelection {
     fn select(&self, who: &PeerInfo, candidates: &[&PeerInfo]) -> Vec<usize> {
-        let mut regions: HashMap<RegionKey, Vec<usize>> = HashMap::new();
+        let mut regions: BTreeMap<RegionKey, Vec<usize>> = BTreeMap::new();
         for (i, cand) in candidates.iter().enumerate() {
             let key = self.arrangement.classify(who.point(), cand.point());
             regions.entry(key).or_default().push(i);
@@ -180,7 +180,7 @@ mod tests {
         for k in [1usize, 2, 5] {
             let sel = HyperplanesSelection::orthogonal(3, k, MetricKind::L1);
             let picked = sel.select(who, &cands);
-            let mut per_orthant: HashMap<u32, usize> = HashMap::new();
+            let mut per_orthant: BTreeMap<u32, usize> = BTreeMap::new();
             for &ci in &picked {
                 let o = Orthant::classify(who.point(), cands[ci].point()).unwrap();
                 *per_orthant.entry(o.bits()).or_default() += 1;
@@ -221,11 +221,11 @@ mod tests {
         let cands = candidates_excluding(&population, 5);
         let sel = HyperplanesSelection::orthogonal(2, 1, MetricKind::L2);
         let picked = sel.select(who, &cands);
-        let populated: std::collections::HashSet<u32> = cands
+        let populated: std::collections::BTreeSet<u32> = cands
             .iter()
             .map(|c| Orthant::classify(who.point(), c.point()).unwrap().bits())
             .collect();
-        let represented: std::collections::HashSet<u32> = picked
+        let represented: std::collections::BTreeSet<u32> = picked
             .iter()
             .map(|&ci| {
                 Orthant::classify(who.point(), cands[ci].point())

@@ -267,6 +267,7 @@ impl TopologyStore {
         );
         let (mut engine, out) =
             crate::shard::ShardedTopologyStore::build(&peers, selection.as_ref(), config);
+        // lint:allow(D002, reason = "feeds ShardBuildStats.reverse_ms telemetry only; no control flow reads the clock")
         let t = std::time::Instant::now();
         let n = peers.len();
         let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -866,7 +867,7 @@ mod tests {
         for p in &pts {
             store.insert(p.clone());
             previous.push(Vec::new());
-            let delta: std::collections::HashSet<usize> =
+            let delta: std::collections::BTreeSet<usize> =
                 store.last_delta().iter().copied().collect();
             for (i, prev) in previous.iter_mut().enumerate() {
                 if store.out_neighbors(i) != prev.as_slice() {
@@ -923,7 +924,7 @@ mod tests {
     fn fingerprint_rolls_with_membership() {
         let pts = points(20, 2, 29);
         let mut store = TopologyStore::new(Arc::new(EmptyRectSelection));
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for p in &pts {
             store.insert(p.clone());
             assert!(

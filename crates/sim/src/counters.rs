@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::fault::DropCause;
@@ -29,7 +29,7 @@ pub struct Counters {
     dropped_partition: u64,
     dropped_crashed: u64,
     timers_fired: u64,
-    by_tag: HashMap<&'static str, TagCounts>,
+    by_tag: BTreeMap<&'static str, TagCounts>,
 }
 
 impl Counters {

@@ -122,7 +122,7 @@ impl ParallelRunner {
 impl Default for ParallelRunner {
     /// A runner using all available CPU cores.
     fn default() -> Self {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         ParallelRunner { threads }
     }
 }

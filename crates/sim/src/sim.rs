@@ -1,4 +1,4 @@
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -85,7 +85,7 @@ impl<N: Node> SimulationBuilder<N> {
             now: SimTime::ZERO,
             seq: 0,
             next_timer_id: 0,
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             rng: StdRng::seed_from_u64(self.seed),
             latency: self.latency,
             fault: self.fault,
@@ -108,7 +108,7 @@ pub struct Simulation<N: Node> {
     now: SimTime,
     seq: u64,
     next_timer_id: u64,
-    cancelled: HashSet<TimerId>,
+    cancelled: BTreeSet<TimerId>,
     rng: StdRng,
     latency: Box<dyn LatencyModel>,
     fault: FaultModel,
@@ -229,7 +229,7 @@ impl<N: Node> Simulation<N> {
         let id = NodeId(self.nodes.len());
         self.nodes.push(node);
         self.crashed.push(false);
-        self.run_callback(id, |node, ctx| node.on_start(ctx));
+        self.run_callback(id, super::node::Node::on_start);
         id
     }
 
@@ -261,7 +261,7 @@ impl<N: Node> Simulation<N> {
         }
         self.started = true;
         for i in 0..self.nodes.len() {
-            self.run_callback(NodeId(i), |node, ctx| node.on_start(ctx));
+            self.run_callback(NodeId(i), super::node::Node::on_start);
         }
     }
 

@@ -1,0 +1,456 @@
+//! Bounded-interleaving model checker for `overlay::runtime`.
+//!
+//! The thread-per-shard runtime's determinism argument (runtime.rs
+//! module docs) is a proof sketch: per-shard FIFO command delivery plus
+//! ascending-shard-order reply gathering means scheduling freedom never
+//! reorders anything observable. This module *checks* that argument the
+//! way loom checks memory orderings: it substitutes a deterministic
+//! in-process [`geocast_overlay::ShardTransport`] whose scheduler owns
+//! every interleaving decision, then enumerates schedules with a
+//! decision-vector DFS.
+//!
+//! # What is permuted
+//!
+//! Two kinds of choice points cover the runtime's real nondeterminism:
+//!
+//! * **Reply arrival order** — while the coordinator blocks in `recv`,
+//!   any worker with a queued command may run next. The scheduler picks
+//!   which, permuting how far each shard has progressed when a reply is
+//!   consumed.
+//! * **Queue-full stalls** — with a bounded mailbox, `send` to a full
+//!   queue must first let some worker make progress. The scheduler
+//!   picks which worker, reproducing every backpressure resolution
+//!   order (capacity 1 forces a stall on nearly every send).
+//!
+//! Each explored schedule replays an identical churn workload through
+//! [`geocast_overlay::ShardRuntime`] over the scheduled transport, then
+//! compares the final topology — adjacency, fingerprint, epoch, dirty
+//! region, scoped shard-log heads — byte-for-byte against the serial
+//! dispatcher's result on the same workload. A schedule in which a
+//! needed reply can never be produced is a deadlock and fails the run.
+//!
+//! # Bounds
+//!
+//! The tree is explored exhaustively up to `max_schedules` per
+//! configuration (shard counts ≤ K, queue capacities {1, 2}, two
+//! selection rules). Like all bounded model checking this proves the
+//! absence of schedule-dependence only within the bound — the point is
+//! that the interesting races (reply/stall orderings across shards)
+//! already occur at tiny populations and K ∈ {2, 3, 4}.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use geocast_geom::gen::uniform_points;
+use geocast_geom::MetricKind;
+use geocast_overlay::churn::{run_schedule_on_store, ChurnSchedule};
+use geocast_overlay::select::{EmptyRectSelection, HyperplanesSelection, NeighborSelection};
+use geocast_overlay::{
+    PeerInfo, RuntimeConfig, SendOutcome, ShardCommand, ShardConfig, ShardRuntime, ShardTransport,
+    ShardWorker, TopologyStore, WorkerReply,
+};
+
+/// The decision-vector scheduler shared by one DFS over one
+/// configuration.
+///
+/// Every nondeterministic choice calls `Schedule::choose` with the
+/// number of available options. Within the recorded prefix the stored
+/// decision is replayed; past it the first option (index 0) is taken
+/// and the branching factor recorded. `Schedule::advance` then turns
+/// the just-run trace into the next unexplored one, odometer style:
+/// bump the deepest position that still has an untried option and
+/// truncate everything after it. The DFS is exhaustive because every
+/// branch point is eventually bumped through its full range.
+#[derive(Debug, Default)]
+pub struct Schedule {
+    /// The decision taken at each choice point of the current trace.
+    taken: Vec<usize>,
+    /// Branching factor observed at each choice point.
+    options: Vec<usize>,
+    /// Replay cursor into `taken` for the trace in progress.
+    cursor: usize,
+    /// Worker steps executed across every trace of this tree
+    /// (accumulated here because the transport is consumed by
+    /// `ShardRuntime::shutdown`).
+    steps: u64,
+}
+
+impl Schedule {
+    /// Begins replaying the next trace.
+    fn reset(&mut self) {
+        self.cursor = 0;
+        self.options.clear();
+    }
+
+    /// Picks one of `n` options at the current choice point.
+    fn choose(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "a choice point needs at least one option");
+        let pick = if self.cursor < self.taken.len() {
+            self.taken[self.cursor]
+        } else {
+            self.taken.push(0);
+            0
+        };
+        self.options.push(n);
+        self.cursor += 1;
+        debug_assert!(pick < n, "schedule replay diverged");
+        pick
+    }
+
+    /// Advances to the next unexplored trace; `false` when the tree is
+    /// exhausted.
+    fn advance(&mut self) -> bool {
+        // Drop any stale suffix from a longer earlier trace.
+        self.taken.truncate(self.options.len());
+        while let Some(last) = self.taken.pop() {
+            let n = self.options[self.taken.len()];
+            if last + 1 < n {
+                self.taken.push(last + 1);
+                return true;
+            }
+            self.options.pop();
+        }
+        false
+    }
+}
+
+/// The deterministic in-process transport: workers are stepped inline,
+/// mailboxes are explicit bounded FIFOs, and every point where the
+/// threaded transport would let the OS pick a runnable thread instead
+/// asks the [`Schedule`].
+struct ScheduledTransport {
+    workers: Vec<ShardWorker>,
+    mailboxes: Vec<VecDeque<ShardCommand>>,
+    replies: Vec<VecDeque<WorkerReply>>,
+    capacity: usize,
+    schedule: Rc<RefCell<Schedule>>,
+}
+
+impl ScheduledTransport {
+    fn new(
+        workers: Vec<ShardWorker>,
+        capacity: usize,
+        schedule: Rc<RefCell<Schedule>>,
+    ) -> ScheduledTransport {
+        let k = workers.len();
+        ScheduledTransport {
+            workers,
+            mailboxes: vec![VecDeque::new(); k],
+            replies: vec![VecDeque::new(); k],
+            capacity,
+            schedule,
+        }
+    }
+
+    /// Shards with at least one queued command.
+    fn eligible(&self) -> Vec<usize> {
+        (0..self.workers.len())
+            .filter(|&s| !self.mailboxes[s].is_empty())
+            .collect()
+    }
+
+    /// Applies shard `s`'s next queued command to its worker.
+    fn step_worker(&mut self, s: usize) {
+        let cmd = self.mailboxes[s].pop_front().expect("eligible shard");
+        if let Some(reply) = self.workers[s].step(cmd) {
+            self.replies[s].push_back(reply);
+        }
+        self.schedule.borrow_mut().steps += 1;
+    }
+}
+
+impl ShardTransport for ScheduledTransport {
+    fn shard_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn send(&mut self, shard: usize, cmd: ShardCommand) -> SendOutcome {
+        let mut stalled = false;
+        while self.mailboxes[shard].len() >= self.capacity {
+            // Queue full: some worker must run before the coordinator
+            // can continue. Any shard with queued work may go first —
+            // the schedule decides which.
+            stalled = true;
+            let eligible = self.eligible();
+            assert!(
+                !eligible.is_empty(),
+                "full mailbox with no runnable worker is impossible"
+            );
+            let pick = self.schedule.borrow_mut().choose(eligible.len());
+            self.step_worker(eligible[pick]);
+        }
+        self.mailboxes[shard].push_back(cmd);
+        if stalled {
+            SendOutcome::SentAfterStall
+        } else {
+            SendOutcome::Sent
+        }
+    }
+
+    fn recv(&mut self, shard: usize) -> WorkerReply {
+        while self.replies[shard].is_empty() {
+            assert!(
+                !self.mailboxes[shard].is_empty(),
+                "deadlock: coordinator waits on shard {shard} but no queued command \
+                 can produce its reply"
+            );
+            // The awaited reply is somewhere down shard's mailbox, but
+            // any runnable worker may be scheduled first.
+            let eligible = self.eligible();
+            let pick = self.schedule.borrow_mut().choose(eligible.len());
+            self.step_worker(eligible[pick]);
+        }
+        self.replies[shard].pop_front().expect("nonempty")
+    }
+
+    fn shutdown(&mut self) -> Vec<ShardWorker> {
+        // Quiescence: apply every remaining command. Order across
+        // shards is irrelevant here (per-shard FIFO is preserved), so
+        // drain in shard order without consulting the schedule.
+        for s in 0..self.workers.len() {
+            while !self.mailboxes[s].is_empty() {
+                self.step_worker(s);
+            }
+        }
+        std::mem::take(&mut self.workers)
+    }
+}
+
+/// Bounds and workload shape of one checker invocation.
+#[derive(Debug, Clone)]
+pub struct InterleaveConfig {
+    /// Largest shard count checked (each K in `2..=max_shards` runs).
+    pub max_shards: usize,
+    /// Schedule-tree exploration cap per configuration.
+    pub max_schedules: usize,
+    /// Initial population of the churn workload.
+    pub initial_peers: usize,
+    /// Joins in the churn workload.
+    pub joins: usize,
+    /// Leaves in the churn workload.
+    pub leaves: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for InterleaveConfig {
+    fn default() -> Self {
+        InterleaveConfig {
+            max_shards: 4,
+            max_schedules: 200,
+            initial_peers: 10,
+            joins: 4,
+            leaves: 3,
+            seed: 0xd5,
+        }
+    }
+}
+
+/// Outcome of a checker invocation.
+#[derive(Debug, Default)]
+pub struct InterleaveReport {
+    /// Distinct schedules explored across all configurations.
+    pub schedules: u64,
+    /// Configurations whose schedule tree was fully exhausted within
+    /// the cap.
+    pub exhausted: usize,
+    /// Configurations checked (shard count × capacity × selection).
+    pub configs: usize,
+    /// Worker steps executed across all schedules.
+    pub steps: u64,
+    /// Deepest decision vector seen.
+    pub max_depth: usize,
+    /// Human-readable per-configuration lines.
+    pub lines: Vec<String>,
+}
+
+fn selections() -> Vec<(&'static str, Arc<dyn NeighborSelection + Send + Sync>)> {
+    vec![
+        ("empty-rect", Arc::new(EmptyRectSelection)),
+        (
+            "hyperplanes-orthogonal",
+            Arc::new(HyperplanesSelection::orthogonal(2, 2, MetricKind::L1)),
+        ),
+    ]
+}
+
+fn build_store(
+    config: &InterleaveConfig,
+    selection: &Arc<dyn NeighborSelection + Send + Sync>,
+    shards: usize,
+) -> TopologyStore {
+    let peers = PeerInfo::from_point_set(&uniform_points(
+        config.initial_peers,
+        2,
+        1000.0,
+        config.seed,
+    ));
+    TopologyStore::from_peers_sharded(peers, selection.clone(), &ShardConfig::new(shards))
+}
+
+/// Runs the bounded exploration: for every (shard count ≤ K, queue
+/// capacity, selection rule) configuration, enumerates interleavings of
+/// the same churn workload and asserts each one reproduces the serial
+/// dispatcher's topology byte-for-byte.
+///
+/// # Panics
+///
+/// Panics on the first schedule whose result diverges from the serial
+/// reference or that deadlocks — the checker is a gate, not a survey.
+#[must_use]
+pub fn check(config: &InterleaveConfig) -> InterleaveReport {
+    let mut report = InterleaveReport::default();
+    let schedule_events = ChurnSchedule::random(
+        config.initial_peers,
+        config.joins,
+        config.leaves,
+        2,
+        1000.0,
+        config.seed ^ 0x5eed,
+    );
+
+    for (name, selection) in selections() {
+        for shards in 2..=config.max_shards.max(2) {
+            for capacity in [1usize, 2] {
+                // Serial reference for this configuration.
+                let mut reference = build_store(config, &selection, shards);
+                run_schedule_on_store(&mut reference, &schedule_events);
+
+                let schedule = Rc::new(RefCell::new(Schedule::default()));
+                let mut explored = 0u64;
+                let mut exhausted = false;
+                loop {
+                    schedule.borrow_mut().reset();
+                    let mut store = build_store(config, &selection, shards);
+                    let runtime_config = RuntimeConfig {
+                        queue_capacity: capacity,
+                        barrier: false,
+                    };
+                    let sched = schedule.clone();
+                    let mut rt = ShardRuntime::launch_with(&mut store, &runtime_config, |w| {
+                        ScheduledTransport::new(w, capacity, sched)
+                    });
+                    rt.run_schedule(&mut store, &schedule_events);
+                    let stats = rt.shutdown(&mut store);
+                    let _ = stats;
+                    explored += 1;
+
+                    assert_eq!(
+                        reference.graph(),
+                        store.graph(),
+                        "schedule #{explored} diverged ({name}, {shards} shards, cap {capacity})"
+                    );
+                    assert_eq!(reference.fingerprint(), store.fingerprint());
+                    assert_eq!(reference.epoch(), store.epoch());
+                    assert_eq!(reference.last_delta(), store.last_delta());
+                    for s in 0..shards {
+                        assert_eq!(
+                            reference
+                                .sharding()
+                                .expect("sharded")
+                                .shard_log(s)
+                                .global_head(),
+                            store
+                                .sharding()
+                                .expect("sharded")
+                                .shard_log(s)
+                                .global_head(),
+                            "shard {s} log head diverged"
+                        );
+                    }
+
+                    {
+                        let sched = schedule.borrow();
+                        report.max_depth = report.max_depth.max(sched.options.len());
+                    }
+                    if explored as usize >= config.max_schedules {
+                        break;
+                    }
+                    if !schedule.borrow_mut().advance() {
+                        exhausted = true;
+                        break;
+                    }
+                }
+                report.schedules += explored;
+                report.steps += schedule.borrow().steps;
+                report.configs += 1;
+                if exhausted {
+                    report.exhausted += 1;
+                }
+                let mut line = String::new();
+                let _ = write!(
+                    line,
+                    "{name:>24} K={shards} cap={capacity}: {explored} schedules{}",
+                    if exhausted { " (tree exhausted)" } else { "" }
+                );
+                report.lines.push(line);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odometer_enumerates_the_full_tree() {
+        // A synthetic 2-level tree: first choice among 2, second among
+        // 3 → 6 distinct traces, then exhaustion.
+        let mut sched = Schedule::default();
+        let mut seen = Vec::new();
+        loop {
+            sched.reset();
+            let a = sched.choose(2);
+            let b = sched.choose(3);
+            seen.push((a, b));
+            if !sched.advance() {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 6);
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 6, "all traces distinct");
+    }
+
+    #[test]
+    fn variable_branching_is_covered() {
+        // The second choice's arity depends on the first — the
+        // odometer must still cover every reachable trace.
+        let mut sched = Schedule::default();
+        let mut seen = Vec::new();
+        loop {
+            sched.reset();
+            let a = sched.choose(3);
+            let b = if a == 1 { sched.choose(2) } else { 0 };
+            seen.push((a, b));
+            if !sched.advance() {
+                break;
+            }
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![(0, 0), (1, 0), (1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn tiny_exploration_is_identical_and_deadlock_free() {
+        // A smoke-sized run of the real checker: K=2 only, few
+        // schedules. The assertions inside check() are the test.
+        let report = check(&InterleaveConfig {
+            max_shards: 2,
+            max_schedules: 8,
+            initial_peers: 8,
+            joins: 2,
+            leaves: 1,
+            seed: 7,
+        });
+        assert!(report.schedules >= 8);
+        assert_eq!(report.configs, 4);
+    }
+}

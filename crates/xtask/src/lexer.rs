@@ -1,0 +1,316 @@
+//! A minimal Rust lexer for the lint engine.
+//!
+//! The rules in [`crate::lint`] are token-level: they must see
+//! `HashMap` as an identifier in code but ignore it inside string
+//! literals and comments, and they must read comments (that is where
+//! waivers live). This module produces both views from one pass:
+//! *masked* source lines where every string/char literal and comment
+//! byte is blanked to a space, plus the comment text collected per
+//! line.
+//!
+//! The lexer understands line comments, nested block comments, string
+//! literals with escapes, raw (and byte/raw-byte) strings with `#`
+//! fences, char literals, and the char-vs-lifetime ambiguity. It does
+//! not need to be a full lexer — it only has to classify bytes as
+//! code, literal, or comment.
+
+/// One source file, split into the two views the rules consume.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Source lines with every comment/string/char byte replaced by a
+    /// space. Token scans run on these.
+    pub masked: Vec<String>,
+    /// Comment text per 1-based line number (block comments contribute
+    /// to every line they span). Waiver parsing runs on these.
+    pub comments: Vec<(usize, String)>,
+}
+
+impl LexedFile {
+    /// The masked text of 1-based line `n` (empty past EOF).
+    #[must_use]
+    pub fn masked_line(&self, n: usize) -> &str {
+        self.masked.get(n - 1).map_or("", String::as_str)
+    }
+
+    /// `true` if 1-based line `n` carries any code token.
+    #[must_use]
+    pub fn has_code(&self, n: usize) -> bool {
+        !self.masked_line(n).trim().is_empty()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// `true` for bytes that may continue an identifier.
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `source` into masked lines plus per-line comment text.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn lex(source: &str) -> LexedFile {
+    let bytes = source.as_bytes();
+    let mut masked: Vec<String> = Vec::new();
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut cur_masked = String::new();
+    let mut cur_comment = String::new();
+    let mut line = 1usize;
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    macro_rules! newline {
+        () => {{
+            masked.push(std::mem::take(&mut cur_masked));
+            if !cur_comment.trim().is_empty() {
+                comments.push((line, std::mem::take(&mut cur_comment)));
+            } else {
+                cur_comment.clear();
+            }
+            line += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            newline!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    cur_masked.push_str("  ");
+                    cur_comment.push_str("//");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    cur_masked.push_str("  ");
+                    cur_comment.push_str("/*");
+                    i += 2;
+                } else if b == b'"' {
+                    // Possibly the opening of a raw/byte string whose
+                    // prefix we already emitted as code; plain open.
+                    state = State::Str;
+                    cur_masked.push(' ');
+                    i += 1;
+                } else if (b == b'r' || b == b'b')
+                    && !i.checked_sub(1).is_some_and(|p| is_ident(bytes[p]))
+                    && raw_string_open(bytes, i).is_some()
+                {
+                    let (hashes, consumed) = raw_string_open(bytes, i).expect("checked");
+                    state = State::RawStr(hashes);
+                    for _ in 0..consumed {
+                        cur_masked.push(' ');
+                    }
+                    i += consumed;
+                } else if b == b'b'
+                    && bytes.get(i + 1) == Some(&b'\'')
+                    && !i.checked_sub(1).is_some_and(|p| is_ident(bytes[p]))
+                {
+                    state = State::Char;
+                    cur_masked.push_str("  ");
+                    i += 2;
+                } else if b == b'\'' {
+                    // Char literal or lifetime. A char literal is
+                    // `'x'` or `'\...'`; a lifetime is `'ident` with
+                    // no closing quote right after.
+                    let next = bytes.get(i + 1).copied();
+                    let is_char = match next {
+                        Some(b'\\') => true,
+                        Some(c) => bytes.get(i + 1 + utf8_len(c)) == Some(&b'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        state = State::Char;
+                        cur_masked.push(' ');
+                        i += 1;
+                    } else {
+                        // Lifetime: keep as code (harmless).
+                        cur_masked.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur_masked.push(source[i..].chars().next().expect("in bounds"));
+                    i += utf8_len(b);
+                }
+            }
+            State::LineComment => {
+                cur_masked.push(' ');
+                cur_comment.push(source[i..].chars().next().expect("in bounds"));
+                i += utf8_len(b);
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    cur_masked.push_str("  ");
+                    cur_comment.push_str("*/");
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    cur_masked.push_str("  ");
+                    cur_comment.push_str("/*");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    cur_masked.push(' ');
+                    cur_comment.push(source[i..].chars().next().expect("in bounds"));
+                    i += utf8_len(b);
+                }
+            }
+            State::Str => {
+                if b == b'\\' {
+                    cur_masked.push(' ');
+                    match bytes.get(i + 1) {
+                        Some(b'\n') => {
+                            i += 2;
+                            newline!();
+                        }
+                        Some(&e) => {
+                            cur_masked.push(' ');
+                            i += 1 + utf8_len(e);
+                        }
+                        None => i += 1,
+                    }
+                } else if b == b'"' {
+                    cur_masked.push(' ');
+                    i += 1;
+                    state = State::Code;
+                } else {
+                    cur_masked.push(' ');
+                    i += utf8_len(b);
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' && closes_raw(bytes, i, hashes) {
+                    for _ in 0..=hashes {
+                        cur_masked.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    cur_masked.push(' ');
+                    i += utf8_len(b);
+                }
+            }
+            State::Char => {
+                if b == b'\\' {
+                    cur_masked.push(' ');
+                    match bytes.get(i + 1) {
+                        Some(&e) if e != b'\n' => {
+                            cur_masked.push(' ');
+                            i += 1 + utf8_len(e);
+                        }
+                        _ => i += 1,
+                    }
+                } else if b == b'\'' {
+                    cur_masked.push(' ');
+                    i += 1;
+                    state = State::Code;
+                } else {
+                    cur_masked.push(' ');
+                    i += utf8_len(b);
+                }
+            }
+        }
+    }
+    newline!();
+    let _ = line;
+    LexedFile { masked, comments }
+}
+
+/// If position `i` opens a raw string (`r"`, `r#"`, `br##"`, …),
+/// returns `(hash count, bytes consumed through the opening quote)`.
+fn raw_string_open(bytes: &[u8], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((hashes, j + 1 - i))
+    } else {
+        None
+    }
+}
+
+/// `true` if the quote at `i` is followed by enough `#` to close a raw
+/// string fenced with `hashes` hashes.
+fn closes_raw(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|h| bytes.get(i + h) == Some(&b'#'))
+}
+
+/// Length in bytes of the UTF-8 sequence starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let lexed = lex("let a = \"HashMap\"; // HashMap here\nlet b = HashMap::new();\n");
+        assert!(!lexed.masked[0].contains("HashMap"));
+        assert!(lexed.masked[1].contains("HashMap"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].1.contains("HashMap here"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lexed = lex("/* outer /* inner */ still */ HashMap\n");
+        assert!(lexed.masked[0].contains("HashMap"));
+        assert!(!lexed.masked[0].contains("inner"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let lexed = lex("let s = r#\"Instant::now\"#; Instant::now();\n");
+        let m = &lexed.masked[0];
+        assert_eq!(m.matches("Instant::now").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x } // ok\n");
+        assert!(lexed.masked[0].contains("&'a str"));
+    }
+
+    #[test]
+    fn char_literal_with_quote_escape() {
+        let lexed = lex("let c = '\\''; let d = 'x'; HashMap\n");
+        assert!(lexed.masked[0].contains("HashMap"));
+        assert!(!lexed.masked[0].contains('x'));
+    }
+}

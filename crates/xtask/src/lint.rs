@@ -1,0 +1,448 @@
+//! The determinism lint engine: rules D001–D005 over the workspace.
+//!
+//! Every guarantee in this reproduction is of the form "byte-identical
+//! to the serial / from-scratch definition". The property tests check
+//! that contract after the fact; these rules enforce the programming
+//! discipline that makes it hold *by construction*, at CI time:
+//!
+//! | Rule | Contract |
+//! |------|----------|
+//! | D001 | No `HashMap`/`HashSet` state in replay-critical crates (`overlay`, `core`, `sim`, `geom`): hash iteration order is seeded per process, so any map/set that reaches a fold, a delta stream, or a fingerprint must be a `BTreeMap`/`BTreeSet`. |
+//! | D002 | No `Instant::now`/`SystemTime` outside telemetry: wall-clock reads may feed stats columns, never control flow. |
+//! | D003 | No unseeded RNG (`thread_rng`, `from_entropy`) outside `bench`: every experiment replays from a seed. |
+//! | D004 | No `partial_cmp` on floats outside `geom`: coordinate ordering goes through the total-order comparator (`f64::total_cmp`) so NaN/tie handling cannot diverge between engines. |
+//! | D005 | Every crate root carries `#![forbid(unsafe_code)]`. |
+//!
+//! A site that is deliberately exempt carries an inline waiver:
+//!
+//! ```text
+//! // lint:allow(D001, reason = "queried by key only, never iterated")
+//! ```
+//!
+//! The waiver covers the next code line (or its own line when it is a
+//! trailing comment). A waiver without a reason, or one that suppresses
+//! nothing, is itself a violation (W001) — waivers must stay honest.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, LexedFile};
+
+/// Crates whose state feeds replay/fingerprint comparisons (D001).
+pub const REPLAY_CRITICAL: [&str; 4] = ["overlay", "core", "sim", "geom"];
+/// Crates allowed to read wall clocks freely (D002).
+pub const TIMING_EXEMPT: [&str; 1] = ["bench"];
+/// Crates allowed entropy-seeded RNG (D003).
+pub const RNG_EXEMPT: [&str; 1] = ["bench"];
+/// The crate hosting the sanctioned float total-order comparisons (D004).
+pub const FLOAT_ORD_HOME: &str = "geom";
+
+/// One finding: a rule violation (or waiver-hygiene problem, W001).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule code (`D001`–`D005`, `W001`).
+    pub rule: &'static str,
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation with the fix/waiver guidance.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Aggregate result of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations, in (file, line) order.
+    pub violations: Vec<Violation>,
+    /// Files scanned.
+    pub files: usize,
+    /// Waivers honored (matched a violation they suppress).
+    pub waivers_honored: usize,
+}
+
+impl LintReport {
+    /// Machine-readable JSON rendering (no external deps: the format
+    /// is a flat array of objects plus a summary object).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+                v.rule,
+                json_escape(&v.file),
+                v.line,
+                json_escape(&v.message),
+                if i + 1 < self.violations.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"files_scanned\": {},\n  \"waivers_honored\": {},\n  \"clean\": {}\n}}\n",
+            self.files,
+            self.waivers_honored,
+            self.violations.is_empty()
+        ));
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// An inline `lint:allow` waiver parsed from a comment.
+#[derive(Debug)]
+struct Waiver {
+    rule: String,
+    reason: Option<String>,
+    /// Line of the comment itself.
+    at: usize,
+    /// Code line the waiver covers.
+    covers: usize,
+    used: bool,
+}
+
+/// Scans comment text for `lint:allow(RULE, reason = "...")`.
+fn parse_waivers(lexed: &LexedFile) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for &(line, ref text) in &lexed.comments {
+        // A waiver is a plain `//` comment. Doc comments (`///`,
+        // `//!`) merely *describe* the syntax — rustdoc prose is not a
+        // suppression site.
+        let lead = text.trim_start();
+        if lead.starts_with("///") || lead.starts_with("//!") {
+            continue;
+        }
+        let mut rest = text.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            let inner = &rest[pos + "lint:allow(".len()..];
+            let close = inner.find(')').unwrap_or(inner.len());
+            let body = &inner[..close];
+            let rule = body.split(',').next().unwrap_or("").trim().to_string();
+            // Only rule-shaped tokens (`D001`, `W001`, …) are waivers;
+            // anything else is prose mentioning the syntax.
+            let rule_shaped = rule.len() == 4
+                && (rule.starts_with('D') || rule.starts_with('W'))
+                && rule[1..].bytes().all(|b| b.is_ascii_digit());
+            if !rule_shaped {
+                rest = &inner[close..];
+                continue;
+            }
+            let reason = body.find("reason").and_then(|r| {
+                let after = &body[r..];
+                let q1 = after.find('"')? + 1;
+                let q2 = after[q1..].find('"')? + q1;
+                let reason = after[q1..q2].trim();
+                (!reason.is_empty()).then(|| reason.to_string())
+            });
+            let covers = if lexed.has_code(line) {
+                line
+            } else {
+                // Standalone comment: cover the next code line.
+                let mut n = line + 1;
+                while n <= lexed.masked.len() && !lexed.has_code(n) {
+                    n += 1;
+                }
+                n
+            };
+            waivers.push(Waiver {
+                rule,
+                reason,
+                at: line,
+                covers,
+                used: false,
+            });
+            rest = &inner[close..];
+        }
+    }
+    waivers
+}
+
+/// Finds `token` as a whole identifier in `line`, returning `true` on
+/// at least one hit.
+fn has_token(line: &str, token: &str) -> bool {
+    token_at(line, token).is_some()
+}
+
+/// Byte offset of the first whole-identifier occurrence of `token`.
+fn token_at(line: &str, token: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(token) {
+        let start = from + pos;
+        let end = start + token.len();
+        let pre_ok = start == 0 || !ident_byte(bytes[start - 1]);
+        let post_ok = end >= bytes.len() || !ident_byte(bytes[end]);
+        if pre_ok && post_ok {
+            return Some(start);
+        }
+        from = start + 1;
+    }
+    None
+}
+
+fn ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lints one source file. `crate_name` is the short crate directory
+/// name (`overlay`, `core`, …, or `root` for the workspace root
+/// package); `is_crate_root` marks `src/lib.rs` / `src/main.rs`, where
+/// D005 applies.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn lint_source(
+    crate_name: &str,
+    file_label: &str,
+    source: &str,
+    is_crate_root: bool,
+) -> (Vec<Violation>, usize) {
+    let lexed = lex(source);
+    let mut waivers = parse_waivers(&lexed);
+    let mut raw: Vec<Violation> = Vec::new();
+
+    let replay_critical = REPLAY_CRITICAL.contains(&crate_name);
+    let timing_exempt = TIMING_EXEMPT.contains(&crate_name);
+    let rng_exempt = RNG_EXEMPT.contains(&crate_name);
+
+    for (idx, masked) in lexed.masked.iter().enumerate() {
+        let line = idx + 1;
+        let trimmed = masked.trim_start();
+        // D001 — hash-ordered collections in replay-critical crates.
+        // `use` declarations are inert (rustc flags unused imports);
+        // the rule targets declarations, construction, and type
+        // positions.
+        if replay_critical && !trimmed.starts_with("use ") && !trimmed.starts_with("pub use ") {
+            for token in ["HashMap", "HashSet"] {
+                if has_token(masked, token) {
+                    raw.push(Violation {
+                        rule: "D001",
+                        file: file_label.to_string(),
+                        line,
+                        message: format!(
+                            "{token} in replay-critical crate `{crate_name}`: hash iteration \
+                             order is per-process, so replay state must use BTreeMap/BTreeSet; \
+                             if this site never iterates, waive with `// lint:allow(D001, \
+                             reason = \"...\")`"
+                        ),
+                    });
+                }
+            }
+        }
+        // D002 — wall-clock reads outside telemetry.
+        if !timing_exempt {
+            for pat in ["Instant", "SystemTime"] {
+                if let Some(pos) = token_at(masked, pat) {
+                    // `Instant` only matters when the clock is read or
+                    // a value is stored; type-position uses (fn args,
+                    // struct fields of telemetry) are covered by the
+                    // read sites. Flag reads: `Instant::now`,
+                    // `SystemTime::now`, `SystemTime::UNIX_EPOCH`.
+                    let after = &masked[pos..];
+                    if pat == "SystemTime" || after.starts_with("Instant::now") {
+                        raw.push(Violation {
+                            rule: "D002",
+                            file: file_label.to_string(),
+                            line,
+                            message: format!(
+                                "{pat} read outside a telemetry context: wall-clock values may \
+                                 feed stats columns only, never control flow; waive with \
+                                 `// lint:allow(D002, reason = \"feeds <stat>; no control flow \
+                                 reads the clock\")`"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // D003 — unseeded RNG.
+        if !rng_exempt {
+            for token in ["thread_rng", "from_entropy"] {
+                if has_token(masked, token) {
+                    raw.push(Violation {
+                        rule: "D003",
+                        file: file_label.to_string(),
+                        line,
+                        message: format!(
+                            "{token} draws process entropy: every experiment must replay from \
+                             a seed (StdRng::seed_from_u64); entropy is allowed only in `bench`"
+                        ),
+                    });
+                }
+            }
+        }
+        // D004 — float ordering outside the sanctioned comparator.
+        if crate_name != FLOAT_ORD_HOME {
+            if let Some(pos) = token_at(masked, "partial_cmp") {
+                let before = masked[..pos].trim_end();
+                if !before.ends_with("fn") {
+                    raw.push(Violation {
+                        rule: "D004",
+                        file: file_label.to_string(),
+                        line,
+                        message: "partial_cmp on float coordinates is not a total order (NaN, \
+                                  unwrap panics): use f64::total_cmp with an id tie-break, as \
+                                  geom's comparators do"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // D005 — crate roots must forbid unsafe code.
+    if is_crate_root
+        && !lexed
+            .masked
+            .iter()
+            .any(|l| l.contains("#![forbid(unsafe_code)]"))
+    {
+        raw.push(Violation {
+            rule: "D005",
+            file: file_label.to_string(),
+            line: 1,
+            message: "crate root missing `#![forbid(unsafe_code)]`: the determinism contract \
+                      assumes no unsafe aliasing anywhere in the workspace"
+                .to_string(),
+        });
+    }
+
+    // Apply waivers.
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut honored = 0usize;
+    for v in raw {
+        let waived = waivers
+            .iter_mut()
+            .find(|w| w.rule == v.rule && w.covers == v.line && w.reason.is_some());
+        if let Some(w) = waived {
+            w.used = true;
+            honored += 1;
+        } else {
+            violations.push(v);
+        }
+    }
+    // Waiver hygiene (W001).
+    for w in &waivers {
+        if w.reason.is_none() {
+            violations.push(Violation {
+                rule: "W001",
+                file: file_label.to_string(),
+                line: w.at,
+                message: format!(
+                    "waiver for {} carries no reason: write `lint:allow({}, reason = \"...\")`",
+                    w.rule, w.rule
+                ),
+            });
+        } else if !w.used {
+            violations.push(Violation {
+                rule: "W001",
+                file: file_label.to_string(),
+                line: w.at,
+                message: format!(
+                    "waiver for {} suppresses nothing on line {}: remove it or move it next \
+                     to the site it justifies",
+                    w.rule, w.covers
+                ),
+            });
+        }
+    }
+    violations.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+    (violations, honored)
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted for
+/// deterministic reports), skipping `fixtures` directories — those
+/// hold deliberately-bad lint test inputs.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name != "fixtures" && name != "target" {
+                rust_files(&path, out);
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints every workspace crate under `root`: the root package's
+/// `src`/`tests`/`examples` plus each `crates/*` member (vendored
+/// stand-ins under `vendor/` are outside the contract and skipped).
+///
+/// # Errors
+///
+/// Returns an error if a source file cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    let mut report = LintReport::default();
+    let mut units: Vec<(String, PathBuf)> = vec![("root".to_string(), root.to_path_buf())];
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("unknown")
+            .to_string();
+        units.push((name, dir));
+    }
+
+    for (crate_name, dir) in units {
+        let mut files = Vec::new();
+        for sub in ["src", "tests", "examples", "benches"] {
+            // Members live under `crates/`, so the root package's
+            // `src`/`tests` never overlap with member sources.
+            rust_files(&dir.join(sub), &mut files);
+        }
+        for path in files {
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .display()
+                .to_string();
+            let is_crate_root = path.ends_with("src/lib.rs") || path.ends_with("src/main.rs");
+            let (violations, honored) = lint_source(&crate_name, &label, &source, is_crate_root);
+            report.files += 1;
+            report.waivers_honored += honored;
+            report.violations.extend(violations);
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(report)
+}

@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+
+fn count(xs: &[u32]) -> HashMap<u32, usize> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    let s = "HashMap in a string is fine";
+    let _ = s;
+    m
+}

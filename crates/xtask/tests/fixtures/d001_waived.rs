@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+
+// lint:allow(D001, reason = "key-indexed accumulator; callers drain it via sorted keys, so no hash order reaches replay state")
+fn count(xs: &[u32]) -> HashMap<u32, usize> {
+    // lint:allow(D001, reason = "same accumulator as above; queried by key only")
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,6 @@
+use std::time::Instant;
+
+fn retry_deadline() -> bool {
+    let started = Instant::now();
+    started.elapsed().as_millis() < 50
+}

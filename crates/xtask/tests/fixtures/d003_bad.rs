@@ -1,0 +1,6 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn jitter() -> StdRng {
+    StdRng::from_entropy()
+}

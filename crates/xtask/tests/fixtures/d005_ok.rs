@@ -1,0 +1,7 @@
+//! A crate root carrying the unsafe firewall.
+
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,1 @@
+pub fn answer() -> u32 { 42 } // lint:allow(D005, reason = "generated shim; unsafe audit tracked in the generator")

@@ -1,0 +1,6 @@
+use std::collections::HashMap;
+
+// lint:allow(D001)
+fn m() -> HashMap<u32, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,4 @@
+// lint:allow(D001, reason = "nothing here actually needs this waiver")
+fn add(a: u32, b: u32) -> u32 {
+    a + b
+}

@@ -46,7 +46,10 @@ fn main() {
     );
 
     // Replay the full lease schedule.
-    let times: Vec<f64> = peers.iter().map(|p| p.departure_time()).collect();
+    let times: Vec<f64> = peers
+        .iter()
+        .map(geocast::prelude::PeerInfo::departure_time)
+        .collect();
     let ours = non_leaf_departures(&tree, &times);
     let random = non_leaf_departures(
         &baseline::random_parent_tree(&overlay, tree.root(), 1),

@@ -60,7 +60,10 @@ fn main() {
     let tree = preferred_links(&aware, &aware_overlay, PreferredPolicy::MaxT)
         .to_multicast_tree()
         .expect("battery-aware links form a tree");
-    let deaths: Vec<f64> = aware.iter().map(|p| p.departure_time()).collect();
+    let deaths: Vec<f64> = aware
+        .iter()
+        .map(geocast::prelude::PeerInfo::departure_time)
+        .collect();
     let splits = non_leaf_departures(&tree, &deaths);
     println!(
         "\nbattery-aware aggregation tree: rooted at the freshest battery \

@@ -92,7 +92,7 @@ fn routing_works_on_gossip_converged_topology() {
         ..NetworkConfig::default()
     };
     let mut net = OverlayNetwork::new(Arc::new(EmptyRectSelection), config);
-    for p in points.iter() {
+    for p in &points {
         net.add_peer(p.clone());
         net.converge();
     }

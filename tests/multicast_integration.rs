@@ -177,7 +177,7 @@ fn build_on_gossip_converged_overlay_matches_oracle_build() {
         ..NetworkConfig::default()
     };
     let mut net = OverlayNetwork::new(Arc::new(EmptyRectSelection), config);
-    for p in points.iter() {
+    for p in &points {
         net.add_peer(p.clone());
         net.converge();
     }

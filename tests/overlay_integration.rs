@@ -29,7 +29,7 @@ fn converged_network(
         ..NetworkConfig::default()
     };
     let mut net = OverlayNetwork::new(selection, config);
-    for p in points.iter() {
+    for p in points {
         net.add_peer(p.clone());
         assert!(net.converge().converged, "insertion failed to converge");
     }

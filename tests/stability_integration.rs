@@ -28,7 +28,10 @@ fn paper_grid_sample_always_forms_heap_trees() {
         );
         let tree = forest.to_multicast_tree().unwrap();
         assert_eq!(tree.validate(), Ok(()), "D={dim} K={k}");
-        let times: Vec<f64> = peers.iter().map(|p| p.departure_time()).collect();
+        let times: Vec<f64> = peers
+            .iter()
+            .map(geocast::prelude::PeerInfo::departure_time)
+            .collect();
         assert_eq!(non_leaf_departures(&tree, &times), 0, "D={dim} K={k}");
     }
 }
@@ -71,7 +74,10 @@ fn stability_tree_beats_baselines_under_departures() {
         &peers,
         &HyperplanesSelection::orthogonal(2, 2, MetricKind::L1),
     );
-    let times: Vec<f64> = peers.iter().map(|p| p.departure_time()).collect();
+    let times: Vec<f64> = peers
+        .iter()
+        .map(geocast::prelude::PeerInfo::departure_time)
+        .collect();
 
     let stable = preferred_links(&peers, &overlay, PreferredPolicy::MaxT)
         .to_multicast_tree()
@@ -94,7 +100,10 @@ fn all_policies_produce_leaf_only_departures() {
         &peers,
         &HyperplanesSelection::orthogonal(4, 3, MetricKind::L1),
     );
-    let times: Vec<f64> = peers.iter().map(|p| p.departure_time()).collect();
+    let times: Vec<f64> = peers
+        .iter()
+        .map(geocast::prelude::PeerInfo::departure_time)
+        .collect();
     for policy in [
         PreferredPolicy::MaxT,
         PreferredPolicy::MinHigherT,
@@ -137,7 +146,10 @@ fn departure_replay_on_live_simulation() {
         .to_multicast_tree()
         .unwrap();
     // Offline invariant.
-    let times: Vec<f64> = peers.iter().map(|p| p.departure_time()).collect();
+    let times: Vec<f64> = peers
+        .iter()
+        .map(geocast::prelude::PeerInfo::departure_time)
+        .collect();
     assert_eq!(non_leaf_departures(&stable, &times), 0);
 
     // The §2 construction's *spanning* guarantee is specific to the
